@@ -1,0 +1,85 @@
+// Ablation A4: the paper's Section 6 future-work item 1, implemented and
+// measured — "Providing a non-contiguous interface to LAPI_Put and LAPI_Get
+// to help applications like GA which require non-contiguous data transfer
+// by removing the overhead associated with multiple requests or the copy
+// overhead in the AM-based implementations."
+//
+// Compares GA strided 2-D put/get bandwidth with the 1998 protocols (AM
+// chunks / per-column RMC) against the same operations carried by one
+// LAPI_Putv / LAPI_Getv message.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "ga/bench_harness.hpp"
+
+namespace {
+
+using namespace splap;
+
+double measure(std::int64_t bytes, bool strided_rmc, bool get) {
+  const std::int64_t elems = bytes / 8;
+  std::int64_t s = 2;
+  while ((s + 1) * (s + 1) <= elems) ++s;
+  net::Machine::Config mc;
+  mc.tasks = 2;
+  net::Machine m(mc);
+  ga::Config cfg;
+  cfg.use_strided_rmc = strided_rmc;
+  Time elapsed = 0;
+  const int reps = ga::bench::series_length(bytes);
+  const Status st = m.run_spmd([&](net::Node& n) {
+    ga::Runtime rt(n, cfg);
+    ga::GlobalArray a = rt.create(3 * s, 3 * s);
+    rt.sync();
+    if (rt.me() == 0) {
+      const ga::Patch blk = a.block_of(1);
+      std::vector<double> buf(static_cast<std::size_t>(s * s), 2.0);
+      const Time t0 = rt.engine().now();
+      for (int r = 0; r < reps; ++r) {
+        const std::int64_t off = r % 2;
+        ga::Patch p{blk.lo1 + off, blk.lo1 + off + s - 1, blk.lo2 + off,
+                    blk.lo2 + off + s - 1};
+        p.hi1 = std::min(p.hi1, blk.hi1);
+        p.hi2 = std::min(p.hi2, blk.hi2);
+        if (get) {
+          a.get(p, buf.data(), p.rows());
+        } else {
+          a.put(p, buf.data(), p.rows());
+        }
+      }
+      rt.fence();
+      elapsed = rt.engine().now() - t0;
+    }
+    rt.sync();
+    rt.destroy(a);
+  });
+  SPLAP_REQUIRE(st == Status::kOk, "strided ablation failed");
+  return mb_per_s(s * s * 8 * reps, elapsed);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n=== Ablation A4: LAPI_Putv/Getv (Section 6, item 1) ===\n");
+  std::printf("strided 2-D GA transfer bandwidth (MB/s): 1998 hybrid vs the "
+              "non-contiguous interface\n\n");
+  std::printf("%10s %14s %14s %14s %14s\n", "bytes", "put hybrid",
+              "put Putv", "get hybrid", "get Getv");
+  for (std::int64_t b : {16384, 65536, 262144, 1048576}) {
+    const double p0 = measure(b, false, false);
+    const double p1 = measure(b, true, false);
+    const double g0 = measure(b, false, true);
+    const double g1 = measure(b, true, true);
+    std::printf("%10lld %14.2f %14.2f %14.2f %14.2f\n",
+                static_cast<long long>(b), p0, p1, g0, g1);
+  }
+  std::printf("\nexpected: puts gain heavily (no per-chunk requests, no "
+              "handler-side unpack; the gather\nhappens once at the origin); "
+              "gets gain modestly — the serving side must still gather\nthe "
+              "strided source, and doing it in one piece serializes the "
+              "dispatcher where the AM\nprotocol pipelined it. Section 6's "
+              "prediction holds for the request/copy overheads it\nnames, "
+              "and the measurement adds the serving-side caveat.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Wall-clock performance of the simulator itself (google-benchmark): event
+// throughput of the DES engine, actor handoff rate, fabric packet rate, and
+// end-to-end simulated-LAPI message rate. These are meta-benchmarks of the
+// reproduction infrastructure, not paper results — they bound how large an
+// experiment the simulator can run interactively.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "lapi/context.hpp"
+#include "net/machine.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace splap;
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < n; ++i) {
+      eng.schedule_at(i, [] {});
+    }
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(1000)->Arg(10000);
+
+void BM_ActorHandoff(benchmark::State& state) {
+  const int switches = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    eng.spawn("worker", [&](sim::Actor& self) {
+      for (int i = 0; i < switches; ++i) self.compute(microseconds(1));
+    });
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * switches);
+}
+BENCHMARK(BM_ActorHandoff)->Arg(256);
+
+void BM_FabricPacketRate(benchmark::State& state) {
+  const int packets = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    net::Machine::Config mc;
+    mc.tasks = 2;
+    net::Machine m(mc);
+    int delivered = 0;
+    m.node(1).adapter().register_client(net::Client::kLapi,
+                                        [&](net::Packet&&) { ++delivered; });
+    m.engine().schedule_at(0, [&] {
+      for (int i = 0; i < packets; ++i) {
+        net::Packet p;
+        p.src = 0;
+        p.dst = 1;
+        p.client = net::Client::kLapi;
+        p.header_bytes = 48;
+        p.data.resize(976);
+        m.fabric().transmit(std::move(p));
+      }
+    });
+    benchmark::DoNotOptimize(m.engine().run());
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * packets);
+}
+BENCHMARK(BM_FabricPacketRate)->Arg(2000);
+
+void BM_LapiPutMessageRate(benchmark::State& state) {
+  const int msgs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    net::Machine::Config mc;
+    mc.tasks = 2;
+    net::Machine m(mc);
+    std::vector<std::byte> tgt(512);
+    (void)m.run_spmd([&](net::Node& n) {
+      lapi::Context ctx(n);
+      if (ctx.task_id() == 0) {
+        std::vector<std::byte> src(512, std::byte{1});
+        lapi::Counter cmpl;
+        for (int i = 0; i < msgs; ++i) {
+          (void)ctx.put(1, src, tgt.data(), nullptr, nullptr, &cmpl);
+        }
+        ctx.waitcntr(cmpl, msgs);
+      }
+      ctx.gfence();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * msgs);
+}
+BENCHMARK(BM_LapiPutMessageRate)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Regenerates Figure 4: bandwidth of GA get under the LAPI and MPL
+// implementations, for 1-D and square 2-D array sections, 64 B .. 2 MB.
+//
+// Paper shape: "LAPI outperforms MPL for all the cases. Both MPL and LAPI
+// versions perform better for 1-D than 2-D requests." The LAPI version uses
+// LAPI_Get directly for 1-D (no intermediate copies); MPL avoids one copy
+// for 1-D; 2-D requests switch to the LAPI_Get per-column protocol around
+// 0.5 MB.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+
+int main() {
+  using namespace splap;
+  using ga::Transport;
+  using ga::bench::ga_bandwidth_mb_s;
+  using ga::bench::OpKind;
+  using ga::bench::Shape;
+
+  std::vector<std::int64_t> sizes;
+  for (std::int64_t b = 64; b <= (2 << 20); b *= 4) sizes.push_back(b);
+  sizes.push_back(2 << 20);
+
+  std::printf("\n=== Figure 4: GA get bandwidth (MB/s), 4 nodes ===\n");
+  std::printf("reproduces: Shah et al., IPPS'98, Figure 4\n");
+  std::printf("%10s %12s %12s %12s %12s\n", "bytes", "LAPI-1D", "LAPI-2D",
+              "MPL-1D", "MPL-2D");
+  for (const auto b : sizes) {
+    const double l1 = ga_bandwidth_mb_s(Transport::kLapi, OpKind::kGet,
+                                        Shape::k1D, b);
+    const double l2 = ga_bandwidth_mb_s(Transport::kLapi, OpKind::kGet,
+                                        Shape::k2D, b);
+    const double m1 = ga_bandwidth_mb_s(Transport::kMpl, OpKind::kGet,
+                                        Shape::k1D, b);
+    const double m2 = ga_bandwidth_mb_s(Transport::kMpl, OpKind::kGet,
+                                        Shape::k2D, b);
+    std::printf("%10lld %12.2f %12.2f %12.2f %12.2f\n",
+                static_cast<long long>(b), l1, l2, m1, m2);
+  }
+  std::printf(
+      "\nexpected shape: LAPI above MPL everywhere; 1-D above 2-D for both "
+      "implementations.\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Regenerates the Section 5.4 GA single-element latency numbers:
+//
+//   "The latency measured for transfer of a single element (8 bytes) of a
+//    double-precision array is 94.2us in GA get and 49.6us for put in the
+//    LAPI implementation. In the MPL implementation, the corresponding
+//    numbers are 221us for GA get and 54.6us for put."
+#include "common.hpp"
+
+int main() {
+  using namespace splap;
+  using namespace splap::benchx;
+  const auto lapi = ga::bench::ga_latency_us(ga::Transport::kLapi);
+  const auto mpl = ga::bench::ga_latency_us(ga::Transport::kMpl);
+  print_header("Section 5.4: GA single-element (8 B) latency, 4 nodes",
+               "Shah et al., IPPS'98, Section 5.4 text");
+  print_row("GA put, LAPI implementation", lapi.put_us, 49.6, "us");
+  print_row("GA put, MPL implementation", mpl.put_us, 54.6, "us");
+  print_row("GA get, LAPI implementation", lapi.get_us, 94.2, "us");
+  print_row("GA get, MPL implementation", mpl.get_us, 221.0, "us");
+  return 0;
+}

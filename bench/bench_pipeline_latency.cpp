@@ -1,0 +1,14 @@
+// Regenerates the Section 4 pipeline-latency numbers: the time for a
+// non-blocking LAPI_Put / LAPI_Get call to return control to the user
+// program ("the pipeline latency for Put is 16us and for Get is 19us").
+#include "common.hpp"
+
+int main() {
+  using namespace splap::benchx;
+  const PipelineLatency p = measure_pipeline_latency();
+  print_header("Section 4: pipeline latency (non-blocking call return)",
+               "Shah et al., IPPS'98, Section 4 text");
+  print_row("LAPI_Put pipeline latency", p.put_us, 16.0, "us");
+  print_row("LAPI_Get pipeline latency", p.get_us, 19.0, "us");
+  return 0;
+}

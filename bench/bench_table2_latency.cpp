@@ -1,0 +1,23 @@
+// Regenerates Table 2 of the paper: 4-byte message latency for LAPI and
+// MPI/MPL in polling and interrupt modes on the simulated SP.
+//
+//   | Measurement          | LAPI [us] | MPI/MPL [us] |
+//   | polling              |    34     |     43       |
+//   | polling round-trip   |    60     |     86       |
+//   | interrupt round-trip |    89     |    200       |
+#include "common.hpp"
+
+int main() {
+  using namespace splap::benchx;
+  const Table2 t = measure_table2();
+  print_header("Table 2: latency measurements (4-byte messages)",
+               "Shah et al., IPPS'98, Table 2");
+  print_row("LAPI polling (one-way)", t.lapi_polling_us, 34.0, "us");
+  print_row("LAPI polling round-trip", t.lapi_polling_rt_us, 60.0, "us");
+  print_row("LAPI interrupt round-trip", t.lapi_interrupt_rt_us, 89.0, "us");
+  print_row("MPI polling (one-way)", t.mpi_polling_us, 43.0, "us");
+  print_row("MPI polling round-trip", t.mpi_polling_rt_us, 86.0, "us");
+  print_row("MPL rcvncall interrupt round-trip", t.mpl_rcvncall_rt_us, 200.0,
+            "us");
+  return 0;
+}

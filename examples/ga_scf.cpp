@@ -1,0 +1,123 @@
+// A miniature self-consistent-field (SCF) iteration on Global Arrays — the
+// electronic-structure workload the paper's GA collaboration was built for
+// (Section 5, and references [16][17]).
+//
+// The physics is stylized but the data flow is the real one:
+//   - the density matrix D and Fock matrix F are dense GA arrays,
+//   - tasks self-schedule blocks of "integrals" through read_inc,
+//   - each block contributes F(bi,bj) += work(D(bi,bj)) via atomic
+//     accumulate,
+//   - the "energy" is a trace computed with a global sum, iterated to
+//     convergence.
+//
+//   $ ./ga_scf [lapi|mpl]
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "ga/runtime.hpp"
+
+using namespace splap;
+
+namespace {
+
+constexpr std::int64_t kN = 128;
+constexpr std::int64_t kBlock = 32;
+constexpr int kIters = 4;
+
+double run_scf(ga::Transport transport) {
+  net::Machine::Config mc;
+  mc.tasks = 4;
+  net::Machine machine(mc);
+  double final_energy = 0.0;
+  ga::Config cfg;
+  cfg.transport = transport;
+  const Status st = machine.run_spmd([&](net::Node& node) {
+    ga::Runtime rt(node, cfg);
+    ga::GlobalArray density = rt.create(kN, kN);
+    ga::GlobalArray fock = rt.create(kN, kN);
+
+    // Initial guess: D = I (each owner fills its diagonal part locally).
+    const ga::Patch blk = density.my_block();
+    double* local = density.access();
+    for (std::int64_t j = blk.lo2; j <= blk.hi2; ++j) {
+      for (std::int64_t i = blk.lo1; i <= blk.hi1; ++i) {
+        local[(j - blk.lo2) * blk.rows() + (i - blk.lo1)] =
+            (i == j) ? 1.0 : 0.0;
+      }
+    }
+    rt.sync();
+
+    const std::int64_t nblk = kN / kBlock;
+    std::vector<double> dbuf(kBlock * kBlock), fbuf(kBlock * kBlock);
+    double energy = 0.0;
+
+    for (int iter = 0; iter < kIters; ++iter) {
+      rt.sync();
+      // Dynamic load balancing: grab the next block pair (Section 1's
+      // motivating "dynamic and unpredictable" pattern). Each iteration
+      // uses a fresh shared counter.
+      const int ctr = 1 + iter;
+      for (;;) {
+        const std::int64_t blk_id = rt.read_inc(ctr, 1);
+        if (blk_id >= nblk * nblk) break;
+        const std::int64_t bi = blk_id % nblk;
+        const std::int64_t bj = blk_id / nblk;
+        const ga::Patch p{bi * kBlock, (bi + 1) * kBlock - 1, bj * kBlock,
+                          (bj + 1) * kBlock - 1};
+        density.get(p, dbuf.data(), kBlock);
+        // "Integrals": a cheap stand-in contraction, charged as compute.
+        node.task().compute(microseconds(0.08 * kBlock * kBlock));
+        for (std::int64_t k = 0; k < kBlock * kBlock; ++k) {
+          fbuf[static_cast<std::size_t>(k)] =
+              0.5 * dbuf[static_cast<std::size_t>(k)] +
+              0.01 * std::sin(static_cast<double>(bi + bj));
+        }
+        fock.acc(p, fbuf.data(), kBlock, 1.0);
+      }
+      rt.sync();
+
+      // Energy = tr(F)/N via local traces + a global sum.
+      double tr[1] = {0.0};
+      const ga::Patch fb = fock.my_block();
+      const double* flocal = fock.access();
+      for (std::int64_t j = fb.lo2; j <= fb.hi2; ++j) {
+        for (std::int64_t i = fb.lo1; i <= fb.hi1; ++i) {
+          if (i == j) tr[0] += flocal[(j - fb.lo2) * fb.rows() + (i - fb.lo1)];
+        }
+      }
+      rt.gop_sum(std::span<double>(tr, 1));
+      energy = tr[0] / kN;
+      if (rt.me() == 0) {
+        std::printf("  iter %d: E = %.6f (virtual t = %.2f ms)\n", iter,
+                    energy, to_ms(rt.engine().now()));
+      }
+      // Next guess: D <- 0.9 D (owner-local update).
+      double* dl = density.access();
+      for (std::int64_t k = 0; k < blk.elems(); ++k) {
+        dl[static_cast<std::size_t>(k)] *= 0.9;
+      }
+    }
+    rt.sync();
+    final_energy = energy;
+    rt.destroy(fock);
+    rt.destroy(density);
+  });
+  SPLAP_REQUIRE(st == Status::kOk, "SCF run failed");
+  return final_energy;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool use_mpl = argc > 1 && std::strcmp(argv[1], "mpl") == 0;
+  const auto transport = use_mpl ? ga::Transport::kMpl : ga::Transport::kLapi;
+  std::printf("mini-SCF on Global Arrays over the %s transport, %lldx%lld, "
+              "4 nodes\n",
+              use_mpl ? "MPL" : "LAPI", static_cast<long long>(kN),
+              static_cast<long long>(kN));
+  const double e = run_scf(transport);
+  std::printf("converged energy: %.6f\n", e);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fixed-size buffer pool used for active-message receive buffers.
+//
+// Section 5.3.1 of the paper explains why GA cannot use dynamic allocation in
+// the header handler (the handler must not block or return NULL, and under
+// contention arrival rate can exceed consumption rate). The pool makes the
+// capacity explicit: acquisition either succeeds immediately or reports
+// exhaustion so the caller can fall back (GA falls back to its round-trip
+// protocol for large requests).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/status.hpp"
+
+namespace splap {
+
+class BufferPool {
+ public:
+  BufferPool(std::size_t buffer_bytes, std::size_t count)
+      : buffer_bytes_(buffer_bytes),
+        storage_(buffer_bytes * count) {
+    free_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      free_.push_back(storage_.data() + i * buffer_bytes);
+    }
+    total_ = count;
+  }
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a buffer of `buffer_bytes()` or nullptr when exhausted.
+  std::byte* try_acquire() {
+    if (free_.empty()) {
+      ++exhaustions_;
+      return nullptr;
+    }
+    std::byte* b = free_.back();
+    free_.pop_back();
+    if (total_ - free_.size() > high_water_) high_water_ = total_ - free_.size();
+    return b;
+  }
+
+  void release(std::byte* b) {
+    SPLAP_REQUIRE(owns(b), "releasing a buffer this pool does not own");
+    SPLAP_REQUIRE(free_.size() < total_, "double release into buffer pool");
+    free_.push_back(b);
+  }
+
+  bool owns(const std::byte* b) const {
+    return b >= storage_.data() && b < storage_.data() + storage_.size() &&
+           (b - storage_.data()) % static_cast<std::ptrdiff_t>(buffer_bytes_) == 0;
+  }
+
+  std::size_t buffer_bytes() const { return buffer_bytes_; }
+  std::size_t capacity() const { return total_; }
+  std::size_t in_use() const { return total_ - free_.size(); }
+  std::size_t high_water() const { return high_water_; }
+  std::int64_t exhaustions() const { return exhaustions_; }
+
+ private:
+  std::size_t buffer_bytes_;
+  std::vector<std::byte> storage_;
+  std::vector<std::byte*> free_;
+  std::size_t total_ = 0;
+  std::size_t high_water_ = 0;
+  std::int64_t exhaustions_ = 0;
+};
+
+}  // namespace splap

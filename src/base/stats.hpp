@@ -1,0 +1,76 @@
+// Small statistics helpers used by the benchmark harnesses and by internal
+// instrumentation counters (packets sent, copies performed, retransmissions).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "base/status.hpp"
+
+namespace splap {
+
+/// Welford running mean/variance plus min/max.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void reset() { *this = RunningStat{}; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Named monotonically increasing counter set, used to assert protocol-level
+/// properties in tests ("exactly one copy on this path", "N retransmits").
+class CounterSet {
+ public:
+  void bump(const std::string& name, std::int64_t by = 1) {
+    for (auto& kv : counters_) {
+      if (kv.first == name) {
+        kv.second += by;
+        return;
+      }
+    }
+    counters_.emplace_back(name, by);
+  }
+
+  std::int64_t get(const std::string& name) const {
+    for (const auto& kv : counters_) {
+      if (kv.first == name) return kv.second;
+    }
+    return 0;
+  }
+
+  const std::vector<std::pair<std::string, std::int64_t>>& all() const {
+    return counters_;
+  }
+
+  void reset() { counters_.clear(); }
+
+ private:
+  std::vector<std::pair<std::string, std::int64_t>> counters_;
+};
+
+}  // namespace splap

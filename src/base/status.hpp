@@ -1,0 +1,54 @@
+// Error codes shared by the LAPI, MPL and GA layers.
+//
+// The public C-style entry points report failures through these codes (like
+// the real LAPI's LAPI_* return values); internal programming errors use
+// SPLAP_REQUIRE and terminate loudly, because a simulation that continues
+// past a broken invariant produces silently wrong performance numbers.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace splap {
+
+enum class Status {
+  kOk = 0,
+  kBadParameter,     // out-of-range task id, negative length, null pointer
+  kBadHandle,        // operation on an uninitialized/terminated context
+  kTruncated,        // receive buffer smaller than matched message
+  kNoProgress,       // polling-mode wait that can never be satisfied
+  kDeadlock,         // engine detected that no actor can ever run again
+  kResourceExhausted,// buffer pool / retransmit window exhausted
+  kUnknown,
+};
+
+constexpr std::string_view to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kBadParameter: return "BAD_PARAMETER";
+    case Status::kBadHandle: return "BAD_HANDLE";
+    case Status::kTruncated: return "TRUNCATED";
+    case Status::kNoProgress: return "NO_PROGRESS";
+    case Status::kDeadlock: return "DEADLOCK";
+    case Status::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case Status::kUnknown: return "UNKNOWN";
+  }
+  return "INVALID_STATUS";
+}
+
+[[noreturn]] inline void require_failed(const char* cond, const char* file,
+                                        int line, const char* msg) {
+  std::fprintf(stderr, "splap: requirement failed: %s (%s) at %s:%d\n", msg,
+               cond, file, line);
+  std::abort();
+}
+
+}  // namespace splap
+
+/// Hard precondition/invariant check. Always on: the simulator's value is its
+/// trustworthiness, so invariant checks are never compiled out.
+#define SPLAP_REQUIRE(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) ::splap::require_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,102 @@
+// Strided (2-D) memory helpers shared by the GA protocols and the MPL
+// baseline: rectangular copies, pack/unpack to contiguous buffers, and the
+// DAXPY-style accumulate kernel. All sizes in bytes except where noted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "base/status.hpp"
+
+namespace splap {
+
+/// Description of a rectangular byte region inside a column-major 2-D
+/// allocation (GA arrays are column-major, following the HPF/Fortran heritage
+/// of the Global Arrays toolkit): `cols` contiguous runs of `row_bytes`
+/// separated by `ld_bytes` (leading-dimension stride, >= row_bytes).
+struct StridedRegion {
+  std::byte* base = nullptr;
+  std::int64_t row_bytes = 0;  // contiguous run length
+  std::int64_t cols = 0;       // number of runs
+  std::int64_t ld_bytes = 0;   // stride between runs
+
+  std::int64_t total_bytes() const { return row_bytes * cols; }
+  bool contiguous() const { return cols <= 1 || ld_bytes == row_bytes; }
+};
+
+inline void copy_strided_to_contig(const StridedRegion& src, std::byte* dst) {
+  SPLAP_REQUIRE(src.ld_bytes >= src.row_bytes, "bad stride");
+  const std::byte* s = src.base;
+  for (std::int64_t c = 0; c < src.cols; ++c) {
+    std::memcpy(dst, s, static_cast<std::size_t>(src.row_bytes));
+    dst += src.row_bytes;
+    s += src.ld_bytes;
+  }
+}
+
+inline void copy_contig_to_strided(const std::byte* src,
+                                   const StridedRegion& dst) {
+  SPLAP_REQUIRE(dst.ld_bytes >= dst.row_bytes, "bad stride");
+  std::byte* d = dst.base;
+  for (std::int64_t c = 0; c < dst.cols; ++c) {
+    std::memcpy(d, src, static_cast<std::size_t>(dst.row_bytes));
+    src += dst.row_bytes;
+    d += dst.ld_bytes;
+  }
+}
+
+inline void copy_strided(const StridedRegion& src, const StridedRegion& dst) {
+  SPLAP_REQUIRE(src.row_bytes == dst.row_bytes && src.cols == dst.cols,
+                "shape mismatch in strided copy");
+  const std::byte* s = src.base;
+  std::byte* d = dst.base;
+  for (std::int64_t c = 0; c < src.cols; ++c) {
+    std::memcpy(d, s, static_cast<std::size_t>(src.row_bytes));
+    s += src.ld_bytes;
+    d += dst.ld_bytes;
+  }
+}
+
+/// dst += alpha * src over a contiguous run of doubles (GA accumulate).
+inline void daxpy_contig(double alpha, const double* src, double* dst,
+                         std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+}
+
+/// dst(region) += alpha * src(packed contiguous doubles).
+inline void daxpy_contig_to_strided(double alpha, const std::byte* src,
+                                    const StridedRegion& dst) {
+  SPLAP_REQUIRE(dst.row_bytes % static_cast<std::int64_t>(sizeof(double)) == 0,
+                "accumulate region must hold whole doubles");
+  const std::int64_t per_col = dst.row_bytes / static_cast<std::int64_t>(sizeof(double));
+  const double* s = reinterpret_cast<const double*>(src);
+  std::byte* d = dst.base;
+  for (std::int64_t c = 0; c < dst.cols; ++c) {
+    daxpy_contig(alpha, s, reinterpret_cast<double*>(d), per_col);
+    s += per_col;
+    d += dst.ld_bytes;
+  }
+}
+
+/// dst(region) += alpha * src(region), column by column (both strided).
+inline void daxpy_strided(double alpha, const StridedRegion& src,
+                          const StridedRegion& dst) {
+  SPLAP_REQUIRE(src.row_bytes == dst.row_bytes && src.cols == dst.cols,
+                "shape mismatch in strided daxpy");
+  SPLAP_REQUIRE(src.row_bytes % static_cast<std::int64_t>(sizeof(double)) == 0,
+                "daxpy region must hold whole doubles");
+  const std::int64_t per_col =
+      src.row_bytes / static_cast<std::int64_t>(sizeof(double));
+  const std::byte* s = src.base;
+  std::byte* d = dst.base;
+  for (std::int64_t c = 0; c < src.cols; ++c) {
+    daxpy_contig(alpha, reinterpret_cast<const double*>(s),
+                 reinterpret_cast<double*>(d), per_col);
+    s += src.ld_bytes;
+    d += dst.ld_bytes;
+  }
+}
+
+}  // namespace splap

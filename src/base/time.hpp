@@ -1,0 +1,39 @@
+// Virtual-time representation used across the simulated SP machine.
+//
+// All simulation timestamps and durations are integer nanoseconds. Integer
+// time keeps the discrete-event engine exactly deterministic (no FP drift in
+// the event queue ordering); fractional costs produced by bandwidth formulas
+// are rounded once, at the point the cost is computed.
+#pragma once
+
+#include <cstdint>
+
+namespace splap {
+
+/// A point in virtual time or a duration, in nanoseconds.
+using Time = std::int64_t;
+
+/// Sentinel meaning "no deadline / unset".
+inline constexpr Time kNoTime = -1;
+
+constexpr Time nanoseconds(std::int64_t v) { return v; }
+constexpr Time microseconds(double v) { return static_cast<Time>(v * 1e3); }
+constexpr Time milliseconds(double v) { return static_cast<Time>(v * 1e6); }
+constexpr Time seconds(double v) { return static_cast<Time>(v * 1e9); }
+
+constexpr double to_us(Time t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_s(Time t) { return static_cast<double>(t) / 1e9; }
+
+/// Time to move `bytes` at `mb_per_s` (decimal MB/s, as in the paper's
+/// "110 MB/s" link figure). Rounded to whole nanoseconds.
+constexpr Time transfer_time(std::int64_t bytes, double mb_per_s) {
+  return static_cast<Time>(static_cast<double>(bytes) * 1e3 / mb_per_s);
+}
+
+/// Bandwidth in MB/s achieved moving `bytes` in duration `t`.
+constexpr double mb_per_s(std::int64_t bytes, Time t) {
+  return t <= 0 ? 0.0 : static_cast<double>(bytes) * 1e3 / static_cast<double>(t);
+}
+
+}  // namespace splap

@@ -1,0 +1,225 @@
+#include "ga/bench_harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lapi/context.hpp"
+#include "mpl/comm.hpp"
+
+namespace splap::ga::bench {
+
+namespace {
+
+constexpr int kNodes = 4;  // the paper's synthetic benchmark configuration
+
+net::Machine::Config machine_config(int tasks) {
+  net::Machine::Config c;
+  c.tasks = tasks;
+  return c;
+}
+
+Config ga_config(Transport t) {
+  Config c;
+  c.transport = t;
+  return c;
+}
+
+}  // namespace
+
+int series_length(std::int64_t bytes) {
+  return static_cast<int>(
+      std::clamp<std::int64_t>((std::int64_t{1} << 22) / std::max<std::int64_t>(bytes, 1),
+                               3, 40));
+}
+
+double ga_bandwidth_mb_s(Transport transport, OpKind op, Shape shape,
+                         std::int64_t bytes) {
+  const std::int64_t elems = std::max<std::int64_t>(1, bytes / 8);
+  const int reps = series_length(bytes);
+  Time elapsed = 0;
+
+  net::Machine m(machine_config(kNodes));
+  const Status status = m.run_spmd([&](net::Node& n) {
+    Runtime rt(n, ga_config(transport));
+    GlobalArray a = [&] {
+      if (shape == Shape::k1D) {
+        // Tall array whose row blocks are exactly `elems` long: a request
+        // is one owner's full column segment — contiguous and fully remote.
+        return rt.create(2 * elems, 2 * kNodes);
+      }
+      // Square sections: the patch sits strictly inside one owner's block,
+      // so the leading dimension never matches the patch (strided access,
+      // as the paper notes).
+      const auto s = std::max<std::int64_t>(
+          2, static_cast<std::int64_t>(std::floor(std::sqrt(
+                 static_cast<double>(elems)))));
+      return rt.create(3 * s, 3 * s);
+    }();
+    rt.sync();
+    if (rt.me() == 0) {
+      std::vector<double> buf(static_cast<std::size_t>(elems), 1.5);
+      const Time t0 = rt.engine().now();
+      for (int r = 0; r < reps; ++r) {
+        const int target = 1 + r % (kNodes - 1);  // round-robin (Section 5.4)
+        Patch p;
+        std::int64_t ld;
+        if (shape == Shape::k1D) {
+          // The target's full row range of one of its columns — a single
+          // contiguous remote segment; a different column each time
+          // (anti-caching).
+          const Patch blk = a.block_of(target);
+          p = Patch{blk.lo1, blk.hi1, 0, 0};
+          p.lo2 = p.hi2 = blk.lo2 + (r / (kNodes - 1)) % 2;
+          ld = p.rows();
+        } else {
+          // floor: the s x s square must fit inside the elems-sized buffer.
+          const auto s = static_cast<std::int64_t>(
+              std::floor(std::sqrt(static_cast<double>(elems))));
+          const Patch blk = a.block_of(target);
+          const std::int64_t off = (r / (kNodes - 1)) % 2;  // anti-caching
+          p = Patch{blk.lo1 + off, blk.lo1 + off + s - 1, blk.lo2 + off,
+                    blk.lo2 + off + s - 1};
+          p.hi1 = std::min(p.hi1, blk.hi1);
+          p.hi2 = std::min(p.hi2, blk.hi2);
+          ld = p.rows();
+        }
+        if (op == OpKind::kPut) {
+          a.put(p, buf.data(), ld);
+        } else {
+          a.get(p, buf.data(), ld);
+        }
+      }
+      rt.fence();  // the series is complete when the data is
+      elapsed = rt.engine().now() - t0;
+    }
+    rt.sync();
+    rt.destroy(a);
+  });
+  SPLAP_REQUIRE(status == Status::kOk, "GA bandwidth run failed");
+  // 1-D pieces are exactly `elems` long (one block column); 2-D pieces are
+  // s x s squares.
+  const std::int64_t moved = [&] {
+    if (shape == Shape::k1D) return elems * 8 * reps;
+    const auto s = static_cast<std::int64_t>(
+        std::floor(std::sqrt(static_cast<double>(elems))));
+    return s * s * 8 * reps;
+  }();
+  return mb_per_s(moved, elapsed);
+}
+
+std::vector<BwPoint> ga_bandwidth_sweep(Transport transport, OpKind op,
+                                        Shape shape,
+                                        const std::vector<std::int64_t>& sizes) {
+  std::vector<BwPoint> out;
+  out.reserve(sizes.size());
+  for (const auto b : sizes) {
+    out.push_back({b, ga_bandwidth_mb_s(transport, op, shape, b)});
+  }
+  return out;
+}
+
+GaLatency ga_latency_us(Transport transport) {
+  // Single-element transfers, node 0 accessing the other nodes round-robin,
+  // different element each time (Section 5.4).
+  constexpr int kReps = 30;
+  Time put_total = 0, get_total = 0;
+  net::Machine m(machine_config(kNodes));
+  const Status status = m.run_spmd([&](net::Node& n) {
+    Runtime rt(n, ga_config(transport));
+    GlobalArray a = rt.create(64, 64);
+    rt.sync();
+    if (rt.me() == 0) {
+      double v = 3.25;
+      Time t0 = rt.engine().now();
+      for (int r = 0; r < kReps; ++r) {
+        const int target = 1 + r % (kNodes - 1);
+        const Patch blk = a.block_of(target);
+        const std::int64_t i = blk.lo1 + r % blk.rows();
+        const std::int64_t j = blk.lo2 + (r / 3) % blk.cols();
+        a.put(Patch{i, i, j, j}, &v, 1);
+      }
+      // Put is non-blocking at the GA level: its latency is the issue cost
+      // (the 49.6us / 54.6us of Section 5.4); the fence is not part of it.
+      put_total = rt.engine().now() - t0;
+      rt.fence();
+      t0 = rt.engine().now();
+      for (int r = 0; r < kReps; ++r) {
+        const int target = 1 + r % (kNodes - 1);
+        const Patch blk = a.block_of(target);
+        const std::int64_t i = blk.lo1 + r % blk.rows();
+        const std::int64_t j = blk.lo2 + (r / 3) % blk.cols();
+        a.get(Patch{i, i, j, j}, &v, 1);
+      }
+      get_total = rt.engine().now() - t0;
+    }
+    rt.sync();
+    rt.destroy(a);
+  });
+  SPLAP_REQUIRE(status == Status::kOk, "GA latency run failed");
+  return GaLatency{to_us(put_total) / kReps, to_us(get_total) / kReps};
+}
+
+double raw_lapi_put_mb_s(std::int64_t bytes, bool interrupt_mode) {
+  const int reps = series_length(bytes);
+  net::Machine m(machine_config(2));
+  lapi::Config cfg;
+  cfg.interrupt_mode = interrupt_mode;
+  std::vector<std::byte> tgt(static_cast<std::size_t>(bytes));
+  Time elapsed = 0;
+  const Status status = m.run_spmd([&](net::Node& n) {
+    lapi::Context ctx(n, cfg);
+    if (ctx.task_id() == 0) {
+      std::vector<std::byte> src(static_cast<std::size_t>(bytes),
+                                 std::byte{1});
+      lapi::Counter cmpl;
+      const Time t0 = ctx.engine().now();
+      for (int i = 0; i < reps; ++i) {
+        const Status s =
+            ctx.put(1, src, tgt.data(), nullptr, nullptr, &cmpl);
+        SPLAP_REQUIRE(s == Status::kOk, "raw put failed");
+        ctx.waitcntr(cmpl, 1);
+      }
+      elapsed = ctx.engine().now() - t0;
+    }
+    ctx.gfence();
+  });
+  SPLAP_REQUIRE(status == Status::kOk, "raw LAPI bandwidth run failed");
+  return mb_per_s(bytes * reps, elapsed);
+}
+
+double raw_mpi_mb_s(std::int64_t bytes, std::int64_t eager_limit) {
+  const int reps = series_length(bytes);
+  net::Machine m(machine_config(2));
+  mpl::Config cfg;
+  cfg.eager_limit = eager_limit;
+  Time elapsed = 0;
+  const Status status = m.run_spmd([&](net::Node& n) {
+    mpl::Comm comm(n, cfg);
+    std::vector<std::byte> buf(static_cast<std::size_t>(bytes), std::byte{1});
+    std::byte token{};
+    comm.barrier();
+    if (comm.rank() == 0) {
+      const Time t0 = comm.engine().now();
+      for (int i = 0; i < reps; ++i) {
+        SPLAP_REQUIRE(comm.send(1, 1, buf) == Status::kOk, "send failed");
+        SPLAP_REQUIRE(comm.recv(1, 2, std::span<std::byte>(&token, 1)) ==
+                          Status::kOk,
+                      "echo failed");
+      }
+      elapsed = comm.engine().now() - t0;
+    } else {
+      for (int i = 0; i < reps; ++i) {
+        SPLAP_REQUIRE(comm.recv(0, 1, buf) == Status::kOk, "recv failed");
+        SPLAP_REQUIRE(comm.send(0, 2,
+                                std::span<const std::byte>(&token, 1)) ==
+                          Status::kOk,
+                      "echo send failed");
+      }
+    }
+    comm.barrier();
+  });
+  SPLAP_REQUIRE(status == Status::kOk, "raw MPI bandwidth run failed");
+  return mb_per_s(bytes * reps, elapsed);
+}
+
+}  // namespace splap::ga::bench

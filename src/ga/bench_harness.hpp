@@ -1,0 +1,53 @@
+// Measurement harness reproducing the paper's synthetic GA benchmark
+// (Section 5.4): four nodes; node 0 times a series of get/put operations on
+// remote array sections, round-robin over the other nodes, referencing a
+// different patch each time to avoid caching effects; the series length
+// decreases as the request size increases. Both square 2-D and 1-D sections
+// are measured. Also provides the raw LAPI/MPI microbenchmarks behind
+// Table 2 and Figure 2 so every bench binary and the calibration tests share
+// one implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ga/runtime.hpp"
+
+namespace splap::ga::bench {
+
+enum class OpKind { kPut, kGet };
+enum class Shape { k1D, k2D };
+
+struct BwPoint {
+  std::int64_t bytes;
+  double mb_s;
+};
+
+/// Series length for a request size (decreasing, as in the paper).
+int series_length(std::int64_t bytes);
+
+/// GA put/get bandwidth at one request size on a 4-node machine.
+double ga_bandwidth_mb_s(Transport transport, OpKind op, Shape shape,
+                         std::int64_t bytes);
+
+/// Sweep over sizes.
+std::vector<BwPoint> ga_bandwidth_sweep(Transport transport, OpKind op,
+                                        Shape shape,
+                                        const std::vector<std::int64_t>& sizes);
+
+/// Single-element (8-byte) GA operation latency in microseconds
+/// (Section 5.4: 94.2us get / 49.6us put under LAPI; 221 / 54.6 under MPL).
+struct GaLatency {
+  double put_us;
+  double get_us;
+};
+GaLatency ga_latency_us(Transport transport);
+
+/// Raw LAPI_Put one-way bandwidth (put + completion wait), for the
+/// "GA put within 6% of LAPI_Put" comparison and Figure 2.
+double raw_lapi_put_mb_s(std::int64_t bytes, bool interrupt_mode = false);
+
+/// Raw MPI send/recv one-way bandwidth with a completion echo (Figure 2).
+double raw_mpi_mb_s(std::int64_t bytes, std::int64_t eager_limit);
+
+}  // namespace splap::ga::bench

@@ -1,0 +1,133 @@
+// Block distribution of a dense 2-D global array over a process grid.
+//
+// GA's default layout: the task set is factored into a near-square pr x pc
+// grid; each dimension is divided into equal blocks (the last block takes
+// the remainder). Arrays are column-major (Fortran heritage). Indices are
+// 0-based and patch bounds are INCLUSIVE [lo, hi], matching the C Global
+// Arrays interface.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.hpp"
+
+namespace splap::ga {
+
+/// An inclusive 2-D index patch.
+struct Patch {
+  std::int64_t lo1 = 0, hi1 = -1;  // rows
+  std::int64_t lo2 = 0, hi2 = -1;  // columns
+
+  bool empty() const { return hi1 < lo1 || hi2 < lo2; }
+  std::int64_t rows() const { return empty() ? 0 : hi1 - lo1 + 1; }
+  std::int64_t cols() const { return empty() ? 0 : hi2 - lo2 + 1; }
+  std::int64_t elems() const { return rows() * cols(); }
+
+  bool operator==(const Patch&) const = default;
+
+  Patch intersect(const Patch& o) const {
+    Patch r;
+    r.lo1 = lo1 > o.lo1 ? lo1 : o.lo1;
+    r.hi1 = hi1 < o.hi1 ? hi1 : o.hi1;
+    r.lo2 = lo2 > o.lo2 ? lo2 : o.lo2;
+    r.hi2 = hi2 < o.hi2 ? hi2 : o.hi2;
+    return r;
+  }
+
+  bool contains(std::int64_t i, std::int64_t j) const {
+    return i >= lo1 && i <= hi1 && j >= lo2 && j <= hi2;
+  }
+};
+
+class Distribution {
+ public:
+  Distribution() = default;
+  Distribution(std::int64_t dim1, std::int64_t dim2, int nprocs)
+      : dim1_(dim1), dim2_(dim2) {
+    SPLAP_REQUIRE(dim1 > 0 && dim2 > 0, "array dimensions must be positive");
+    SPLAP_REQUIRE(nprocs > 0, "need at least one process");
+    // Near-square grid: the largest divisor of nprocs not exceeding sqrt.
+    pr_ = 1;
+    for (int d = 1; static_cast<std::int64_t>(d) * d <= nprocs; ++d) {
+      if (nprocs % d == 0) pr_ = d;
+    }
+    pc_ = nprocs / pr_;
+    // Prefer more row blocks when the array is taller than wide.
+    if (dim1 >= dim2 && pr_ < pc_) {
+      const int t = pr_;
+      pr_ = pc_;
+      pc_ = t;
+    }
+    b1_ = (dim1 + pr_ - 1) / pr_;
+    b2_ = (dim2 + pc_ - 1) / pc_;
+  }
+
+  std::int64_t dim1() const { return dim1_; }
+  std::int64_t dim2() const { return dim2_; }
+  int grid_rows() const { return pr_; }
+  int grid_cols() const { return pc_; }
+  int nprocs() const { return pr_ * pc_; }
+
+  /// The task owning element (i, j).
+  int owner(std::int64_t i, std::int64_t j) const {
+    SPLAP_REQUIRE(i >= 0 && i < dim1_ && j >= 0 && j < dim2_,
+                  "index out of array bounds");
+    const auto gr = static_cast<int>(i / b1_);
+    const auto gc = static_cast<int>(j / b2_);
+    return gr + gc * pr_;
+  }
+
+  /// The block of indices task `p` owns (may be empty on overhang tasks).
+  Patch block(int p) const {
+    SPLAP_REQUIRE(p >= 0 && p < nprocs(), "bad task id");
+    const int gr = p % pr_;
+    const int gc = p / pr_;
+    Patch b;
+    b.lo1 = gr * b1_;
+    b.hi1 = std::min<std::int64_t>(dim1_ - 1, b.lo1 + b1_ - 1);
+    b.lo2 = gc * b2_;
+    b.hi2 = std::min<std::int64_t>(dim2_ - 1, b.lo2 + b2_ - 1);
+    if (b.lo1 >= dim1_ || b.lo2 >= dim2_) b = Patch{};  // overhang: empty
+    return b;
+  }
+
+  /// Local leading dimension (rows of the local block) for task `p`.
+  std::int64_t local_ld(int p) const { return block(p).rows(); }
+  std::int64_t local_elems(int p) const { return block(p).elems(); }
+
+  /// Decompose `patch` into per-owner pieces (global coordinates).
+  std::vector<std::pair<int, Patch>> decompose(const Patch& patch) const {
+    std::vector<std::pair<int, Patch>> out;
+    if (patch.empty()) return out;
+    SPLAP_REQUIRE(patch.lo1 >= 0 && patch.hi1 < dim1_ && patch.lo2 >= 0 &&
+                      patch.hi2 < dim2_,
+                  "patch out of array bounds");
+    const auto g1_lo = static_cast<int>(patch.lo1 / b1_);
+    const auto g1_hi = static_cast<int>(patch.hi1 / b1_);
+    const auto g2_lo = static_cast<int>(patch.lo2 / b2_);
+    const auto g2_hi = static_cast<int>(patch.hi2 / b2_);
+    for (int gc = g2_lo; gc <= g2_hi; ++gc) {
+      for (int gr = g1_lo; gr <= g1_hi; ++gr) {
+        const int p = gr + gc * pr_;
+        const Patch piece = patch.intersect(block(p));
+        if (!piece.empty()) out.emplace_back(p, piece);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::int64_t dim1_ = 0, dim2_ = 0;
+  int pr_ = 1, pc_ = 1;
+  std::int64_t b1_ = 1, b2_ = 1;
+};
+
+/// True when `piece` occupies contiguous storage inside an owner block of
+/// shape `block` (single column, or full column span of the block) — the
+/// "1-D request" of the paper's Section 5.4.
+inline bool contiguous_in_block(const Patch& piece, const Patch& block) {
+  return piece.cols() == 1 || piece.rows() == block.rows();
+}
+
+}  // namespace splap::ga

@@ -1,0 +1,566 @@
+// The LAPI transport of Global Arrays (Section 5.3): hybrid protocols that
+// switch between direct remote memory copy and pipelined ~900-byte active
+// messages, generalized per-target counters, the preallocated AM buffer
+// pool, and mutex-protected atomic accumulate.
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "base/log.hpp"
+#include "ga/runtime.hpp"
+#include "ga/wire.hpp"
+
+namespace splap::ga {
+
+using wire::Hdr;
+using wire::Op;
+
+namespace {
+
+/// Build an AM user header [Hdr | packed data from `src`].
+std::vector<std::byte> pack_chunk(const Hdr& h, const StridedRegion& src) {
+  auto msg = wire::make_msg(h, src.total_bytes());
+  copy_strided_to_contig(src, wire::payload_mut(msg));
+  return msg;
+}
+
+}  // namespace
+
+void Runtime::lapi_init() {
+  ctx_ = std::make_unique<lapi::Context>(node_, config_.lapi);
+  ga_handler_ = ctx_->register_handler(
+      [this](lapi::Context& c, const lapi::AmDelivery& d) {
+        return lapi_handle_am(c, d);
+      });
+  // Exchange the atomic-cell bases once, so read_inc/lock can address any
+  // task's cells directly with LAPI_Rmw.
+  std::vector<void*> table(static_cast<std::size_t>(nprocs()));
+  ctx_->address_init(cells_.data(), table);
+  for (std::size_t t = 0; t < table.size(); ++t) {
+    cell_bases_[t] = static_cast<std::int64_t*>(table[t]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// put / accumulate
+// ---------------------------------------------------------------------------
+
+void Runtime::lapi_put_acc(int id, const Patch& p, const double* buf,
+                           std::int64_t ld, bool acc, double alpha) {
+  node_.task().compute(cost().ga_op_overhead);
+  ArrayState& st = state(id);
+  lapi::Counter org;
+  int org_waits = 0;
+  // Scratch buffers for packed sends must outlive the zero-copy window
+  // (until the final org wait below).
+  std::vector<std::vector<double>> scratch;
+
+  for (const auto& [owner, piece] : st.dist.decompose(p)) {
+    const double* pbuf = buf + (piece.lo2 - p.lo2) * ld + (piece.lo1 - p.lo1);
+    const StridedRegion src = user_region(piece, pbuf, ld);
+    const std::int64_t bytes = piece.elems() * 8;
+
+    if (owner == me()) {
+      // Local piece: plain copy / mutex-protected daxpy (Section 5.3.3: the
+      // application thread contends with the handler threads).
+      StridedRegion dst = region_of(st, me(), piece, st.local.data());
+      if (acc) {
+        acc_mutex_->lock();
+        node_.task().compute(2 * cost().copy_time(bytes));
+        daxpy_strided(alpha, src, dst);
+        acc_mutex_->unlock();
+      } else {
+        node_.task().compute(cost().copy_time(bytes));
+        copy_strided(src, dst);
+      }
+      continue;
+    }
+
+    GenCntr& g = gen_[static_cast<std::size_t>(owner)];
+    const Patch blk = st.dist.block(owner);
+
+    if (!acc && bytes >= config_.big_request_bytes &&
+        !contiguous_in_block(piece, blk)) {
+      // Very large strided request: switch to one direct LAPI_Put per
+      // column (Section 5.4: "GA switches to LAPI_Put protocol to send
+      // individual columns of a 2-D patch").
+      engine().counters().bump("ga.lapi.rmc_columns");
+      for (std::int64_t c = piece.lo2; c <= piece.hi2; ++c) {
+        Patch col = piece;
+        col.lo2 = col.hi2 = c;
+        StridedRegion dst = region_of(st, owner, col,
+                                      st.bases[static_cast<std::size_t>(owner)]);
+        const double* cbuf = pbuf + (c - piece.lo2) * ld;
+        const Status s = ctx_->put(
+            owner,
+            std::span<const std::byte>(
+                reinterpret_cast<const std::byte*>(cbuf),
+                static_cast<std::size_t>(col.rows() * 8)),
+            dst.base, nullptr, &org, &g.cntr);
+        SPLAP_REQUIRE(s == Status::kOk, "GA put column failed");
+        ++org_waits;
+        ++g.outstanding;
+      }
+      g.last_op = static_cast<std::uint8_t>(Op::kPutChunk);
+      continue;
+    }
+
+    if (!acc && contiguous_in_block(piece, blk)) {
+      // 1-D / contiguous request: direct remote memory copy, no copies at
+      // either end (the paper's best case for GA put, Section 5.4).
+      engine().counters().bump("ga.lapi.rmc_direct");
+      StridedRegion dst = region_of(st, owner, piece,
+                                    st.bases[static_cast<std::size_t>(owner)]);
+      std::span<const std::byte> data;
+      if (src.contiguous()) {
+        data = std::span<const std::byte>(src.base,
+                                          static_cast<std::size_t>(bytes));
+      } else {
+        // User side strided: pack once (charged) and send from scratch.
+        scratch.emplace_back(static_cast<std::size_t>(piece.elems()));
+        node_.task().compute(cost().copy_time(bytes));
+        copy_strided_to_contig(src,
+                               reinterpret_cast<std::byte*>(scratch.back().data()));
+        data = std::span<const std::byte>(
+            reinterpret_cast<const std::byte*>(scratch.back().data()),
+            static_cast<std::size_t>(bytes));
+      }
+      const Status s = ctx_->put(owner, data, dst.base, nullptr, &org, &g.cntr);
+      SPLAP_REQUIRE(s == Status::kOk, "GA put failed");
+      ++org_waits;
+      ++g.outstanding;
+      g.last_op = static_cast<std::uint8_t>(Op::kPutChunk);
+      continue;
+    }
+
+    if (!acc && config_.use_strided_rmc) {
+      // Section 6 extension: one LAPI_Putv moves the whole strided piece —
+      // no per-chunk requests, no handler-side copies.
+      engine().counters().bump("ga.lapi.putv");
+      StridedRegion dst = region_of(st, owner, piece,
+                                    st.bases[static_cast<std::size_t>(owner)]);
+      const Status s = ctx_->putv(owner, src, dst, nullptr, &org, &g.cntr);
+      SPLAP_REQUIRE(s == Status::kOk, "GA putv failed");
+      ++org_waits;
+      ++g.outstanding;
+      g.last_op = static_cast<std::uint8_t>(Op::kPutChunk);
+      continue;
+    }
+
+    // Strided small/medium request (or any accumulate): the AM protocol —
+    // the data travels in ~900-byte user headers, pipelined (Section 5.3.1).
+    engine().counters().bump(acc ? "ga.lapi.am_acc" : "ga.lapi.am_put");
+    for (const Patch& chunk : chunk_patch(piece)) {
+      const double* cbuf =
+          buf + (chunk.lo2 - p.lo2) * ld + (chunk.lo1 - p.lo1);
+      Hdr h;
+      h.op = acc ? Op::kAccChunk : Op::kPutChunk;
+      h.array_id = id;
+      h.origin = me();
+      h.piece = chunk;
+      h.alpha = alpha;
+      const auto msg = pack_chunk(h, user_region(chunk, cbuf, ld));
+      node_.task().compute(
+          cost().copy_time(static_cast<std::int64_t>(msg.size())));
+      const Status s = ctx_->amsend(owner, ga_handler_, msg, {}, nullptr,
+                                    nullptr, &g.cntr);
+      SPLAP_REQUIRE(s == Status::kOk, "GA AM chunk failed");
+      ++g.outstanding;
+    }
+    g.last_op = static_cast<std::uint8_t>(acc ? Op::kAccChunk : Op::kPutChunk);
+  }
+
+  // put/acc return once the source buffer is reusable.
+  if (org_waits > 0) ctx_->waitcntr(org, org_waits);
+}
+
+// ---------------------------------------------------------------------------
+// get
+// ---------------------------------------------------------------------------
+
+void Runtime::lapi_get(int id, const Patch& p, double* buf, std::int64_t ld) {
+  node_.task().compute(cost().ga_op_overhead);
+  ArrayState& st = state(id);
+  lapi::Counter done;
+  std::int64_t expected = 0;
+
+  for (const auto& [owner, piece] : st.dist.decompose(p)) {
+    double* pbuf = buf + (piece.lo2 - p.lo2) * ld + (piece.lo1 - p.lo1);
+    const StridedRegion dst_user = user_region(piece, pbuf, ld);
+    const std::int64_t bytes = piece.elems() * 8;
+
+    if (owner == me()) {
+      StridedRegion src = region_of(st, me(), piece, st.local.data());
+      node_.task().compute(cost().copy_time(bytes));
+      copy_strided(src, dst_user);
+      continue;
+    }
+
+    const Patch blk = st.dist.block(owner);
+    const bool src_contig = contiguous_in_block(piece, blk);
+
+    if (src_contig && dst_user.contiguous()) {
+      // 1-D: direct LAPI_Get, zero intermediate copies (Section 5.4).
+      engine().counters().bump("ga.lapi.rmc_direct");
+      StridedRegion src = region_of(st, owner, piece,
+                                    st.bases[static_cast<std::size_t>(owner)]);
+      const Status s = ctx_->get(owner, bytes, src.base, dst_user.base,
+                                 nullptr, &done);
+      SPLAP_REQUIRE(s == Status::kOk, "GA get failed");
+      ++expected;
+      continue;
+    }
+
+    if (bytes >= config_.big_request_bytes || src_contig) {
+      // Large 2-D (or contiguous source into a strided destination): one
+      // direct LAPI_Get per column, each contiguous at both ends.
+      engine().counters().bump("ga.lapi.rmc_columns");
+      for (std::int64_t c = piece.lo2; c <= piece.hi2; ++c) {
+        Patch col = piece;
+        col.lo2 = col.hi2 = c;
+        StridedRegion src = region_of(st, owner, col,
+                                      st.bases[static_cast<std::size_t>(owner)]);
+        double* cbuf = pbuf + (c - piece.lo2) * ld;
+        const Status s =
+            ctx_->get(owner, col.rows() * 8, src.base,
+                      reinterpret_cast<std::byte*>(cbuf), nullptr, &done);
+        SPLAP_REQUIRE(s == Status::kOk, "GA get column failed");
+        ++expected;
+      }
+      continue;
+    }
+
+    if (config_.use_strided_rmc) {
+      // Section 6 extension: one LAPI_Getv pulls the whole strided piece.
+      engine().counters().bump("ga.lapi.getv");
+      StridedRegion src = region_of(st, owner, piece,
+                                    st.bases[static_cast<std::size_t>(owner)]);
+      const Status s = ctx_->getv(owner, src, dst_user, nullptr, &done);
+      SPLAP_REQUIRE(s == Status::kOk, "GA getv failed");
+      ++expected;
+      continue;
+    }
+
+    // Strided small/medium: AM request; the target streams the data back in
+    // ~900-byte reply messages, each bumping `done` on arrival.
+    engine().counters().bump("ga.lapi.am_get");
+    Hdr h;
+    h.op = Op::kGetReq;
+    h.array_id = id;
+    h.origin = me();
+    h.piece = piece;
+    h.reply_buf = buf;
+    h.reply_ld = ld;
+    h.reply_lo1 = p.lo1;
+    h.reply_lo2 = p.lo2;
+    h.reply_cntr = &done;
+    const auto msg = wire::make_msg(h, 0);
+    const Status s =
+        ctx_->amsend(owner, ga_handler_, msg, {}, nullptr, nullptr, nullptr);
+    SPLAP_REQUIRE(s == Status::kOk, "GA get request failed");
+    expected += static_cast<std::int64_t>(chunk_patch(piece).size());
+  }
+
+  // GA get is blocking (Section 5.4).
+  if (expected > 0) ctx_->waitcntr(done, expected);
+}
+
+// ---------------------------------------------------------------------------
+// scatter / gather
+// ---------------------------------------------------------------------------
+
+void Runtime::lapi_scatter(int id, std::span<const double> v,
+                           std::span<const std::int64_t> si,
+                           std::span<const std::int64_t> sj) {
+  node_.task().compute(cost().ga_op_overhead);
+  ArrayState& st = state(id);
+  std::map<int, std::vector<std::size_t>> by_owner;
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    by_owner[st.dist.owner(si[k], sj[k])].push_back(k);
+  }
+  const std::int64_t per_msg =
+      (am_payload_doubles() * 8) / static_cast<std::int64_t>(sizeof(wire::Elem));
+  for (const auto& [owner, idxs] : by_owner) {
+    if (owner == me()) {
+      const Patch blk = st.dist.block(me());
+      node_.task().compute(
+          cost().copy_time(static_cast<std::int64_t>(idxs.size()) * 24));
+      for (const std::size_t k : idxs) {
+        st.local[static_cast<std::size_t>((sj[k] - blk.lo2) * blk.rows() +
+                                          (si[k] - blk.lo1))] = v[k];
+      }
+      continue;
+    }
+    GenCntr& g = gen_[static_cast<std::size_t>(owner)];
+    for (std::size_t base = 0; base < idxs.size();
+         base += static_cast<std::size_t>(per_msg)) {
+      const auto n = std::min(static_cast<std::size_t>(per_msg),
+                              idxs.size() - base);
+      Hdr h;
+      h.op = Op::kScatterChunk;
+      h.array_id = id;
+      h.origin = me();
+      h.nelems = static_cast<std::int64_t>(n);
+      auto msg =
+          wire::make_msg(h, static_cast<std::int64_t>(n * sizeof(wire::Elem)));
+      auto* elems = reinterpret_cast<wire::Elem*>(wire::payload_mut(msg));
+      for (std::size_t x = 0; x < n; ++x) {
+        const std::size_t k = idxs[base + x];
+        elems[x] = wire::Elem{si[k], sj[k], v[k]};
+      }
+      node_.task().compute(
+          cost().copy_time(static_cast<std::int64_t>(msg.size())));
+      const Status s = ctx_->amsend(owner, ga_handler_, msg, {}, nullptr,
+                                    nullptr, &g.cntr);
+      SPLAP_REQUIRE(s == Status::kOk, "GA scatter chunk failed");
+      ++g.outstanding;
+    }
+    g.last_op = static_cast<std::uint8_t>(Op::kScatterChunk);
+  }
+}
+
+void Runtime::lapi_gather(int id, std::span<double> v,
+                          std::span<const std::int64_t> si,
+                          std::span<const std::int64_t> sj) {
+  node_.task().compute(cost().ga_op_overhead);
+  ArrayState& st = state(id);
+  std::map<int, std::vector<std::size_t>> by_owner;
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    by_owner[st.dist.owner(si[k], sj[k])].push_back(k);
+  }
+  lapi::Counter done;
+  std::int64_t expected = 0;
+  // Size request chunks so each reply also fits one message (request
+  // entries are larger than reply entries).
+  const std::int64_t per_msg =
+      (am_payload_doubles() * 8) /
+      static_cast<std::int64_t>(sizeof(wire::GatherReqElem));
+  for (const auto& [owner, idxs] : by_owner) {
+    if (owner == me()) {
+      const Patch blk = st.dist.block(me());
+      node_.task().compute(
+          cost().copy_time(static_cast<std::int64_t>(idxs.size()) * 16));
+      for (const std::size_t k : idxs) {
+        v[k] = st.local[static_cast<std::size_t>(
+            (sj[k] - blk.lo2) * blk.rows() + (si[k] - blk.lo1))];
+      }
+      continue;
+    }
+    for (std::size_t base = 0; base < idxs.size();
+         base += static_cast<std::size_t>(per_msg)) {
+      const auto n = std::min(static_cast<std::size_t>(per_msg),
+                              idxs.size() - base);
+      Hdr h;
+      h.op = Op::kGatherReq;
+      h.array_id = id;
+      h.origin = me();
+      h.nelems = static_cast<std::int64_t>(n);
+      h.gather_dest = v.data();
+      h.reply_cntr = &done;
+      auto msg = wire::make_msg(
+          h, static_cast<std::int64_t>(n * sizeof(wire::GatherReqElem)));
+      auto* elems =
+          reinterpret_cast<wire::GatherReqElem*>(wire::payload_mut(msg));
+      for (std::size_t x = 0; x < n; ++x) {
+        const std::size_t k = idxs[base + x];
+        elems[x] = wire::GatherReqElem{static_cast<std::int64_t>(k), si[k],
+                                       sj[k]};
+      }
+      node_.task().compute(
+          cost().copy_time(static_cast<std::int64_t>(msg.size())));
+      const Status s = ctx_->amsend(owner, ga_handler_, msg, {}, nullptr,
+                                    nullptr, nullptr);
+      SPLAP_REQUIRE(s == Status::kOk, "GA gather request failed");
+      ++expected;  // one reply message per request chunk
+    }
+  }
+  if (expected > 0) ctx_->waitcntr(done, expected);
+}
+
+// ---------------------------------------------------------------------------
+// The GA active-message header handler (runs in the LAPI dispatcher).
+// ---------------------------------------------------------------------------
+
+lapi::AmReply Runtime::lapi_handle_am(lapi::Context& c,
+                                      const lapi::AmDelivery& d) {
+  const Hdr& h = wire::hdr_of(d.uhdr);
+  const auto payload = wire::payload_of(d.uhdr);
+  const CostModel& cm = cost();
+  lapi::AmReply reply;
+  reply.header_cost = cm.ga_deliver;
+
+  switch (h.op) {
+    case Op::kPutChunk: {
+      ArrayState& st = state(h.array_id);
+      StridedRegion dst = region_of(st, me(), h.piece, st.local.data());
+      copy_contig_to_strided(payload.data(), dst);
+      reply.header_cost +=
+          cm.copy_time(static_cast<std::int64_t>(payload.size()));
+      return reply;
+    }
+
+    case Op::kAccChunk: {
+      ArrayState& st = state(h.array_id);
+      StridedRegion dst = region_of(st, me(), h.piece, st.local.data());
+      const auto bytes = static_cast<std::int64_t>(payload.size());
+      if (acc_mutex_->try_lock()) {
+        // Fast path: apply in the header handler. The paper's Section 5.3.3
+        // warns against BLOCKING here — try_lock is the non-blocking probe.
+        daxpy_contig_to_strided(h.alpha, payload.data(), dst);
+        acc_mutex_->unlock();
+        reply.header_cost += 2 * cm.copy_time(bytes);
+        engine().counters().bump("ga.acc_in_header");
+        return reply;
+      }
+      // Contended: stage the data in a preallocated AM buffer and let a
+      // completion handler apply it under the mutex (Section 5.3.1/5.3.3).
+      std::byte* stagebuf = nullptr;
+      std::shared_ptr<std::vector<std::byte>> overflow;
+      if (payload.size() <= am_pool_->buffer_bytes()) {
+        stagebuf = am_pool_->try_acquire();
+      }
+      if (stagebuf == nullptr) {
+        // Pool exhausted (or oversized chunk): emergency heap buffer,
+        // counted — dynamic allocation is what Section 5.3.1 avoids, so the
+        // pool is sized to make this rare.
+        overflow = std::make_shared<std::vector<std::byte>>(payload.size());
+        stagebuf = overflow->data();
+        ++pool_overflows_;
+        engine().counters().bump("ga.pool_overflow");
+      }
+      std::memcpy(stagebuf, payload.data(), payload.size());
+      reply.header_cost += cm.copy_time(bytes);  // staging copy
+      engine().counters().bump("ga.acc_in_completion");
+      reply.completion = [this, stagebuf, overflow, dst, alpha = h.alpha,
+                          bytes](lapi::Context&, sim::Actor& svc) {
+        acc_mutex_->lock();  // may block: we are on a service thread
+        svc.compute(2 * cost().copy_time(bytes));
+        daxpy_contig_to_strided(alpha, stagebuf, dst);
+        acc_mutex_->unlock();
+        if (!overflow) am_pool_->release(stagebuf);
+      };
+      return reply;
+    }
+
+    case Op::kGetReq: {
+      ArrayState& st = state(h.array_id);
+      // Serve: stream the piece back as pipelined reply chunks; each reply
+      // bumps the requester's counter on arrival (its tgt_cntr).
+      for (const Patch& chunk : chunk_patch(h.piece)) {
+        StridedRegion src = region_of(st, me(), chunk, st.local.data());
+        Hdr rh;
+        rh.op = Op::kGetReply;
+        rh.array_id = h.array_id;
+        rh.origin = me();
+        rh.piece = chunk;
+        rh.reply_buf = h.reply_buf;
+        rh.reply_ld = h.reply_ld;
+        rh.reply_lo1 = h.reply_lo1;
+        rh.reply_lo2 = h.reply_lo2;
+        const auto msg = pack_chunk(rh, src);
+        reply.header_cost +=
+            cm.copy_time(static_cast<std::int64_t>(msg.size()));
+        const Status s = c.amsend(h.origin, ga_handler_, msg, {},
+                                  h.reply_cntr, nullptr, nullptr);
+        SPLAP_REQUIRE(s == Status::kOk, "GA get reply failed");
+      }
+      return reply;
+    }
+
+    case Op::kGetReply: {
+      double* base = h.reply_buf + (h.piece.lo2 - h.reply_lo2) * h.reply_ld +
+                     (h.piece.lo1 - h.reply_lo1);
+      StridedRegion dst = user_region(h.piece, base, h.reply_ld);
+      copy_contig_to_strided(payload.data(), dst);
+      reply.header_cost +=
+          cm.copy_time(static_cast<std::int64_t>(payload.size()));
+      return reply;
+    }
+
+    case Op::kScatterChunk: {
+      ArrayState& st = state(h.array_id);
+      const Patch blk = st.dist.block(me());
+      const auto* elems =
+          reinterpret_cast<const wire::Elem*>(payload.data());
+      for (std::int64_t k = 0; k < h.nelems; ++k) {
+        st.local[static_cast<std::size_t>(
+            (elems[k].j - blk.lo2) * blk.rows() + (elems[k].i - blk.lo1))] =
+            elems[k].v;
+      }
+      reply.header_cost +=
+          cm.copy_time(static_cast<std::int64_t>(payload.size()));
+      return reply;
+    }
+
+    case Op::kGatherReq: {
+      ArrayState& st = state(h.array_id);
+      const Patch blk = st.dist.block(me());
+      const auto* req =
+          reinterpret_cast<const wire::GatherReqElem*>(payload.data());
+      Hdr rh;
+      rh.op = Op::kGatherReply;
+      rh.array_id = h.array_id;
+      rh.origin = me();
+      rh.nelems = h.nelems;
+      rh.gather_dest = h.gather_dest;
+      auto msg = wire::make_msg(
+          rh, h.nelems * static_cast<std::int64_t>(sizeof(wire::GatherReplyElem)));
+      auto* out =
+          reinterpret_cast<wire::GatherReplyElem*>(wire::payload_mut(msg));
+      for (std::int64_t k = 0; k < h.nelems; ++k) {
+        out[k].slot = req[k].slot;
+        out[k].v = st.local[static_cast<std::size_t>(
+            (req[k].j - blk.lo2) * blk.rows() + (req[k].i - blk.lo1))];
+      }
+      reply.header_cost +=
+          cm.copy_time(static_cast<std::int64_t>(msg.size()));
+      const Status s = c.amsend(h.origin, ga_handler_, msg, {}, h.reply_cntr,
+                                nullptr, nullptr);
+      SPLAP_REQUIRE(s == Status::kOk, "GA gather reply failed");
+      return reply;
+    }
+
+    case Op::kGatherReply: {
+      const auto* in =
+          reinterpret_cast<const wire::GatherReplyElem*>(payload.data());
+      for (std::int64_t k = 0; k < h.nelems; ++k) {
+        h.gather_dest[in[k].slot] = in[k].v;
+      }
+      reply.header_cost +=
+          cm.copy_time(static_cast<std::int64_t>(payload.size()));
+      return reply;
+    }
+
+    default:
+      SPLAP_REQUIRE(false, "MPL opcode on the LAPI transport");
+  }
+  return reply;
+}
+
+void Runtime::op_scatter(int id, std::span<const double> v,
+                         std::span<const std::int64_t> i,
+                         std::span<const std::int64_t> j) {
+  SPLAP_REQUIRE(v.size() == i.size() && v.size() == j.size(),
+                "scatter subscript arrays must match the value count");
+  engine().counters().bump("ga.scatter");
+  if (config_.transport == Transport::kLapi) {
+    lapi_scatter(id, v, i, j);
+  } else {
+    mpl_scatter(id, v, i, j);
+  }
+}
+
+void Runtime::op_gather(int id, std::span<double> v,
+                        std::span<const std::int64_t> i,
+                        std::span<const std::int64_t> j) {
+  SPLAP_REQUIRE(v.size() == i.size() && v.size() == j.size(),
+                "gather subscript arrays must match the value count");
+  engine().counters().bump("ga.gather");
+  if (config_.transport == Transport::kLapi) {
+    lapi_gather(id, v, i, j);
+  } else {
+    mpl_gather(id, v, i, j);
+  }
+}
+
+}  // namespace splap::ga

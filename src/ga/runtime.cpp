@@ -1,0 +1,414 @@
+#include "ga/runtime.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "base/log.hpp"
+#include "ga/wire.hpp"
+
+namespace splap::ga {
+
+using wire::Hdr;
+using wire::Op;
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(net::Node& node, Config config)
+    : node_(node),
+      config_(config),
+      // Counters are immovable; the vector is built at its final size.
+      gen_(static_cast<std::size_t>(node.machine().tasks())) {
+  cells_.assign(kAtomicCells, 0);
+  cell_bases_.resize(static_cast<std::size_t>(nprocs()));
+  mpl_touched_.assign(static_cast<std::size_t>(nprocs()), false);
+  am_pool_ = std::make_unique<BufferPool>(
+      static_cast<std::size_t>(config_.am_buffer_bytes),
+      static_cast<std::size_t>(config_.am_buffers));
+  acc_mutex_ = std::make_unique<sim::SimMutex>(engine());
+  if (config_.transport == Transport::kLapi) {
+    lapi_init();
+  } else {
+    mpl_init();
+  }
+}
+
+Runtime::~Runtime() = default;
+
+Runtime::ArrayState& Runtime::state(int id) {
+  SPLAP_REQUIRE(id >= 0 && id < static_cast<int>(arrays_.size()),
+                "bad array handle");
+  ArrayState& st = arrays_[static_cast<std::size_t>(id)];
+  SPLAP_REQUIRE(st.alive, "operation on a destroyed array");
+  return st;
+}
+
+GlobalArray Runtime::create(std::int64_t dim1, std::int64_t dim2) {
+  const int id = static_cast<int>(arrays_.size());
+  arrays_.emplace_back();
+  ArrayState& st = arrays_.back();
+  st.alive = true;
+  st.dist = Distribution(dim1, dim2, nprocs());
+  st.local.assign(static_cast<std::size_t>(st.dist.local_elems(me())), 0.0);
+  if (config_.transport == Transport::kLapi) {
+    // Collective base-pointer exchange (LAPI_Address_init): after this any
+    // task can address any block directly — the essence of one-sidedness.
+    std::vector<void*> table(static_cast<std::size_t>(nprocs()));
+    ctx_->address_init(st.local.data(), table);
+    st.bases.resize(table.size());
+    for (std::size_t t = 0; t < table.size(); ++t) {
+      st.bases[t] = static_cast<double*>(table[t]);
+    }
+  } else {
+    comm_->barrier();  // agree on the array id
+  }
+  return GlobalArray(this, id);
+}
+
+void Runtime::destroy(GlobalArray& a) {
+  SPLAP_REQUIRE(a.valid(), "destroying an invalid handle");
+  sync();  // no in-flight operation may touch the storage afterwards
+  ArrayState& st = state(a.id());
+  st.alive = false;
+  st.local.clear();
+  st.local.shrink_to_fit();
+  st.bases.clear();
+  a = GlobalArray();
+}
+
+// ---------------------------------------------------------------------------
+// Region helpers
+// ---------------------------------------------------------------------------
+
+StridedRegion Runtime::region_of(ArrayState& st, int task, const Patch& piece,
+                                 double* base) const {
+  const Patch blk = st.dist.block(task);
+  SPLAP_REQUIRE(!blk.empty() && blk.contains(piece.lo1, piece.lo2) &&
+                    blk.contains(piece.hi1, piece.hi2),
+                "piece not owned by task");
+  const std::int64_t ld = blk.rows();
+  double* origin = base + (piece.lo2 - blk.lo2) * ld + (piece.lo1 - blk.lo1);
+  StridedRegion r;
+  r.base = reinterpret_cast<std::byte*>(origin);
+  r.row_bytes = piece.rows() * static_cast<std::int64_t>(sizeof(double));
+  r.cols = piece.cols();
+  r.ld_bytes = ld * static_cast<std::int64_t>(sizeof(double));
+  return r;
+}
+
+StridedRegion Runtime::user_region(const Patch& piece, const double* buf,
+                                   std::int64_t ld) const {
+  SPLAP_REQUIRE(ld >= piece.rows(), "user leading dimension too small");
+  StridedRegion r;
+  r.base = reinterpret_cast<std::byte*>(const_cast<double*>(buf));
+  r.row_bytes = piece.rows() * static_cast<std::int64_t>(sizeof(double));
+  r.cols = piece.cols();
+  r.ld_bytes = ld * static_cast<std::int64_t>(sizeof(double));
+  return r;
+}
+
+std::int64_t Runtime::am_payload_doubles() const {
+  const std::int64_t payload_bytes =
+      (config_.transport == Transport::kLapi
+           ? ctx_->qenv(lapi::Query::kMaxUhdrSz)
+           : cost().packet_bytes) -
+      static_cast<std::int64_t>(sizeof(Hdr));
+  SPLAP_REQUIRE(payload_bytes >= 64, "AM payload too small for GA chunks");
+  return payload_bytes / static_cast<std::int64_t>(sizeof(double));
+}
+
+std::vector<Patch> Runtime::chunk_patch(const Patch& piece) const {
+  // Split a (possibly strided) piece into sub-patches that each fit one
+  // ~900-byte active message (Section 5.3.1). Whole columns are grouped
+  // when short; tall columns are split into row segments.
+  const std::int64_t maxd = am_payload_doubles();
+  std::vector<Patch> chunks;
+  const std::int64_t rows = piece.rows();
+  if (rows <= maxd) {
+    const std::int64_t cols_per = std::max<std::int64_t>(1, maxd / rows);
+    for (std::int64_t c = piece.lo2; c <= piece.hi2; c += cols_per) {
+      Patch ch = piece;
+      ch.lo2 = c;
+      ch.hi2 = std::min(piece.hi2, c + cols_per - 1);
+      chunks.push_back(ch);
+    }
+  } else {
+    for (std::int64_t c = piece.lo2; c <= piece.hi2; ++c) {
+      for (std::int64_t r = piece.lo1; r <= piece.hi1; r += maxd) {
+        Patch ch;
+        ch.lo1 = r;
+        ch.hi1 = std::min(piece.hi1, r + maxd - 1);
+        ch.lo2 = c;
+        ch.hi2 = c;
+        chunks.push_back(ch);
+      }
+    }
+  }
+  return chunks;
+}
+
+// ---------------------------------------------------------------------------
+// Public operations (transport dispatch)
+// ---------------------------------------------------------------------------
+
+void Runtime::op_put(int id, const Patch& p, const double* buf,
+                     std::int64_t ld) {
+  engine().counters().bump("ga.put");
+  if (config_.transport == Transport::kLapi) {
+    lapi_put_acc(id, p, buf, ld, /*acc=*/false, 1.0);
+  } else {
+    mpl_put_acc(id, p, buf, ld, /*acc=*/false, 1.0);
+  }
+}
+
+void Runtime::op_acc(int id, const Patch& p, const double* buf,
+                     std::int64_t ld, double alpha) {
+  engine().counters().bump("ga.acc");
+  if (config_.transport == Transport::kLapi) {
+    lapi_put_acc(id, p, buf, ld, /*acc=*/true, alpha);
+  } else {
+    mpl_put_acc(id, p, buf, ld, /*acc=*/true, alpha);
+  }
+}
+
+void Runtime::op_get(int id, const Patch& p, double* buf, std::int64_t ld) {
+  engine().counters().bump("ga.get");
+  if (config_.transport == Transport::kLapi) {
+    lapi_get(id, p, buf, ld);
+  } else {
+    mpl_get(id, p, buf, ld);
+  }
+}
+
+void Runtime::fence() {
+  if (config_.transport == Transport::kLapi) {
+    // Wait on the generalized counters: one completion count per target
+    // (Section 5.3.2).
+    for (int t = 0; t < nprocs(); ++t) {
+      GenCntr& g = gen_[static_cast<std::size_t>(t)];
+      if (g.outstanding > 0) {
+        ctx_->waitcntr(g.cntr, g.outstanding);
+        g.outstanding = 0;
+        g.last_op = 0;
+      }
+    }
+  } else {
+    // MPL in-order delivery: a flush round trip to each touched target
+    // proves every earlier request was processed.
+    for (int t = 0; t < nprocs(); ++t) {
+      if (!mpl_touched_[static_cast<std::size_t>(t)]) continue;
+      mpl_touched_[static_cast<std::size_t>(t)] = false;
+      Hdr h;
+      h.op = Op::kFlush;
+      h.origin = me();
+      h.reply_tag = next_reply_tag();
+      std::byte ack{};
+      const mpl::Request r =
+          comm_->irecv(t, static_cast<int>(h.reply_tag),
+                       std::span<std::byte>(&ack, 1));
+      mpl_request(t, wire::make_msg(h, 0));
+      comm_->wait(r);
+    }
+  }
+}
+
+void Runtime::sync() {
+  fence();
+  if (config_.transport == Transport::kLapi) {
+    ctx_->gfence();
+  } else {
+    comm_->barrier();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic cells: read_inc / lock / unlock
+// ---------------------------------------------------------------------------
+
+std::int64_t Runtime::read_inc(int counter_id, std::int64_t inc) {
+  SPLAP_REQUIRE(counter_id >= 0 && counter_id < kAtomicCells,
+                "bad shared counter id");
+  const int owner = counter_id % nprocs();
+  if (config_.transport == Transport::kLapi) {
+    std::int64_t* cell = cell_bases_[static_cast<std::size_t>(owner)] +
+                         counter_id;
+    return ctx_->rmw_sync(lapi::RmwOp::kFetchAndAdd, owner, cell, inc);
+  }
+  Hdr h;
+  h.op = Op::kReadInc;
+  h.origin = me();
+  h.cell = counter_id;
+  h.inc = inc;
+  h.reply_tag = next_reply_tag();
+  std::int64_t prev = 0;
+  const mpl::Request r =
+      comm_->irecv(owner, static_cast<int>(h.reply_tag),
+                   std::span<std::byte>(reinterpret_cast<std::byte*>(&prev),
+                                        sizeof prev));
+  mpl_request(owner, wire::make_msg(h, 0));
+  comm_->wait(r);
+  return prev;
+}
+
+void Runtime::lock(int mutex_id) {
+  SPLAP_REQUIRE(mutex_id >= 0 && mutex_id < kAtomicCells, "bad mutex id");
+  const int owner = mutex_id % nprocs();
+  if (config_.transport == Transport::kLapi) {
+    std::int64_t* cell =
+        cell_bases_[static_cast<std::size_t>(owner)] + mutex_id;
+    Time backoff = microseconds(5);
+    while (ctx_->rmw_sync(lapi::RmwOp::kCompareAndSwap, owner, cell, 0, 1) !=
+           0) {
+      node_.task().compute(backoff);
+      backoff = std::min<Time>(backoff * 2, microseconds(200));
+    }
+    return;
+  }
+  Time backoff = microseconds(5);
+  for (;;) {
+    Hdr h;
+    h.op = Op::kLock;
+    h.origin = me();
+    h.cell = mutex_id;
+    h.reply_tag = next_reply_tag();
+    std::byte granted{};
+    const mpl::Request r =
+        comm_->irecv(owner, static_cast<int>(h.reply_tag),
+                     std::span<std::byte>(&granted, 1));
+    mpl_request(owner, wire::make_msg(h, 0));
+    comm_->wait(r);
+    if (granted == std::byte{1}) return;
+    node_.task().compute(backoff);
+    backoff = std::min<Time>(backoff * 2, microseconds(200));
+  }
+}
+
+void Runtime::unlock(int mutex_id) {
+  SPLAP_REQUIRE(mutex_id >= 0 && mutex_id < kAtomicCells, "bad mutex id");
+  const int owner = mutex_id % nprocs();
+  if (config_.transport == Transport::kLapi) {
+    std::int64_t* cell =
+        cell_bases_[static_cast<std::size_t>(owner)] + mutex_id;
+    const std::int64_t prev =
+        ctx_->rmw_sync(lapi::RmwOp::kSwap, owner, cell, 0);
+    SPLAP_REQUIRE(prev == 1, "unlock of a mutex not held");
+    return;
+  }
+  Hdr h;
+  h.op = Op::kUnlock;
+  h.origin = me();
+  h.cell = mutex_id;
+  h.reply_tag = next_reply_tag();
+  std::byte ack{};
+  const mpl::Request r = comm_->irecv(owner, static_cast<int>(h.reply_tag),
+                                      std::span<std::byte>(&ack, 1));
+  mpl_request(owner, wire::make_msg(h, 0));
+  comm_->wait(r);
+}
+
+// ---------------------------------------------------------------------------
+// Small collectives for applications
+// ---------------------------------------------------------------------------
+
+void Runtime::brdcst(std::span<double> data, int root) {
+  if (nprocs() == 1) return;
+  if (config_.transport == Transport::kMpl) {
+    comm_->bcast(std::span<std::byte>(reinterpret_cast<std::byte*>(data.data()),
+                                      data.size_bytes()),
+                 root);
+    return;
+  }
+  // LAPI transport: exchange destination addresses, root puts, gfence.
+  std::vector<void*> table(static_cast<std::size_t>(nprocs()));
+  ctx_->address_init(data.data(), table);
+  if (me() == root) {
+    lapi::Counter org;
+    int sent = 0;
+    for (int t = 0; t < nprocs(); ++t) {
+      if (t == root) continue;
+      const Status st = ctx_->put(
+          t,
+          std::span<const std::byte>(
+              reinterpret_cast<const std::byte*>(data.data()),
+              data.size_bytes()),
+          static_cast<std::byte*>(table[static_cast<std::size_t>(t)]), nullptr,
+          &org, nullptr);
+      SPLAP_REQUIRE(st == Status::kOk, "brdcst put failed");
+      ++sent;
+    }
+    ctx_->waitcntr(org, sent);
+  }
+  ctx_->gfence();  // root's puts fenced + everyone synchronized
+}
+
+void Runtime::gop_sum(std::span<double> data) {
+  if (nprocs() == 1) return;
+  if (config_.transport == Transport::kMpl) {
+    comm_->allreduce_sum(data);
+    return;
+  }
+  std::vector<void*> table(static_cast<std::size_t>(nprocs()));
+  ctx_->address_init(data.data(), table);
+  ctx_->gfence();  // contributions stable before task 0 reads them
+  if (me() == 0) {
+    std::vector<double> scratch(data.size());
+    for (int t = 1; t < nprocs(); ++t) {
+      lapi::Counter org;
+      const Status st = ctx_->get(
+          t, static_cast<std::int64_t>(data.size_bytes()),
+          static_cast<const std::byte*>(table[static_cast<std::size_t>(t)]),
+          reinterpret_cast<std::byte*>(scratch.data()), nullptr, &org);
+      SPLAP_REQUIRE(st == Status::kOk, "gop_sum get failed");
+      ctx_->waitcntr(org, 1);
+      node_.task().compute(cost().copy_time(
+          static_cast<std::int64_t>(data.size_bytes())));
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] += scratch[i];
+    }
+  }
+  ctx_->gfence();  // sum finished before it is broadcast back
+  brdcst(data, 0);
+}
+
+// ---------------------------------------------------------------------------
+// GlobalArray facade
+// ---------------------------------------------------------------------------
+
+std::int64_t GlobalArray::dim1() const { return rt_->state(id_).dist.dim1(); }
+std::int64_t GlobalArray::dim2() const { return rt_->state(id_).dist.dim2(); }
+
+void GlobalArray::put(const Patch& p, const double* buf, std::int64_t ld) {
+  rt_->op_put(id_, p, buf, ld);
+}
+void GlobalArray::get(const Patch& p, double* buf, std::int64_t ld) {
+  rt_->op_get(id_, p, buf, ld);
+}
+void GlobalArray::acc(const Patch& p, const double* buf, std::int64_t ld,
+                      double alpha) {
+  rt_->op_acc(id_, p, buf, ld, alpha);
+}
+void GlobalArray::scatter(std::span<const double> v,
+                          std::span<const std::int64_t> i,
+                          std::span<const std::int64_t> j) {
+  rt_->op_scatter(id_, v, i, j);
+}
+void GlobalArray::gather(std::span<double> v, std::span<const std::int64_t> i,
+                         std::span<const std::int64_t> j) {
+  rt_->op_gather(id_, v, i, j);
+}
+int GlobalArray::owner(std::int64_t i, std::int64_t j) const {
+  return rt_->state(id_).dist.owner(i, j);
+}
+Patch GlobalArray::my_block() const {
+  return rt_->state(id_).dist.block(rt_->me());
+}
+Patch GlobalArray::block_of(int task) const {
+  return rt_->state(id_).dist.block(task);
+}
+const Distribution& GlobalArray::distribution() const {
+  return rt_->state(id_).dist;
+}
+double* GlobalArray::access() { return rt_->state(id_).local.data(); }
+
+}  // namespace splap::ga

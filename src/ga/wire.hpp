@@ -1,0 +1,102 @@
+// Internal wire format of the GA protocols — shared by the LAPI transport
+// (carried in the active-message user header, Section 5.3) and the MPL
+// transport (the front of each combined header+data request message,
+// Section 5.2). Not part of the public API.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "ga/distribution.hpp"
+#include "lapi/types.hpp"
+
+namespace splap::ga::wire {
+
+enum class Op : std::uint8_t {
+  // LAPI active-message protocol (Section 5.3).
+  kPutChunk,
+  kAccChunk,
+  kGetReq,
+  kGetReply,
+  kScatterChunk,
+  kGatherReq,
+  kGatherReply,
+  // MPL request protocol (Section 5.2).
+  kMplPut,
+  kMplAcc,
+  kMplGet,
+  kMplScatter,
+  kMplGather,
+  kFlush,
+  kReadInc,
+  kLock,
+  kUnlock,
+};
+
+/// POD header. Raw pointers are valid across tasks because the simulation
+/// shares one process image (see lapi/protocol.hpp).
+struct Hdr {
+  Op op = Op::kPutChunk;
+  int array_id = -1;
+  int origin = -1;
+  Patch piece;
+  double alpha = 1.0;
+  // Reply routing for get/gather.
+  double* reply_buf = nullptr;
+  std::int64_t reply_ld = 0;
+  std::int64_t reply_lo1 = 0;
+  std::int64_t reply_lo2 = 0;
+  lapi::Counter* reply_cntr = nullptr;
+  double* gather_dest = nullptr;
+  std::int64_t nelems = 0;
+  // MPL extras.
+  std::int64_t reply_tag = 0;
+  int cell = 0;
+  std::int64_t inc = 0;
+};
+
+/// Scatter payload entry; gather requests carry {slot, i, j} and replies
+/// carry {slot, v} pairs.
+struct Elem {
+  std::int64_t i;
+  std::int64_t j;
+  double v;
+};
+struct GatherReqElem {
+  std::int64_t slot;
+  std::int64_t i;
+  std::int64_t j;
+};
+struct GatherReplyElem {
+  std::int64_t slot;
+  double v;
+};
+
+inline constexpr int kReqTag = 9000;
+inline constexpr int kReplyTagBase = 9100;
+inline constexpr int kReplyTagRange = 4096;
+
+inline std::vector<std::byte> make_msg(const Hdr& hdr,
+                                       std::int64_t payload_bytes) {
+  std::vector<std::byte> msg(sizeof(Hdr) +
+                             static_cast<std::size_t>(payload_bytes));
+  std::memcpy(msg.data(), &hdr, sizeof hdr);
+  return msg;
+}
+
+inline std::byte* payload_mut(std::vector<std::byte>& msg) {
+  return msg.data() + sizeof(Hdr);
+}
+
+inline const Hdr& hdr_of(std::span<const std::byte> msg) {
+  SPLAP_REQUIRE(msg.size() >= sizeof(Hdr), "short GA message");
+  return *reinterpret_cast<const Hdr*>(msg.data());
+}
+
+inline std::span<const std::byte> payload_of(std::span<const std::byte> msg) {
+  return msg.subspan(sizeof(Hdr));
+}
+
+}  // namespace splap::ga::wire

@@ -1,0 +1,232 @@
+// The LAPI context: one per task, the whole of Table 1.
+//
+// Construction is LAPI_Init (registers the context with the node's adapter
+// and starts the completion-handler service threads); term() / destruction
+// is LAPI_Term. All communication calls are non-blocking: they return as
+// soon as the message is queued at the network (the paper's "unordered
+// pipelining"), and completion is signalled through user counters
+// (Section 2.3). Blocking behaviour is built by the caller with waitcntr —
+// exactly the simple extension the paper describes.
+//
+// Progress rules (Section 2.1): in interrupt mode the dispatcher runs on
+// packet arrival, charged the interrupt cost when it was idle (back-to-back
+// packets are absorbed without new interrupts, Section 5.3.1). In polling
+// mode packets make progress only while the task is inside a LAPI call;
+// with no polling, "performance may substantially degrade or may even
+// result in deadlock" — reproduced faithfully, see the polling tests.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "base/cost_model.hpp"
+#include "base/status.hpp"
+#include "base/strided.hpp"
+#include "lapi/protocol.hpp"
+#include "lapi/svc_pool.hpp"
+#include "lapi/types.hpp"
+#include "net/machine.hpp"
+#include "sim/sync.hpp"
+
+namespace splap::lapi {
+
+class Context {
+ public:
+  /// LAPI_Init. Must be constructed in the task's actor context.
+  explicit Context(net::Node& node, Config config = {});
+  ~Context();
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  /// LAPI_Term: quiesces completion threads and detaches from the adapter.
+  /// Idempotent; called by the destructor if the user did not.
+  void term();
+
+  int task_id() const { return node_.id(); }
+  int num_tasks() const { return node_.machine().tasks(); }
+
+  // --- environment ------------------------------------------------------
+  std::int64_t qenv(Query q) const;  // LAPI_Qenv
+  void senv(Setting s, std::int64_t v);  // LAPI_Senv
+
+  /// Register an active-message header handler. SPMD programs must register
+  /// handlers in the same order on every task so ids agree (the real LAPI
+  /// ships raw function addresses, valid for identical executables).
+  AmHandlerId register_handler(HeaderHandler handler);
+
+  // --- data transfer (Section 2.2) ---------------------------------------
+  /// LAPI_Put: one-sided copy of `src` into `tgt_addr` in task `target`'s
+  /// address space. org_cntr: src reusable; tgt_cntr: data arrived (target
+  /// side); cmpl_cntr: completion confirmed back at the origin.
+  Status put(int target, std::span<const std::byte> src, std::byte* tgt_addr,
+             Counter* tgt_cntr, Counter* org_cntr, Counter* cmpl_cntr);
+
+  /// LAPI_Get: one-sided pull of `len` bytes from `tgt_addr` in task
+  /// `target` into local `org_addr`. org_cntr: data arrived locally;
+  /// tgt_cntr: data copied out of the target buffer. (No cmpl_cntr — see
+  /// Figure 1.)
+  Status get(int target, std::int64_t len, const std::byte* tgt_addr,
+             std::byte* org_addr, Counter* tgt_cntr, Counter* org_cntr);
+
+  /// LAPI_Putv / LAPI_Getv — the non-contiguous remote-memory-copy interface
+  /// the paper proposes as future work (Section 6, item 1): one message
+  /// moves a whole column-major strided region, "removing the overhead
+  /// associated with multiple requests or the copy overhead in the AM-based
+  /// implementations". `src` describes local memory; `dst` describes the
+  /// region in `target`'s address space (its `base` is the remote address).
+  /// Shapes (row_bytes, cols) must match. Counter semantics as put/get; the
+  /// source is gathered at the call, so org_cntr fires at injection.
+  Status putv(int target, const StridedRegion& src, const StridedRegion& dst,
+              Counter* tgt_cntr, Counter* org_cntr, Counter* cmpl_cntr);
+  /// Pull `src` (a region in `target`'s address space) into local `dst`.
+  Status getv(int target, const StridedRegion& src, const StridedRegion& dst,
+              Counter* tgt_cntr, Counter* org_cntr);
+
+  /// LAPI_Amsend (Section 2.1, Figure 1): uhdr/udata shipped to `target`,
+  /// where the registered header handler picks the landing buffer and an
+  /// optional completion handler.
+  Status amsend(int target, AmHandlerId handler, std::span<const std::byte> uhdr,
+                std::span<const std::byte> udata, Counter* tgt_cntr,
+                Counter* org_cntr, Counter* cmpl_cntr);
+
+  // --- mutual exclusion (Section 2.4 / 3) ---------------------------------
+  /// LAPI_Rmw: atomic read-modify-write of the 8-byte variable `tgt_var` in
+  /// task `target`'s address space. in1 is the operand (comparand for CAS);
+  /// in2 is the CAS swap value. `prev_out` (optional) receives the previous
+  /// value when org_cntr fires.
+  Status rmw(RmwOp op, int target, std::int64_t* tgt_var, std::int64_t in1,
+             std::int64_t in2, std::int64_t* prev_out, Counter* org_cntr);
+
+  /// Blocking convenience: rmw + waitcntr. Returns the previous value.
+  std::int64_t rmw_sync(RmwOp op, int target, std::int64_t* tgt_var,
+                        std::int64_t in1, std::int64_t in2 = 0);
+
+  // --- counters (Section 2.3) ---------------------------------------------
+  void setcntr(Counter& c, std::int64_t v);  // LAPI_Setcntr
+  /// LAPI_Getcntr: non-blocking read; also drives progress in polling mode.
+  std::int64_t getcntr(Counter& c);
+  /// LAPI_Waitcntr: block until the counter reaches `val`, then decrement it
+  /// by `val` (the paper's auto-decrement semantics). Drives progress.
+  void waitcntr(Counter& c, std::int64_t val);
+
+  // --- ordering (Section 2.5) ---------------------------------------------
+  /// LAPI_Fence: block until every data transfer this task originated has
+  /// deposited its data at its target ("data copied out of the network to
+  /// the remote user buffers" — completion handlers NOT included, 5.3.2).
+  void fence();
+  /// LAPI_Gfence: collective fence — fence + dissemination barrier built on
+  /// LAPI active messages.
+  void gfence();
+
+  // --- address exchange ----------------------------------------------------
+  /// LAPI_Address_init: collective all-gather of one address per task.
+  /// `table` must have num_tasks() entries.
+  void address_init(void* mine, std::span<void*> table);
+
+  net::Node& node() const { return node_; }
+  const CostModel& cost() const { return node_.cost(); }
+  sim::Engine& engine() const { return node_.engine(); }
+
+  /// Outstanding un-acked data messages (fence would block while > 0).
+  int outstanding() const { return outstanding_data_ + outstanding_gets_; }
+
+ private:
+  struct Universe;  // per-machine registry (address exchange bootstrap)
+
+  // Send path.
+  Status send_message(PktKind kind, int target,
+                      std::shared_ptr<WireMeta> hdr,
+                      std::shared_ptr<std::vector<std::byte>> data,
+                      Time extra_call_cost);
+  void transmit_packets(const SendRecord& rec);
+  void transmit_probe(const SendRecord& rec);
+  void arm_timeout(std::int64_t msg_id, Time delay);
+  void send_ack(int target, std::int64_t msg_id, bool data, bool done,
+                Counter* org_cntr, Counter* cmpl_cntr, Time when);
+
+  // Receive path (dispatcher).
+  void on_delivery(net::Packet&& pkt);
+  bool progress_allowed() const {
+    return interrupt_mode_ || in_library_ > 0;
+  }
+  void schedule_pump(bool charge_interrupt);
+  void pump();
+  Time process(net::Packet& pkt);  // returns processing cost
+  void finish_assembly(int origin, std::int64_t msg_id);
+
+  // Library entry/exit bookkeeping (polling progress + warm-call model).
+  void enter_library();
+  void exit_library();
+  Time call_entry_cost() const;
+
+  void bump(Counter* c, std::int64_t by = 1);
+  void notify() { waiters_.wake_all(engine()); }
+
+  /// Schedule a near-future protocol effect (counter bump, ack emission,
+  /// assembly completion). Unlike raw engine events these are counted, and
+  /// term() drains them before detaching — cancelling one could strand a
+  /// peer (e.g. an unsent ack leaves its retransmit loop spinning).
+  void defer(Time at, std::function<void()> fn);
+
+  Universe& universe();
+
+  // Assembly state at the target side of a message.
+  struct Assembly {
+    PktKind kind = PktKind::kPutHdr;
+    bool has_header = false;
+    bool completed = false;
+    bool completion_ran = false;
+    std::int64_t total = -1;
+    std::int64_t received = 0;
+    std::byte* buffer = nullptr;
+    std::shared_ptr<const WireMeta> hdr;  // counters/flags for acks
+    std::function<void(Context&, sim::Actor&)> completion;
+    /// Data packets that arrived before the header packet (out-of-order
+    /// delivery): staged until the header handler supplies the buffer.
+    std::vector<net::Packet> staged;
+    std::map<std::int64_t, std::int64_t> seen;  // offset -> len (dedup)
+  };
+
+  net::Node& node_;
+  Config config_;
+  bool interrupt_mode_;
+  bool terminated_ = false;
+
+  std::vector<HeaderHandler> handlers_;
+  std::unique_ptr<SvcPool> svc_;
+
+  // Dispatcher state.
+  std::deque<net::Packet> rx_q_;       // admitted, awaiting processing
+  std::deque<net::Packet> backlog_;    // polling mode, task outside library
+  bool pump_scheduled_ = false;
+  bool pipelined_ = false;  // current packet arrived back-to-back
+  Time busy_until_ = 0;
+  Time linger_until_ = 0;  // post-drain polling window (interrupt absorption)
+  int in_library_ = 0;
+  Time last_lib_exit_ = kNoTime;
+
+  // Origin-side state.
+  std::int64_t msg_seq_ = 0;
+  std::map<std::int64_t, SendRecord> sends_;
+  int outstanding_data_ = 0;
+  int outstanding_gets_ = 0;
+  int pending_effects_ = 0;  // deferred protocol effects not yet applied
+
+  // Target-side state.
+  std::map<std::pair<int, std::int64_t>, Assembly> assemblies_;
+  std::map<std::pair<int, std::int64_t>, std::int64_t> rmw_cache_;
+
+  // Collective state.
+  std::int64_t barrier_seq_ = 0;
+  std::map<std::pair<std::int64_t, int>, int> barrier_got_;
+  std::int64_t xchg_seq_ = 0;
+
+  sim::WaitSet waiters_;
+  /// Guards events that may outlive the context (timeouts, delayed bumps).
+  std::shared_ptr<char> alive_ = std::make_shared<char>();
+};
+
+}  // namespace splap::lapi

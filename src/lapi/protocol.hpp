@@ -1,0 +1,111 @@
+// Internal wire protocol of the LAPI implementation.
+//
+// Every LAPI operation maps onto packets of these kinds. Data-bearing
+// messages (Put, Amsend, Get replies) are split into a header packet plus
+// data packets; the fabric may deliver them in any order, and the assembly
+// logic at the target is built for that (Section 2.1). A two-level ack
+// scheme mirrors the paper's completion semantics: the DATA ack fires the
+// fence/origin bookkeeping ("data has been copied out from the network to
+// the remote user buffers"), the DONE ack fires the origin completion
+// counter only after the completion handler has run (Section 5.3.2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/time.hpp"
+#include "lapi/types.hpp"
+
+namespace splap::lapi {
+
+class Counter;
+
+enum class PktKind : std::uint8_t {
+  kPutHdr,   // first packet of a Put: target address + total length
+  kAmHdr,    // first packet of an Amsend: handler id + uhdr
+  kData,     // continuation packet of any data-bearing message
+  kGetReq,   // Get request descriptor (header-only)
+  kRmwReq,   // read-modify-write request
+  kRmwResp,  // previous value back to the origin
+  kAck,      // data-complete and/or handler-done acknowledgement
+};
+
+/// Descriptor attached to every LAPI packet. A real implementation packs a
+/// 48-byte header on the wire; the simulator charges those bytes via
+/// Packet::header_bytes and keeps the logical fields here.
+struct WireMeta {
+  PktKind kind = PktKind::kData;
+  /// Message id, unique per origin context. Keyed (origin, msg_id) at the
+  /// target for assembly and duplicate suppression.
+  std::int64_t msg_id = 0;
+  std::int64_t offset = 0;     // kData: byte offset of this fragment
+  std::int64_t total_len = 0;  // header packets: full udata length
+
+  // kPutHdr: where the data lands.
+  std::byte* tgt_addr = nullptr;
+  /// Strided extension (the paper's Section 6 future-work item 1,
+  /// implemented here): when set, the packed wire stream scatters into a
+  /// column-major region at tgt_addr instead of a flat buffer.
+  bool strided = false;
+  std::int64_t s_row_bytes = 0;
+  std::int64_t s_cols = 0;
+  std::int64_t s_ld = 0;
+  // kGetReq with strided = true additionally describes the remote SOURCE
+  // region to gather from (src_addr + these dims).
+  std::int64_t g_row_bytes = 0;
+  std::int64_t g_cols = 0;
+  std::int64_t g_ld = 0;
+
+  // kAmHdr: which handler, and the user header bytes (counted on the wire).
+  AmHandlerId handler_id = -1;
+  std::vector<std::byte> uhdr;
+
+  // kGetReq: pull total_len bytes from src_addr into dst_addr at the origin.
+  const std::byte* src_addr = nullptr;
+  std::byte* dst_addr = nullptr;
+  /// Set on the data message a target emits to serve a Get: the origin uses
+  /// it to retire the outstanding-get bookkeeping its fence relies on.
+  bool get_reply = false;
+
+  // kRmwReq / kRmwResp.
+  RmwOp rmw_op = RmwOp::kSwap;
+  std::int64_t* rmw_var = nullptr;
+  std::int64_t rmw_in1 = 0;
+  std::int64_t rmw_in2 = 0;       // kCompareAndSwap swap value
+  std::int64_t rmw_prev = 0;      // kRmwResp payload
+  std::int64_t* rmw_prev_out = nullptr;
+
+  // kAck.
+  std::int64_t acked_msg = 0;
+  bool ack_data = false;  // all bytes landed in the target buffer
+  bool ack_done = false;  // completion handler finished
+
+  // Counters at the message's origin, echoed back by acks. Raw pointers are
+  // valid across "address spaces" because the simulation shares one process
+  // image — the same reason the real LAPI can ship function addresses.
+  Counter* org_cntr = nullptr;
+  Counter* cmpl_cntr = nullptr;
+  // Counter at the target (Put/Amsend) or at the serving side for Get.
+  Counter* tgt_cntr = nullptr;
+};
+
+/// Origin-side record of an in-flight data-bearing message, kept until the
+/// data ack arrives (the retransmission source: the real library's copy into
+/// the adapter DMA buffers, Section 6 item 3).
+struct SendRecord {
+  int target = -1;
+  PktKind kind = PktKind::kPutHdr;
+  std::shared_ptr<WireMeta> hdr_meta;
+  std::shared_ptr<std::vector<std::byte>> data;  // full message payload
+  bool data_acked = false;
+  bool done_acked = false;  // only tracked when a DONE ack was requested
+  bool needs_done = false;
+  /// Large (zero-copy) send: the origin counter fires at the data ack, when
+  /// the pinned user buffer becomes reusable.
+  bool org_pending = false;
+  int retries = 0;
+  std::uint64_t timeout_gen = 0;  // invalidates stale timeout events
+};
+
+}  // namespace splap::lapi

@@ -1,0 +1,114 @@
+// Public types of the LAPI interface (Table 1 of the paper).
+//
+// The C++ API mirrors the real library's semantics one-for-one:
+//   LAPI_Init/Term        -> Context construction / Context::term()
+//   LAPI_Amsend           -> Context::amsend
+//   LAPI_Put / LAPI_Get   -> Context::put / Context::get
+//   LAPI_Rmw              -> Context::rmw (4 atomic primitives)
+//   LAPI_Setcntr/Getcntr/
+//   LAPI_Waitcntr         -> Context::setcntr/getcntr/waitcntr
+//   LAPI_Fence/Gfence     -> Context::fence / Context::gfence
+//   LAPI_Address_init     -> Context::address_init
+//   LAPI_Qenv/Senv        -> Context::qenv / Context::senv
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "base/time.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace splap::lapi {
+
+class Context;
+
+/// Completion-signalling counter (Section 2.3). Opaque to the user: LAPI
+/// updates it from the dispatcher, the user accesses it only through
+/// setcntr/getcntr/waitcntr. One counter may be shared by many operations to
+/// wait on them as a group.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  friend class Context;
+  std::int64_t value_ = 0;
+};
+
+/// The four atomic read-modify-write primitives (Section 3).
+enum class RmwOp : std::uint8_t {
+  kSwap,
+  kCompareAndSwap,  // swaps in_val2 iff *tgt_var == in_val1
+  kFetchAndAdd,
+  kFetchAndOr,
+};
+
+/// Handed to a header handler when the first packet of an active message
+/// arrives at the target (Section 2.1, Step 2 in Figure 1).
+struct AmDelivery {
+  int origin = -1;
+  std::span<const std::byte> uhdr;
+  std::int64_t udata_len = 0;
+};
+
+/// What the header handler returns to the dispatcher (Step 3 in Figure 1):
+/// where to copy the arriving data and which completion handler (if any) to
+/// run once the whole message has been received.
+struct AmReply {
+  /// Target buffer for udata; must be non-null when udata_len > 0. The
+  /// header handler owns buffer management (Section 5.3.1) — LAPI never
+  /// allocates on the receive path.
+  std::byte* buffer = nullptr;
+  /// Optional completion handler, run on a completion service thread after
+  /// the last byte lands. Runs in actor context: it may compute() and may
+  /// block on simulated mutexes (Section 5.3.3). nullptr = none.
+  std::function<void(Context&, sim::Actor&)> completion;
+  /// Virtual CPU the header handler itself consumed. While it runs, no
+  /// progress is made on this context's dispatcher (Section 2.1).
+  Time header_cost = 0;
+};
+
+/// Header handlers execute in dispatcher (event) context and must not block.
+using HeaderHandler = std::function<AmReply(Context&, const AmDelivery&)>;
+
+/// Identifies a registered header handler. Handler tables must be built
+/// identically on all tasks (the real LAPI ships a function pointer, valid
+/// because every task runs the same executable image).
+using AmHandlerId = int;
+
+/// LAPI_Qenv query keys (the subset the paper exercises).
+enum class Query {
+  kTaskId,
+  kNumTasks,
+  kMaxUhdrSz,     // max user header bytes in an active message
+  kMaxDataSz,     // max message length
+  kPktPayload,    // user bytes that fit in one AM header packet (~900, 5.3.1)
+  kInterruptSet,  // 1 = interrupt mode, 0 = polling
+  kCmplThreads,   // completion-handler service threads
+};
+
+/// LAPI_Senv settable keys.
+enum class Setting {
+  kInterruptSet,  // toggle interrupt vs polling mode at runtime
+};
+
+struct Config {
+  /// Interrupt (true) or polling (false) mode at init; LAPI_Senv can change
+  /// it later. "The typical mode of operation is expected to be interrupt
+  /// mode" (Section 2.1).
+  bool interrupt_mode = true;
+  /// Completion-handler service threads (1 on the 1998 implementation;
+  /// multiple threads are the paper's future-work item for SMP nodes).
+  int completion_threads = 1;
+  /// Retransmission: first timeout; doubles per retry. Generous by default:
+  /// a busy dispatcher (e.g. a GA header handler streaming reply chunks)
+  /// can legitimately delay acks by more than a millisecond.
+  Time retransmit_timeout = milliseconds(4.0);
+  int max_retries = 12;
+};
+
+}  // namespace splap::lapi

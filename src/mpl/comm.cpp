@@ -1,0 +1,784 @@
+#include "mpl/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "base/log.hpp"
+
+namespace splap::mpl {
+
+namespace {
+constexpr std::int64_t kRtsDescBytes = 16;
+constexpr std::int64_t kCtlDescBytes = 8;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+Comm::Comm(net::Node& node, Config config) : node_(node), config_(config) {
+  SPLAP_REQUIRE(sim::Actor::current() != nullptr,
+                "Comm must be constructed in a task context");
+  SPLAP_REQUIRE(config_.eager_limit >= 0 && config_.eager_limit <= 65536,
+                "MP_EAGER_LIMIT out of range (max 64K, Section 4)");
+  next_send_seq_.assign(static_cast<std::size_t>(size()), 0);
+  next_admit_.assign(static_cast<std::size_t>(size()), 0);
+  node_.adapter().register_client(
+      net::Client::kMpl, [this](net::Packet&& p) { on_delivery(std::move(p)); });
+}
+
+Comm::~Comm() { term(); }
+
+void Comm::term() {
+  if (terminated_) return;
+  sim::Actor* a = sim::Actor::current();
+  SPLAP_REQUIRE(a != nullptr, "Comm::term must run in a task context");
+  if (!a->poisoned()) {
+    while (!sends_.empty() || pending_effects_ > 0) {
+      bool gave_up = true;
+      for (const auto& [id, req] : sends_) {
+        if (req.retries < config_.max_retries) gave_up = false;
+      }
+      if (gave_up && pending_effects_ == 0) break;
+      waiters_.add(*a);
+      a->suspend("mpl-term-quiesce");
+    }
+  }
+  node_.adapter().unregister_client(net::Client::kMpl);
+  terminated_ = true;
+  alive_.reset();
+}
+
+void Comm::defer(Time at, std::function<void()> fn) {
+  ++pending_effects_;
+  engine().schedule_at(
+      at, [this, w = std::weak_ptr<char>(alive_), fn = std::move(fn)] {
+        if (w.expired()) return;
+        --pending_effects_;
+        fn();
+        notify();
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
+
+Request Comm::start_send(int dst, int tag, std::span<const std::byte> data) {
+  SPLAP_REQUIRE(!terminated_, "send after Comm::term");
+  SPLAP_REQUIRE(dst >= 0 && dst < size(), "bad destination rank");
+  const CostModel& cm = cost();
+  const auto len = static_cast<std::int64_t>(data.size());
+  const bool eager = len <= config_.eager_limit;
+
+  const Request id = next_req_++;
+  SendReq req;
+  req.dst = dst;
+  req.tag = tag;
+  req.seq = next_send_seq_[static_cast<std::size_t>(dst)]++;
+  req.state = eager ? SState::kEagerDone : SState::kWaitCts;
+  // Eager: the buffering copy that lets the send return immediately — the
+  // "extra copy in MPI" of Section 4, charged at memory-copy bandwidth.
+  // Rendezvous: the copy records the bytes for retransmission but the real
+  // library sends from the pinned user buffer, so it is not charged.
+  req.data = std::make_shared<std::vector<std::byte>>(data.begin(), data.end());
+
+  Time inject_at;
+  if (sim::Actor* a = sim::Actor::current()) {
+    a->compute(cm.mpi_send + (eager ? cm.copy_time(len) : 0));
+    inject_at = engine().now();
+  } else {
+    // Handler context: the send queues behind whatever the protocol thread
+    // is already doing (e.g. the pack copy an rcvncall handler charged).
+    inject_at = std::max(engine().now(), busy_until_) + cm.mpi_send +
+                (eager ? cm.copy_time(len) : 0);
+    busy_until_ = inject_at;
+  }
+
+  seq_to_send_[{dst, req.seq}] = id;
+  sends_.emplace(id, std::move(req));
+  if (inject_at <= engine().now()) {
+    transmit_send(sends_.at(id), id);
+  } else {
+    defer(inject_at, [this, id] {
+      auto it = sends_.find(id);
+      if (it != sends_.end()) transmit_send(it->second, id);
+    });
+  }
+  const Time backlog = std::max<Time>(
+      0, node_.machine().fabric().link_free(rank()) - engine().now());
+  arm_timeout(id, config_.retransmit_timeout + 2 * backlog +
+                      2 * transfer_time(len, cm.wire_mb_s));
+  engine().counters().bump("mpl.sends");
+  return id;
+}
+
+void Comm::transmit_send(const SendReq& req, std::int64_t /*id*/) {
+  const CostModel& cm = cost();
+  if (req.state == SState::kWaitCts) {
+    // Rendezvous: request to send only.
+    net::Packet p;
+    p.src = rank();
+    p.dst = req.dst;
+    p.client = net::Client::kMpl;
+    p.header_bytes = cm.mpi_header_bytes + kRtsDescBytes;
+    auto m = std::make_shared<MplMeta>();
+    m->kind = MplKind::kRts;
+    m->seq = req.seq;
+    m->tag = req.tag;
+    m->total_len = static_cast<std::int64_t>(req.data->size());
+    p.meta = std::move(m);
+    node_.machine().fabric().transmit(std::move(p));
+    return;
+  }
+  // Eager: envelope packet with the first chunk, then data packets.
+  const std::int64_t len = static_cast<std::int64_t>(req.data->size());
+  net::Packet first;
+  first.src = rank();
+  first.dst = req.dst;
+  first.client = net::Client::kMpl;
+  first.header_bytes = cm.mpi_header_bytes;
+  auto m = std::make_shared<MplMeta>();
+  m->kind = MplKind::kEager;
+  m->seq = req.seq;
+  m->tag = req.tag;
+  m->total_len = len;
+  first.meta = std::move(m);
+  const std::int64_t chunk0 = std::min(len, cm.mpi_payload());
+  if (chunk0 > 0) {
+    first.data.assign(req.data->begin(), req.data->begin() + chunk0);
+  }
+  node_.machine().fabric().transmit(std::move(first));
+  transmit_data(req);
+}
+
+void Comm::transmit_data(const SendReq& req) {
+  const CostModel& cm = cost();
+  const std::int64_t len = static_cast<std::int64_t>(req.data->size());
+  // Eager carried its first chunk in the envelope; rendezvous streams all.
+  std::int64_t offset =
+      req.state == SState::kEagerDone ? std::min(len, cm.mpi_payload()) : 0;
+  while (offset < len) {
+    const std::int64_t chunk = std::min(len - offset, cm.mpi_payload());
+    net::Packet p;
+    p.src = rank();
+    p.dst = req.dst;
+    p.client = net::Client::kMpl;
+    p.header_bytes = cm.mpi_header_bytes;
+    auto m = std::make_shared<MplMeta>();
+    m->kind = MplKind::kData;
+    m->seq = req.seq;
+    m->offset = offset;
+    p.meta = std::move(m);
+    p.data.assign(req.data->begin() + offset, req.data->begin() + offset + chunk);
+    node_.machine().fabric().transmit(std::move(p));
+    offset += chunk;
+  }
+}
+
+void Comm::arm_timeout(std::int64_t id, Time delay) {
+  auto it = sends_.find(id);
+  if (it == sends_.end()) return;
+  const std::uint64_t gen = ++it->second.timeout_gen;
+  engine().schedule_after(
+      delay, [this, w = std::weak_ptr<char>(alive_), id, gen, delay] {
+        if (w.expired()) return;
+        auto jt = sends_.find(id);
+        if (jt == sends_.end()) return;
+        SendReq& req = jt->second;
+        if (gen != req.timeout_gen || req.acked) return;
+        if (req.retries >= config_.max_retries) {
+          engine().counters().bump("mpl.retransmit_giveup");
+          notify();
+          return;
+        }
+        ++req.retries;
+        engine().counters().bump("mpl.retransmits");
+        if (req.state == SState::kWaitCts) {
+          transmit_send(req, id);  // re-RTS
+        } else if (req.state == SState::kEagerDone) {
+          transmit_send(req, id);  // envelope + data
+        } else {
+          transmit_data(req);  // streaming: data only, envelope was the RTS
+        }
+        arm_timeout(id, delay * 2);
+      });
+}
+
+void Comm::send_ctl(int dst, MplKind kind, std::int64_t seq, Time when) {
+  net::Packet p;
+  p.src = rank();
+  p.dst = dst;
+  p.client = net::Client::kMpl;
+  p.header_bytes = cost().mpi_header_bytes + kCtlDescBytes;
+  auto m = std::make_shared<MplMeta>();
+  m->kind = kind;
+  m->seq = seq;
+  p.meta = std::move(m);
+  if (when <= engine().now()) {
+    node_.machine().fabric().transmit(std::move(p));
+  } else {
+    defer(when, [this, sp = std::make_shared<net::Packet>(std::move(p))] {
+      node_.machine().fabric().transmit(std::move(*sp));
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Public point-to-point
+// ---------------------------------------------------------------------------
+
+Status Comm::send(int dst, int tag, std::span<const std::byte> data) {
+  if (dst < 0 || dst >= size()) return Status::kBadParameter;
+  const Request r = start_send(dst, tag, data);
+  wait(r);
+  return Status::kOk;
+}
+
+Request Comm::isend(int dst, int tag, std::span<const std::byte> data) {
+  SPLAP_REQUIRE(dst >= 0 && dst < size(), "bad destination rank");
+  return start_send(dst, tag, data);
+}
+
+Request Comm::irecv(int src, int tag, std::span<std::byte> buf,
+                    RecvStatus* st) {
+  SPLAP_REQUIRE(!terminated_, "irecv after Comm::term");
+  SPLAP_REQUIRE(src == kAnySource || (src >= 0 && src < size()), "bad source");
+  sim::Actor* a = sim::Actor::current();
+  const Request id = next_req_++;
+  Posting p;
+  p.id = id;
+  p.src = src;
+  p.tag = tag;
+  p.buf = buf;
+  p.status = st;
+  postings_.emplace(id, p);
+  posting_order_.push_back(id);
+  Time charge = cost().mpi_post + match_scan();
+  if (a != nullptr) {
+    a->compute(charge);
+  } else {
+    busy_until_ = std::max(busy_until_, engine().now()) + charge;
+  }
+  return id;
+}
+
+Status Comm::recv(int src, int tag, std::span<std::byte> buf, RecvStatus* st) {
+  if (src != kAnySource && (src < 0 || src >= size())) {
+    return Status::kBadParameter;
+  }
+  const Request r = irecv(src, tag, buf, st);
+  wait(r);
+  auto it = postings_.find(r);
+  const bool truncated = it != postings_.end() && it->second.truncated;
+  postings_.erase(r);
+  return truncated ? Status::kTruncated : Status::kOk;
+}
+
+void Comm::wait(Request r) {
+  sim::Actor* a = sim::Actor::current();
+  SPLAP_REQUIRE(a != nullptr, "wait must run in a task context");
+  a->wait(
+      [&] {
+        if (auto it = postings_.find(r); it != postings_.end()) {
+          if (!it->second.done) {
+            waiters_.add(*a);
+            return false;
+          }
+          return true;
+        }
+        if (auto it = sends_.find(r); it != sends_.end()) {
+          if (it->second.state == SState::kWaitCts) {
+            waiters_.add(*a);
+            return false;
+          }
+          return true;  // buffered / streaming: user buffer is reusable
+        }
+        return true;  // already retired
+      },
+      "mpl-wait");
+}
+
+bool Comm::test(Request r) {
+  if (auto it = postings_.find(r); it != postings_.end()) {
+    return it->second.done;
+  }
+  if (auto it = sends_.find(r); it != sends_.end()) {
+    return it->second.state != SState::kWaitCts;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// rcvncall / lockrnc
+// ---------------------------------------------------------------------------
+
+void Comm::rcvncall(int tag, RcvncallHandler handler) {
+  SPLAP_REQUIRE(handler != nullptr, "null rcvncall handler");
+  registrations_.push_back(Registration{tag, std::move(handler)});
+}
+
+void Comm::lock_interrupts() { ++intr_lock_depth_; }
+
+void Comm::unlock_interrupts() {
+  SPLAP_REQUIRE(intr_lock_depth_ > 0, "unlockrnc without lockrnc");
+  if (--intr_lock_depth_ == 0) schedule_handler_pump();
+}
+
+void Comm::handler_charge(Time d) {
+  busy_until_ = std::max(busy_until_, engine().now()) + d;
+}
+
+void Comm::deliver_rcvncall(int src, std::int64_t seq, const Registration&) {
+  // Handlers run single-threaded on the protocol thread, strictly FIFO
+  // (messages were already admitted in order; the handler queue must not
+  // reorder them). The interrupt + AIX handler-context creation is charged
+  // per delivery (Section 5.2's latency story).
+  const CostModel& cm = cost();
+  busy_until_ = std::max(engine().now(), busy_until_) + cm.interrupt_cost +
+                cm.rcvncall_context;
+  engine().counters().bump("mpl.rcvncalls");
+  handler_q_.emplace_back(src, seq);
+  schedule_handler_pump();
+}
+
+void Comm::schedule_handler_pump() {
+  if (handler_pump_scheduled_ || handler_q_.empty()) return;
+  handler_pump_scheduled_ = true;
+  defer(std::max(engine().now(), busy_until_), [this] {
+    handler_pump_scheduled_ = false;
+    pump_handlers();
+  });
+}
+
+void Comm::pump_handlers() {
+  if (handler_q_.empty()) return;
+  if (intr_lock_depth_ > 0) return;  // lockrnc: unlock re-schedules
+  if (engine().now() < busy_until_) {
+    schedule_handler_pump();  // earlier work charged after we were scheduled
+    return;
+  }
+  const auto key = handler_q_.front();
+  handler_q_.pop_front();
+  auto it = in_.find(key);
+  SPLAP_REQUIRE(it != in_.end(), "rcvncall message vanished");
+  InMsg& msg = it->second;
+  const Registration& reg =
+      registrations_[static_cast<std::size_t>(msg.reg_index)];
+  RcvncallDelivery d{key.first, msg.tag,
+                     std::span<const std::byte>(msg.stage.data(),
+                                                msg.stage.size())};
+  reg.handler(*this, d);
+  msg.stage.clear();
+  msg.stage.shrink_to_fit();
+  schedule_handler_pump();
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+void Comm::on_delivery(net::Packet&& pkt) {
+  engine().counters().bump("mpl.pkts_rx");
+  rx_q_.push_back(std::move(pkt));
+  schedule_pump();
+}
+
+void Comm::schedule_pump() {
+  if (pump_scheduled_) return;
+  pump_scheduled_ = true;
+  defer(std::max(engine().now(), busy_until_), [this] {
+    pump_scheduled_ = false;
+    pump();
+  });
+}
+
+void Comm::pump() {
+  if (rx_q_.empty()) return;
+  if (engine().now() < busy_until_) {
+    schedule_pump();
+    return;
+  }
+  net::Packet pkt = std::move(rx_q_.front());
+  rx_q_.pop_front();
+  const Time c = process(pkt);
+  busy_until_ = engine().now() + c;
+  if (!rx_q_.empty()) schedule_pump();
+}
+
+Time Comm::ingest(InMsg& msg, std::int64_t offset,
+                  const std::vector<std::byte>& bytes) {
+  const auto len = static_cast<std::int64_t>(bytes.size());
+  if (len == 0) return 0;
+  if (msg.seen.count(offset) != 0) return 0;
+  msg.seen[offset] = len;
+  if (msg.matched && !msg.to_rcvncall && msg.user_buf != nullptr) {
+    const std::int64_t fit =
+        std::max<std::int64_t>(0, std::min(len, msg.user_cap - offset));
+    if (fit > 0) {
+      std::memcpy(msg.user_buf + offset, bytes.data(),
+                  static_cast<std::size_t>(fit));
+    }
+  } else {
+    if (static_cast<std::int64_t>(msg.stage.size()) < msg.total) {
+      msg.stage.resize(static_cast<std::size_t>(msg.total));
+    }
+    std::memcpy(msg.stage.data() + offset, bytes.data(),
+                static_cast<std::size_t>(len));
+  }
+  msg.received += len;
+  return cost().copy_time(len);
+}
+
+Time Comm::process(net::Packet& pkt) {
+  const CostModel& cm = cost();
+  const MplMeta& m = pkt.meta_as<MplMeta>();
+  const int src = pkt.src;
+  const auto key = std::pair<int, std::int64_t>{src, m.seq};
+
+  // Completion effects (posting done / handler dispatch) land at the END of
+  // this packet's processing cost — the receive-side matching and copy time
+  // are part of the observed latency (Table 2's 43us include them).
+  auto check_assembled = [&](InMsg& msg, Time cost_so_far) {
+    if (!msg.have_envelope || msg.assembled || msg.received != msg.total) {
+      return;
+    }
+    msg.assembled = true;
+    send_ctl(src, MplKind::kAck, m.seq, engine().now() + cost_so_far);
+    if (msg.matched && !msg.delivered) {
+      msg.delivered = true;
+      defer(engine().now() + cost_so_far,
+            [this, src, seq = m.seq] { complete_message(src, seq); });
+    }
+  };
+
+  switch (m.kind) {
+    case MplKind::kEager:
+    case MplKind::kRts: {
+      InMsg& msg = in_[key];
+      Time c = cm.mpi_pkt_rx;
+      if (msg.assembled) {
+        send_ctl(src, MplKind::kAck, m.seq, engine().now() + c);
+        return c;
+      }
+      if (msg.have_envelope) {
+        if (m.kind == MplKind::kRts && msg.matched && !msg.assembled) {
+          // Duplicate RTS: the CTS was probably lost — resend it.
+          send_ctl(src, MplKind::kCts, m.seq, engine().now() + c);
+        }
+        if (m.kind == MplKind::kEager) c += ingest(msg, 0, pkt.data);
+        check_assembled(msg, c);
+        return c;
+      }
+      msg.have_envelope = true;
+      msg.is_rndv = (m.kind == MplKind::kRts);
+      msg.tag = m.tag;
+      msg.total = m.total_len;
+      c += match_scan();  // admission in per-source order + matching
+      if (m.kind == MplKind::kEager) {
+        c += ingest(msg, 0, pkt.data);
+      }
+      for (auto& [off, bytes] : msg.early) {
+        c += ingest(msg, off, bytes);
+      }
+      msg.early.clear();
+      check_assembled(msg, c);
+      return c;
+    }
+
+    case MplKind::kData: {
+      InMsg& msg = in_[key];
+      Time c = cm.mpi_pkt_rx;
+      if (msg.assembled) {
+        send_ctl(src, MplKind::kAck, m.seq, engine().now() + c);
+        return c;
+      }
+      if (!msg.have_envelope) {
+        msg.early.emplace_back(m.offset, std::move(pkt.data));
+        return c;
+      }
+      c += ingest(msg, m.offset, pkt.data);
+      check_assembled(msg, c);
+      return c;
+    }
+
+    case MplKind::kCts: {
+      const Time c = cm.mpi_ctl;
+      auto it = seq_to_send_.find({src, m.seq});
+      if (it == seq_to_send_.end()) return c;  // stale duplicate
+      const Request rid = it->second;
+      defer(engine().now() + c + cm.mpi_rndv_restart, [this, rid] {
+        auto jt = sends_.find(rid);
+        if (jt == sends_.end()) return;
+        SendReq& req = jt->second;
+        if (req.state != SState::kWaitCts) return;  // duplicate CTS
+        req.state = SState::kStreaming;
+        transmit_data(req);
+        arm_timeout(rid, config_.retransmit_timeout +
+                             2 * transfer_time(
+                                     static_cast<std::int64_t>(req.data->size()),
+                                     cost().wire_mb_s));
+      });
+      return c;
+    }
+
+    case MplKind::kAck: {
+      const Time c = cm.mpi_pkt_rx;
+      defer(engine().now() + c, [this, src, seq = m.seq] {
+        auto it = seq_to_send_.find({src, seq});
+        if (it == seq_to_send_.end()) return;
+        const Request rid = it->second;
+        auto jt = sends_.find(rid);
+        if (jt != sends_.end()) {
+          jt->second.acked = true;
+          jt->second.state = SState::kDone;
+          sends_.erase(jt);
+        }
+        seq_to_send_.erase(it);
+      });
+      return c;
+    }
+  }
+  SPLAP_REQUIRE(false, "unknown MPL packet kind");
+  return 0;
+}
+
+Time Comm::match_scan() {
+  const CostModel& cm = cost();
+  Time charged = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Admit envelopes strictly in per-source sequence order ("in-order
+    // message delivery", the MPL progress rule).
+    for (auto& [key, msg] : in_) {
+      if (msg.admitted || !msg.have_envelope) continue;
+      if (key.second !=
+          next_admit_[static_cast<std::size_t>(key.first)]) {
+        continue;
+      }
+      msg.admitted = true;
+      ++next_admit_[static_cast<std::size_t>(key.first)];
+      progress = true;
+      // Try the posted queue in post order.
+      bool bound = false;
+      for (const Request pid : posting_order_) {
+        auto pit = postings_.find(pid);
+        if (pit == postings_.end() || pit->second.matched) continue;
+        Posting& p = pit->second;
+        if ((p.src == kAnySource || p.src == key.first) &&
+            (p.tag == kAnyTag || p.tag == msg.tag)) {
+          charged += bind(p, key.first, key.second, msg);
+          bound = true;
+          break;
+        }
+      }
+      if (bound) continue;
+      // Then rcvncall registrations.
+      for (std::size_t ri = 0; ri < registrations_.size(); ++ri) {
+        if (registrations_[ri].tag == msg.tag) {
+          msg.matched = true;
+          msg.to_rcvncall = true;
+          msg.reg_index = static_cast<int>(ri);
+          charged += cm.mpi_match;
+          if (msg.is_rndv) {
+            msg.stage.resize(static_cast<std::size_t>(msg.total));
+            charged += cm.mpi_ctl;
+            send_ctl(key.first, MplKind::kCts, key.second,
+                     engine().now() + charged);
+          }
+          if (msg.assembled && !msg.delivered) {
+            msg.delivered = true;
+            complete_message(key.first, key.second);
+          }
+          bound = true;
+          break;
+        }
+      }
+      if (!bound) unexpected_.push_back(key);
+    }
+    // New postings may match queued unexpected messages.
+    for (auto uit = unexpected_.begin(); uit != unexpected_.end();) {
+      InMsg& msg = in_.at(*uit);
+      bool bound = false;
+      for (const Request pid : posting_order_) {
+        auto pit = postings_.find(pid);
+        if (pit == postings_.end() || pit->second.matched) continue;
+        Posting& p = pit->second;
+        if ((p.src == kAnySource || p.src == uit->first) &&
+            (p.tag == kAnyTag || p.tag == msg.tag)) {
+          charged += bind(p, uit->first, uit->second, msg);
+          bound = true;
+          break;
+        }
+      }
+      if (bound) {
+        uit = unexpected_.erase(uit);
+        progress = true;
+      } else {
+        ++uit;
+      }
+    }
+  }
+  return charged;
+}
+
+Time Comm::bind(Posting& p, int src, std::int64_t seq, InMsg& msg) {
+  const CostModel& cm = cost();
+  Time charged = cm.mpi_match;
+  p.matched = true;
+  p.m_src = src;
+  p.m_seq = seq;
+  msg.matched = true;
+  msg.user_buf = p.buf.data();
+  msg.user_cap = static_cast<std::int64_t>(p.buf.size());
+  if (msg.total > msg.user_cap) p.truncated = true;
+  if (p.status != nullptr) {
+    p.status->source = src;
+    p.status->tag = msg.tag;
+    p.status->len = msg.total;
+  }
+  if (msg.is_rndv) {
+    charged += cm.mpi_ctl;
+    send_ctl(src, MplKind::kCts, seq, engine().now() + charged);
+  } else if (msg.received > 0) {
+    // Late match: the unexpected-queue copy into the user buffer — the
+    // second copy of the eager path.
+    const std::int64_t fit = std::min(msg.received, msg.user_cap);
+    if (fit > 0 && !msg.stage.empty()) {
+      std::memcpy(msg.user_buf, msg.stage.data(),
+                  static_cast<std::size_t>(fit));
+    }
+    charged += cm.copy_time(msg.received);
+    engine().counters().bump("mpl.unexpected_copies");
+  }
+  if (msg.assembled && !msg.delivered) {
+    // Matched an already-complete unexpected message (the posting arrived
+    // late): deliver right away — the caller charges the copy time.
+    msg.delivered = true;
+    complete_message(src, seq);
+  }
+  return charged;
+}
+
+void Comm::complete_message(int src, std::int64_t seq) {
+  const auto key = std::pair<int, std::int64_t>{src, seq};
+  InMsg& msg = in_.at(key);
+  SPLAP_REQUIRE(msg.assembled && msg.matched && msg.delivered,
+                "completing an unready message");
+  if (msg.to_rcvncall) {
+    deliver_rcvncall(src, seq, registrations_[static_cast<std::size_t>(
+                                   msg.reg_index)]);
+    return;
+  }
+  // Find the posting bound to this message and mark it done.
+  for (const Request pid : posting_order_) {
+    auto pit = postings_.find(pid);
+    if (pit == postings_.end()) continue;
+    Posting& p = pit->second;
+    if (p.matched && p.m_src == src && p.m_seq == seq && !p.done) {
+      p.done = true;
+      msg.stage.clear();
+      msg.stage.shrink_to_fit();
+      notify();
+      return;
+    }
+  }
+  SPLAP_REQUIRE(false, "matched message has no posting");
+}
+
+// ---------------------------------------------------------------------------
+// Collectives (built on the tagged point-to-point layer; internal tags)
+// ---------------------------------------------------------------------------
+
+void Comm::barrier() {
+  const int n = size();
+  std::byte token{1};
+  int round = 0;
+  for (int dist = 1; dist < n; dist <<= 1, ++round) {
+    const int to = (rank() + dist) % n;
+    const int from = (rank() - dist % n + n) % n;
+    const int tag = kInternalTagBase + round;
+    const Request s = isend(to, tag, std::span<const std::byte>(&token, 1));
+    std::byte in{};
+    const Status st = recv(from, tag, std::span<std::byte>(&in, 1));
+    SPLAP_REQUIRE(st == Status::kOk, "barrier exchange failed");
+    wait(s);
+  }
+}
+
+void Comm::bcast(std::span<std::byte> data, int root) {
+  const int n = size();
+  if (n == 1) return;
+  const int tag = kInternalTagBase + 64;
+  // Binomial tree rooted at `root` (ranks relative to the root).
+  const int vrank = (rank() - root + n) % n;
+  if (vrank != 0) {
+    // Receive from the parent.
+    int mask = 1;
+    while ((vrank & mask) == 0) mask <<= 1;
+    const int parent = ((vrank & ~mask) + root) % n;
+    const Status st = recv(parent, tag, data);
+    SPLAP_REQUIRE(st == Status::kOk, "bcast receive failed");
+  }
+  // Forward to children.
+  int mask = 1;
+  while (mask < n && (vrank & (mask - 1)) == 0) {
+    if ((vrank & mask) == 0) {
+      const int child = vrank | mask;
+      if (child < n) {
+        const Status st = send((child + root) % n, tag, data);
+        SPLAP_REQUIRE(st == Status::kOk, "bcast send failed");
+      }
+    }
+    mask <<= 1;
+  }
+}
+
+void Comm::allreduce_sum(std::span<double> data) {
+  const int n = size();
+  if (n == 1) return;
+  std::vector<double> incoming(data.size());
+  auto bytes_of = [](std::span<double> d) {
+    return std::span<const std::byte>(
+        reinterpret_cast<const std::byte*>(d.data()), d.size_bytes());
+  };
+  // Recursive-doubling when n is a power of two; otherwise a simple
+  // gather-to-0 + bcast fallback keeps correctness for any task count.
+  if ((n & (n - 1)) == 0) {
+    int round = 0;
+    for (int dist = 1; dist < n; dist <<= 1, ++round) {
+      const int peer = rank() ^ dist;
+      const int tag = kInternalTagBase + 128 + round;
+      const Request s = isend(peer, tag, bytes_of(data));
+      const Status st =
+          recv(peer, tag,
+               std::span<std::byte>(reinterpret_cast<std::byte*>(incoming.data()),
+                                    incoming.size() * sizeof(double)));
+      SPLAP_REQUIRE(st == Status::kOk, "allreduce exchange failed");
+      wait(s);
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] += incoming[i];
+    }
+    return;
+  }
+  const int tag = kInternalTagBase + 256;
+  if (rank() == 0) {
+    for (int r = 1; r < n; ++r) {
+      const Status st =
+          recv(r, tag,
+               std::span<std::byte>(reinterpret_cast<std::byte*>(incoming.data()),
+                                    incoming.size() * sizeof(double)));
+      SPLAP_REQUIRE(st == Status::kOk, "allreduce gather failed");
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] += incoming[i];
+    }
+  } else {
+    const Status st = send(0, tag, bytes_of(data));
+    SPLAP_REQUIRE(st == Status::kOk, "allreduce send failed");
+  }
+  bcast(std::span<std::byte>(reinterpret_cast<std::byte*>(data.data()),
+                             data.size_bytes()),
+        0);
+}
+
+}  // namespace splap::mpl

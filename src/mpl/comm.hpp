@@ -1,0 +1,228 @@
+// The MPI/MPL baseline communicator: one per task.
+//
+// Protocol summary (calibrated against Table 2 and Figure 2 of the paper):
+//
+//   eager (len <= eager_limit):
+//     send() charges mpi_send + a buffering copy at copy_mb_s — the "extra
+//     copy in MPI" of Section 4 — then injects and returns (buffered
+//     semantics). At the receiver, packets land in the posted buffer, or in
+//     an unexpected-queue staging buffer (the second copy) if no receive
+//     matches yet.
+//
+//   rendezvous (len > eager_limit):
+//     send() emits an RTS and blocks (isend: pends) until the receiver has
+//     matched a posting and returned a CTS; data then flows zero-copy from
+//     the user buffer. The RTS/CTS round trip plus the sender-side restart
+//     penalty is what flattens the default-MPI bandwidth curve above the
+//     4 KB eager limit (Figure 2).
+//
+//   ordering: strict per-source in-order admission — the MPL progress rule
+//     (Section 5.4) that forces the old GA implementation to combine request
+//     header and data into one message.
+//
+//   rcvncall: MPL's interrupt-driven receive-and-call. Matched messages are
+//     assembled in a library buffer and the handler runs at interrupt level,
+//     charged interrupt_cost + rcvncall_context (the AIX handler-context
+//     creation the paper blames for >300us old-GA get latency). lockrnc
+//     (interrupt disable) defers handler execution for atomic sections.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "base/cost_model.hpp"
+#include "base/status.hpp"
+#include "mpl/types.hpp"
+#include "net/machine.hpp"
+#include "sim/sync.hpp"
+
+namespace splap::mpl {
+
+/// Internal wire descriptor.
+enum class MplKind : std::uint8_t { kEager, kData, kRts, kCts, kAck };
+
+struct MplMeta {
+  MplKind kind = MplKind::kEager;
+  std::int64_t seq = 0;  // per-sender message sequence (ordering + dedup)
+  int tag = 0;
+  std::int64_t total_len = 0;
+  std::int64_t offset = 0;
+};
+
+class Comm {
+ public:
+  explicit Comm(net::Node& node, Config config = {});
+  ~Comm();
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  void term();
+
+  int rank() const { return node_.id(); }
+  int size() const { return node_.machine().tasks(); }
+  std::int64_t eager_limit() const { return config_.eager_limit; }
+
+  // --- point to point ----------------------------------------------------
+  /// Blocking send (eager: returns after the buffering copy; rendezvous:
+  /// returns once the data has been handed to the wire).
+  Status send(int dst, int tag, std::span<const std::byte> data);
+  /// Blocking receive into `buf`; fails with kTruncated if the matched
+  /// message is longer than the buffer.
+  Status recv(int src, int tag, std::span<std::byte> buf,
+              RecvStatus* st = nullptr);
+
+  Request isend(int dst, int tag, std::span<const std::byte> data);
+  Request irecv(int src, int tag, std::span<std::byte> buf,
+                RecvStatus* st = nullptr);
+  /// Block until the request completes. Requests are single-use.
+  void wait(Request r);
+  /// Nonblocking completion probe.
+  bool test(Request r);
+
+  // --- rcvncall / lockrnc (MPL) -------------------------------------------
+  /// Register an interrupt-level handler for messages with tag `tag` that
+  /// have no posted receive. One registration serves unlimited messages
+  /// (GA's server loop).
+  void rcvncall(int tag, RcvncallHandler handler);
+  /// lockrnc: disable/enable interrupt-level handler execution (the old
+  /// GA's atomicity device, Section 5.2). Nestable.
+  void lock_interrupts();
+  void unlock_interrupts();
+
+  /// Charge CPU work performed inside an rcvncall handler (which runs at
+  /// interrupt level on the dispatcher timeline and cannot compute()).
+  void handler_charge(Time d);
+
+  // --- collectives ---------------------------------------------------------
+  void barrier();
+  void bcast(std::span<std::byte> data, int root);
+  /// In-place sum-allreduce over doubles.
+  void allreduce_sum(std::span<double> data);
+
+  net::Node& node() const { return node_; }
+  const CostModel& cost() const { return node_.cost(); }
+  sim::Engine& engine() const { return node_.engine(); }
+
+ private:
+  // --- origin-side state ---------------------------------------------------
+  enum class SState {
+    kEagerDone,   // eager: complete once buffered & injected
+    kWaitCts,     // rendezvous: RTS out, waiting for CTS
+    kStreaming,   // rendezvous: data injected, waiting for delivery ack
+    kDone,
+  };
+  struct SendReq {
+    int dst = -1;
+    int tag = 0;
+    SState state = SState::kEagerDone;
+    std::shared_ptr<std::vector<std::byte>> data;  // retransmit source
+    std::int64_t seq = 0;
+    bool acked = false;
+    int retries = 0;
+    std::uint64_t timeout_gen = 0;
+  };
+
+  // --- target-side state -----------------------------------------------------
+  struct InMsg {
+    bool is_rndv = false;
+    bool have_envelope = false;
+    bool admitted = false;    // passed the in-order cursor
+    bool matched = false;
+    bool assembled = false;   // all bytes in `stage` or user buffer
+    bool delivered = false;   // handed to a posting / rcvncall handler
+    bool acked = false;
+    int tag = 0;
+    std::int64_t total = -1;
+    std::int64_t received = 0;
+    std::vector<std::byte> stage;   // unexpected landing area (extra copy)
+    std::byte* user_buf = nullptr;  // direct landing once matched
+    std::int64_t user_cap = 0;      // bytes that fit (truncation guard)
+    bool to_rcvncall = false;       // matched to a registration, not a posting
+    int reg_index = -1;
+    std::map<std::int64_t, std::int64_t> seen;  // offset dedup
+    /// Data packets that arrived before the envelope (out-of-order fabric).
+    std::vector<std::pair<std::int64_t, std::vector<std::byte>>> early;
+  };
+
+  struct Posting {
+    Request id = kNullRequest;
+    int src = kAnySource;
+    int tag = kAnyTag;
+    std::span<std::byte> buf;
+    RecvStatus* status = nullptr;
+    bool matched = false;
+    bool truncated = false;
+    // Once matched:
+    int m_src = -1;
+    std::int64_t m_seq = -1;
+    bool done = false;
+  };
+
+  struct Registration {
+    int tag;
+    RcvncallHandler handler;
+  };
+
+  // Send path.
+  Request start_send(int dst, int tag, std::span<const std::byte> data);
+  void transmit_send(const SendReq& req, std::int64_t id);
+  void transmit_data(const SendReq& req);
+  void arm_timeout(std::int64_t id, Time delay);
+  void send_ctl(int dst, MplKind kind, std::int64_t seq, Time when);
+
+  // Receive path.
+  void on_delivery(net::Packet&& pkt);
+  void schedule_pump();
+  void pump();
+  Time process(net::Packet& pkt);
+  Time ingest(InMsg& msg, std::int64_t offset,
+              const std::vector<std::byte>& bytes);
+  /// Advance the per-source in-order cursors, match admitted messages
+  /// against postings and rcvncall registrations. Returns extra CPU charged.
+  Time match_scan();
+  /// Bind a message to a posting (CTS for rendezvous, stage copy for
+  /// late-matched eager). Returns the CPU charged.
+  Time bind(Posting& p, int src, std::int64_t seq, InMsg& msg);
+  void complete_message(int src, std::int64_t seq);
+  void deliver_rcvncall(int src, std::int64_t seq, const Registration& reg);
+  void schedule_handler_pump();
+  void pump_handlers();
+
+  void notify() { waiters_.wake_all(engine()); }
+
+  net::Node& node_;
+  Config config_;
+  bool terminated_ = false;
+
+  void defer(Time at, std::function<void()> fn);
+
+  std::int64_t next_req_ = 1;
+  std::map<Request, SendReq> sends_;          // in-flight sends by request id
+  std::map<std::pair<int, std::int64_t>, Request> seq_to_send_;  // (dst,seq)
+  std::vector<std::int64_t> next_send_seq_;   // per destination
+
+  std::vector<std::int64_t> next_admit_;      // per source in-order cursor
+  std::map<std::pair<int, std::int64_t>, InMsg> in_;
+  std::deque<std::pair<int, std::int64_t>> unexpected_;  // admission order
+  std::map<Request, Posting> postings_;
+  std::deque<Request> posting_order_;
+  std::vector<Registration> registrations_;
+
+  int intr_lock_depth_ = 0;
+  std::deque<std::pair<int, std::int64_t>> handler_q_;  // FIFO, interrupt level
+  bool handler_pump_scheduled_ = false;
+
+  // Dispatcher timeline.
+  std::deque<net::Packet> rx_q_;
+  bool pump_scheduled_ = false;
+  Time busy_until_ = 0;
+  int pending_effects_ = 0;
+
+  sim::WaitSet waiters_;
+  std::shared_ptr<char> alive_ = std::make_shared<char>();
+};
+
+}  // namespace splap::mpl

@@ -1,0 +1,85 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/log.hpp"
+
+namespace splap::net {
+
+Fabric::Fabric(sim::Engine& engine, int nodes, FabricConfig config)
+    : engine_(engine),
+      config_(config),
+      link_free_(static_cast<std::size_t>(nodes), 0),
+      rx_free_(static_cast<std::size_t>(nodes), 0),
+      next_route_(static_cast<std::size_t>(nodes), 0),
+      deliver_(static_cast<std::size_t>(nodes)),
+      rng_(config.seed) {
+  SPLAP_REQUIRE(nodes > 0, "fabric needs at least one node");
+}
+
+void Fabric::set_deliver(int dst, DeliverFn fn) {
+  SPLAP_REQUIRE(dst >= 0 && dst < nodes(), "bad node id");
+  deliver_[static_cast<std::size_t>(dst)] = std::move(fn);
+}
+
+void Fabric::transmit(Packet&& pkt) {
+  const auto src = static_cast<std::size_t>(pkt.src);
+  const auto dst = static_cast<std::size_t>(pkt.dst);
+  SPLAP_REQUIRE(pkt.src >= 0 && pkt.src < nodes(), "bad src");
+  SPLAP_REQUIRE(pkt.dst >= 0 && pkt.dst < nodes(), "bad dst");
+  SPLAP_REQUIRE(pkt.wire_bytes() <= config_.cost.packet_bytes,
+                "packet exceeds the wire MTU");
+  const CostModel& cm = config_.cost;
+  ++packets_sent_;
+  bytes_on_wire_ += pkt.wire_bytes();
+
+  Time arrival;
+  if (pkt.src == pkt.dst) {
+    // Loopback: the adapter short-circuits the switch.
+    arrival = engine_.now() + cm.adapter_tx + cm.adapter_rx;
+  } else {
+    const Time depart =
+        std::max(engine_.now() + cm.adapter_tx, link_free_[src]);
+    const Time occupy = cm.wire_time(pkt.header_bytes,
+                                     static_cast<std::int64_t>(pkt.data.size()));
+    link_free_[src] = depart + occupy;
+
+    const int route = next_route_[src];
+    next_route_[src] = (route + 1) % cm.routes_per_pair;
+    Time route_delay = cm.route_latency + route * cm.route_skew;
+    if (config_.contention_jitter > 0) {
+      route_delay += static_cast<Time>(rng_.next_below(
+          static_cast<std::uint64_t>(config_.contention_jitter)));
+    }
+    arrival = depart + occupy + route_delay;
+
+    if (config_.drop_rate > 0 && rng_.next_bool(config_.drop_rate)) {
+      ++packets_dropped_;
+      engine_.counters().bump("fabric.drops");
+      SPLAP_DEBUG(engine_.now(), "fabric: dropped packet %d->%d (%lld B)",
+                  pkt.src, pkt.dst,
+                  static_cast<long long>(pkt.wire_bytes()));
+      return;
+    }
+  }
+
+  // The drain DMA serializes packets in ARRIVAL order, so the rx_free
+  // bookkeeping must run when the packet reaches the adapter, not when it
+  // was sent — otherwise a late-sent packet that took a faster route could
+  // never overtake (and the fabric would be spuriously in-order).
+  engine_.schedule_at(
+      arrival,
+      [this, dst, p = std::make_shared<Packet>(std::move(pkt))]() mutable {
+        const Time deliver_at =
+            std::max(engine_.now(), rx_free_[dst]) + config_.cost.adapter_rx;
+        rx_free_[dst] = deliver_at;
+        engine_.schedule_at(deliver_at, [this, dst, p]() mutable {
+          SPLAP_REQUIRE(deliver_[dst] != nullptr,
+                        "packet for a node with no adapter handler");
+          deliver_[dst](std::move(*p));
+        });
+      });
+}
+
+}  // namespace splap::net

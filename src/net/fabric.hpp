@@ -1,0 +1,82 @@
+// The SP switch fabric: a packet-switched multistage network connecting the
+// node adapters.
+//
+// Model (per packet):
+//   depart   = max(now, link_free[src])            -- injection link FIFO
+//   occupy   = wire_time(header + payload)          -- serialization at 110 MB/s
+//   route    = round-robin over routes_per_pair paths; path r adds
+//              route_latency + r*route_skew (+ contention jitter)
+//   arrival  = depart + occupy + route delay
+//   deliver  = max(arrival, rx_free[dst]) + adapter_rx  -- drain DMA FIFO
+//
+// Because consecutive packets are sprayed over distinct routes (as on the
+// real SP switch) and cross-traffic contention adds jitter, delivery is NOT
+// ordered — the property LAPI is architected around and MPI/MPL must mask.
+//
+// Fault injection: each packet is dropped with probability drop_rate
+// (deterministically, from the machine seed), exercising the reliability
+// layers above.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "base/cost_model.hpp"
+#include "base/rng.hpp"
+#include "base/stats.hpp"
+#include "net/packet.hpp"
+#include "sim/engine.hpp"
+
+namespace splap::net {
+
+struct FabricConfig {
+  CostModel cost;
+  /// Probability that any given packet is lost in the network.
+  double drop_rate = 0.0;
+  /// Upper bound of uniform extra delay per packet modelling contention with
+  /// cross traffic inside the multistage switch (0 = unloaded machine, the
+  /// calibration configuration).
+  Time contention_jitter = 0;
+  std::uint64_t seed = 0x5eed;
+};
+
+class Fabric {
+ public:
+  using DeliverFn = std::function<void(Packet&&)>;
+
+  Fabric(sim::Engine& engine, int nodes, FabricConfig config);
+
+  /// Register the receive-side entry point of node `dst` (the adapter).
+  void set_deliver(int dst, DeliverFn fn);
+
+  /// Hand a packet to the src-side injection link at the current virtual
+  /// time. The caller has already paid any CPU cost; transport is DMA.
+  void transmit(Packet&& pkt);
+
+  /// When the packet last handed to transmit() will have cleared the
+  /// injection link (for senders that want to model TX queue backpressure).
+  Time link_free(int src) const { return link_free_[static_cast<size_t>(src)]; }
+
+  const CostModel& cost() const { return config_.cost; }
+  int nodes() const { return static_cast<int>(link_free_.size()); }
+
+  // Instrumentation.
+  std::int64_t packets_sent() const { return packets_sent_; }
+  std::int64_t packets_dropped() const { return packets_dropped_; }
+  std::int64_t bytes_on_wire() const { return bytes_on_wire_; }
+
+ private:
+  sim::Engine& engine_;
+  FabricConfig config_;
+  std::vector<Time> link_free_;  // per-src injection link
+  std::vector<Time> rx_free_;    // per-dst drain DMA
+  std::vector<int> next_route_;  // per-src round-robin route pointer
+  std::vector<DeliverFn> deliver_;
+  Rng rng_;
+  std::int64_t packets_sent_ = 0;
+  std::int64_t packets_dropped_ = 0;
+  std::int64_t bytes_on_wire_ = 0;
+};
+
+}  // namespace splap::net

@@ -1,0 +1,33 @@
+#include "net/machine.hpp"
+
+#include <string>
+
+namespace splap::net {
+
+sim::Engine& Node::engine() const { return machine_.engine(); }
+const CostModel& Node::cost() const { return machine_.cost(); }
+
+Machine::Machine(Config config)
+    : fabric_(engine_, config.tasks, config.fabric) {
+  SPLAP_REQUIRE(config.tasks > 0, "machine needs at least one task");
+  nodes_.reserve(static_cast<std::size_t>(config.tasks));
+  for (int i = 0; i < config.tasks; ++i) {
+    nodes_.push_back(std::make_unique<Node>(*this, i));
+    fabric_.set_deliver(i, [node = nodes_.back().get()](Packet&& pkt) {
+      node->adapter().deliver(std::move(pkt));
+    });
+  }
+}
+
+Status Machine::run_spmd(const std::function<void(Node&)>& body) {
+  for (auto& node : nodes_) {
+    Node* n = node.get();
+    n->task_ = &engine_.spawn("task" + std::to_string(n->id()),
+                              [n, body](sim::Actor&) { body(*n); });
+  }
+  const Status st = engine_.run();
+  for (auto& node : nodes_) node->task_ = nullptr;
+  return st;
+}
+
+}  // namespace splap::net

@@ -1,0 +1,121 @@
+// A simulated RS/6000 SP: N nodes, each with an adapter onto the shared
+// switch fabric, plus the SPMD harness that runs one task per node.
+//
+// Protocol libraries (LAPI, MPL) attach to a node by registering a client
+// handler with its Adapter; the fabric invokes that handler at each packet's
+// virtual delivery time. Whether delivery causes an "interrupt" or waits for
+// a poll is the client's policy, not the adapter's — exactly the split on
+// the real machine, where the CSS adapter raises an interrupt only if the
+// protocol armed it.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/cost_model.hpp"
+#include "net/fabric.hpp"
+#include "net/packet.hpp"
+#include "sim/engine.hpp"
+
+namespace splap::net {
+
+class Machine;
+
+class Adapter {
+ public:
+  using ClientHandler = std::function<void(Packet&&)>;
+
+  /// Register the protocol library that owns `client` packets on this node.
+  void register_client(Client client, ClientHandler handler) {
+    auto& slot = handlers_[static_cast<std::size_t>(client)];
+    SPLAP_REQUIRE(slot == nullptr, "client already registered on this node");
+    slot = std::move(handler);
+  }
+
+  void unregister_client(Client client) {
+    handlers_[static_cast<std::size_t>(client)] = nullptr;
+  }
+
+  void deliver(Packet&& pkt) {
+    auto& h = handlers_[static_cast<std::size_t>(pkt.client)];
+    if (h == nullptr) {
+      // Packet for a protocol that already shut down on this node (e.g. a
+      // straggler retransmission after LAPI_Term). Dropped, but counted so
+      // tests can assert it never happens in healthy runs.
+      ++dead_letters_;
+      return;
+    }
+    h(std::move(pkt));
+  }
+
+  /// Packets that arrived for an unregistered client.
+  std::int64_t dead_letters() const { return dead_letters_; }
+
+ private:
+  std::array<ClientHandler, static_cast<std::size_t>(Client::kCount)>
+      handlers_{};
+  std::int64_t dead_letters_ = 0;
+};
+
+class Node {
+ public:
+  Node(Machine& machine, int id) : machine_(machine), id_(id) {}
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int id() const { return id_; }
+  Machine& machine() const { return machine_; }
+  Adapter& adapter() { return adapter_; }
+  sim::Engine& engine() const;
+  const CostModel& cost() const;
+
+  /// The node's application task (valid during run_spmd).
+  sim::Actor& task() const {
+    SPLAP_REQUIRE(task_ != nullptr, "node task not running");
+    return *task_;
+  }
+
+ private:
+  friend class Machine;
+  Machine& machine_;
+  int id_;
+  Adapter adapter_;
+  sim::Actor* task_ = nullptr;
+};
+
+class Machine {
+ public:
+  struct Config {
+    int tasks = 2;
+    FabricConfig fabric;
+  };
+
+  explicit Machine(Config config);
+  /// Actors blocked at teardown unwind through protocol contexts that
+  /// reference the nodes; the engine must therefore quiesce before the
+  /// nodes are destroyed.
+  ~Machine() { engine_.shutdown(); }
+
+  int tasks() const { return static_cast<int>(nodes_.size()); }
+  sim::Engine& engine() { return engine_; }
+  Fabric& fabric() { return fabric_; }
+  const CostModel& cost() const { return fabric_.cost(); }
+  Node& node(int i) {
+    SPLAP_REQUIRE(i >= 0 && i < tasks(), "bad node id");
+    return *nodes_[static_cast<std::size_t>(i)];
+  }
+
+  /// Run `body` as one task per node (SPMD) to completion of all tasks and
+  /// all in-flight events. May be called repeatedly for phased workloads;
+  /// virtual time carries across phases.
+  Status run_spmd(const std::function<void(Node&)>& body);
+
+ private:
+  sim::Engine engine_;
+  Fabric fabric_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace splap::net

@@ -1,0 +1,43 @@
+// The unit of transport on the simulated SP switch.
+//
+// A packet carries real bytes (so protocol reassembly is exercised with
+// actual data, not byte counts) plus an opaque protocol descriptor. The
+// on-wire cost of a packet is header_bytes + data.size(): LAPI pays its
+// 48-byte header on every packet, MPI/MPL its 16-byte header (Section 4 of
+// the paper explains the asymmetry — the one-sided origin must ship all
+// target-side parameters).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/status.hpp"
+
+namespace splap::net {
+
+/// Adapter demultiplexing key: which protocol library owns the packet.
+enum class Client : int { kLapi = 0, kMpl = 1, kCount = 2 };
+
+struct Packet {
+  int src = -1;
+  int dst = -1;
+  Client client = Client::kLapi;
+  std::int64_t header_bytes = 0;
+  std::vector<std::byte> data;
+  /// Protocol-specific descriptor (message ids, sequence numbers, handler
+  /// parameters). Shared because retransmission keeps a reference.
+  std::shared_ptr<const void> meta;
+
+  std::int64_t wire_bytes() const {
+    return header_bytes + static_cast<std::int64_t>(data.size());
+  }
+
+  template <class T>
+  const T& meta_as() const {
+    SPLAP_REQUIRE(meta != nullptr, "packet carries no descriptor");
+    return *static_cast<const T*>(meta.get());
+  }
+};
+
+}  // namespace splap::net

@@ -1,0 +1,176 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace splap::sim {
+namespace {
+
+thread_local Actor* tls_current_actor = nullptr;
+
+/// Thrown into a blocked actor when the engine is torn down, so its thread
+/// unwinds cleanly (RAII still runs). Never escapes thread_main.
+struct ActorKilled {};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Actor
+// ---------------------------------------------------------------------------
+
+Actor::Actor(Engine& engine, int id, std::string name,
+             std::function<void(Actor&)> body)
+    : engine_(engine), id_(id), name_(std::move(name)) {
+  thread_ = std::thread([this, b = std::move(body)]() mutable {
+    thread_main(std::move(b));
+  });
+}
+
+Actor::~Actor() {
+  if (thread_.joinable()) thread_.join();
+}
+
+Time Actor::now() const { return engine_.now(); }
+
+Actor* Actor::current() { return tls_current_actor; }
+
+void Actor::thread_main(std::function<void(Actor&)> body) {
+  {
+    // Wait for the first grant; the engine owns the yielded_=false edge.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return run_granted_; });
+    run_granted_ = false;
+  }
+  tls_current_actor = this;
+  block_reason_ = "running";
+  if (!poisoned()) {
+    try {
+      body(*this);
+    } catch (const ActorKilled&) {
+      // Engine teardown: unwind silently.
+    } catch (...) {
+      failure_ = std::current_exception();
+    }
+  }
+  tls_current_actor = nullptr;
+  block_reason_ = "finished";
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_ = true;
+  yielded_ = true;
+  cv_.notify_all();
+}
+
+bool Actor::poisoned() const { return poisoned_; }
+
+void Actor::grant() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (finished_) return;
+    SPLAP_REQUIRE(yielded_, "grant() on an actor that is not descheduled");
+    yielded_ = false;
+    run_granted_ = true;
+    cv_.notify_all();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return yielded_; });
+  if (failure_) {
+    auto f = failure_;
+    failure_ = nullptr;
+    std::rethrow_exception(f);
+  }
+}
+
+void Actor::suspend(const char* why) {
+  SPLAP_REQUIRE(current() == this,
+                "suspend() may only be called from the actor's own thread "
+                "(blocking is forbidden in handler/event context)");
+  block_reason_ = why;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    yielded_ = true;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return run_granted_; });
+    run_granted_ = false;
+  }
+  if (poisoned_) throw ActorKilled{};
+  block_reason_ = "running";
+}
+
+void Actor::compute(Time d) {
+  SPLAP_REQUIRE(d >= 0, "compute() requires a non-negative duration");
+  if (d == 0) return;
+  bool fired = false;
+  engine_.schedule_after(d, [this, &fired] {
+    fired = true;
+    engine_.wake(*this);
+  });
+  while (!fired) suspend("compute");
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::~Engine() { shutdown(); }
+
+void Engine::shutdown() {
+  // Unwind any actor still blocked (failed run, deadlock, or an exception
+  // that aborted the event loop).
+  for (auto& a : actors_) {
+    if (!a->finished_) {
+      a->poisoned_ = true;
+      try {
+        a->grant();
+      } catch (...) {
+        // Teardown must not throw; drop late failures.
+      }
+    }
+  }
+  // Actor destructors join the threads.
+}
+
+void Engine::schedule_at(Time t, EventFn fn) {
+  SPLAP_REQUIRE(t >= now_, "cannot schedule an event in the virtual past");
+  events_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+Actor& Engine::spawn(std::string name, std::function<void(Actor&)> body) {
+  const int id = static_cast<int>(actors_.size());
+  actors_.push_back(std::unique_ptr<Actor>(
+      new Actor(*this, id, std::move(name), std::move(body))));
+  Actor* a = actors_.back().get();
+  schedule_at(now_, [a] { a->grant(); });
+  return *a;
+}
+
+void Engine::wake(Actor& a) {
+  if (a.finished_) return;
+  if (a.wake_pending_) return;
+  a.wake_pending_ = true;
+  schedule_at(now_, [&a] {
+    a.wake_pending_ = false;
+    a.grant();
+  });
+}
+
+Status Engine::run() {
+  SPLAP_REQUIRE(!running_, "Engine::run is not reentrant");
+  running_ = true;
+  while (!events_.empty()) {
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.t;
+    ev.fn();  // may throw: propagates to caller; ~Engine cleans up
+  }
+  running_ = false;
+  bool dead = false;
+  for (const auto& a : actors_) {
+    if (!a->finished()) {
+      dead = true;
+      SPLAP_WARN(now_, "deadlock: actor %d (%s) blocked on: %s", a->id(),
+                 a->name().c_str(), a->block_reason());
+    }
+  }
+  return dead ? Status::kDeadlock : Status::kOk;
+}
+
+}  // namespace splap::sim

@@ -1,0 +1,164 @@
+// Deterministic discrete-event engine with cooperative actors.
+//
+// A simulated SP task is an Actor: user code runs on a dedicated OS thread so
+// it can block naturally (LAPI_Waitcntr really blocks), but the engine admits
+// exactly ONE runnable entity at any instant — either one actor or one event
+// callback — via a mutex/condvar handoff. Execution is therefore sequential,
+// race-free and bit-reproducible while the public API looks like a normal
+// blocking communication library.
+//
+// Virtual time only advances when the engine pops an event; actors charge
+// CPU work explicitly through Actor::compute(). Ties in the event queue break
+// by insertion order, which pins down determinism.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/log.hpp"
+#include "base/stats.hpp"
+#include "base/status.hpp"
+#include "base/time.hpp"
+
+namespace splap::sim {
+
+class Engine;
+
+/// A simulated task (or internal service thread). Create via Engine::spawn.
+class Actor {
+ public:
+  ~Actor();
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  const std::string& name() const { return name_; }
+  int id() const { return id_; }
+  Engine& engine() const { return engine_; }
+
+  /// Current virtual time (engine clock).
+  Time now() const;
+
+  /// Charge `d` of virtual CPU time to this actor (it is descheduled and
+  /// resumes at now()+d). Models computation between communication calls.
+  void compute(Time d);
+
+  /// Deschedule until another entity wakes this actor via Engine::wake.
+  /// Callers must use a predicate re-check loop: wakeups can be stale.
+  void suspend(const char* why);
+
+  /// Convenience: suspend until `pred()` holds, registering in nothing —
+  /// the waker is responsible for calling Engine::wake on this actor.
+  template <class Pred>
+  void wait(Pred pred, const char* why) {
+    while (!pred()) suspend(why);
+  }
+
+  /// The actor currently executing on this thread, or nullptr when the
+  /// caller is an event callback (handler context). LAPI uses this to
+  /// enforce "header handlers must not block".
+  static Actor* current();
+
+  bool finished() const { return finished_; }
+  const char* block_reason() const { return block_reason_; }
+
+  /// True while the engine is tearing this actor down (its stack is
+  /// unwinding). Destructors running on the actor thread must not block
+  /// (suspend would rethrow); libraries use this to degrade to best-effort
+  /// cleanup.
+  bool poisoned() const;
+
+ private:
+  friend class Engine;
+  Actor(Engine& engine, int id, std::string name,
+        std::function<void(Actor&)> body);
+
+  void thread_main(std::function<void(Actor&)> body);
+  // Called from the engine thread: hand execution to the actor, return when
+  // it suspends or finishes.
+  void grant();
+  // Called from the actor thread: hand execution back to the engine.
+  void yield_to_engine();
+
+  Engine& engine_;
+  const int id_;
+  const std::string name_;
+  const char* block_reason_ = "not started";
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool run_granted_ = false;
+  bool yielded_ = true;  // actor starts descheduled
+  bool finished_ = false;
+  bool wake_pending_ = false;  // coalesces redundant wakeups
+  bool poisoned_ = false;      // engine teardown: unwind on next suspend
+  std::exception_ptr failure_;
+  std::thread thread_;
+};
+
+class Engine {
+ public:
+  using EventFn = std::function<void()>;
+
+  Engine() = default;
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute virtual time `t` (>= now).
+  void schedule_at(Time t, EventFn fn);
+  void schedule_after(Time d, EventFn fn) { schedule_at(now_ + d, fn); }
+
+  /// Create an actor whose body starts executing at the current time.
+  Actor& spawn(std::string name, std::function<void(Actor&)> body);
+
+  /// Make `a` runnable again at the current time. Safe to call when the
+  /// actor is running or already woken (coalesced into one resume).
+  void wake(Actor& a);
+
+  /// Run until the event queue drains. Returns kOk, or kDeadlock if actors
+  /// remain blocked with no event that could ever wake them. Rethrows the
+  /// first exception escaping an actor body or event callback.
+  Status run();
+
+  /// Poison and unwind every unfinished actor. Idempotent; invoked by the
+  /// destructor. Owners of objects that actors reference (nodes, adapters)
+  /// must call this BEFORE destroying those objects.
+  void shutdown();
+
+  /// Instrumentation counters shared machine-wide.
+  CounterSet& counters() { return counters_; }
+
+  /// Actors spawned so far (stable order).
+  const std::vector<std::unique_ptr<Actor>>& actors() const { return actors_; }
+
+ private:
+  friend class Actor;
+
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    EventFn fn;
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::vector<std::unique_ptr<Actor>> actors_;
+  CounterSet counters_;
+  bool running_ = false;
+};
+
+}  // namespace splap::sim

@@ -1,0 +1,71 @@
+#include "base/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace splap {
+namespace {
+
+TEST(BufferPoolTest, AcquireReleaseCycle) {
+  BufferPool pool(128, 4);
+  EXPECT_EQ(pool.capacity(), 4u);
+  EXPECT_EQ(pool.in_use(), 0u);
+  std::byte* b = pool.try_acquire();
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(pool.in_use(), 1u);
+  pool.release(b);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(BufferPoolTest, ExhaustionReturnsNullAndCounts) {
+  BufferPool pool(64, 2);
+  std::byte* a = pool.try_acquire();
+  std::byte* b = pool.try_acquire();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(pool.try_acquire(), nullptr);
+  EXPECT_EQ(pool.try_acquire(), nullptr);
+  EXPECT_EQ(pool.exhaustions(), 2);
+  pool.release(a);
+  EXPECT_NE(pool.try_acquire(), nullptr);
+}
+
+TEST(BufferPoolTest, BuffersAreDistinctAndNonOverlapping) {
+  BufferPool pool(32, 8);
+  std::vector<std::byte*> bufs;
+  for (int i = 0; i < 8; ++i) bufs.push_back(pool.try_acquire());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_NE(bufs[static_cast<std::size_t>(i)], nullptr);
+    for (int j = i + 1; j < 8; ++j) {
+      const auto d = bufs[static_cast<std::size_t>(j)] -
+                     bufs[static_cast<std::size_t>(i)];
+      EXPECT_GE(d < 0 ? -d : d, 32);
+    }
+  }
+}
+
+TEST(BufferPoolTest, OwnershipQuery) {
+  BufferPool pool(16, 2);
+  std::byte* b = pool.try_acquire();
+  EXPECT_TRUE(pool.owns(b));
+  std::byte outside;
+  EXPECT_FALSE(pool.owns(&outside));
+  EXPECT_FALSE(pool.owns(b + 1));  // interior pointers are not buffer handles
+  pool.release(b);
+}
+
+TEST(BufferPoolTest, HighWaterTracksPeakUsage) {
+  BufferPool pool(16, 4);
+  auto* a = pool.try_acquire();
+  auto* b = pool.try_acquire();
+  auto* c = pool.try_acquire();
+  pool.release(b);
+  pool.release(a);
+  EXPECT_EQ(pool.high_water(), 3u);
+  pool.release(c);
+  EXPECT_EQ(pool.high_water(), 3u);
+}
+
+}  // namespace
+}  // namespace splap

@@ -1,0 +1,116 @@
+#include "base/strided.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "base/rng.hpp"
+
+namespace splap {
+namespace {
+
+std::vector<std::byte> iota_bytes(std::int64_t n) {
+  std::vector<std::byte> v(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) v[i] = static_cast<std::byte>(i & 0xff);
+  return v;
+}
+
+TEST(StridedTest, ContiguityDetection) {
+  StridedRegion r{nullptr, 16, 4, 16};
+  EXPECT_TRUE(r.contiguous());
+  r.ld_bytes = 32;
+  EXPECT_FALSE(r.contiguous());
+  r.cols = 1;
+  EXPECT_TRUE(r.contiguous());  // single run is contiguous whatever the ld
+  EXPECT_EQ(r.total_bytes(), 16);
+}
+
+TEST(StridedTest, PackUnpackRoundTrip) {
+  auto src = iota_bytes(1000);
+  StridedRegion s{src.data(), 24, 10, 100};  // 10 runs of 24 B, stride 100
+  std::vector<std::byte> packed(240);
+  copy_strided_to_contig(s, packed.data());
+  for (int c = 0; c < 10; ++c) {
+    for (int b = 0; b < 24; ++b) {
+      EXPECT_EQ(packed[c * 24 + b], src[c * 100 + b]);
+    }
+  }
+  std::vector<std::byte> dst(1000, std::byte{0});
+  StridedRegion d{dst.data(), 24, 10, 100};
+  copy_contig_to_strided(packed.data(), d);
+  for (int c = 0; c < 10; ++c) {
+    for (int b = 0; b < 24; ++b) {
+      EXPECT_EQ(dst[c * 100 + b], src[c * 100 + b]);
+    }
+  }
+}
+
+TEST(StridedTest, StridedToStridedDifferentLeadingDims) {
+  auto src = iota_bytes(600);
+  std::vector<std::byte> dst(900, std::byte{0});
+  StridedRegion s{src.data(), 30, 5, 120};
+  StridedRegion d{dst.data(), 30, 5, 180};
+  copy_strided(s, d);
+  for (int c = 0; c < 5; ++c) {
+    for (int b = 0; b < 30; ++b) {
+      EXPECT_EQ(dst[c * 180 + b], src[c * 120 + b]);
+    }
+  }
+}
+
+TEST(StridedTest, DaxpyContig) {
+  std::vector<double> x(8), y(8);
+  std::iota(x.begin(), x.end(), 1.0);
+  std::iota(y.begin(), y.end(), 10.0);
+  daxpy_contig(2.0, x.data(), y.data(), 8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(i)], 10.0 + i + 2.0 * (i + 1));
+  }
+}
+
+TEST(StridedTest, DaxpyIntoStridedRegion) {
+  // 3 columns of 4 doubles, leading dimension 6 doubles.
+  std::vector<double> dst(18, 1.0);
+  std::vector<double> src(12);
+  std::iota(src.begin(), src.end(), 0.0);
+  StridedRegion d{reinterpret_cast<std::byte*>(dst.data()),
+                  4 * static_cast<std::int64_t>(sizeof(double)), 3,
+                  6 * static_cast<std::int64_t>(sizeof(double))};
+  daxpy_contig_to_strided(0.5, reinterpret_cast<const std::byte*>(src.data()),
+                          d);
+  for (int c = 0; c < 3; ++c) {
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_DOUBLE_EQ(dst[static_cast<std::size_t>(c * 6 + r)],
+                       1.0 + 0.5 * (c * 4 + r));
+    }
+    // Padding untouched.
+    EXPECT_DOUBLE_EQ(dst[static_cast<std::size_t>(c * 6 + 4)], 1.0);
+    EXPECT_DOUBLE_EQ(dst[static_cast<std::size_t>(c * 6 + 5)], 1.0);
+  }
+}
+
+TEST(StridedTest, RandomizedPackUnpackProperty) {
+  Rng rng(123);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::int64_t row = rng.next_in(1, 64);
+    const std::int64_t cols = rng.next_in(1, 32);
+    const std::int64_t ld = row + rng.next_in(0, 32);
+    auto src = iota_bytes(ld * cols + 7);
+    std::vector<std::byte> packed(static_cast<std::size_t>(row * cols));
+    std::vector<std::byte> dst(src.size(), std::byte{0xEE});
+    StridedRegion s{src.data(), row, cols, ld};
+    StridedRegion d{dst.data(), row, cols, ld};
+    copy_strided_to_contig(s, packed.data());
+    copy_contig_to_strided(packed.data(), d);
+    for (std::int64_t c = 0; c < cols; ++c) {
+      for (std::int64_t b = 0; b < row; ++b) {
+        ASSERT_EQ(dst[static_cast<std::size_t>(c * ld + b)],
+                  src[static_cast<std::size_t>(c * ld + b)]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace splap

@@ -1,0 +1,36 @@
+#include "base/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace splap {
+namespace {
+
+TEST(TimeTest, UnitConversionsRoundTrip) {
+  EXPECT_EQ(microseconds(1.0), 1000);
+  EXPECT_EQ(milliseconds(1.0), 1000000);
+  EXPECT_EQ(seconds(1.0), 1000000000);
+  EXPECT_DOUBLE_EQ(to_us(microseconds(34.0)), 34.0);
+  EXPECT_DOUBLE_EQ(to_ms(milliseconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(to_s(seconds(3.0)), 3.0);
+}
+
+TEST(TimeTest, TransferTimeMatchesClosedForm) {
+  // 110 MB/s (decimal): 1 byte every 1000/110 ns.
+  EXPECT_EQ(transfer_time(110, 110.0), 1000);
+  // 1024 bytes at 110 MB/s = 9309 ns (truncated).
+  EXPECT_EQ(transfer_time(1024, 110.0), 9309);
+  EXPECT_EQ(transfer_time(0, 110.0), 0);
+}
+
+TEST(TimeTest, BandwidthInverseOfTransferTime) {
+  const Time t = transfer_time(1 << 20, 97.0);
+  EXPECT_NEAR(mb_per_s(1 << 20, t), 97.0, 0.01);
+  EXPECT_EQ(mb_per_s(100, 0), 0.0);
+}
+
+TEST(TimeTest, SentinelIsNegative) {
+  EXPECT_LT(kNoTime, 0);
+}
+
+}  // namespace
+}  // namespace splap

@@ -1,0 +1,43 @@
+// Scratch diagnostics binary (not a registered test): reproduces whatever
+// scenario is under investigation with debug logging enabled.
+#include <cstdio>
+#include <vector>
+
+#include "base/log.hpp"
+#include "lapi/context.hpp"
+#include "net/machine.hpp"
+
+using namespace splap;
+
+int main() {
+  net::Machine::Config cfg;
+  cfg.tasks = 2;
+  net::Machine m(cfg);
+  bool flag = false;
+  Time sent = kNoTime, landed = kNoTime;
+  auto st = m.run_spmd([&](net::Node& n) {
+    lapi::Context ctx(n);
+    std::vector<void*> tab(2);
+    lapi::Counter tgt;
+    ctx.address_init(&tgt, tab);
+    const auto h = ctx.register_handler(
+        [&](lapi::Context&, const lapi::AmDelivery&) -> lapi::AmReply {
+          flag = true;
+          return {};
+        });
+    if (n.id() == 0) {
+      n.task().compute(microseconds(40));
+      sent = ctx.engine().now();
+      ctx.amsend(1, h, {}, {}, static_cast<lapi::Counter*>(tab[1]), nullptr,
+                 nullptr);
+    } else {
+      while (!flag) n.task().compute(nanoseconds(500));
+      landed = ctx.engine().now();
+    }
+    ctx.gfence();
+  });
+  std::printf("status=%d one_way=%.3fus interrupts=%lld\n",
+              static_cast<int>(st), to_us(landed - sent),
+              static_cast<long long>(m.engine().counters().get("lapi.interrupts")));
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Calibration lock for the paper's Section 5.4 GA measurements:
+//
+//   latency (8-byte element): get 94.2us (LAPI) vs 221us (MPL);
+//                             put 49.6us (LAPI) vs 54.6us (MPL).
+//   Figure 3 (put): MPL's larger send buffering wins between ~1 KB and
+//                   ~20 KB; LAPI wins outside that window; LAPI 1-D put
+//                   reaches within ~6% of raw LAPI_Put for large messages;
+//                   MPL performs identically for 1-D and 2-D.
+//   Figure 4 (get): LAPI outperforms MPL at every size; 1-D beats 2-D for
+//                   both implementations.
+#include <gtest/gtest.h>
+
+#include "ga/bench_harness.hpp"
+
+namespace splap::ga {
+namespace {
+
+using bench::ga_bandwidth_mb_s;
+using bench::ga_latency_us;
+using bench::OpKind;
+using bench::raw_lapi_put_mb_s;
+using bench::Shape;
+
+TEST(GaCalibrationTest, LatencyBandsMatchSection54) {
+  const auto lapi = ga_latency_us(Transport::kLapi);
+  const auto mpl = ga_latency_us(Transport::kMpl);
+  // put: 49.6us vs 54.6us
+  EXPECT_GE(lapi.put_us, 42.0);
+  EXPECT_LE(lapi.put_us, 58.0);
+  EXPECT_GE(mpl.put_us, 46.0);
+  EXPECT_LE(mpl.put_us, 64.0);
+  EXPECT_LT(lapi.put_us, mpl.put_us);  // LAPI slightly ahead
+  // get: 94.2us vs 221us
+  EXPECT_GE(lapi.get_us, 80.0);
+  EXPECT_LE(lapi.get_us, 110.0);
+  EXPECT_GE(mpl.get_us, 190.0);
+  EXPECT_LE(mpl.get_us, 255.0);
+  // The headline ~2.3x gap.
+  EXPECT_GT(mpl.get_us / lapi.get_us, 1.8);
+}
+
+TEST(GaCalibrationTest, MplPutWinsTheBufferingWindow) {
+  // Figure 3: "the much larger buffer space in MPL/MPI allows the send
+  // operation to return to the application sooner for messages larger than
+  // 1KB and smaller than 20KB".
+  for (std::int64_t b : {4096, 16384}) {
+    const double lapi = ga_bandwidth_mb_s(Transport::kLapi, OpKind::kPut,
+                                          Shape::k1D, b);
+    const double mpl =
+        ga_bandwidth_mb_s(Transport::kMpl, OpKind::kPut, Shape::k1D, b);
+    EXPECT_GT(mpl, lapi) << "at " << b << " bytes";
+  }
+}
+
+TEST(GaCalibrationTest, LapiPutWinsOutsideTheWindow) {
+  // Below ~1 KB: LAPI's internal bcopy returns immediately.
+  {
+    const double lapi = ga_bandwidth_mb_s(Transport::kLapi, OpKind::kPut,
+                                          Shape::k1D, 512);
+    const double mpl =
+        ga_bandwidth_mb_s(Transport::kMpl, OpKind::kPut, Shape::k1D, 512);
+    EXPECT_GT(lapi, mpl);
+  }
+  // Well above ~20 KB: MPL can no longer buffer and must rendezvous.
+  for (std::int64_t b : {256 << 10, 2 << 20}) {
+    const double lapi = ga_bandwidth_mb_s(Transport::kLapi, OpKind::kPut,
+                                          Shape::k1D, b);
+    const double mpl =
+        ga_bandwidth_mb_s(Transport::kMpl, OpKind::kPut, Shape::k1D, b);
+    EXPECT_GT(lapi, mpl) << "at " << b << " bytes";
+  }
+}
+
+TEST(GaCalibrationTest, LapiOneDPutWithinSixPercentOfRawPut) {
+  // "This allows GA put to achieve bandwidth within 6% of LAPI_Put for
+  // larger messages."
+  const std::int64_t b = 2 << 20;
+  const double ga =
+      ga_bandwidth_mb_s(Transport::kLapi, OpKind::kPut, Shape::k1D, b);
+  const double raw = raw_lapi_put_mb_s(b);
+  EXPECT_GT(ga, raw * 0.90);
+  EXPECT_LE(ga, raw * 1.04);
+}
+
+TEST(GaCalibrationTest, LapiGetWinsEverywhere) {
+  // Figure 4: "LAPI outperforms MPL for all the cases."
+  for (std::int64_t b : {64, 1024, 16384, 262144, 2 << 20}) {
+    const double lapi =
+        ga_bandwidth_mb_s(Transport::kLapi, OpKind::kGet, Shape::k1D, b);
+    const double mpl =
+        ga_bandwidth_mb_s(Transport::kMpl, OpKind::kGet, Shape::k1D, b);
+    EXPECT_GT(lapi, mpl) << "1-D get at " << b << " bytes";
+  }
+  for (std::int64_t b : {16384, 262144}) {
+    const double lapi =
+        ga_bandwidth_mb_s(Transport::kLapi, OpKind::kGet, Shape::k2D, b);
+    const double mpl =
+        ga_bandwidth_mb_s(Transport::kMpl, OpKind::kGet, Shape::k2D, b);
+    EXPECT_GT(lapi, mpl) << "2-D get at " << b << " bytes";
+  }
+}
+
+TEST(GaCalibrationTest, OneDBeatsTwoDForGets) {
+  // Figure 4: "Both MPL and LAPI versions perform better for 1-D than 2-D."
+  for (auto t : {Transport::kLapi, Transport::kMpl}) {
+    for (std::int64_t b : {65536, 262144}) {
+      const double d1 = ga_bandwidth_mb_s(t, OpKind::kGet, Shape::k1D, b);
+      const double d2 = ga_bandwidth_mb_s(t, OpKind::kGet, Shape::k2D, b);
+      EXPECT_GT(d1, d2) << (t == Transport::kLapi ? "LAPI" : "MPL") << " at "
+                        << b;
+    }
+  }
+}
+
+TEST(GaCalibrationTest, MplPutInsensitiveToShape) {
+  // Figure 3: "The MPL implementation of GA performs identically for the
+  // 1-D and 2-D requests" (one combined message either way).
+  for (std::int64_t b : {16384, 262144}) {
+    const double d1 =
+        ga_bandwidth_mb_s(Transport::kMpl, OpKind::kPut, Shape::k1D, b);
+    const double d2 =
+        ga_bandwidth_mb_s(Transport::kMpl, OpKind::kPut, Shape::k2D, b);
+    EXPECT_NEAR(d1 / d2, 1.0, 0.25) << "at " << b;
+  }
+}
+
+}  // namespace
+}  // namespace splap::ga

@@ -1,0 +1,252 @@
+// GA one-sided operations under contention: atomic accumulate (the
+// Section 5.3.3 machinery), scatter/gather, read-and-increment, and locks —
+// on both transports.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ga_test_util.hpp"
+
+namespace splap::ga {
+namespace {
+
+using testing::check_against;
+using testing::ga_config;
+using testing::machine_config;
+using testing::run_ga;
+
+class GaOpsTest : public ::testing::TestWithParam<Transport> {
+ protected:
+  Config cfg() const { return ga_config(GetParam()); }
+};
+
+TEST_P(GaOpsTest, AccumulateAddsWithAlpha) {
+  net::Machine m(machine_config(2));
+  check_against(
+      m, cfg(), 12, 12,
+      [](Runtime& rt, GlobalArray& a) {
+        if (rt.me() == 0) {
+          std::vector<double> ones(144, 1.0);
+          a.put(Patch{0, 11, 0, 11}, ones.data(), 12);
+          rt.fence();
+          std::vector<double> twos(144, 2.0);
+          a.acc(Patch{0, 11, 0, 11}, twos.data(), 12, 0.5);  // += 0.5*2
+          rt.fence();
+        }
+      },
+      [](std::int64_t, std::int64_t) { return 2.0; });
+}
+
+TEST_P(GaOpsTest, ConcurrentAccumulatesFromAllTasksAreExact) {
+  // The commutative-accumulate contention scenario of Section 5.3.1: every
+  // task accumulates into the SAME patch repeatedly; the total must be
+  // exact regardless of handler interleaving.
+  net::Machine m(machine_config(4));
+  constexpr int kRounds = 6;
+  check_against(
+      m, cfg(), 20, 20,
+      [](Runtime& rt, GlobalArray& a) {
+        std::vector<double> v(400);
+        for (int k = 0; k < 400; ++k) {
+          v[static_cast<std::size_t>(k)] = rt.me() + 1.0;
+        }
+        for (int r = 0; r < kRounds; ++r) {
+          a.acc(Patch{0, 19, 0, 19}, v.data(), 20, 1.0);
+        }
+      },
+      [](std::int64_t, std::int64_t) {
+        return kRounds * (1.0 + 2.0 + 3.0 + 4.0);
+      });
+}
+
+TEST_P(GaOpsTest, AccumulateAgainstLocalUpdatesStaysAtomic) {
+  // The owner hammers its own block while remote accumulates stream in —
+  // the mutex (LAPI) / lockrnc (MPL) must serialize element updates.
+  net::Machine m(machine_config(2));
+  check_against(
+      m, cfg(), 8, 8,
+      [](Runtime& rt, GlobalArray& a) {
+        std::vector<double> v(64, 1.0);
+        for (int r = 0; r < 10; ++r) {
+          a.acc(Patch{0, 7, 0, 7}, v.data(), 8, 1.0);
+          rt.node().task().compute(microseconds(7));
+        }
+      },
+      [](std::int64_t, std::int64_t) { return 20.0; });
+}
+
+TEST_P(GaOpsTest, ScatterPlacesElements) {
+  net::Machine m(machine_config(4));
+  check_against(
+      m, cfg(), 16, 16,
+      [](Runtime& rt, GlobalArray& a) {
+        if (rt.me() != 1) return;
+        // A diagonal spread across every owner.
+        std::vector<double> v;
+        std::vector<std::int64_t> si, sj;
+        for (std::int64_t k = 0; k < 16; ++k) {
+          si.push_back(k);
+          sj.push_back(k);
+          v.push_back(100.0 + static_cast<double>(k));
+        }
+        a.scatter(v, si, sj);
+        rt.fence();
+      },
+      [](std::int64_t i, std::int64_t j) {
+        return i == j ? 100.0 + static_cast<double>(i) : 0.0;
+      });
+}
+
+TEST_P(GaOpsTest, GatherReadsElements) {
+  net::Machine m(machine_config(4));
+  ASSERT_EQ(run_ga(m, cfg(), [](Runtime& rt) {
+    GlobalArray a = rt.create(16, 16);
+    // Owners fill their blocks locally.
+    const Patch blk = a.my_block();
+    double* local = a.access();
+    for (std::int64_t j = 0; j < blk.cols(); ++j) {
+      for (std::int64_t i = 0; i < blk.rows(); ++i) {
+        local[j * blk.rows() + i] =
+            1000.0 * (blk.lo1 + i) + (blk.lo2 + j);
+      }
+    }
+    rt.sync();
+    if (rt.me() == 3) {
+      // Anti-diagonal touches several owners.
+      std::vector<std::int64_t> si, sj;
+      for (std::int64_t k = 0; k < 16; ++k) {
+        si.push_back(k);
+        sj.push_back(15 - k);
+      }
+      std::vector<double> v(16, -1.0);
+      a.gather(v, si, sj);
+      for (std::int64_t k = 0; k < 16; ++k) {
+        EXPECT_DOUBLE_EQ(v[static_cast<std::size_t>(k)],
+                         1000.0 * k + (15 - k));
+      }
+    }
+    rt.sync();
+    rt.destroy(a);
+  }), Status::kOk);
+}
+
+TEST_P(GaOpsTest, LargeScatterGatherRandomized) {
+  net::Machine m(machine_config(4));
+  constexpr int kElems = 700;  // forces multiple chunks per owner
+  ASSERT_EQ(run_ga(m, cfg(), [&](Runtime& rt) {
+    GlobalArray a = rt.create(64, 64);
+    rt.sync();
+    if (rt.me() == 0) {
+      Rng rng(4242);
+      std::vector<std::int64_t> si, sj;
+      std::vector<double> v;
+      // Distinct subscripts: overlapping scatter targets are unordered.
+      std::vector<int> used(64 * 64, 0);
+      while (si.size() < kElems) {
+        const auto i = rng.next_in(0, 63);
+        const auto j = rng.next_in(0, 63);
+        if (used[static_cast<std::size_t>(i * 64 + j)]++) continue;
+        si.push_back(i);
+        sj.push_back(j);
+        v.push_back(static_cast<double>(i * 64 + j));
+      }
+      a.scatter(v, si, sj);
+      rt.fence();
+      std::vector<double> got(si.size(), -1.0);
+      a.gather(got, si, sj);
+      for (std::size_t k = 0; k < si.size(); ++k) {
+        ASSERT_DOUBLE_EQ(got[k], v[k]);
+      }
+    }
+    rt.sync();
+    rt.destroy(a);
+  }), Status::kOk);
+}
+
+TEST_P(GaOpsTest, ReadIncCountsExactly) {
+  net::Machine m(machine_config(5));
+  constexpr int kPer = 20;
+  std::vector<std::int64_t> seen;
+  ASSERT_EQ(run_ga(m, cfg(), [&](Runtime& rt) {
+    for (int k = 0; k < kPer; ++k) {
+      seen.push_back(rt.read_inc(3, 1));
+    }
+  }), Status::kOk);
+  ASSERT_EQ(seen.size(), 5u * kPer);
+  std::vector<int> hits(5 * kPer, 0);
+  for (const auto p : seen) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 5 * kPer);
+    ++hits[static_cast<std::size_t>(p)];
+  }
+  for (const int h : hits) EXPECT_EQ(h, 1);  // a perfect shared counter
+}
+
+TEST_P(GaOpsTest, LocksProvideMutualExclusion) {
+  net::Machine m(machine_config(4));
+  int in_critical = 0;
+  bool violated = false;
+  int entries = 0;
+  ASSERT_EQ(run_ga(m, cfg(), [&](Runtime& rt) {
+    for (int r = 0; r < 4; ++r) {
+      rt.lock(7);
+      if (++in_critical != 1) violated = true;
+      rt.node().task().compute(microseconds(40));
+      --in_critical;
+      ++entries;
+      rt.unlock(7);
+      rt.node().task().compute(microseconds(11 * (rt.me() + 1)));
+    }
+  }), Status::kOk);
+  EXPECT_FALSE(violated);
+  EXPECT_EQ(entries, 16);
+}
+
+TEST_P(GaOpsTest, IndependentLocksDoNotInterfere) {
+  net::Machine m(machine_config(2));
+  ASSERT_EQ(run_ga(m, cfg(), [&](Runtime& rt) {
+    // Each task holds its own lock for a long time; no cross-blocking.
+    const int my_lock = rt.me();
+    const Time t0 = rt.engine().now();
+    rt.lock(my_lock);
+    rt.node().task().compute(milliseconds(1.0));
+    rt.unlock(my_lock);
+    // If the locks interfered, one task would have waited ~1ms extra.
+    EXPECT_LT(rt.engine().now() - t0, milliseconds(1.8));
+  }), Status::kOk);
+}
+
+TEST_P(GaOpsTest, AccumulatePoolPathUnderBurst) {
+  // A burst of accumulates while the owner hammers the mutex forces the
+  // completion-handler (pool) path on the LAPI transport (Section 5.3.1).
+  Config c = cfg();
+  c.am_buffers = 4;  // tiny pool to stress it
+  net::Machine m(machine_config(2));
+  check_against(
+      m, c, 10, 10,
+      [](Runtime& rt, GlobalArray& a) {
+        std::vector<double> v(100, 1.0);
+        if (rt.me() == 0) {
+          for (int r = 0; r < 25; ++r) {
+            a.acc(Patch{0, 9, 0, 9}, v.data(), 10, 1.0);
+          }
+        } else {
+          for (int r = 0; r < 25; ++r) {
+            a.acc(Patch{0, 9, 0, 9}, v.data(), 10, 1.0);
+            rt.node().task().compute(microseconds(3));
+          }
+        }
+      },
+      [](std::int64_t, std::int64_t) { return 50.0; });
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, GaOpsTest,
+                         ::testing::Values(Transport::kLapi, Transport::kMpl),
+                         [](const ::testing::TestParamInfo<Transport>& info) {
+                           return info.param == Transport::kLapi ? "Lapi"
+                                                                 : "Mpl";
+                         });
+
+}  // namespace
+}  // namespace splap::ga

@@ -1,0 +1,163 @@
+// Property tests: randomized GA workloads validated against a sequential
+// reference model, and transport equivalence — the LAPI and MPL
+// implementations must produce bit-identical final array states for the
+// same (deterministic) operation sequence.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ga_test_util.hpp"
+
+namespace splap::ga {
+namespace {
+
+using testing::ga_config;
+using testing::machine_config;
+using testing::run_ga;
+using testing::RefMatrix;
+
+struct WorkloadCase {
+  int tasks;
+  std::int64_t d1, d2;
+  std::uint64_t seed;
+};
+
+/// A deterministic random workload: each task applies a series of put/acc
+/// operations to disjoint per-task column bands (so the result is order-
+/// independent), plus everyone ends with gets that are checked in place.
+class GaWorkload {
+ public:
+  GaWorkload(const WorkloadCase& wc) : wc_(wc) {}
+
+  /// The column band task `t` writes to (disjoint across tasks).
+  Patch band(int t) const {
+    const std::int64_t per = wc_.d2 / wc_.tasks;
+    Patch p;
+    p.lo1 = 0;
+    p.hi1 = wc_.d1 - 1;
+    p.lo2 = t * per;
+    p.hi2 = (t == wc_.tasks - 1) ? wc_.d2 - 1 : (t + 1) * per - 1;
+    return p;
+  }
+
+  void run_task(Runtime& rt, GlobalArray& a) const {
+    Rng rng(wc_.seed + static_cast<std::uint64_t>(rt.me()) * 101);
+    const Patch myband = band(rt.me());
+    for (int op = 0; op < 12; ++op) {
+      Patch p = random_subpatch(rng, myband);
+      std::vector<double> buf(static_cast<std::size_t>(p.elems()));
+      for (std::int64_t k = 0; k < p.elems(); ++k) {
+        buf[static_cast<std::size_t>(k)] =
+            value_of(rt.me(), op, k);
+      }
+      if (op % 3 == 2) {
+        a.acc(p, buf.data(), p.rows(), 0.25);
+      } else {
+        a.put(p, buf.data(), p.rows());
+        rt.fence();  // puts to overlapping regions must be ordered (5.1)
+      }
+    }
+    rt.fence();
+  }
+
+  void run_reference(RefMatrix& ref, int me) const {
+    Rng rng(wc_.seed + static_cast<std::uint64_t>(me) * 101);
+    const Patch myband = band(me);
+    for (int op = 0; op < 12; ++op) {
+      Patch p = random_subpatch(rng, myband);
+      std::int64_t k = 0;
+      for (std::int64_t j = p.lo2; j <= p.hi2; ++j) {
+        for (std::int64_t i = p.lo1; i <= p.hi1; ++i, ++k) {
+          const double v = value_of(me, op, k);
+          if (op % 3 == 2) {
+            ref.at(i, j) += 0.25 * v;
+          } else {
+            ref.at(i, j) = v;
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  static double value_of(int me, int op, std::int64_t k) {
+    return me * 1000.0 + op * 17.0 + static_cast<double>(k % 29);
+  }
+
+  static Patch random_subpatch(Rng& rng, const Patch& within) {
+    Patch p;
+    p.lo1 = rng.next_in(within.lo1, within.hi1);
+    p.hi1 = rng.next_in(p.lo1, within.hi1);
+    p.lo2 = rng.next_in(within.lo2, within.hi2);
+    p.hi2 = rng.next_in(p.lo2, within.hi2);
+    return p;
+  }
+
+  WorkloadCase wc_;
+};
+
+std::vector<double> run_workload(Transport t, const WorkloadCase& wc) {
+  net::Machine m(machine_config(wc.tasks));
+  GaWorkload w(wc);
+  std::vector<double> flat(static_cast<std::size_t>(wc.d1 * wc.d2), -1);
+  EXPECT_EQ(run_ga(m, ga_config(t), [&](Runtime& rt) {
+    GlobalArray a = rt.create(wc.d1, wc.d2);
+    rt.sync();
+    w.run_task(rt, a);
+    rt.sync();
+    if (rt.me() == 0) {
+      // Pull the whole array back (exercises get across all owners).
+      a.get(Patch{0, wc.d1 - 1, 0, wc.d2 - 1}, flat.data(), wc.d1);
+    }
+    rt.sync();
+    rt.destroy(a);
+  }), Status::kOk);
+  return flat;
+}
+
+class GaPropertyTest : public ::testing::TestWithParam<WorkloadCase> {};
+
+TEST_P(GaPropertyTest, LapiMatchesReferenceModel) {
+  const WorkloadCase wc = GetParam();
+  const auto flat = run_workload(Transport::kLapi, wc);
+  RefMatrix ref(wc.d1, wc.d2);
+  for (std::int64_t j = 0; j < wc.d2; ++j) {
+    for (std::int64_t i = 0; i < wc.d1; ++i) ref.at(i, j) = 0.0;
+  }
+  GaWorkload w(wc);
+  for (int t = 0; t < wc.tasks; ++t) w.run_reference(ref, t);
+  for (std::int64_t j = 0; j < wc.d2; ++j) {
+    for (std::int64_t i = 0; i < wc.d1; ++i) {
+      ASSERT_DOUBLE_EQ(flat[static_cast<std::size_t>(j * wc.d1 + i)],
+                       ref.at(i, j))
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST_P(GaPropertyTest, TransportsProduceIdenticalResults) {
+  const WorkloadCase wc = GetParam();
+  const auto lapi = run_workload(Transport::kLapi, wc);
+  const auto mpl = run_workload(Transport::kMpl, wc);
+  ASSERT_EQ(lapi.size(), mpl.size());
+  for (std::size_t k = 0; k < lapi.size(); ++k) {
+    ASSERT_DOUBLE_EQ(lapi[k], mpl[k]) << "flat index " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, GaPropertyTest,
+    ::testing::Values(WorkloadCase{2, 24, 24, 11},
+                      WorkloadCase{4, 40, 32, 22},
+                      WorkloadCase{3, 17, 33, 33},
+                      WorkloadCase{8, 64, 64, 44},
+                      WorkloadCase{4, 128, 16, 55}),
+    [](const ::testing::TestParamInfo<WorkloadCase>& info) {
+      return "t" + std::to_string(info.param.tasks) + "_" +
+             std::to_string(info.param.d1) + "x" +
+             std::to_string(info.param.d2) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace splap::ga

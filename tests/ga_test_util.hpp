@@ -1,0 +1,89 @@
+// Shared scaffolding for Global Arrays tests: SPMD runner + reference
+// helpers, parameterized over the transport (LAPI vs MPL).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "ga/runtime.hpp"
+#include "net/machine.hpp"
+
+namespace splap::ga::testing {
+
+inline net::Machine::Config machine_config(int tasks) {
+  net::Machine::Config c;
+  c.tasks = tasks;
+  return c;
+}
+
+inline Config ga_config(Transport t) {
+  Config c;
+  c.transport = t;
+  return c;
+}
+
+/// Run `body` as one GA task per node; sync before teardown.
+inline Status run_ga(net::Machine& m, Config cfg,
+                     const std::function<void(Runtime&)>& body) {
+  return m.run_spmd([&](net::Node& n) {
+    Runtime rt(n, cfg);
+    body(rt);
+    rt.sync();
+  });
+}
+
+/// Column-major reference matrix for validating array contents.
+class RefMatrix {
+ public:
+  RefMatrix(std::int64_t d1, std::int64_t d2)
+      : d1_(d1), data_(static_cast<std::size_t>(d1 * d2), 0.0) {}
+
+  double& at(std::int64_t i, std::int64_t j) {
+    return data_[static_cast<std::size_t>(j * d1_ + i)];
+  }
+  double at(std::int64_t i, std::int64_t j) const {
+    return data_[static_cast<std::size_t>(j * d1_ + i)];
+  }
+
+ private:
+  std::int64_t d1_;
+  std::vector<double> data_;
+};
+
+/// Read the full array via per-owner local access after a sync (no
+/// communication; used for final-state validation from the test thread).
+inline void check_against(net::Machine& m, Config cfg, std::int64_t d1,
+                          std::int64_t d2,
+                          const std::function<void(Runtime&, GlobalArray&)>& body,
+                          const std::function<double(std::int64_t, std::int64_t)>&
+                              expected) {
+  std::vector<std::vector<double>> blocks(
+      static_cast<std::size_t>(m.tasks()));
+  std::vector<Patch> block_patches(static_cast<std::size_t>(m.tasks()));
+  ASSERT_EQ(run_ga(m, cfg, [&](Runtime& rt) {
+    GlobalArray a = rt.create(d1, d2);
+    body(rt, a);
+    rt.sync();
+    const Patch blk = a.my_block();
+    block_patches[static_cast<std::size_t>(rt.me())] = blk;
+    auto& mine = blocks[static_cast<std::size_t>(rt.me())];
+    mine.assign(a.access(), a.access() + blk.elems());
+    rt.destroy(a);
+  }), Status::kOk);
+  for (int t = 0; t < m.tasks(); ++t) {
+    const Patch blk = block_patches[static_cast<std::size_t>(t)];
+    const auto& mine = blocks[static_cast<std::size_t>(t)];
+    for (std::int64_t j = blk.lo2; j <= blk.hi2; ++j) {
+      for (std::int64_t i = blk.lo1; i <= blk.hi1; ++i) {
+        const double got = mine[static_cast<std::size_t>(
+            (j - blk.lo2) * blk.rows() + (i - blk.lo1))];
+        ASSERT_DOUBLE_EQ(got, expected(i, j))
+            << "task " << t << " element (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+}  // namespace splap::ga::testing

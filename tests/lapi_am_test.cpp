@@ -1,0 +1,340 @@
+// Active-message infrastructure (Section 2.1 / Figure 1): the header-handler
+// / completion-handler split, buffer ownership, out-of-order reassembly,
+// completion service threads, and the counter choreography of LAPI_Amsend.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "base/pool.hpp"
+#include "lapi_test_util.hpp"
+
+namespace splap::lapi {
+namespace {
+
+using testing::machine_config;
+using testing::run_lapi;
+
+TEST(LapiAmTest, HeaderHandlerReceivesUhdrAndPicksBuffer) {
+  net::Machine m(machine_config(2));
+  std::vector<std::byte> landing(256);
+  int handler_origin = -1;
+  std::int64_t handler_len = -1;
+  std::uint32_t got_magic = 0;
+  ASSERT_EQ(run_lapi(m, [&](Context& ctx) {
+    const AmHandlerId h = ctx.register_handler(
+        [&](Context&, const AmDelivery& d) -> AmReply {
+          handler_origin = d.origin;
+          handler_len = d.udata_len;
+          std::memcpy(&got_magic, d.uhdr.data(), sizeof got_magic);
+          AmReply r;
+          r.buffer = landing.data();
+          r.header_cost = microseconds(1.0);
+          return r;
+        });
+    if (ctx.task_id() == 0) {
+      const std::uint32_t magic = 0xFEEDBEEF;
+      std::vector<std::byte> data(256, std::byte{0x41});
+      Counter cmpl;
+      ASSERT_EQ(ctx.amsend(1, h, testing::as_bytes_of(&magic, sizeof magic),
+                           data, nullptr, nullptr, &cmpl),
+                Status::kOk);
+      ctx.waitcntr(cmpl, 1);
+    }
+  }), Status::kOk);
+  EXPECT_EQ(handler_origin, 0);
+  EXPECT_EQ(handler_len, 256);
+  EXPECT_EQ(got_magic, 0xFEEDBEEFu);
+  EXPECT_EQ(landing[0], std::byte{0x41});
+  EXPECT_EQ(landing[255], std::byte{0x41});
+}
+
+TEST(LapiAmTest, CompletionHandlerRunsAfterAllDataArrived) {
+  net::Machine m(machine_config(2));
+  const std::int64_t kLen = 50 * 1000;  // dozens of packets
+  std::vector<std::byte> landing(static_cast<std::size_t>(kLen));
+  bool completion_saw_full_message = false;
+  ASSERT_EQ(run_lapi(m, [&](Context& ctx) {
+    const AmHandlerId h = ctx.register_handler(
+        [&](Context&, const AmDelivery&) -> AmReply {
+          AmReply r;
+          r.buffer = landing.data();
+          r.completion = [&](Context&, sim::Actor& svc) {
+            // Every byte must already be in place (Figure 1, Step 4).
+            bool ok = true;
+            for (std::int64_t i = 0; i < kLen; ++i) {
+              if (landing[static_cast<std::size_t>(i)] !=
+                  static_cast<std::byte>(i % 97)) {
+                ok = false;
+                break;
+              }
+            }
+            completion_saw_full_message = ok;
+            svc.compute(microseconds(5.0));
+          };
+          return r;
+        });
+    if (ctx.task_id() == 0) {
+      std::vector<std::byte> data(static_cast<std::size_t>(kLen));
+      for (std::int64_t i = 0; i < kLen; ++i) {
+        data[static_cast<std::size_t>(i)] = static_cast<std::byte>(i % 97);
+      }
+      Counter cmpl;
+      ASSERT_EQ(ctx.amsend(1, h, {}, data, nullptr, nullptr, &cmpl),
+                Status::kOk);
+      ctx.waitcntr(cmpl, 1);
+    }
+  }), Status::kOk);
+  EXPECT_TRUE(completion_saw_full_message);
+}
+
+TEST(LapiAmTest, TargetCounterFiresOnlyAfterCompletionHandler) {
+  net::Machine m(machine_config(2));
+  std::vector<std::byte> landing(64);
+  Counter tgt;
+  Time completion_done_at = kNoTime;
+  Time tgt_observed_at = kNoTime;
+  ASSERT_EQ(run_lapi(m, [&](Context& ctx) {
+    const AmHandlerId h = ctx.register_handler(
+        [&](Context& c, const AmDelivery&) -> AmReply {
+          AmReply r;
+          r.buffer = landing.data();
+          r.completion = [&](Context&, sim::Actor& svc) {
+            svc.compute(microseconds(50.0));  // slow completion
+            completion_done_at = svc.now();
+          };
+          (void)c;
+          return r;
+        });
+    std::vector<void*> table(2);
+    ctx.address_init(&tgt, table);
+    if (ctx.task_id() == 0) {
+      std::vector<std::byte> data(64, std::byte{1});
+      Counter org;
+      ASSERT_EQ(ctx.amsend(1, h, {}, data,
+                           static_cast<Counter*>(table[1]), &org, nullptr),
+                Status::kOk);
+      ctx.waitcntr(org, 1);
+    } else {
+      ctx.waitcntr(tgt, 1);
+      tgt_observed_at = ctx.engine().now();
+    }
+  }), Status::kOk);
+  ASSERT_NE(completion_done_at, kNoTime);
+  ASSERT_NE(tgt_observed_at, kNoTime);
+  EXPECT_GE(tgt_observed_at, completion_done_at);
+}
+
+TEST(LapiAmTest, UhdrOnlyMessageNeedsNoBuffer) {
+  net::Machine m(machine_config(2));
+  int pings = 0;
+  ASSERT_EQ(run_lapi(m, [&](Context& ctx) {
+    const AmHandlerId h = ctx.register_handler(
+        [&](Context&, const AmDelivery& d) -> AmReply {
+          EXPECT_EQ(d.udata_len, 0);
+          ++pings;
+          return {};
+        });
+    if (ctx.task_id() == 0) {
+      const int v = 1;
+      Counter cmpl;
+      ASSERT_EQ(ctx.amsend(1, h, testing::as_bytes_of(&v, sizeof v), {},
+                           nullptr, nullptr, &cmpl),
+                Status::kOk);
+      ctx.waitcntr(cmpl, 1);
+    }
+  }), Status::kOk);
+  EXPECT_EQ(pings, 1);
+}
+
+TEST(LapiAmTest, OversizedUhdrRejected) {
+  net::Machine m(machine_config(2));
+  ASSERT_EQ(run_lapi(m, [&](Context& ctx) {
+    const AmHandlerId h =
+        ctx.register_handler([](Context&, const AmDelivery&) -> AmReply {
+          return {};
+        });
+    std::vector<std::byte> huge(
+        static_cast<std::size_t>(ctx.qenv(Query::kMaxUhdrSz)) + 1);
+    EXPECT_EQ(ctx.amsend(1, h, huge, {}, nullptr, nullptr, nullptr),
+              Status::kBadParameter);
+  }), Status::kOk);
+}
+
+TEST(LapiAmTest, OutOfOrderPacketsReassembleUnderContentionJitter) {
+  auto cfg = machine_config(2);
+  cfg.fabric.contention_jitter = microseconds(40);  // heavy reordering
+  cfg.fabric.seed = 1234;
+  net::Machine m(cfg);
+  const std::int64_t kLen = 30 * 1000;
+  std::vector<std::byte> landing(static_cast<std::size_t>(kLen));
+  ASSERT_EQ(run_lapi(m, [&](Context& ctx) {
+    const AmHandlerId h = ctx.register_handler(
+        [&](Context&, const AmDelivery&) -> AmReply {
+          AmReply r;
+          r.buffer = landing.data();
+          return r;
+        });
+    if (ctx.task_id() == 0) {
+      std::vector<std::byte> data(static_cast<std::size_t>(kLen));
+      for (std::int64_t i = 0; i < kLen; ++i) {
+        data[static_cast<std::size_t>(i)] = static_cast<std::byte>((i * 13) % 256);
+      }
+      Counter cmpl;
+      ASSERT_EQ(ctx.amsend(1, h, {}, data, nullptr, nullptr, &cmpl),
+                Status::kOk);
+      ctx.waitcntr(cmpl, 1);
+    }
+  }), Status::kOk);
+  for (std::int64_t i = 0; i < kLen; ++i) {
+    ASSERT_EQ(landing[static_cast<std::size_t>(i)],
+              static_cast<std::byte>((i * 13) % 256))
+        << "at offset " << i;
+  }
+  // The jitter must actually have staged some early data packets.
+  EXPECT_GT(m.engine().counters().get("lapi.staged"), 0);
+}
+
+TEST(LapiAmTest, ManyConcurrentStreamsInterleave) {
+  net::Machine m(machine_config(2));
+  constexpr int kStreams = 8;
+  const std::int64_t kLen = 5000;
+  std::vector<std::vector<std::byte>> landings(
+      kStreams, std::vector<std::byte>(static_cast<std::size_t>(kLen)));
+  ASSERT_EQ(run_lapi(m, [&](Context& ctx) {
+    const AmHandlerId h = ctx.register_handler(
+        [&](Context&, const AmDelivery& d) -> AmReply {
+          int stream = 0;
+          std::memcpy(&stream, d.uhdr.data(), sizeof stream);
+          AmReply r;
+          r.buffer = landings[static_cast<std::size_t>(stream)].data();
+          return r;
+        });
+    if (ctx.task_id() == 0) {
+      Counter cmpl;
+      std::vector<std::vector<std::byte>> srcs;
+      for (int s = 0; s < kStreams; ++s) {
+        std::vector<std::byte> data(static_cast<std::size_t>(kLen),
+                                    static_cast<std::byte>(s + 1));
+        srcs.push_back(std::move(data));
+        ASSERT_EQ(ctx.amsend(1, h, testing::as_bytes_of(&s, sizeof s),
+                             srcs.back(), nullptr, nullptr, &cmpl),
+                  Status::kOk);
+      }
+      ctx.waitcntr(cmpl, kStreams);
+    }
+  }), Status::kOk);
+  for (int s = 0; s < kStreams; ++s) {
+    for (std::int64_t i = 0; i < kLen; ++i) {
+      ASSERT_EQ(landings[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)],
+                static_cast<std::byte>(s + 1));
+    }
+  }
+}
+
+TEST(LapiAmTest, CompletionHandlersMayBlockOnSimMutex) {
+  // The Section 5.3.3 scenario: completion handlers serialize on a mutex
+  // that the main thread also takes; header handlers never block.
+  net::Machine m(machine_config(2));
+  auto mtx = std::make_unique<sim::SimMutex>(m.engine());
+  int in_critical = 0;
+  bool violated = false;
+  int completions = 0;
+  std::vector<std::byte> landing(4096);
+  ASSERT_EQ(run_lapi(m, [&](Context& ctx) {
+    const AmHandlerId h = ctx.register_handler(
+        [&](Context&, const AmDelivery&) -> AmReply {
+          AmReply r;
+          r.buffer = landing.data();  // streams may overwrite; content unused
+          r.completion = [&](Context&, sim::Actor& svc) {
+            mtx->lock();
+            if (++in_critical != 1) violated = true;
+            svc.compute(microseconds(20.0));
+            --in_critical;
+            ++completions;
+            mtx->unlock();
+          };
+          return r;
+        });
+    if (ctx.task_id() == 0) {
+      Counter cmpl;
+      std::vector<std::byte> data(4096, std::byte{2});
+      for (int i = 0; i < 6; ++i) {
+        ASSERT_EQ(ctx.amsend(1, h, {}, data, nullptr, nullptr, &cmpl),
+                  Status::kOk);
+      }
+      ctx.waitcntr(cmpl, 6);
+    } else {
+      // Main thread contends for the same mutex.
+      for (int i = 0; i < 3; ++i) {
+        mtx->lock();
+        if (++in_critical != 1) violated = true;
+        ctx.node().task().compute(microseconds(15.0));
+        --in_critical;
+        mtx->unlock();
+        ctx.node().task().compute(microseconds(5.0));
+      }
+    }
+  }), Status::kOk);
+  EXPECT_EQ(completions, 6);
+  EXPECT_FALSE(violated);
+}
+
+TEST(LapiAmTest, MultipleCompletionThreadsOverlap) {
+  // Future-work item 2 of the paper: with 2 service threads, two slow
+  // completion handlers overlap in virtual time and finish sooner than
+  // serial execution would allow.
+  auto run_with_threads = [](int threads) {
+    net::Machine m(machine_config(2));
+    std::vector<std::byte> landing(64);
+    Time all_done = 0;
+    Config cfg;
+    cfg.completion_threads = threads;
+    EXPECT_EQ(run_lapi(m, cfg, [&](Context& ctx) {
+      const AmHandlerId h = ctx.register_handler(
+          [&](Context&, const AmDelivery&) -> AmReply {
+            AmReply r;
+            r.buffer = landing.data();
+            r.completion = [&](Context&, sim::Actor& svc) {
+              svc.compute(microseconds(200.0));
+              all_done = svc.now();
+            };
+            return r;
+          });
+      if (ctx.task_id() == 0) {
+        Counter cmpl;
+        std::vector<std::byte> data(64, std::byte{1});
+        for (int i = 0; i < 4; ++i) {
+          EXPECT_EQ(ctx.amsend(1, h, {}, data, nullptr, nullptr, &cmpl),
+                    Status::kOk);
+        }
+        ctx.waitcntr(cmpl, 4);
+      }
+    }), Status::kOk);
+    return all_done;
+  };
+  const Time serial = run_with_threads(1);
+  const Time parallel = run_with_threads(4);
+  // 4 handlers x 200us serialized vs overlapped.
+  EXPECT_GT(serial, parallel + microseconds(400));
+}
+
+TEST(LapiAmTest, HandlersRegisteredSymmetricallyGetSameIds) {
+  net::Machine m(machine_config(3));
+  std::vector<AmHandlerId> ids(3, -1);
+  ASSERT_EQ(run_lapi(m, [&](Context& ctx) {
+    (void)ctx.register_handler([](Context&, const AmDelivery&) -> AmReply {
+      return {};
+    });
+    ids[static_cast<std::size_t>(ctx.task_id())] =
+        ctx.register_handler([](Context&, const AmDelivery&) -> AmReply {
+          return {};
+        });
+  }), Status::kOk);
+  EXPECT_EQ(ids[0], ids[1]);
+  EXPECT_EQ(ids[1], ids[2]);
+}
+
+}  // namespace
+}  // namespace splap::lapi

@@ -1,0 +1,141 @@
+// LAPI_Rmw: the four atomic primitives (Swap, Compare_and_Swap,
+// Fetch_and_Add, Fetch_and_Or — Section 3) and their atomicity under
+// contention from many tasks.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lapi_test_util.hpp"
+
+namespace splap::lapi {
+namespace {
+
+using testing::machine_config;
+using testing::run_lapi;
+
+TEST(LapiRmwTest, FetchAndAddReturnsPreviousValue) {
+  net::Machine m(machine_config(2));
+  std::int64_t var = 100;
+  ASSERT_EQ(run_lapi(m, [&](Context& ctx) {
+    if (ctx.task_id() == 0) {
+      const std::int64_t prev = ctx.rmw_sync(RmwOp::kFetchAndAdd, 1, &var, 5);
+      EXPECT_EQ(prev, 100);
+      const std::int64_t prev2 = ctx.rmw_sync(RmwOp::kFetchAndAdd, 1, &var, 7);
+      EXPECT_EQ(prev2, 105);
+    }
+  }), Status::kOk);
+  EXPECT_EQ(var, 112);
+}
+
+TEST(LapiRmwTest, SwapReplacesValue) {
+  net::Machine m(machine_config(2));
+  std::int64_t var = 41;
+  ASSERT_EQ(run_lapi(m, [&](Context& ctx) {
+    if (ctx.task_id() == 0) {
+      EXPECT_EQ(ctx.rmw_sync(RmwOp::kSwap, 1, &var, 99), 41);
+    }
+  }), Status::kOk);
+  EXPECT_EQ(var, 99);
+}
+
+TEST(LapiRmwTest, CompareAndSwapOnlyOnMatch) {
+  net::Machine m(machine_config(2));
+  std::int64_t var = 10;
+  ASSERT_EQ(run_lapi(m, [&](Context& ctx) {
+    if (ctx.task_id() == 0) {
+      // Mismatch: no change.
+      EXPECT_EQ(ctx.rmw_sync(RmwOp::kCompareAndSwap, 1, &var, 999, 1), 10);
+      // Match: swapped.
+      EXPECT_EQ(ctx.rmw_sync(RmwOp::kCompareAndSwap, 1, &var, 10, 77), 10);
+      EXPECT_EQ(ctx.rmw_sync(RmwOp::kCompareAndSwap, 1, &var, 10, 88), 77);
+    }
+  }), Status::kOk);
+  EXPECT_EQ(var, 77);
+}
+
+TEST(LapiRmwTest, FetchAndOrSetsBits) {
+  net::Machine m(machine_config(2));
+  std::int64_t var = 0b0001;
+  ASSERT_EQ(run_lapi(m, [&](Context& ctx) {
+    if (ctx.task_id() == 0) {
+      EXPECT_EQ(ctx.rmw_sync(RmwOp::kFetchAndOr, 1, &var, 0b0110), 0b0001);
+    }
+  }), Status::kOk);
+  EXPECT_EQ(var, 0b0111);
+}
+
+TEST(LapiRmwTest, FetchAndAddAtomicUnderAllTaskContention) {
+  // Every task increments the same remote variable many times; the total
+  // must be exact — this is the foundation of GA's read-and-increment.
+  net::Machine m(machine_config(8));
+  std::int64_t var = 0;
+  constexpr int kPerTask = 25;
+  std::vector<std::int64_t> seen;
+  ASSERT_EQ(run_lapi(m, [&](Context& ctx) {
+    for (int i = 0; i < kPerTask; ++i) {
+      const std::int64_t prev = ctx.rmw_sync(RmwOp::kFetchAndAdd, 0, &var, 1);
+      seen.push_back(prev);
+    }
+  }), Status::kOk);
+  EXPECT_EQ(var, 8 * kPerTask);
+  // Atomicity: every previous value in [0, total) observed exactly once.
+  std::vector<int> hits(8 * kPerTask, 0);
+  for (const auto p : seen) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 8 * kPerTask);
+    ++hits[static_cast<std::size_t>(p)];
+  }
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(LapiRmwTest, NonBlockingRmwWithCounter) {
+  net::Machine m(machine_config(2));
+  std::int64_t var = 3;
+  ASSERT_EQ(run_lapi(m, [&](Context& ctx) {
+    if (ctx.task_id() == 0) {
+      Counter done;
+      std::int64_t prev = -1;
+      ASSERT_EQ(ctx.rmw(RmwOp::kFetchAndAdd, 1, &var, 4, 0, &prev, &done),
+                Status::kOk);
+      ctx.waitcntr(done, 1);
+      EXPECT_EQ(prev, 3);  // prev_out valid once the counter fires
+    }
+  }), Status::kOk);
+  EXPECT_EQ(var, 7);
+}
+
+TEST(LapiRmwTest, SpinLockBuiltOnCompareAndSwap) {
+  // A GA-style lock: CAS 0->1 to acquire, Swap back to 0 to release.
+  net::Machine m(machine_config(4));
+  std::int64_t lock_word = 0;
+  int in_critical = 0;
+  bool violated = false;
+  int entries = 0;
+  ASSERT_EQ(run_lapi(m, [&](Context& ctx) {
+    for (int round = 0; round < 3; ++round) {
+      while (ctx.rmw_sync(RmwOp::kCompareAndSwap, 0, &lock_word, 0, 1) != 0) {
+        ctx.node().task().compute(microseconds(10));  // backoff
+      }
+      if (++in_critical != 1) violated = true;
+      ++entries;
+      ctx.node().task().compute(microseconds(25));
+      --in_critical;
+      ctx.rmw_sync(RmwOp::kSwap, 0, &lock_word, 0);
+    }
+  }), Status::kOk);
+  EXPECT_FALSE(violated);
+  EXPECT_EQ(entries, 12);
+  EXPECT_EQ(lock_word, 0);
+}
+
+TEST(LapiRmwTest, NullVariableRejected) {
+  net::Machine m(machine_config(2));
+  ASSERT_EQ(run_lapi(m, [](Context& ctx) {
+    Counter c;
+    EXPECT_EQ(ctx.rmw(RmwOp::kSwap, 1, nullptr, 1, 0, nullptr, &c),
+              Status::kBadParameter);
+  }), Status::kOk);
+}
+
+}  // namespace
+}  // namespace splap::lapi

@@ -1,0 +1,53 @@
+// Shared scaffolding for LAPI tests: builds a simulated SP, runs an SPMD
+// body with one LAPI context per task, and gfences before teardown (the
+// LAPI_Gfence-before-LAPI_Term discipline real applications follow).
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "lapi/context.hpp"
+#include "net/machine.hpp"
+
+namespace splap::lapi::testing {
+
+inline net::Machine::Config machine_config(int tasks) {
+  net::Machine::Config c;
+  c.tasks = tasks;
+  return c;
+}
+
+/// Run `body` as one task per node, each with a live LAPI context, followed
+/// by a collective gfence so no task tears down while peers are in flight.
+inline Status run_lapi(net::Machine& m, Config lapi_config,
+                       const std::function<void(Context&)>& body) {
+  return m.run_spmd([&](net::Node& n) {
+    Context ctx(n, lapi_config);
+    body(ctx);
+    ctx.gfence();
+  });
+}
+
+inline Status run_lapi(net::Machine& m,
+                       const std::function<void(Context&)>& body) {
+  return run_lapi(m, Config{}, body);
+}
+
+/// Collective exchange of one pointer per task (wraps address_init).
+template <class T>
+std::vector<T*> exchange_ptrs(Context& ctx, T* mine) {
+  std::vector<void*> table(static_cast<std::size_t>(ctx.num_tasks()));
+  ctx.address_init(mine, table);
+  std::vector<T*> out(table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    out[i] = static_cast<T*>(table[i]);
+  }
+  return out;
+}
+
+inline std::span<const std::byte> as_bytes_of(const void* p, std::size_t n) {
+  return {static_cast<const std::byte*>(p), n};
+}
+
+}  // namespace splap::lapi::testing

@@ -1,0 +1,300 @@
+// MPI/MPL baseline: blocking and nonblocking send/receive, envelope
+// matching (tags, wildcards), truncation, and multi-task traffic.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpl/comm.hpp"
+
+namespace splap::mpl {
+namespace {
+
+net::Machine::Config machine_config(int tasks) {
+  net::Machine::Config c;
+  c.tasks = tasks;
+  return c;
+}
+
+Status run_mpl(net::Machine& m, Config cfg,
+               const std::function<void(Comm&)>& body) {
+  return m.run_spmd([&](net::Node& n) {
+    Comm comm(n, cfg);
+    body(comm);
+    comm.barrier();
+  });
+}
+
+Status run_mpl(net::Machine& m, const std::function<void(Comm&)>& body) {
+  return run_mpl(m, Config{}, body);
+}
+
+std::span<const std::byte> bytes_of(const void* p, std::size_t n) {
+  return {static_cast<const std::byte*>(p), n};
+}
+
+TEST(MplBasicTest, BlockingSendRecvSmall) {
+  net::Machine m(machine_config(2));
+  ASSERT_EQ(run_mpl(m, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::int64_t> data(8);
+      std::iota(data.begin(), data.end(), 10);
+      ASSERT_EQ(comm.send(1, 5, bytes_of(data.data(), 64)), Status::kOk);
+    } else {
+      std::vector<std::int64_t> got(8, 0);
+      RecvStatus st;
+      ASSERT_EQ(comm.recv(0, 5,
+                          std::span<std::byte>(
+                              reinterpret_cast<std::byte*>(got.data()), 64),
+                          &st),
+                Status::kOk);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 5);
+      EXPECT_EQ(st.len, 64);
+      for (int i = 0; i < 8; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], 10 + i);
+    }
+  }), Status::kOk);
+}
+
+TEST(MplBasicTest, LargeMessageUsesRendezvousAndArrivesIntact) {
+  net::Machine m(machine_config(2));
+  const std::int64_t kLen = 300 * 1000;  // well above the 4K eager limit
+  ASSERT_EQ(run_mpl(m, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> data(static_cast<std::size_t>(kLen));
+      for (std::int64_t i = 0; i < kLen; ++i) {
+        data[static_cast<std::size_t>(i)] = static_cast<std::byte>(i % 199);
+      }
+      ASSERT_EQ(comm.send(1, 1, data), Status::kOk);
+    } else {
+      std::vector<std::byte> got(static_cast<std::size_t>(kLen));
+      ASSERT_EQ(comm.recv(0, 1, got), Status::kOk);
+      for (std::int64_t i = 0; i < kLen; ++i) {
+        ASSERT_EQ(got[static_cast<std::size_t>(i)],
+                  static_cast<std::byte>(i % 199));
+      }
+    }
+  }), Status::kOk);
+}
+
+TEST(MplBasicTest, TagsMatchSelectively) {
+  net::Machine m(machine_config(2));
+  ASSERT_EQ(run_mpl(m, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int a = 111, b = 222;
+      ASSERT_EQ(comm.send(1, 7, bytes_of(&a, 4)), Status::kOk);
+      ASSERT_EQ(comm.send(1, 9, bytes_of(&b, 4)), Status::kOk);
+    } else {
+      int va = 0, vb = 0;
+      // Post in the opposite tag order: matching must be by tag.
+      ASSERT_EQ(comm.recv(0, 9,
+                          std::span<std::byte>(
+                              reinterpret_cast<std::byte*>(&vb), 4)),
+                Status::kOk);
+      ASSERT_EQ(comm.recv(0, 7,
+                          std::span<std::byte>(
+                              reinterpret_cast<std::byte*>(&va), 4)),
+                Status::kOk);
+      EXPECT_EQ(va, 111);
+      EXPECT_EQ(vb, 222);
+    }
+  }), Status::kOk);
+}
+
+TEST(MplBasicTest, AnySourceAndAnyTagWildcards) {
+  net::Machine m(machine_config(4));
+  ASSERT_EQ(run_mpl(m, [](Comm& comm) {
+    if (comm.rank() != 0) {
+      const int v = comm.rank() * 100;
+      ASSERT_EQ(comm.send(0, comm.rank(), bytes_of(&v, 4)), Status::kOk);
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 3; ++i) {
+        int v = 0;
+        RecvStatus st;
+        ASSERT_EQ(comm.recv(kAnySource, kAnyTag,
+                            std::span<std::byte>(
+                                reinterpret_cast<std::byte*>(&v), 4),
+                            &st),
+                  Status::kOk);
+        EXPECT_EQ(v, st.source * 100);
+        EXPECT_EQ(st.tag, st.source);
+        sum += v;
+      }
+      EXPECT_EQ(sum, 600);
+    }
+  }), Status::kOk);
+}
+
+TEST(MplBasicTest, TruncationReported) {
+  net::Machine m(machine_config(2));
+  ASSERT_EQ(run_mpl(m, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> big(256, std::byte{0xBB});
+      ASSERT_EQ(comm.send(1, 1, big), Status::kOk);
+    } else {
+      std::vector<std::byte> small(64);
+      RecvStatus st;
+      EXPECT_EQ(comm.recv(0, 1, small, &st), Status::kTruncated);
+      EXPECT_EQ(st.len, 256);              // true length reported
+      EXPECT_EQ(small[63], std::byte{0xBB});  // what fits is delivered
+    }
+  }), Status::kOk);
+}
+
+TEST(MplBasicTest, UnexpectedMessagesBufferedThenCopied) {
+  net::Machine m(machine_config(2));
+  ASSERT_EQ(run_mpl(m, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> data(1024, std::byte{0x42});
+      ASSERT_EQ(comm.send(1, 3, data), Status::kOk);
+    } else {
+      // Compute long enough that the eager message arrives unexpected.
+      comm.node().task().compute(milliseconds(1.0));
+      std::vector<std::byte> got(1024);
+      ASSERT_EQ(comm.recv(0, 3, got), Status::kOk);
+      EXPECT_EQ(got[1023], std::byte{0x42});
+    }
+  }), Status::kOk);
+  // The late match must have gone through the staging buffer (extra copy).
+  EXPECT_GT(m.engine().counters().get("mpl.unexpected_copies"), 0);
+}
+
+TEST(MplBasicTest, PrepostedReceiveAvoidsUnexpectedCopy) {
+  net::Machine m(machine_config(2));
+  ASSERT_EQ(run_mpl(m, [&](Comm& comm) {
+    if (comm.rank() == 1) {
+      std::vector<std::byte> got(1024);
+      const Request r = comm.irecv(0, 3, got);
+      comm.barrier();  // ensure posting precedes the send
+      // Only copies caused by the measured transfer count (the barrier's
+      // own token exchanges may legitimately arrive unexpected).
+      const auto before = m.engine().counters().get("mpl.unexpected_copies");
+      comm.wait(r);
+      EXPECT_EQ(got[0], std::byte{0x17});
+      EXPECT_EQ(m.engine().counters().get("mpl.unexpected_copies"), before);
+    } else {
+      comm.barrier();
+      std::vector<std::byte> data(1024, std::byte{0x17});
+      ASSERT_EQ(comm.send(1, 3, data), Status::kOk);
+    }
+  }), Status::kOk);
+}
+
+TEST(MplBasicTest, NonBlockingSendRecvOverlap) {
+  net::Machine m(machine_config(2));
+  constexpr int kMsgs = 6;
+  ASSERT_EQ(run_mpl(m, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::vector<std::byte>> bufs;
+      std::vector<Request> reqs;
+      for (int i = 0; i < kMsgs; ++i) {
+        bufs.emplace_back(512, static_cast<std::byte>(i + 1));
+        reqs.push_back(comm.isend(1, i, bufs.back()));
+      }
+      for (const Request r : reqs) comm.wait(r);
+    } else {
+      std::vector<std::vector<std::byte>> bufs(kMsgs,
+                                               std::vector<std::byte>(512));
+      std::vector<Request> reqs;
+      for (int i = 0; i < kMsgs; ++i) {
+        reqs.push_back(comm.irecv(0, i, bufs[static_cast<std::size_t>(i)]));
+      }
+      for (const Request r : reqs) comm.wait(r);
+      for (int i = 0; i < kMsgs; ++i) {
+        EXPECT_EQ(bufs[static_cast<std::size_t>(i)][511],
+                  static_cast<std::byte>(i + 1));
+      }
+    }
+  }), Status::kOk);
+}
+
+TEST(MplBasicTest, InOrderDeliveryPerSource) {
+  // The MPL progress rule: same-tag messages from one source are received
+  // in send order, even under fabric reordering jitter.
+  auto cfg = machine_config(2);
+  cfg.fabric.contention_jitter = microseconds(50);
+  cfg.fabric.seed = 5;
+  net::Machine m(cfg);
+  ASSERT_EQ(run_mpl(m, [](Comm& comm) {
+    constexpr int kMsgs = 24;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kMsgs; ++i) {
+        ASSERT_EQ(comm.send(1, 1, bytes_of(&i, 4)), Status::kOk);
+      }
+    } else {
+      for (int i = 0; i < kMsgs; ++i) {
+        int v = -1;
+        ASSERT_EQ(comm.recv(0, 1,
+                            std::span<std::byte>(
+                                reinterpret_cast<std::byte*>(&v), 4)),
+                  Status::kOk);
+        EXPECT_EQ(v, i) << "message " << i << " overtaken";
+      }
+    }
+  }), Status::kOk);
+}
+
+TEST(MplBasicTest, TestProbesCompletionNonBlocking) {
+  net::Machine m(machine_config(2));
+  ASSERT_EQ(run_mpl(m, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      std::vector<std::byte> got(64);
+      const Request r = comm.irecv(0, 1, got);
+      EXPECT_FALSE(comm.test(r));  // nothing sent yet
+      comm.barrier();
+      while (!comm.test(r)) comm.node().task().compute(microseconds(10));
+      EXPECT_EQ(got[0], std::byte{9});
+    } else {
+      comm.barrier();
+      std::vector<std::byte> data(64, std::byte{9});
+      ASSERT_EQ(comm.send(1, 1, data), Status::kOk);
+    }
+  }), Status::kOk);
+}
+
+TEST(MplBasicTest, SelfSend) {
+  net::Machine m(machine_config(1));
+  ASSERT_EQ(run_mpl(m, [](Comm& comm) {
+    const int v = 77;
+    const Request s = comm.isend(0, 2, bytes_of(&v, 4));
+    int got = 0;
+    ASSERT_EQ(comm.recv(0, 2,
+                        std::span<std::byte>(
+                            reinterpret_cast<std::byte*>(&got), 4)),
+              Status::kOk);
+    comm.wait(s);
+    EXPECT_EQ(got, 77);
+  }), Status::kOk);
+}
+
+TEST(MplBasicTest, SurvivesPacketLoss) {
+  auto cfg = machine_config(2);
+  cfg.fabric.drop_rate = 0.1;
+  cfg.fabric.seed = 21;
+  net::Machine m(cfg);
+  Config mcfg;
+  mcfg.retransmit_timeout = microseconds(300);
+  mcfg.max_retries = 20;
+  const std::int64_t kLen = 50 * 1000;
+  ASSERT_EQ(run_mpl(m, mcfg, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> data(static_cast<std::size_t>(kLen));
+      for (std::int64_t i = 0; i < kLen; ++i) {
+        data[static_cast<std::size_t>(i)] = static_cast<std::byte>(i % 131);
+      }
+      ASSERT_EQ(comm.send(1, 1, data), Status::kOk);
+    } else {
+      std::vector<std::byte> got(static_cast<std::size_t>(kLen));
+      ASSERT_EQ(comm.recv(0, 1, got), Status::kOk);
+      for (std::int64_t i = 0; i < kLen; ++i) {
+        ASSERT_EQ(got[static_cast<std::size_t>(i)],
+                  static_cast<std::byte>(i % 131));
+      }
+    }
+  }), Status::kOk);
+  EXPECT_GT(m.fabric().packets_dropped(), 0);
+}
+
+}  // namespace
+}  // namespace splap::mpl

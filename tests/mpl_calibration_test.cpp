@@ -1,0 +1,248 @@
+// Calibration lock for the MPI/MPL columns of the paper's Section 4:
+//
+//   Table 2: MPI polling one-way 43us, polling RT 86us,
+//            MPL rcvncall interrupt RT 200us.
+//   Figure 2: MPI asymptote ~98 MB/s (slightly above LAPI's 97); default
+//             eager limit 4 KB flattens the curve above 4 KB; the
+//             MP_EAGER_LIMIT=64K setting defers that; half-bandwidth point
+//             ~23 KB (~3x LAPI's 8 KB); at medium sizes LAPI leads.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lapi_test_util.hpp"
+#include "mpl/comm.hpp"
+
+namespace splap {
+namespace {
+
+net::Machine::Config machine_config(int tasks) {
+  net::Machine::Config c;
+  c.tasks = tasks;
+  return c;
+}
+
+std::span<const std::byte> bytes_of(const void* p, std::size_t n) {
+  return {static_cast<const std::byte*>(p), n};
+}
+
+TEST(MplCalibrationTest, OneWayLatencyNear43us) {
+  net::Machine m(machine_config(2));
+  Time sent = kNoTime, recvd = kNoTime;
+  ASSERT_EQ(m.run_spmd([&](net::Node& n) {
+    mpl::Comm comm(n);
+    if (comm.rank() == 1) {
+      std::byte b{};
+      const mpl::Request r = comm.irecv(0, 1, std::span<std::byte>(&b, 1));
+      comm.barrier();
+      comm.wait(r);
+      recvd = comm.engine().now();
+    } else {
+      comm.barrier();
+      comm.node().task().compute(microseconds(30));
+      std::byte b{1};
+      sent = comm.engine().now();
+      ASSERT_EQ(comm.send(1, 1, bytes_of(&b, 1)), Status::kOk);
+    }
+    comm.barrier();
+  }), Status::kOk);
+  const double us = to_us(recvd - sent);
+  EXPECT_GE(us, 38.0);
+  EXPECT_LE(us, 48.0);
+}
+
+TEST(MplCalibrationTest, PollingRoundTripNear86us) {
+  net::Machine m(machine_config(2));
+  Time rt = 0;
+  ASSERT_EQ(m.run_spmd([&](net::Node& n) {
+    mpl::Comm comm(n);
+    std::byte b{1};
+    if (comm.rank() == 0) {
+      std::byte in{};
+      const mpl::Request r = comm.irecv(1, 2, std::span<std::byte>(&in, 1));
+      comm.barrier();
+      comm.node().task().compute(microseconds(30));
+      const Time t0 = comm.engine().now();
+      ASSERT_EQ(comm.send(1, 1, bytes_of(&b, 1)), Status::kOk);
+      comm.wait(r);
+      rt = comm.engine().now() - t0;
+    } else {
+      std::byte in{};
+      const mpl::Request r = comm.irecv(0, 1, std::span<std::byte>(&in, 1));
+      comm.barrier();
+      comm.wait(r);
+      ASSERT_EQ(comm.send(0, 2, bytes_of(&b, 1)), Status::kOk);
+    }
+    comm.barrier();
+  }), Status::kOk);
+  const double us = to_us(rt);
+  EXPECT_GE(us, 78.0);
+  EXPECT_LE(us, 95.0);
+}
+
+TEST(MplCalibrationTest, RcvncallInterruptRoundTripNear200us) {
+  // The paper: "the round-trip interrupt measurement was done using MPL
+  // rcvncall mechanism with target task sending back message to the origin
+  // from the interrupt handler" — both legs at interrupt level.
+  net::Machine m(machine_config(2));
+  Time rt = 0;
+  bool echoed = false;
+  std::byte token{1};
+  ASSERT_EQ(m.run_spmd([&](net::Node& n) {
+    mpl::Comm comm(n);
+    comm.rcvncall(1, [&](mpl::Comm& c, const mpl::RcvncallDelivery& d) {
+      if (c.rank() == 1) {
+        (void)c.isend(d.source, 1, bytes_of(&token, 1));
+      } else {
+        echoed = true;  // the echo arrived via our own interrupt handler
+      }
+    });
+    comm.barrier();
+    if (comm.rank() == 0) {
+      comm.node().task().compute(microseconds(30));
+      const Time t0 = comm.engine().now();
+      ASSERT_EQ(comm.send(1, 1, bytes_of(&token, 1)), Status::kOk);
+      while (!echoed) comm.node().task().compute(microseconds(2));
+      rt = comm.engine().now() - t0;
+    }
+    comm.barrier();
+  }), Status::kOk);
+  const double us = to_us(rt);
+  EXPECT_GE(us, 180.0);
+  EXPECT_LE(us, 220.0);
+}
+
+double mpi_bandwidth_mb_s(std::int64_t len, int reps, std::int64_t eager_limit) {
+  net::Machine m(machine_config(2));
+  mpl::Config cfg;
+  cfg.eager_limit = eager_limit;
+  Time elapsed = 0;
+  EXPECT_EQ(m.run_spmd([&](net::Node& n) {
+    mpl::Comm comm(n, cfg);
+    std::vector<std::byte> buf(static_cast<std::size_t>(len), std::byte{1});
+    std::byte token{};
+    comm.barrier();
+    if (comm.rank() == 0) {
+      const Time t0 = comm.engine().now();
+      for (int i = 0; i < reps; ++i) {
+        EXPECT_EQ(comm.send(1, 1, buf), Status::kOk);
+        // Completion echo, as in a standard one-way bandwidth harness.
+        EXPECT_EQ(comm.recv(1, 2, std::span<std::byte>(&token, 1)),
+                  Status::kOk);
+      }
+      elapsed = comm.engine().now() - t0;
+    } else {
+      for (int i = 0; i < reps; ++i) {
+        EXPECT_EQ(comm.recv(0, 1, buf), Status::kOk);
+        EXPECT_EQ(comm.send(0, 2, bytes_of(&token, 1)), Status::kOk);
+      }
+    }
+    comm.barrier();
+  }), Status::kOk);
+  return mb_per_s(len * reps, elapsed);
+}
+
+double lapi_bandwidth_mb_s(std::int64_t len, int reps) {
+  net::Machine m(machine_config(2));
+  lapi::Config cfg;
+  cfg.interrupt_mode = false;
+  std::vector<std::byte> tgt(static_cast<std::size_t>(len));
+  Time elapsed = 0;
+  EXPECT_EQ(lapi::testing::run_lapi(m, cfg, [&](lapi::Context& ctx) {
+    if (ctx.task_id() == 0) {
+      std::vector<std::byte> src(static_cast<std::size_t>(len), std::byte{1});
+      lapi::Counter cmpl;
+      const Time t0 = ctx.engine().now();
+      for (int i = 0; i < reps; ++i) {
+        EXPECT_EQ(ctx.put(1, src, tgt.data(), nullptr, nullptr, &cmpl),
+                  Status::kOk);
+        ctx.waitcntr(cmpl, 1);
+      }
+      elapsed = ctx.engine().now() - t0;
+    }
+  }), Status::kOk);
+  return mb_per_s(len * reps, elapsed);
+}
+
+TEST(MplCalibrationTest, AsymptoticBandwidthNear98MBs) {
+  const double bw = mpi_bandwidth_mb_s(2 << 20, 3, 4096);
+  EXPECT_GE(bw, 94.0);
+  EXPECT_LE(bw, 102.0);
+}
+
+TEST(MplCalibrationTest, PeakMpiSlightlyAboveLapi) {
+  // "The peak bandwidth in MPI is slightly greater than in LAPI because the
+  // LAPI packet header size (48 bytes) is larger than the MPI packet header
+  // size (16 bytes)."
+  const double mpi = mpi_bandwidth_mb_s(2 << 20, 3, 4096);
+  const double lapi = lapi_bandwidth_mb_s(2 << 20, 3);
+  EXPECT_GT(mpi, lapi);
+  EXPECT_LT(mpi - lapi, 6.0);  // "slightly"
+}
+
+TEST(MplCalibrationTest, LapiLeadsForMediumMessages) {
+  // "For medium sized messages (256 - 64K bytes) ... bandwidth in LAPI is
+  // considerably greater than in MPI" (default MPI settings). The lead is
+  // modest in the eager range (below 4 KB) and large in the rendezvous
+  // range, exactly the Figure 2 shape.
+  // At 1 KB both libraries pay a buffering copy and the curves nearly
+  // touch; from 2 KB on LAPI's leaner per-message path pulls ahead.
+  {
+    const double mpi = mpi_bandwidth_mb_s(1024, 10, 4096);
+    const double lapi = lapi_bandwidth_mb_s(1024, 10);
+    EXPECT_GT(lapi, mpi * 0.9) << "at 1024 bytes";
+  }
+  for (std::int64_t len : {2048, 4096}) {
+    const double mpi = mpi_bandwidth_mb_s(len, 10, 4096);
+    const double lapi = lapi_bandwidth_mb_s(len, 10);
+    EXPECT_GT(lapi, mpi) << "at " << len << " bytes";
+  }
+  for (std::int64_t len : {8192, 16384, 32768}) {
+    const double mpi = mpi_bandwidth_mb_s(len, 10, 4096);
+    const double lapi = lapi_bandwidth_mb_s(len, 10);
+    EXPECT_GT(lapi, mpi * 1.2) << "at " << len << " bytes";
+  }
+  {
+    const double mpi = mpi_bandwidth_mb_s(65536, 10, 4096);
+    const double lapi = lapi_bandwidth_mb_s(65536, 10);
+    EXPECT_GT(lapi, mpi * 1.08) << "at 65536 bytes";
+  }
+}
+
+TEST(MplCalibrationTest, DefaultEagerLimitFlattensCurveAbove4K) {
+  // Figure 2: the default MPI curve flattens right above the 4 KB eager
+  // limit (the extra rendezvous round trip); with MP_EAGER_LIMIT=64K the
+  // curve keeps rising through that range.
+  const double at_4k_default = mpi_bandwidth_mb_s(4096, 20, 4096);
+  const double at_8k_default = mpi_bandwidth_mb_s(8192, 20, 4096);
+  const double at_4k_eager64 = mpi_bandwidth_mb_s(4096, 20, 65536);
+  const double at_8k_eager64 = mpi_bandwidth_mb_s(8192, 20, 65536);
+  const double slope_default = at_8k_default / at_4k_default;
+  const double slope_eager64 = at_8k_eager64 / at_4k_eager64;
+  EXPECT_GT(slope_eager64, slope_default * 1.15)
+      << "default=" << slope_default << " eager64=" << slope_eager64;
+  EXPECT_GT(at_8k_eager64, at_8k_default * 1.2);  // eager64 is simply faster
+}
+
+TEST(MplCalibrationTest, HalfBandwidthPointNear23K) {
+  const double asym = mpi_bandwidth_mb_s(2 << 20, 3, 4096);
+  const double at_23k = mpi_bandwidth_mb_s(23 << 10, 10, 4096);
+  const double ratio = at_23k / asym;
+  EXPECT_GE(ratio, 0.38);
+  EXPECT_LE(ratio, 0.62);
+}
+
+TEST(MplCalibrationTest, LapiHalfBandwidthWellBelowMpi) {
+  // The LAPI curve "rises much faster": its half-rate point (~8K) is about
+  // a third of MPI's (~23K).
+  const double lapi_asym = lapi_bandwidth_mb_s(2 << 20, 3);
+  const double mpi_asym = mpi_bandwidth_mb_s(2 << 20, 3, 4096);
+  const double lapi_8k = lapi_bandwidth_mb_s(8 << 10, 20);
+  const double mpi_8k = mpi_bandwidth_mb_s(8 << 10, 20, 4096);
+  // At 8K LAPI is near half rate while MPI is far below half rate.
+  EXPECT_GE(lapi_8k / lapi_asym, 0.40);
+  EXPECT_LE(mpi_8k / mpi_asym, 0.35);
+}
+
+}  // namespace
+}  // namespace splap

@@ -1,0 +1,99 @@
+// Collectives of the MPL baseline (barrier, bcast, allreduce) across varied
+// task counts, including non-powers of two.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mpl/comm.hpp"
+
+namespace splap::mpl {
+namespace {
+
+net::Machine::Config machine_config(int tasks) {
+  net::Machine::Config c;
+  c.tasks = tasks;
+  return c;
+}
+
+class MplCollectivesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MplCollectivesTest, BarrierSynchronizes) {
+  const int n = GetParam();
+  net::Machine m(machine_config(n));
+  std::vector<Time> entered(static_cast<std::size_t>(n));
+  std::vector<Time> left(static_cast<std::size_t>(n));
+  ASSERT_EQ(m.run_spmd([&](net::Node& node) {
+    Comm comm(node);
+    node.task().compute(microseconds(37 * (node.id() + 1)));
+    entered[static_cast<std::size_t>(node.id())] = comm.engine().now();
+    comm.barrier();
+    left[static_cast<std::size_t>(node.id())] = comm.engine().now();
+    comm.barrier();
+  }), Status::kOk);
+  const Time last_entry = *std::max_element(entered.begin(), entered.end());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_GE(left[static_cast<std::size_t>(i)], last_entry);
+  }
+}
+
+TEST_P(MplCollectivesTest, BcastFromEveryRoot) {
+  const int n = GetParam();
+  for (int root = 0; root < n; ++root) {
+    net::Machine m(machine_config(n));
+    std::vector<std::vector<int>> results(
+        static_cast<std::size_t>(n), std::vector<int>(4, -1));
+    ASSERT_EQ(m.run_spmd([&](net::Node& node) {
+      Comm comm(node);
+      auto& mine = results[static_cast<std::size_t>(node.id())];
+      if (node.id() == root) {
+        for (int i = 0; i < 4; ++i) mine[static_cast<std::size_t>(i)] = root * 10 + i;
+      }
+      comm.bcast(std::span<std::byte>(
+                     reinterpret_cast<std::byte*>(mine.data()), 16),
+                 root);
+      comm.barrier();
+    }), Status::kOk);
+    for (int t = 0; t < n; ++t) {
+      for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(results[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)],
+                  root * 10 + i)
+            << "n=" << n << " root=" << root << " task=" << t;
+      }
+    }
+  }
+}
+
+TEST_P(MplCollectivesTest, AllreduceSumsAcrossTasks) {
+  const int n = GetParam();
+  net::Machine m(machine_config(n));
+  std::vector<std::vector<double>> data(
+      static_cast<std::size_t>(n), std::vector<double>(8));
+  ASSERT_EQ(m.run_spmd([&](net::Node& node) {
+    Comm comm(node);
+    auto& mine = data[static_cast<std::size_t>(node.id())];
+    for (int i = 0; i < 8; ++i) {
+      mine[static_cast<std::size_t>(i)] = node.id() + i * 0.5;
+    }
+    comm.allreduce_sum(mine);
+    comm.barrier();
+  }), Status::kOk);
+  const double rank_sum = n * (n - 1) / 2.0;
+  for (int t = 0; t < n; ++t) {
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_DOUBLE_EQ(
+          data[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)],
+          rank_sum + n * i * 0.5)
+          << "n=" << n << " task=" << t << " elem=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TaskCounts, MplCollectivesTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace splap::mpl

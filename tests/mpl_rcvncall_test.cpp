@@ -1,0 +1,167 @@
+// MPL rcvncall (interrupt receive-and-call) and lockrnc — the machinery the
+// original Global Arrays implementation was built on (Section 5.2).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mpl/comm.hpp"
+
+namespace splap::mpl {
+namespace {
+
+net::Machine::Config machine_config(int tasks) {
+  net::Machine::Config c;
+  c.tasks = tasks;
+  return c;
+}
+
+std::span<const std::byte> bytes_of(const void* p, std::size_t n) {
+  return {static_cast<const std::byte*>(p), n};
+}
+
+TEST(MplRcvncallTest, HandlerInvokedWithMessage) {
+  net::Machine m(machine_config(2));
+  int handler_src = -1;
+  std::int64_t handler_len = -1;
+  std::byte first{};
+  ASSERT_EQ(m.run_spmd([&](net::Node& n) {
+    Comm comm(n);
+    comm.rcvncall(42, [&](Comm&, const RcvncallDelivery& d) {
+      handler_src = d.source;
+      handler_len = static_cast<std::int64_t>(d.data.size());
+      first = d.data[0];
+    });
+    comm.barrier();
+    if (comm.rank() == 0) {
+      std::vector<std::byte> data(100, std::byte{0x66});
+      ASSERT_EQ(comm.send(1, 42, data), Status::kOk);
+    }
+    comm.barrier();
+    comm.barrier();  // give the interrupt-level handler time to run
+  }), Status::kOk);
+  EXPECT_EQ(handler_src, 0);
+  EXPECT_EQ(handler_len, 100);
+  EXPECT_EQ(first, std::byte{0x66});
+}
+
+TEST(MplRcvncallTest, HandlerCanReplyLikeOldGaGet) {
+  // The old GA get: request message interrupts the target, the handler
+  // copies the data into a message buffer and sends it back (Section 5.2).
+  net::Machine m(machine_config(2));
+  std::vector<double> remote(16);
+  for (int i = 0; i < 16; ++i) remote[static_cast<std::size_t>(i)] = i * 1.5;
+  ASSERT_EQ(m.run_spmd([&](net::Node& n) {
+    Comm comm(n);
+    comm.rcvncall(7, [&](Comm& c, const RcvncallDelivery& d) {
+      // Request carries the element range; reply with the data.
+      int lo = 0, cnt = 0;
+      std::memcpy(&lo, d.data.data(), 4);
+      std::memcpy(&cnt, d.data.data() + 4, 4);
+      c.handler_charge(c.cost().copy_time(cnt * 8));
+      (void)c.isend(d.source, 8,
+                    bytes_of(remote.data() + lo,
+                             static_cast<std::size_t>(cnt) * 8));
+    });
+    comm.barrier();
+    if (comm.rank() == 0) {
+      const int req[2] = {4, 8};
+      ASSERT_EQ(comm.send(1, 7, bytes_of(req, 8)), Status::kOk);
+      std::vector<double> got(8);
+      ASSERT_EQ(comm.recv(1, 8,
+                          std::span<std::byte>(
+                              reinterpret_cast<std::byte*>(got.data()), 64)),
+                Status::kOk);
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_DOUBLE_EQ(got[static_cast<std::size_t>(i)], (4 + i) * 1.5);
+      }
+    }
+    comm.barrier();
+  }), Status::kOk);
+}
+
+TEST(MplRcvncallTest, RendezvousSizedRequestsAlsoReachHandler) {
+  net::Machine m(machine_config(2));
+  std::int64_t got_len = 0;
+  std::byte last{};
+  const std::int64_t kLen = 60 * 1000;  // above eager limit -> RTS path
+  ASSERT_EQ(m.run_spmd([&](net::Node& n) {
+    Comm comm(n);
+    comm.rcvncall(3, [&](Comm&, const RcvncallDelivery& d) {
+      got_len = static_cast<std::int64_t>(d.data.size());
+      last = d.data[d.data.size() - 1];
+    });
+    comm.barrier();
+    if (comm.rank() == 0) {
+      std::vector<std::byte> data(static_cast<std::size_t>(kLen),
+                                  std::byte{0x5E});
+      ASSERT_EQ(comm.send(1, 3, data), Status::kOk);
+    }
+    comm.barrier();
+    comm.barrier();
+  }), Status::kOk);
+  EXPECT_EQ(got_len, kLen);
+  EXPECT_EQ(last, std::byte{0x5E});
+}
+
+TEST(MplRcvncallTest, LockrncDefersHandlers) {
+  // lockrnc/unlockrnc: with interrupts disabled, arriving messages must not
+  // run their handlers until the unlock (the old GA accumulate atomicity).
+  net::Machine m(machine_config(2));
+  int ran = 0;
+  bool ran_during_lock = false;
+  ASSERT_EQ(m.run_spmd([&](net::Node& n) {
+    Comm comm(n);
+    comm.rcvncall(4, [&](Comm&, const RcvncallDelivery&) { ++ran; });
+    comm.barrier();
+    if (comm.rank() == 0) {
+      std::vector<std::byte> data(32, std::byte{1});
+      for (int i = 0; i < 3; ++i) {
+        ASSERT_EQ(comm.send(1, 4, data), Status::kOk);
+      }
+      comm.barrier();
+    } else {
+      comm.lock_interrupts();
+      // All three messages arrive while locked.
+      comm.node().task().compute(milliseconds(2.0));
+      if (ran != 0) ran_during_lock = true;
+      comm.unlock_interrupts();
+      comm.node().task().compute(milliseconds(1.0));
+      EXPECT_EQ(ran, 3);
+      comm.barrier();
+    }
+    comm.barrier();
+  }), Status::kOk);
+  EXPECT_FALSE(ran_during_lock);
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(MplRcvncallTest, InterruptAndContextCostsCharged) {
+  // The rcvncall path must be expensive: interrupt + AIX handler context
+  // (Table 2's 200us MPL round trip depends on it).
+  net::Machine m(machine_config(2));
+  Time req_sent = kNoTime, reply_received = kNoTime;
+  std::byte token{1};
+  ASSERT_EQ(m.run_spmd([&](net::Node& n) {
+    Comm comm(n);
+    comm.rcvncall(1, [&](Comm& c, const RcvncallDelivery& d) {
+      (void)c.isend(d.source, 2, bytes_of(&token, 1));
+    });
+    comm.barrier();
+    if (comm.rank() == 0) {
+      req_sent = comm.engine().now();
+      ASSERT_EQ(comm.send(1, 1, bytes_of(&token, 1)), Status::kOk);
+      std::byte in{};
+      ASSERT_EQ(comm.recv(1, 2, std::span<std::byte>(&in, 1)), Status::kOk);
+      reply_received = comm.engine().now();
+    }
+    comm.barrier();
+  }), Status::kOk);
+  const double rt_us = to_us(reply_received - req_sent);
+  // One interrupt-level delivery leg (~97us) plus a normal reply leg (~43us).
+  EXPECT_GE(rt_us, 120.0);
+  EXPECT_LE(rt_us, 180.0);
+}
+
+}  // namespace
+}  // namespace splap::mpl

@@ -1,0 +1,259 @@
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/machine.hpp"
+
+namespace splap::net {
+namespace {
+
+Packet make_packet(int src, int dst, std::int64_t header,
+                   std::int64_t payload) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.client = Client::kLapi;
+  p.header_bytes = header;
+  p.data.resize(static_cast<std::size_t>(payload), std::byte{0xAB});
+  return p;
+}
+
+struct Arrival {
+  Time t;
+  std::int64_t bytes;
+};
+
+class FabricTest : public ::testing::Test {
+ protected:
+  Machine::Config config(int tasks = 2) {
+    Machine::Config c;
+    c.tasks = tasks;
+    return c;
+  }
+};
+
+TEST_F(FabricTest, SinglePacketLatencyMatchesClosedForm) {
+  Machine m(config());
+  std::vector<Arrival> arrivals;
+  m.node(1).adapter().register_client(Client::kLapi, [&](Packet&& p) {
+    arrivals.push_back({m.engine().now(),
+                        static_cast<std::int64_t>(p.data.size())});
+  });
+  const CostModel& cm = m.cost();
+  m.engine().schedule_at(0, [&] { m.fabric().transmit(make_packet(0, 1, 48, 4)); });
+  ASSERT_EQ(m.engine().run(), Status::kOk);
+  ASSERT_EQ(arrivals.size(), 1u);
+  // adapter_tx + wire(52B) + route 0 latency + adapter_rx
+  const Time expect = cm.adapter_tx + cm.wire_time(48, 4) + cm.route_latency +
+                      cm.adapter_rx;
+  EXPECT_EQ(arrivals[0].t, expect);
+  EXPECT_EQ(arrivals[0].bytes, 4);
+}
+
+TEST_F(FabricTest, BackToBackPacketsSerializeOnInjectionLink) {
+  Machine m(config());
+  std::vector<Arrival> arrivals;
+  m.node(1).adapter().register_client(Client::kLapi, [&](Packet&& p) {
+    arrivals.push_back({m.engine().now(),
+                        static_cast<std::int64_t>(p.data.size())});
+  });
+  const CostModel& cm = m.cost();
+  const int kPackets = 16;
+  m.engine().schedule_at(0, [&] {
+    for (int i = 0; i < kPackets; ++i) {
+      m.fabric().transmit(
+          make_packet(0, 1, cm.lapi_header_bytes, cm.lapi_payload()));
+    }
+  });
+  ASSERT_EQ(m.engine().run(), Status::kOk);
+  ASSERT_EQ(arrivals.size(), static_cast<std::size_t>(kPackets));
+  // Steady-state spacing equals the full-packet wire occupancy; route skew
+  // only shifts individual arrivals by less than the occupancy, so the
+  // asymptotic rate is wire-bound.
+  const Time occupy = cm.wire_time(cm.lapi_header_bytes, cm.lapi_payload());
+  const Time span = arrivals.back().t - arrivals.front().t;
+  EXPECT_NEAR(static_cast<double>(span) / (kPackets - 1),
+              static_cast<double>(occupy), static_cast<double>(cm.route_skew) * 3);
+}
+
+TEST_F(FabricTest, AsymptoticBandwidthNearLinkRate) {
+  Machine m(config());
+  Time last = 0;
+  std::int64_t got = 0;
+  m.node(1).adapter().register_client(Client::kLapi, [&](Packet&& p) {
+    last = m.engine().now();
+    got += static_cast<std::int64_t>(p.data.size());
+  });
+  const CostModel& cm = m.cost();
+  const int kPackets = 256;
+  m.engine().schedule_at(0, [&] {
+    for (int i = 0; i < kPackets; ++i) {
+      m.fabric().transmit(
+          make_packet(0, 1, cm.lapi_header_bytes, cm.lapi_payload()));
+    }
+  });
+  ASSERT_EQ(m.engine().run(), Status::kOk);
+  const double bw = mb_per_s(got, last);
+  // 976-byte payload per (1024/110us + 0.7us) packet ~ 97.5 MB/s.
+  EXPECT_GT(bw, 90.0);
+  EXPECT_LT(bw, 110.0);
+}
+
+TEST_F(FabricTest, SmallPacketsReorderAcrossRoutes) {
+  Machine::Config c = config();
+  c.fabric.contention_jitter = microseconds(20);
+  c.fabric.seed = 99;
+  Machine m(c);
+  std::vector<int> order;
+  m.node(1).adapter().register_client(Client::kLapi, [&](Packet&& p) {
+    order.push_back(static_cast<int>(p.data[0]));
+  });
+  m.engine().schedule_at(0, [&] {
+    for (int i = 0; i < 32; ++i) {
+      Packet p = make_packet(0, 1, 48, 1);
+      p.data[0] = static_cast<std::byte>(i);
+      m.fabric().transmit(std::move(p));
+    }
+  });
+  ASSERT_EQ(m.engine().run(), Status::kOk);
+  ASSERT_EQ(order.size(), 32u);
+  bool out_of_order = false;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) out_of_order = true;
+  }
+  EXPECT_TRUE(out_of_order) << "expected reordering under contention jitter";
+}
+
+TEST_F(FabricTest, InOrderWithoutJitterForFullPackets) {
+  Machine m(config());
+  std::vector<int> order;
+  m.node(1).adapter().register_client(Client::kLapi, [&](Packet&& p) {
+    order.push_back(static_cast<int>(p.data[0]));
+  });
+  const CostModel& cm = m.cost();
+  m.engine().schedule_at(0, [&] {
+    for (int i = 0; i < 16; ++i) {
+      Packet p = make_packet(0, 1, cm.lapi_header_bytes, cm.lapi_payload());
+      p.data[0] = static_cast<std::byte>(i);
+      m.fabric().transmit(std::move(p));
+    }
+  });
+  ASSERT_EQ(m.engine().run(), Status::kOk);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(i));
+  }
+}
+
+TEST_F(FabricTest, DropInjectionLosesPacketsDeterministically) {
+  auto run = [&](std::uint64_t seed) {
+    Machine::Config c = config();
+    c.fabric.drop_rate = 0.3;
+    c.fabric.seed = seed;
+    Machine m(c);
+    int delivered = 0;
+    m.node(1).adapter().register_client(Client::kLapi,
+                                        [&](Packet&&) { ++delivered; });
+    m.engine().schedule_at(0, [&] {
+      for (int i = 0; i < 200; ++i) {
+        m.fabric().transmit(make_packet(0, 1, 48, 100));
+      }
+    });
+    EXPECT_EQ(m.engine().run(), Status::kOk);
+    return std::pair<int, std::int64_t>{delivered, m.fabric().packets_dropped()};
+  };
+  auto [delivered, dropped] = run(7);
+  EXPECT_EQ(delivered + static_cast<int>(dropped), 200);
+  EXPECT_GT(dropped, 20);  // ~60 expected at 30%
+  EXPECT_LT(dropped, 120);
+  // Determinism: identical seed, identical loss pattern.
+  auto second = run(7);
+  EXPECT_EQ(second.first, delivered);
+  EXPECT_EQ(second.second, dropped);
+}
+
+TEST_F(FabricTest, LoopbackBypassesWire) {
+  Machine m(config(1));
+  Time arrival = kNoTime;
+  m.node(0).adapter().register_client(Client::kLapi, [&](Packet&&) {
+    arrival = m.engine().now();
+  });
+  m.engine().schedule_at(0, [&] { m.fabric().transmit(make_packet(0, 0, 48, 64)); });
+  ASSERT_EQ(m.engine().run(), Status::kOk);
+  const CostModel& cm = m.cost();
+  // Loopback: adapter passes through twice plus the drain charge, no wire.
+  EXPECT_EQ(arrival, cm.adapter_tx + 2 * cm.adapter_rx);
+}
+
+TEST_F(FabricTest, OversizePacketAborts) {
+  Machine m(config());
+  m.node(1).adapter().register_client(Client::kLapi, [](Packet&&) {});
+  const auto mtu = m.cost().packet_bytes;
+  m.engine().schedule_at(0, [&] {
+    EXPECT_DEATH(m.fabric().transmit(make_packet(0, 1, 48, mtu)), "MTU");
+  });
+  m.engine().run();
+}
+
+TEST_F(FabricTest, InstrumentationCountsPacketsAndBytes) {
+  Machine m(config());
+  m.node(1).adapter().register_client(Client::kLapi, [](Packet&&) {});
+  m.engine().schedule_at(0, [&] {
+    m.fabric().transmit(make_packet(0, 1, 48, 100));
+    m.fabric().transmit(make_packet(0, 1, 16, 50));
+  });
+  ASSERT_EQ(m.engine().run(), Status::kOk);
+  EXPECT_EQ(m.fabric().packets_sent(), 2);
+  EXPECT_EQ(m.fabric().bytes_on_wire(), 48 + 100 + 16 + 50);
+}
+
+TEST_F(FabricTest, SeparateClientsDemuxIndependently) {
+  Machine m(config());
+  int lapi = 0, mpl = 0;
+  m.node(1).adapter().register_client(Client::kLapi, [&](Packet&&) { ++lapi; });
+  m.node(1).adapter().register_client(Client::kMpl, [&](Packet&&) { ++mpl; });
+  m.engine().schedule_at(0, [&] {
+    Packet a = make_packet(0, 1, 48, 10);
+    Packet b = make_packet(0, 1, 16, 10);
+    b.client = Client::kMpl;
+    m.fabric().transmit(std::move(a));
+    m.fabric().transmit(std::move(b));
+  });
+  ASSERT_EQ(m.engine().run(), Status::kOk);
+  EXPECT_EQ(lapi, 1);
+  EXPECT_EQ(mpl, 1);
+}
+
+TEST_F(FabricTest, SpmdHarnessRunsOneTaskPerNode) {
+  Machine m(config(4));
+  std::vector<int> ids;
+  ASSERT_EQ(m.run_spmd([&](Node& n) {
+    n.task().compute(microseconds(n.id()));
+    ids.push_back(n.id());
+  }), Status::kOk);
+  ASSERT_EQ(ids.size(), 4u);
+  // Tasks complete in virtual-time order of their compute.
+  EXPECT_EQ(ids, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST_F(FabricTest, PacketDataIntegrityPreserved) {
+  Machine m(config());
+  std::vector<std::byte> got;
+  m.node(1).adapter().register_client(Client::kLapi, [&](Packet&& p) {
+    got = std::move(p.data);
+  });
+  m.engine().schedule_at(0, [&] {
+    Packet p = make_packet(0, 1, 48, 256);
+    for (int i = 0; i < 256; ++i) p.data[static_cast<std::size_t>(i)] = static_cast<std::byte>(i);
+    m.fabric().transmit(std::move(p));
+  });
+  ASSERT_EQ(m.engine().run(), Status::kOk);
+  ASSERT_EQ(got.size(), 256u);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], static_cast<std::byte>(i));
+  }
+}
+
+}  // namespace
+}  // namespace splap::net

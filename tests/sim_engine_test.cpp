@@ -1,0 +1,207 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/time.hpp"
+
+namespace splap::sim {
+namespace {
+
+TEST(EngineTest, EventsRunInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(microseconds(30), [&] { order.push_back(3); });
+  eng.schedule_at(microseconds(10), [&] { order.push_back(1); });
+  eng.schedule_at(microseconds(20), [&] { order.push_back(2); });
+  EXPECT_EQ(eng.run(), Status::kOk);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), microseconds(30));
+}
+
+TEST(EngineTest, TiesBreakByInsertionOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.schedule_at(microseconds(5), [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(eng.run(), Status::kOk);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EngineTest, EventsCanScheduleMoreEvents) {
+  Engine eng;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) eng.schedule_after(microseconds(1), chain);
+  };
+  eng.schedule_at(0, chain);
+  EXPECT_EQ(eng.run(), Status::kOk);
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(eng.now(), microseconds(4));
+}
+
+TEST(EngineTest, SchedulingInThePastAborts) {
+  Engine eng;
+  eng.schedule_at(microseconds(10), [&] {
+    EXPECT_DEATH(eng.schedule_at(microseconds(5), [] {}), "virtual past");
+  });
+  eng.run();
+}
+
+TEST(EngineTest, ActorRunsAndFinishes) {
+  Engine eng;
+  bool ran = false;
+  eng.spawn("t0", [&](Actor& self) {
+    EXPECT_EQ(self.now(), 0);
+    EXPECT_EQ(Actor::current(), &self);
+    ran = true;
+  });
+  EXPECT_EQ(eng.run(), Status::kOk);
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(eng.actors()[0]->finished());
+}
+
+TEST(EngineTest, ComputeAdvancesVirtualTime) {
+  Engine eng;
+  Time end = kNoTime;
+  eng.spawn("t0", [&](Actor& self) {
+    self.compute(microseconds(100));
+    self.compute(microseconds(50));
+    end = self.now();
+  });
+  EXPECT_EQ(eng.run(), Status::kOk);
+  EXPECT_EQ(end, microseconds(150));
+}
+
+TEST(EngineTest, ComputeZeroIsNoOp) {
+  Engine eng;
+  eng.spawn("t0", [&](Actor& self) {
+    self.compute(0);
+    EXPECT_EQ(self.now(), 0);
+  });
+  EXPECT_EQ(eng.run(), Status::kOk);
+}
+
+TEST(EngineTest, ActorsInterleaveByVirtualTimeNotSpawnOrder) {
+  Engine eng;
+  std::vector<std::string> trace;
+  eng.spawn("slow", [&](Actor& self) {
+    self.compute(microseconds(100));
+    trace.push_back("slow");
+  });
+  eng.spawn("fast", [&](Actor& self) {
+    self.compute(microseconds(10));
+    trace.push_back("fast");
+  });
+  EXPECT_EQ(eng.run(), Status::kOk);
+  EXPECT_EQ(trace, (std::vector<std::string>{"fast", "slow"}));
+}
+
+TEST(EngineTest, WakeResumesSuspendedActor) {
+  Engine eng;
+  bool flag = false;
+  Actor& waiter = eng.spawn("waiter", [&](Actor& self) {
+    self.wait([&] { return flag; }, "flag");
+    EXPECT_EQ(self.now(), microseconds(42));
+  });
+  eng.schedule_at(microseconds(42), [&] {
+    flag = true;
+    eng.wake(waiter);
+  });
+  EXPECT_EQ(eng.run(), Status::kOk);
+}
+
+TEST(EngineTest, StaleWakeupsAreHarmless) {
+  Engine eng;
+  bool flag = false;
+  Actor& waiter = eng.spawn("waiter", [&](Actor& self) {
+    self.wait([&] { return flag; }, "flag");
+  });
+  // Several wakes while the predicate is still false: the actor must
+  // re-suspend each time and only proceed on the real one.
+  eng.schedule_at(microseconds(1), [&] { eng.wake(waiter); });
+  eng.schedule_at(microseconds(2), [&] { eng.wake(waiter); });
+  eng.schedule_at(microseconds(3), [&] {
+    flag = true;
+    eng.wake(waiter);
+  });
+  EXPECT_EQ(eng.run(), Status::kOk);
+}
+
+TEST(EngineTest, DeadlockDetected) {
+  Engine eng;
+  eng.spawn("stuck", [&](Actor& self) {
+    self.wait([] { return false; }, "never");
+  });
+  EXPECT_EQ(eng.run(), Status::kDeadlock);
+  EXPECT_FALSE(eng.actors()[0]->finished());
+  EXPECT_STREQ(eng.actors()[0]->block_reason(), "never");
+}
+
+TEST(EngineTest, NoDeadlockWhenAllFinish) {
+  Engine eng;
+  for (int i = 0; i < 4; ++i) {
+    eng.spawn("t" + std::to_string(i),
+              [&](Actor& self) { self.compute(microseconds(i + 1)); });
+  }
+  EXPECT_EQ(eng.run(), Status::kOk);
+}
+
+TEST(EngineTest, ActorExceptionPropagatesToRun) {
+  Engine eng;
+  eng.spawn("thrower", [&](Actor&) { throw std::runtime_error("boom"); });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(EngineTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine eng;
+    std::vector<std::pair<int, Time>> trace;
+    for (int i = 0; i < 5; ++i) {
+      eng.spawn("t" + std::to_string(i), [&trace, i](Actor& self) {
+        for (int k = 0; k < 3; ++k) {
+          self.compute(microseconds((i * 7 + k * 3) % 11 + 1));
+          trace.emplace_back(i, self.now());
+        }
+      });
+    }
+    EXPECT_EQ(eng.run(), Status::kOk);
+    return trace;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+TEST(EngineTest, CurrentIsNullInEventContext) {
+  Engine eng;
+  eng.schedule_at(0, [] { EXPECT_EQ(Actor::current(), nullptr); });
+  EXPECT_EQ(eng.run(), Status::kOk);
+}
+
+TEST(EngineTest, CountersAccumulate) {
+  Engine eng;
+  eng.schedule_at(0, [&] { eng.counters().bump("pkts", 3); });
+  eng.run();
+  EXPECT_EQ(eng.counters().get("pkts"), 3);
+}
+
+TEST(EngineTest, SpawnFromActor) {
+  Engine eng;
+  bool child_ran = false;
+  eng.spawn("parent", [&](Actor& self) {
+    self.compute(microseconds(5));
+    self.engine().spawn("child", [&](Actor& c) {
+      EXPECT_EQ(c.now(), microseconds(5));
+      child_ran = true;
+    });
+  });
+  EXPECT_EQ(eng.run(), Status::kOk);
+  EXPECT_TRUE(child_ran);
+}
+
+}  // namespace
+}  // namespace splap::sim
