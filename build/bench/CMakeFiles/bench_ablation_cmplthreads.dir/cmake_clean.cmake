@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cmplthreads.dir/bench_ablation_cmplthreads.cpp.o"
+  "CMakeFiles/bench_ablation_cmplthreads.dir/bench_ablation_cmplthreads.cpp.o.d"
+  "bench_ablation_cmplthreads"
+  "bench_ablation_cmplthreads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cmplthreads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_strided.dir/bench_ablation_strided.cpp.o"
+  "CMakeFiles/bench_ablation_strided.dir/bench_ablation_strided.cpp.o.d"
+  "bench_ablation_strided"
+  "bench_ablation_strided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_strided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_ga_put.dir/bench_fig3_ga_put.cpp.o"
+  "CMakeFiles/bench_fig3_ga_put.dir/bench_fig3_ga_put.cpp.o.d"
+  "bench_fig3_ga_put"
+  "bench_fig3_ga_put.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_ga_put.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

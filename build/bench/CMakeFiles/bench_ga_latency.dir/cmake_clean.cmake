@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ga_latency.dir/bench_ga_latency.cpp.o"
+  "CMakeFiles/bench_ga_latency.dir/bench_ga_latency.cpp.o.d"
+  "bench_ga_latency"
+  "bench_ga_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ga_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipeline_latency.dir/bench_pipeline_latency.cpp.o"
+  "CMakeFiles/bench_pipeline_latency.dir/bench_pipeline_latency.cpp.o.d"
+  "bench_pipeline_latency"
+  "bench_pipeline_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libsplap_benchx.a"
+  "../lib/libsplap_benchx.pdb"
+  "CMakeFiles/splap_benchx.dir/common.cpp.o"
+  "CMakeFiles/splap_benchx.dir/common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splap_benchx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libsplap_benchx.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_md.dir/ga_md.cpp.o"
+  "CMakeFiles/ga_md.dir/ga_md.cpp.o.d"
+  "ga_md"
+  "ga_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_scf.dir/ga_scf.cpp.o"
+  "CMakeFiles/ga_scf.dir/ga_scf.cpp.o.d"
+  "ga_scf"
+  "ga_scf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_scf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

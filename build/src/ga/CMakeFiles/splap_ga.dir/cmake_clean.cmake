@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splap_ga.dir/bench_harness.cpp.o"
+  "CMakeFiles/splap_ga.dir/bench_harness.cpp.o.d"
+  "CMakeFiles/splap_ga.dir/lapi_backend.cpp.o"
+  "CMakeFiles/splap_ga.dir/lapi_backend.cpp.o.d"
+  "CMakeFiles/splap_ga.dir/mpl_backend.cpp.o"
+  "CMakeFiles/splap_ga.dir/mpl_backend.cpp.o.d"
+  "CMakeFiles/splap_ga.dir/runtime.cpp.o"
+  "CMakeFiles/splap_ga.dir/runtime.cpp.o.d"
+  "libsplap_ga.a"
+  "libsplap_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splap_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

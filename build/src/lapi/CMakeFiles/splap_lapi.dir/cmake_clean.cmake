@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splap_lapi.dir/context.cpp.o"
+  "CMakeFiles/splap_lapi.dir/context.cpp.o.d"
+  "libsplap_lapi.a"
+  "libsplap_lapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splap_lapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

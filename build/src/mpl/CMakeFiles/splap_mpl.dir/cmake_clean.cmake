@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splap_mpl.dir/comm.cpp.o"
+  "CMakeFiles/splap_mpl.dir/comm.cpp.o.d"
+  "libsplap_mpl.a"
+  "libsplap_mpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splap_mpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsplap_mpl.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splap_net.dir/fabric.cpp.o"
+  "CMakeFiles/splap_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/splap_net.dir/machine.cpp.o"
+  "CMakeFiles/splap_net.dir/machine.cpp.o.d"
+  "libsplap_net.a"
+  "libsplap_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splap_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splap_sim.dir/engine.cpp.o"
+  "CMakeFiles/splap_sim.dir/engine.cpp.o.d"
+  "libsplap_sim.a"
+  "libsplap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

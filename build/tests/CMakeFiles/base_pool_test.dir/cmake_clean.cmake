@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_pool_test.dir/base_pool_test.cpp.o"
+  "CMakeFiles/base_pool_test.dir/base_pool_test.cpp.o.d"
+  "base_pool_test"
+  "base_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

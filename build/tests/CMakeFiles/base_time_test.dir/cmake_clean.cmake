@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_time_test.dir/base_time_test.cpp.o"
+  "CMakeFiles/base_time_test.dir/base_time_test.cpp.o.d"
+  "base_time_test"
+  "base_time_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

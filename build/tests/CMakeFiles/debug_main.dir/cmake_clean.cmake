@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_main.dir/debug_main.cpp.o"
+  "CMakeFiles/debug_main.dir/debug_main.cpp.o.d"
+  "debug_main"
+  "debug_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

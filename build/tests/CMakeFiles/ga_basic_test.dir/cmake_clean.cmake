@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_basic_test.dir/ga_basic_test.cpp.o"
+  "CMakeFiles/ga_basic_test.dir/ga_basic_test.cpp.o.d"
+  "ga_basic_test"
+  "ga_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

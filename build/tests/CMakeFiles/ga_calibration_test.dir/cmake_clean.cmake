@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_calibration_test.dir/ga_calibration_test.cpp.o"
+  "CMakeFiles/ga_calibration_test.dir/ga_calibration_test.cpp.o.d"
+  "ga_calibration_test"
+  "ga_calibration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_distribution_test.dir/ga_distribution_test.cpp.o"
+  "CMakeFiles/ga_distribution_test.dir/ga_distribution_test.cpp.o.d"
+  "ga_distribution_test"
+  "ga_distribution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_ops_test.dir/ga_ops_test.cpp.o"
+  "CMakeFiles/ga_ops_test.dir/ga_ops_test.cpp.o.d"
+  "ga_ops_test"
+  "ga_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

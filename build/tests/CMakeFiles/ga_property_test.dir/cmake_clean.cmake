@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_property_test.dir/ga_property_test.cpp.o"
+  "CMakeFiles/ga_property_test.dir/ga_property_test.cpp.o.d"
+  "ga_property_test"
+  "ga_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapi_am_test.dir/lapi_am_test.cpp.o"
+  "CMakeFiles/lapi_am_test.dir/lapi_am_test.cpp.o.d"
+  "lapi_am_test"
+  "lapi_am_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapi_am_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapi_basic_test.dir/lapi_basic_test.cpp.o"
+  "CMakeFiles/lapi_basic_test.dir/lapi_basic_test.cpp.o.d"
+  "lapi_basic_test"
+  "lapi_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapi_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

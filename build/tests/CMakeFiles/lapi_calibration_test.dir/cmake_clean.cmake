@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapi_calibration_test.dir/lapi_calibration_test.cpp.o"
+  "CMakeFiles/lapi_calibration_test.dir/lapi_calibration_test.cpp.o.d"
+  "lapi_calibration_test"
+  "lapi_calibration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapi_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

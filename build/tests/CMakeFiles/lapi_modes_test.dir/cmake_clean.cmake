@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapi_modes_test.dir/lapi_modes_test.cpp.o"
+  "CMakeFiles/lapi_modes_test.dir/lapi_modes_test.cpp.o.d"
+  "lapi_modes_test"
+  "lapi_modes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapi_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapi_ordering_test.dir/lapi_ordering_test.cpp.o"
+  "CMakeFiles/lapi_ordering_test.dir/lapi_ordering_test.cpp.o.d"
+  "lapi_ordering_test"
+  "lapi_ordering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapi_ordering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapi_reliability_test.dir/lapi_reliability_test.cpp.o"
+  "CMakeFiles/lapi_reliability_test.dir/lapi_reliability_test.cpp.o.d"
+  "lapi_reliability_test"
+  "lapi_reliability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapi_reliability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

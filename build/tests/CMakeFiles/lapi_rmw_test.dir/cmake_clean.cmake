@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapi_rmw_test.dir/lapi_rmw_test.cpp.o"
+  "CMakeFiles/lapi_rmw_test.dir/lapi_rmw_test.cpp.o.d"
+  "lapi_rmw_test"
+  "lapi_rmw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapi_rmw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

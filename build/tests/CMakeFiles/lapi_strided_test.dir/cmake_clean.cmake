@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapi_strided_test.dir/lapi_strided_test.cpp.o"
+  "CMakeFiles/lapi_strided_test.dir/lapi_strided_test.cpp.o.d"
+  "lapi_strided_test"
+  "lapi_strided_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapi_strided_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpl_basic_test.dir/mpl_basic_test.cpp.o"
+  "CMakeFiles/mpl_basic_test.dir/mpl_basic_test.cpp.o.d"
+  "mpl_basic_test"
+  "mpl_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpl_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

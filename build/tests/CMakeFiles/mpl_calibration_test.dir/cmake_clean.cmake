@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpl_calibration_test.dir/mpl_calibration_test.cpp.o"
+  "CMakeFiles/mpl_calibration_test.dir/mpl_calibration_test.cpp.o.d"
+  "mpl_calibration_test"
+  "mpl_calibration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpl_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpl_collectives_test.dir/mpl_collectives_test.cpp.o"
+  "CMakeFiles/mpl_collectives_test.dir/mpl_collectives_test.cpp.o.d"
+  "mpl_collectives_test"
+  "mpl_collectives_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpl_collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpl_rcvncall_test.dir/mpl_rcvncall_test.cpp.o"
+  "CMakeFiles/mpl_rcvncall_test.dir/mpl_rcvncall_test.cpp.o.d"
+  "mpl_rcvncall_test"
+  "mpl_rcvncall_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpl_rcvncall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
