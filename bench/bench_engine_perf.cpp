@@ -3,9 +3,20 @@
 // end-to-end simulated-LAPI message rate. These are meta-benchmarks of the
 // reproduction infrastructure, not paper results — they bound how large an
 // experiment the simulator can run interactively.
+//
+// Besides the console table, the binary writes BENCH_engine.json (override
+// with --json_out=PATH) so the perf trajectory of the hot paths is tracked
+// across PRs in a machine-readable form.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
 #include "lapi/context.hpp"
 #include "net/machine.hpp"
@@ -52,7 +63,7 @@ void BM_FabricPacketRate(benchmark::State& state) {
                                         [&](net::Packet&&) { ++delivered; });
     m.engine().schedule_at(0, [&] {
       for (int i = 0; i < packets; ++i) {
-        net::Packet p;
+        net::Packet p = m.fabric().make_packet();
         p.src = 0;
         p.dst = 1;
         p.client = net::Client::kLapi;
@@ -92,6 +103,90 @@ void BM_LapiPutMessageRate(benchmark::State& state) {
 }
 BENCHMARK(BM_LapiPutMessageRate)->Arg(500);
 
+/// Console output plus a flat JSON export of every run: one row per
+/// benchmark with wall time and throughput, ready for trajectory tracking
+/// (diff BENCH_engine.json across commits).
+class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      Row row;
+      row.name = r.benchmark_name();
+      row.real_time_ns = r.GetAdjustedRealTime();
+      row.cpu_time_ns = r.GetAdjustedCPUTime();
+      row.iterations = static_cast<long long>(r.iterations);
+      const auto it = r.counters.find("items_per_second");
+      row.items_per_second = it != r.counters.end() ? it->second.value : 0.0;
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  bool write_json(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"schema\": \"splap-bench-v1\",\n");
+    std::fprintf(f, "  \"binary\": \"bench_engine_perf\",\n");
+    std::fprintf(f, "  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"real_time_ns\": %.1f, "
+                   "\"cpu_time_ns\": %.1f, \"iterations\": %lld, "
+                   "\"items_per_second\": %.1f}%s\n",
+                   r.name.c_str(), r.real_time_ns, r.cpu_time_ns,
+                   r.iterations, r.items_per_second,
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double real_time_ns = 0;
+    double cpu_time_ns = 0;
+    long long iterations = 0;
+    double items_per_second = 0;
+  };
+  std::vector<Row> rows_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+#if defined(__GLIBC__)
+  // google-benchmark runs benchmarks on a worker thread whose malloc arena
+  // trims (madvise) freed slabs back to the OS between iterations; the
+  // refaulting then dominates every benchmark that creates an Engine or
+  // Machine per iteration. Disable trimming — these benchmarks measure the
+  // simulator, not the allocator's OS-return policy.
+  mallopt(M_TRIM_THRESHOLD, 1 << 30);
+  mallopt(M_MMAP_THRESHOLD, 1 << 30);
+#endif
+  std::string json_path = "BENCH_engine.json";
+  // Peel off our own flag before google-benchmark sees the argv.
+  std::vector<char*> args(argv, argv + argc);
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::strncmp(*it, "--json_out=", 11) == 0) {
+      json_path = *it + 11;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  JsonTrajectoryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!reporter.write_json(json_path)) {
+    std::fprintf(stderr, "bench_engine_perf: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: optimized build + tests, then ASan+UBSan build + tests.
+# The engine's park/unpark handoff and the pooled event/packet recycling are
+# exactly the kind of code that only sanitizers reliably catch regressions
+# in, so both configs must pass before a change ships.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== optimized build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure
+
+echo "== sanitized build (ASan+UBSan) =="
+cmake -B build-asan -S . -DSPLAP_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build build-asan -j"$(nproc)"
+ctest --test-dir build-asan --output-on-failure
+
+echo "All checks passed."

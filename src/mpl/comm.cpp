@@ -118,7 +118,7 @@ void Comm::transmit_send(const SendReq& req, std::int64_t /*id*/) {
   const CostModel& cm = cost();
   if (req.state == SState::kWaitCts) {
     // Rendezvous: request to send only.
-    net::Packet p;
+    net::Packet p = node_.machine().fabric().make_packet();
     p.src = rank();
     p.dst = req.dst;
     p.client = net::Client::kMpl;
@@ -134,7 +134,7 @@ void Comm::transmit_send(const SendReq& req, std::int64_t /*id*/) {
   }
   // Eager: envelope packet with the first chunk, then data packets.
   const std::int64_t len = static_cast<std::int64_t>(req.data->size());
-  net::Packet first;
+  net::Packet first = node_.machine().fabric().make_packet();
   first.src = rank();
   first.dst = req.dst;
   first.client = net::Client::kMpl;
@@ -161,7 +161,7 @@ void Comm::transmit_data(const SendReq& req) {
       req.state == SState::kEagerDone ? std::min(len, cm.mpi_payload()) : 0;
   while (offset < len) {
     const std::int64_t chunk = std::min(len - offset, cm.mpi_payload());
-    net::Packet p;
+    net::Packet p = node_.machine().fabric().make_packet();
     p.src = rank();
     p.dst = req.dst;
     p.client = net::Client::kMpl;
@@ -207,7 +207,7 @@ void Comm::arm_timeout(std::int64_t id, Time delay) {
 }
 
 void Comm::send_ctl(int dst, MplKind kind, std::int64_t seq, Time when) {
-  net::Packet p;
+  net::Packet p = node_.machine().fabric().make_packet();
   p.src = rank();
   p.dst = dst;
   p.client = net::Client::kMpl;
@@ -408,7 +408,7 @@ void Comm::pump() {
 }
 
 Time Comm::ingest(InMsg& msg, std::int64_t offset,
-                  const std::vector<std::byte>& bytes) {
+                  std::span<const std::byte> bytes) {
   const auto len = static_cast<std::int64_t>(bytes.size());
   if (len == 0) return 0;
   if (msg.seen.count(offset) != 0) return 0;

@@ -144,7 +144,8 @@ class Comm {
     int reg_index = -1;
     std::map<std::int64_t, std::int64_t> seen;  // offset dedup
     /// Data packets that arrived before the envelope (out-of-order fabric).
-    std::vector<std::pair<std::int64_t, std::vector<std::byte>>> early;
+    /// Payloads keep their pooled buffers until ingested.
+    std::vector<std::pair<std::int64_t, net::Payload>> early;
   };
 
   struct Posting {
@@ -179,7 +180,7 @@ class Comm {
   void pump();
   Time process(net::Packet& pkt);
   Time ingest(InMsg& msg, std::int64_t offset,
-              const std::vector<std::byte>& bytes);
+              std::span<const std::byte> bytes);
   /// Advance the per-source in-order cursors, match admitted messages
   /// against postings and rcvncall registrations. Returns extra CPU charged.
   Time match_scan();

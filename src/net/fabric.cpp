@@ -14,25 +14,35 @@ Fabric::Fabric(sim::Engine& engine, int nodes, FabricConfig config)
       rx_free_(static_cast<std::size_t>(nodes), 0),
       next_route_(static_cast<std::size_t>(nodes), 0),
       deliver_(static_cast<std::size_t>(nodes)),
-      rng_(config.seed) {
+      rng_(config.seed),
+      payload_pool_(static_cast<std::size_t>(config.cost.packet_bytes), 256) {
   SPLAP_REQUIRE(nodes > 0, "fabric needs at least one node");
 }
 
 void Fabric::set_deliver(int dst, DeliverFn fn) {
+  auto holder = std::make_unique<DeliverFn>(std::move(fn));
+  set_deliver(dst,
+              [](void* ctx, Packet&& pkt) {
+                (*static_cast<DeliverFn*>(ctx))(std::move(pkt));
+              },
+              holder.get());
+  deliver_fns_.push_back(std::move(holder));
+}
+
+void Fabric::set_deliver(int dst, DeliverThunk fn, void* ctx) {
   SPLAP_REQUIRE(dst >= 0 && dst < nodes(), "bad node id");
-  deliver_[static_cast<std::size_t>(dst)] = std::move(fn);
+  deliver_[static_cast<std::size_t>(dst)] = DeliverSlot{fn, ctx};
 }
 
 void Fabric::transmit(Packet&& pkt) {
   const auto src = static_cast<std::size_t>(pkt.src);
-  const auto dst = static_cast<std::size_t>(pkt.dst);
+  const std::int64_t wire_bytes = pkt.wire_bytes();
   SPLAP_REQUIRE(pkt.src >= 0 && pkt.src < nodes(), "bad src");
   SPLAP_REQUIRE(pkt.dst >= 0 && pkt.dst < nodes(), "bad dst");
-  SPLAP_REQUIRE(pkt.wire_bytes() <= config_.cost.packet_bytes,
+  SPLAP_REQUIRE(wire_bytes <= config_.cost.packet_bytes,
                 "packet exceeds the wire MTU");
   const CostModel& cm = config_.cost;
   ++packets_sent_;
-  bytes_on_wire_ += pkt.wire_bytes();
 
   Time arrival;
   if (pkt.src == pkt.dst) {
@@ -41,12 +51,19 @@ void Fabric::transmit(Packet&& pkt) {
   } else {
     const Time depart =
         std::max(engine_.now() + cm.adapter_tx, link_free_[src]);
-    const Time occupy = cm.wire_time(pkt.header_bytes,
-                                     static_cast<std::int64_t>(pkt.data.size()));
+    // wire_time only depends on the total byte count; a one-entry memo
+    // skips the floating divide for the dominant full-MTU packet stream.
+    if (wire_bytes != wire_memo_bytes_) {
+      wire_memo_bytes_ = wire_bytes;
+      wire_memo_time_ = cm.wire_time(wire_bytes, 0);
+    }
+    const Time occupy = wire_memo_time_;
     link_free_[src] = depart + occupy;
 
     const int route = next_route_[src];
-    next_route_[src] = (route + 1) % cm.routes_per_pair;
+    // Round-robin without the integer divide (routes_per_pair is a runtime
+    // value, so % would cost a real div on every packet).
+    next_route_[src] = route + 1 == cm.routes_per_pair ? 0 : route + 1;
     Time route_delay = cm.route_latency + route * cm.route_skew;
     if (config_.contention_jitter > 0) {
       route_delay += static_cast<Time>(rng_.next_below(
@@ -56,30 +73,57 @@ void Fabric::transmit(Packet&& pkt) {
 
     if (config_.drop_rate > 0 && rng_.next_bool(config_.drop_rate)) {
       ++packets_dropped_;
+      bytes_dropped_ += wire_bytes;
       engine_.counters().bump("fabric.drops");
       SPLAP_DEBUG(engine_.now(), "fabric: dropped packet %d->%d (%lld B)",
                   pkt.src, pkt.dst,
                   static_cast<long long>(pkt.wire_bytes()));
-      return;
+      return;  // pkt's payload buffer returns to the pool here
     }
   }
+  bytes_on_wire_ += wire_bytes;
 
   // The drain DMA serializes packets in ARRIVAL order, so the rx_free
   // bookkeeping must run when the packet reaches the adapter, not when it
   // was sent — otherwise a late-sent packet that took a faster route could
   // never overtake (and the fabric would be spuriously in-order).
-  engine_.schedule_at(
+  InFlight* rec = inflight_pool_.acquire();
+  rec->owner = this;
+  rec->pkt = std::move(pkt);
+  engine_.schedule_thunk(
       arrival,
-      [this, dst, p = std::make_shared<Packet>(std::move(pkt))]() mutable {
-        const Time deliver_at =
-            std::max(engine_.now(), rx_free_[dst]) + config_.cost.adapter_rx;
-        rx_free_[dst] = deliver_at;
-        engine_.schedule_at(deliver_at, [this, dst, p]() mutable {
-          SPLAP_REQUIRE(deliver_[dst] != nullptr,
-                        "packet for a node with no adapter handler");
-          deliver_[dst](std::move(*p));
-        });
-      });
+      [](void* p) {
+        InFlight* r = static_cast<InFlight*>(p);
+        r->owner->stage_rx(r);
+      },
+      rec);
+}
+
+void Fabric::stage_rx(InFlight* rec) {
+  const auto dst = static_cast<std::size_t>(rec->pkt.dst);
+  const Time deliver_at =
+      std::max(engine_.now(), rx_free_[dst]) + config_.cost.adapter_rx;
+  rx_free_[dst] = deliver_at;
+  engine_.schedule_thunk(
+      deliver_at,
+      [](void* p) {
+        InFlight* r = static_cast<InFlight*>(p);
+        r->owner->finish_delivery(r);
+      },
+      rec);
+}
+
+void Fabric::finish_delivery(InFlight* rec) {
+  const auto dst = static_cast<std::size_t>(rec->pkt.dst);
+  const DeliverSlot slot = deliver_[dst];
+  SPLAP_REQUIRE(slot.fn != nullptr,
+                "packet for a node with no adapter handler");
+  slot.fn(slot.ctx, std::move(rec->pkt));
+  // Whatever the handler did not take with it (payload buffer, descriptor
+  // reference) goes back to the pools before the record is recycled.
+  rec->pkt.data.reset();
+  rec->pkt.meta.reset();
+  inflight_pool_.release(rec);
 }
 
 }  // namespace splap::net

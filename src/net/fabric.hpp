@@ -44,11 +44,25 @@ struct FabricConfig {
 class Fabric {
  public:
   using DeliverFn = std::function<void(Packet&&)>;
+  /// Raw delivery target: one indirect call, no std::function machinery on
+  /// the per-packet path. `ctx` must outlive the fabric registration.
+  using DeliverThunk = void (*)(void* ctx, Packet&&);
 
   Fabric(sim::Engine& engine, int nodes, FabricConfig config);
 
   /// Register the receive-side entry point of node `dst` (the adapter).
   void set_deliver(int dst, DeliverFn fn);
+  void set_deliver(int dst, DeliverThunk fn, void* ctx);
+
+  /// Mint a packet whose payload buffer comes from this fabric's recycling
+  /// pool (returned automatically when the last holder drops it). Senders on
+  /// the hot path should build packets through this instead of `Packet{}` so
+  /// steady-state traffic does not touch the allocator.
+  Packet make_packet() {
+    Packet p;
+    p.data = Payload(&payload_pool_);
+    return p;
+  }
 
   /// Hand a packet to the src-side injection link at the current virtual
   /// time. The caller has already paid any CPU cost; transport is DMA.
@@ -61,22 +75,63 @@ class Fabric {
   const CostModel& cost() const { return config_.cost; }
   int nodes() const { return static_cast<int>(link_free_.size()); }
 
-  // Instrumentation.
+  // Instrumentation. packets_sent counts every transmit (drops included —
+  // the sender did inject them); bytes_on_wire only bytes that reached the
+  // destination adapter, with dropped bytes tallied separately so loss does
+  // not inflate delivered-traffic accounting.
   std::int64_t packets_sent() const { return packets_sent_; }
   std::int64_t packets_dropped() const { return packets_dropped_; }
   std::int64_t bytes_on_wire() const { return bytes_on_wire_; }
+  std::int64_t bytes_dropped() const { return bytes_dropped_; }
+
+  /// Payload buffers allocated so far (steady state: constant — the pool
+  /// recycles). Exposed for the allocation-regression tests.
+  std::size_t payload_buffers_allocated() const {
+    return payload_pool_.capacity();
+  }
 
  private:
+  /// One packet in flight between injection and delivery. The record is
+  /// pool-recycled and referenced by at most one scheduled event at a time:
+  /// first at `arrival` (drain-DMA bookkeeping, which must happen in arrival
+  /// order), then at the delivery instant. The record itself is the event
+  /// context (schedule_thunk), so neither hop constructs a capture; `owner`
+  /// routes the static trampolines back to this fabric.
+  struct InFlight {
+    Fabric* owner = nullptr;
+    Packet pkt;
+  };
+
+  void stage_rx(InFlight* rec);
+  void finish_delivery(InFlight* rec);
+
+  struct DeliverSlot {
+    DeliverThunk fn = nullptr;
+    void* ctx = nullptr;
+  };
+
   sim::Engine& engine_;
   FabricConfig config_;
   std::vector<Time> link_free_;  // per-src injection link
   std::vector<Time> rx_free_;    // per-dst drain DMA
   std::vector<int> next_route_;  // per-src round-robin route pointer
-  std::vector<DeliverFn> deliver_;
+  std::vector<DeliverSlot> deliver_;
+  // Stable homes for std::function registrations (tests, tools); the hot
+  // slot then points at a trampoline that calls through the function.
+  std::vector<std::unique_ptr<DeliverFn>> deliver_fns_;
   Rng rng_;
+  // payload_pool_ must outlive inflight_pool_: destroying an InFlight
+  // record releases its packet's payload buffer back into the payload pool.
+  SlabBufferPool payload_pool_;
+  ObjectPool<InFlight> inflight_pool_{256};
   std::int64_t packets_sent_ = 0;
   std::int64_t packets_dropped_ = 0;
   std::int64_t bytes_on_wire_ = 0;
+  std::int64_t bytes_dropped_ = 0;
+  // One-entry memo of wire_time(bytes): identical result, no per-packet
+  // floating divide for the dominant fixed-size packet stream.
+  std::int64_t wire_memo_bytes_ = -1;
+  Time wire_memo_time_ = 0;
 };
 
 }  // namespace splap::net

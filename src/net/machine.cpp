@@ -13,9 +13,14 @@ Machine::Machine(Config config)
   nodes_.reserve(static_cast<std::size_t>(config.tasks));
   for (int i = 0; i < config.tasks; ++i) {
     nodes_.push_back(std::make_unique<Node>(*this, i));
-    fabric_.set_deliver(i, [node = nodes_.back().get()](Packet&& pkt) {
-      node->adapter().deliver(std::move(pkt));
-    });
+    // Raw registration: delivery is one indirect call straight into the
+    // adapter, not a std::function hop per packet.
+    fabric_.set_deliver(
+        i,
+        [](void* node, Packet&& pkt) {
+          static_cast<Node*>(node)->adapter().deliver(std::move(pkt));
+        },
+        nodes_.back().get());
   }
 }
 

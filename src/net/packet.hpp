@@ -6,12 +6,23 @@
 // 48-byte header on every packet, MPI/MPL its 16-byte header (Section 4 of
 // the paper explains the asymmetry — the one-sided origin must ship all
 // target-side parameters).
+//
+// Payload bytes live in recyclable buffers: a packet minted by
+// Fabric::make_packet draws its buffer from the fabric's SlabBufferPool and
+// the buffer rides ownership moves (staging, reassembly, retransmit capture)
+// until the last holder destroys the Payload, which returns it to the pool.
+// A default-constructed Packet falls back to heap bytes so tests and tools
+// can build packets without a fabric.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <memory>
-#include <vector>
+#include <span>
 
+#include "base/pool.hpp"
 #include "base/status.hpp"
 
 namespace splap::net {
@@ -19,12 +30,168 @@ namespace splap::net {
 /// Adapter demultiplexing key: which protocol library owns the packet.
 enum class Client : int { kLapi = 0, kMpl = 1, kCount = 2 };
 
+/// Move-only byte buffer with vector-ish surface, optionally backed by a
+/// SlabBufferPool. Pool-backed payloads have fixed capacity (the wire MTU);
+/// anything larger migrates transparently to the heap, which never happens
+/// for MTU-checked packets.
+class Payload {
+ public:
+  Payload() = default;
+  explicit Payload(SlabBufferPool* pool) : pool_(pool) {}
+  Payload(const Payload&) = delete;
+  Payload& operator=(const Payload&) = delete;
+
+  Payload(Payload&& o) noexcept
+      : data_(o.data_),
+        size_(o.size_),
+        cap_(o.cap_),
+        zeroed_(o.zeroed_),
+        pool_(o.pool_) {
+    o.data_ = nullptr;
+    o.size_ = 0;
+    o.cap_ = 0;
+    o.zeroed_ = 0;
+  }
+  Payload& operator=(Payload&& o) noexcept {
+    if (this != &o) {
+      reset();
+      data_ = o.data_;
+      size_ = o.size_;
+      cap_ = o.cap_;
+      zeroed_ = o.zeroed_;
+      pool_ = o.pool_;
+      o.data_ = nullptr;
+      o.size_ = 0;
+      o.cap_ = 0;
+      o.zeroed_ = 0;
+    }
+    return *this;
+  }
+
+  ~Payload() { reset(); }
+
+  // Mutable access may scribble anywhere, so it forfeits the zeroed-prefix
+  // guarantee this payload could otherwise hand back to the buffer pool
+  // (see resize). Read-only access keeps it.
+  std::byte* data() {
+    zeroed_ = 0;
+    return data_;
+  }
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::byte* begin() {
+    zeroed_ = 0;
+    return data_;
+  }
+  std::byte* end() { return data_ + size_; }
+  const std::byte* begin() const { return data_; }
+  const std::byte* end() const { return data_ + size_; }
+  std::byte& operator[](std::size_t i) {
+    zeroed_ = 0;
+    return data_[i];
+  }
+  const std::byte& operator[](std::size_t i) const { return data_[i]; }
+
+  operator std::span<const std::byte>() const { return {data_, size_}; }
+  operator std::span<std::byte>() {
+    zeroed_ = 0;
+    return {data_, size_};
+  }
+
+  void resize(std::size_t n, std::byte fill = std::byte{0}) {
+    reserve(n);
+    if (n > size_) {
+      // Bytes [size_, min(zeroed_, n)) are already zero from a previous
+      // life of this pooled buffer; growing a payload with the default zero
+      // fill (the dominant packet pattern) then costs nothing on reuse.
+      std::size_t from = size_;
+      if (fill == std::byte{0}) {
+        from = std::max(from, std::min<std::size_t>(zeroed_, n));
+        if (zeroed_ >= size_ && n > zeroed_) zeroed_ = n;
+      } else if (zeroed_ > size_) {
+        zeroed_ = size_;
+      }
+      if (n > from) std::fill(data_ + from, data_ + n, fill);
+    }
+    size_ = n;
+  }
+
+  template <class It>
+  void assign(It first, It last) {
+    const auto n = static_cast<std::size_t>(std::distance(first, last));
+    reserve(n);
+    std::copy(first, last, data_);
+    size_ = n;
+    zeroed_ = 0;
+  }
+  void assign(std::span<const std::byte> s) { assign(s.begin(), s.end()); }
+
+  /// Return the buffer to its pool (or the heap) and become empty. The pool
+  /// is told how much of the buffer is still all-zero, so the next packet
+  /// minted from it can skip that much of its zero fill.
+  void reset() {
+    if (data_ != nullptr) {
+      if (pool_ != nullptr && cap_ == pool_->buffer_bytes()) {
+        pool_->release(data_, static_cast<std::uint32_t>(
+                                  std::min(zeroed_, cap_)));
+      } else {
+        delete[] data_;
+      }
+      data_ = nullptr;
+      size_ = 0;
+      cap_ = 0;
+      zeroed_ = 0;
+    }
+  }
+
+ private:
+  void reserve(std::size_t n) {
+    if (n <= cap_) return;
+    std::byte* fresh;
+    std::size_t fresh_cap;
+    if (pool_ != nullptr && n <= pool_->buffer_bytes() && data_ == nullptr) {
+      const SlabBufferPool::Buffer b = pool_->acquire();
+      fresh = b.data;
+      fresh_cap = pool_->buffer_bytes();
+      zeroed_ = b.zeroed;
+    } else {
+      fresh_cap = n;
+      fresh = new std::byte[fresh_cap];
+      // A migrated buffer only carries the copied prefix; anything the old
+      // buffer guaranteed beyond size_ is garbage in the new one.
+      zeroed_ = std::min(zeroed_, size_);
+    }
+    if (size_ > 0) std::copy(data_, data_ + size_, fresh);
+    std::byte* old = data_;
+    const std::size_t old_cap = cap_;
+    data_ = fresh;
+    cap_ = fresh_cap;
+    if (old != nullptr) {
+      if (pool_ != nullptr && old_cap == pool_->buffer_bytes()) {
+        pool_->release(old);
+      } else {
+        delete[] old;
+      }
+    }
+  }
+
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+  // Zero guarantee: bytes [0, zeroed_) of the buffer hold value zero. Kept
+  // across pool recycling so the default zero fill in resize() is free for
+  // buffers nobody wrote into (delivered-and-discarded packet payloads).
+  std::size_t zeroed_ = 0;
+  SlabBufferPool* pool_ = nullptr;
+};
+
 struct Packet {
   int src = -1;
   int dst = -1;
   Client client = Client::kLapi;
   std::int64_t header_bytes = 0;
-  std::vector<std::byte> data;
+  Payload data;
   /// Protocol-specific descriptor (message ids, sequence numbers, handler
   /// parameters). Shared because retransmission keeps a reference.
   std::shared_ptr<const void> meta;

@@ -11,6 +11,22 @@ thread_local Actor* tls_current_actor = nullptr;
 /// unwinds cleanly (RAII still runs). Never escapes thread_main.
 struct ActorKilled {};
 
+/// Handoff spin budget before parking on the futex. On a single hardware
+/// thread spinning only delays the partner's timeslice, so the fast path
+/// degenerates straight to the park.
+int handoff_spins() {
+  static const int spins = std::thread::hardware_concurrency() > 1 ? 256 : 0;
+  return spins;
+}
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -33,13 +49,21 @@ Time Actor::now() const { return engine_.now(); }
 
 Actor* Actor::current() { return tls_current_actor; }
 
-void Actor::thread_main(std::function<void(Actor&)> body) {
-  {
-    // Wait for the first grant; the engine owns the yielded_=false edge.
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return run_granted_; });
-    run_granted_ = false;
+void Actor::park_until(std::uint32_t want) {
+  for (int i = handoff_spins(); i-- > 0;) {
+    if (turn_.load(std::memory_order_acquire) == want) return;
+    cpu_relax();
   }
+  std::uint32_t cur = turn_.load(std::memory_order_acquire);
+  while (cur != want) {
+    turn_.wait(cur, std::memory_order_acquire);
+    cur = turn_.load(std::memory_order_acquire);
+  }
+}
+
+void Actor::thread_main(std::function<void(Actor&)> body) {
+  // Wait for the first grant; the engine owns the control token until then.
+  park_until(kActorHasControl);
   tls_current_actor = this;
   block_reason_ = "running";
   if (!poisoned()) {
@@ -53,25 +77,20 @@ void Actor::thread_main(std::function<void(Actor&)> body) {
   }
   tls_current_actor = nullptr;
   block_reason_ = "finished";
-  std::lock_guard<std::mutex> lock(mu_);
   finished_ = true;
-  yielded_ = true;
-  cv_.notify_all();
+  turn_.store(kEngineHasControl, std::memory_order_release);
+  turn_.notify_one();
 }
 
 bool Actor::poisoned() const { return poisoned_; }
 
 void Actor::grant() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (finished_) return;
-    SPLAP_REQUIRE(yielded_, "grant() on an actor that is not descheduled");
-    yielded_ = false;
-    run_granted_ = true;
-    cv_.notify_all();
-  }
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return yielded_; });
+  if (finished_) return;
+  SPLAP_REQUIRE(turn_.load(std::memory_order_relaxed) == kEngineHasControl,
+                "grant() on an actor that is not descheduled");
+  turn_.store(kActorHasControl, std::memory_order_release);
+  turn_.notify_one();
+  park_until(kEngineHasControl);
   if (failure_) {
     auto f = failure_;
     failure_ = nullptr;
@@ -84,13 +103,9 @@ void Actor::suspend(const char* why) {
                 "suspend() may only be called from the actor's own thread "
                 "(blocking is forbidden in handler/event context)");
   block_reason_ = why;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    yielded_ = true;
-    cv_.notify_all();
-    cv_.wait(lock, [this] { return run_granted_; });
-    run_granted_ = false;
-  }
+  turn_.store(kEngineHasControl, std::memory_order_release);
+  turn_.notify_one();
+  park_until(kActorHasControl);
   if (poisoned_) throw ActorKilled{};
   block_reason_ = "running";
 }
@@ -110,7 +125,20 @@ void Actor::compute(Time d) {
 // Engine
 // ---------------------------------------------------------------------------
 
-Engine::~Engine() { shutdown(); }
+Engine::~Engine() {
+  shutdown();
+  // Events still queued (failed run, deadlock) own callables; destroy them
+  // before the pool slabs go away.
+  if (box_full_) box_.node->clear();
+  for (const HeapSlot& s : heap_) s.node->clear();
+  std::size_t idx = tail_head_;
+  for (std::size_t b = tail_head_block_; b < tail_blocks_.size(); ++b) {
+    const std::size_t end =
+        b + 1 == tail_blocks_.size() ? tail_back_ : SlotBlock::kSlots;
+    for (std::size_t j = idx; j < end; ++j) tail_blocks_[b]->s[j].node->clear();
+    idx = 0;
+  }
+}
 
 void Engine::shutdown() {
   // Unwind any actor still blocked (failed run, deadlock, or an exception
@@ -126,11 +154,6 @@ void Engine::shutdown() {
     }
   }
   // Actor destructors join the threads.
-}
-
-void Engine::schedule_at(Time t, EventFn fn) {
-  SPLAP_REQUIRE(t >= now_, "cannot schedule an event in the virtual past");
-  events_.push(Event{t, next_seq_++, std::move(fn)});
 }
 
 Actor& Engine::spawn(std::string name, std::function<void(Actor&)> body) {
@@ -155,11 +178,25 @@ void Engine::wake(Actor& a) {
 Status Engine::run() {
   SPLAP_REQUIRE(!running_, "Engine::run is not reentrant");
   running_ = true;
-  while (!events_.empty()) {
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    now_ = ev.t;
-    ev.fn();  // may throw: propagates to caller; ~Engine cleans up
+  while (!queue_empty()) {
+    const HeapSlot s = queue_pop();
+    // Touch the NEXT event's node while this one executes: queued nodes
+    // cycle through a pool region larger than L1, and the pointer chase is
+    // otherwise on the critical path of every dispatch.
+    if (tail_size_ != 0) __builtin_prefetch(tail_front().node);
+    EventNode* n = s.node;
+    now_ = s.t;
+    // invoke destroys the callable on both paths, so the node goes straight
+    // back to the pool; a free node's stale thunk pointers are never read
+    // (bind overwrites them, and ~Engine only sweeps queued nodes).
+    try {
+      n->invoke(n->obj);  // may throw: propagates to caller; ~Engine cleans up
+    } catch (...) {
+      event_pool_.release(n);
+      running_ = false;
+      throw;
+    }
+    event_pool_.release(n);
   }
   running_ = false;
   bool dead = false;

@@ -3,27 +3,38 @@
 // A simulated SP task is an Actor: user code runs on a dedicated OS thread so
 // it can block naturally (LAPI_Waitcntr really blocks), but the engine admits
 // exactly ONE runnable entity at any instant — either one actor or one event
-// callback — via a mutex/condvar handoff. Execution is therefore sequential,
-// race-free and bit-reproducible while the public API looks like a normal
-// blocking communication library.
+// callback — via a single-word park/unpark handoff. Execution is therefore
+// sequential, race-free and bit-reproducible while the public API looks like
+// a normal blocking communication library.
 //
 // Virtual time only advances when the engine pops an event; actors charge
 // CPU work explicitly through Actor::compute(). Ties in the event queue break
 // by insertion order, which pins down determinism.
+//
+// Hot-path design (see DESIGN.md "Engine internals"): events live in pooled
+// nodes with inline small-buffer callback storage. Ordering uses a two-list
+// queue: pushes whose time is >= the newest queued time append to a sorted
+// FIFO tail in O(1) (the overwhelmingly common DES pattern — schedule_after
+// from a monotone clock), everything else falls back to a binary min-heap of
+// 24-byte (time, seq, node) slots. Pop takes whichever front is smaller
+// under the same (time, seq) key, so the drain order is bit-identical to a
+// single priority queue — and steady state never touches the allocator.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <queue>
+#include <new>
 #include <string>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "base/log.hpp"
+#include "base/pool.hpp"
 #include "base/stats.hpp"
 #include "base/status.hpp"
 #include "base/time.hpp"
@@ -84,18 +95,26 @@ class Actor {
   // Called from the engine thread: hand execution to the actor, return when
   // it suspends or finishes.
   void grant();
-  // Called from the actor thread: hand execution back to the engine.
-  void yield_to_engine();
+  // Block the calling thread until `turn_` equals `want`. Fast path is a
+  // bounded spin (useful only with >1 hardware thread); slow path parks on
+  // the atomic word (futex wait), so an idle handoff costs one wake syscall
+  // instead of two mutex round-trips.
+  void park_until(std::uint32_t want);
+
+  // Ownership token for the single-runnable-entity invariant. Exactly one
+  // side (engine or actor thread) holds control at any instant; all other
+  // Actor fields are only touched by the side that holds it, so the
+  // release-store/acquire-load pair on this word is the only synchronization
+  // the handoff needs.
+  static constexpr std::uint32_t kEngineHasControl = 0;
+  static constexpr std::uint32_t kActorHasControl = 1;
 
   Engine& engine_;
   const int id_;
   const std::string name_;
   const char* block_reason_ = "not started";
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool run_granted_ = false;
-  bool yielded_ = true;  // actor starts descheduled
+  std::atomic<std::uint32_t> turn_{kEngineHasControl};
   bool finished_ = false;
   bool wake_pending_ = false;  // coalesces redundant wakeups
   bool poisoned_ = false;      // engine teardown: unwind on next suspend
@@ -105,18 +124,49 @@ class Actor {
 
 class Engine {
  public:
+  /// Compatibility alias; schedule_at accepts any callable directly and
+  /// stores small ones inline, so wrapping in std::function is unnecessary.
   using EventFn = std::function<void()>;
 
-  Engine() = default;
+  /// Captures up to this many bytes live inside the pooled event node; only
+  /// oversized callables fall back to a heap allocation. 64 covers every
+  /// steady-state capture in the tree (fabric: two pointers; LAPI/MPL defer:
+  /// this + weak_ptr + std::function = 56 bytes).
+  static constexpr std::size_t kInlineCallbackBytes = 64;
+
+  Engine() { tail_spare_.push_back(&first_block_); }
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   Time now() const { return now_; }
 
-  /// Schedule `fn` at absolute virtual time `t` (>= now).
-  void schedule_at(Time t, EventFn fn);
-  void schedule_after(Time d, EventFn fn) { schedule_at(now_ + d, fn); }
+  /// Schedule `fn` at absolute virtual time `t` (>= now; scheduling into the
+  /// virtual past would silently corrupt the clock, so it aborts).
+  template <class F>
+  void schedule_at(Time t, F&& fn) {
+    SPLAP_REQUIRE(t >= now_, "cannot schedule an event in the virtual past");
+    EventNode* n = event_pool_.acquire();
+    n->bind(std::forward<F>(fn));
+    queue_push(HeapSlot{t, next_seq_++, n});
+  }
+  template <class F>
+  void schedule_after(Time d, F&& fn) {
+    schedule_at(now_ + d, std::forward<F>(fn));
+  }
+
+  /// Raw-thunk fast path for pinned callbacks (fabric packet staging and the
+  /// like): the event carries only a function pointer and a context word, so
+  /// scheduling constructs no capture and running destroys nothing. `ctx`
+  /// must outlive the event.
+  void schedule_thunk(Time t, void (*fn)(void*), void* ctx) {
+    SPLAP_REQUIRE(t >= now_, "cannot schedule an event in the virtual past");
+    EventNode* n = event_pool_.acquire();
+    n->invoke = fn;
+    n->destroy = nullptr;  // nothing owned; teardown clear() is a no-op
+    n->obj = ctx;
+    queue_push(HeapSlot{t, next_seq_++, n});
+  }
 
   /// Create an actor whose body starts executing at the current time.
   Actor& spawn(std::string name, std::function<void(Actor&)> body);
@@ -141,21 +191,259 @@ class Engine {
   /// Actors spawned so far (stable order).
   const std::vector<std::unique_ptr<Actor>>& actors() const { return actors_; }
 
+  /// Event nodes allocated so far (steady state: constant — the pool
+  /// recycles). Exposed for the allocation-regression tests.
+  std::size_t event_nodes_allocated() const { return event_pool_.capacity(); }
+
  private:
   friend class Actor;
 
-  struct Event {
+  /// One scheduled event's callable. Nodes are pool-recycled and
+  /// pointer-stable, so the bound callable is constructed once in place and
+  /// never moved. Ordering metadata lives in HeapSlot, not here: the heap
+  /// sift loops then run over a contiguous array of 24-byte slots and never
+  /// dereference a node, which is what makes pops cache-friendly at large
+  /// queue depths.
+  struct EventNode {
+    // invoke runs the callable AND destroys it (even if it throws): the run
+    // loop then pays one indirect call per event instead of two. destroy
+    // exists for nodes that never run (engine teardown with events queued).
+    void (*invoke)(void*) = nullptr;
+    void (*destroy)(void*) = nullptr;
+    void* obj = nullptr;  // == inline_storage, or a heap allocation
+    alignas(std::max_align_t) std::byte inline_storage[kInlineCallbackBytes];
+
+    template <class F>
+    void bind(F&& fn) {
+      using D = std::decay_t<F>;
+      if constexpr (sizeof(D) <= kInlineCallbackBytes &&
+                    alignof(D) <= alignof(std::max_align_t)) {
+        obj = new (inline_storage) D(std::forward<F>(fn));
+        destroy = [](void* o) { static_cast<D*>(o)->~D(); };
+        invoke = [](void* o) {
+          D* d = static_cast<D*>(o);
+          struct Reap {  // destroys on both the normal and the throw path
+            D* d;
+            ~Reap() { d->~D(); }
+          } reap{d};
+          (*d)();
+        };
+      } else {
+        obj = new D(std::forward<F>(fn));
+        destroy = [](void* o) { delete static_cast<D*>(o); };
+        invoke = [](void* o) {
+          D* d = static_cast<D*>(o);
+          struct Reap {
+            D* d;
+            ~Reap() { delete d; }
+          } reap{d};
+          (*d)();
+        };
+      }
+    }
+
+    /// Destroy the bound callable; idempotent so teardown can clear nodes
+    /// that are mid-flight in the queue. There is deliberately no destructor:
+    /// every pooled node is cleared either after it runs or by ~Engine's
+    /// queue sweep, and a trivially-destructible node keeps slab teardown
+    /// from touching every node's memory again.
+    void clear() {
+      if (destroy != nullptr) {
+        destroy(obj);
+        destroy = nullptr;
+        invoke = nullptr;
+        obj = nullptr;
+      }
+    }
+  };
+  static_assert(std::is_trivially_destructible_v<EventNode>);
+
+  /// Queue entry: sort key (t, then insertion seq — identical tie-breaking to
+  /// the original std::priority_queue formulation, so pop order and every
+  /// simulated timestamp stay bit-identical) plus the owning node.
+  struct HeapSlot {
     Time t;
     std::uint64_t seq;
-    EventFn fn;
-    bool operator>(const Event& o) const {
-      return t != o.t ? t > o.t : seq > o.seq;
+    EventNode* node;
+    bool before(const HeapSlot& o) const {
+      return t != o.t ? t < o.t : seq < o.seq;
     }
   };
 
+  // --- Two-list event queue --------------------------------------------
+  // The sorted FIFO tail holds every push whose time is >= the tail's
+  // newest time (seq is always larger, so the order key stays strictly
+  // increasing) — the overwhelmingly common DES pattern. Out-of-order
+  // pushes go to the binary min-heap heap_. The global minimum is
+  // therefore min(front of tail, top of heap), which queue_pop selects
+  // with the same before() predicate — pop order is provably identical to
+  // one priority queue over all pushed slots.
+  //
+  // The tail stores slots in fixed-size blocks rather than one vector:
+  // growth never copies (a vector doubling through the allocator's mmap
+  // range costs page faults per event burst), and drained blocks recycle
+  // through a spare list, so steady state allocates nothing.
+
+  struct SlotBlock {
+    static constexpr std::size_t kSlots = 2048;  // 48 KB per block
+    HeapSlot s[kSlots];
+  };
+
+  void tail_push(HeapSlot s) {
+    if (tail_back_ == SlotBlock::kSlots || tail_blocks_.empty()) {
+      if (tail_spare_.empty()) {
+        owned_blocks_.push_back(std::make_unique_for_overwrite<SlotBlock>());
+        tail_spare_.push_back(owned_blocks_.back().get());
+      }
+      tail_blocks_.push_back(tail_spare_.back());
+      tail_spare_.pop_back();
+      tail_back_ = 0;
+    }
+    tail_blocks_.back()->s[tail_back_++] = s;
+    tail_back_t_ = s.t;
+    ++tail_size_;
+  }
+
+  HeapSlot tail_pop() {
+    const HeapSlot s = tail_blocks_[tail_head_block_]->s[tail_head_++];
+    if (--tail_size_ == 0) {
+      // Fully drained: recycle every block and reset to the empty state.
+      for (SlotBlock* b : tail_blocks_) tail_spare_.push_back(b);
+      tail_blocks_.clear();
+      tail_head_block_ = 0;
+      tail_head_ = 0;
+      tail_back_ = 0;
+    } else if (tail_head_ == SlotBlock::kSlots) {
+      tail_spare_.push_back(tail_blocks_[tail_head_block_]);
+      ++tail_head_block_;
+      tail_head_ = 0;
+      if (tail_head_block_ >= 16) {
+        // Drop the dead prefix so a run that never fully drains stays O(1)
+        // in block-table space.
+        tail_blocks_.erase(tail_blocks_.begin(),
+                           tail_blocks_.begin() +
+                               static_cast<std::ptrdiff_t>(tail_head_block_));
+        tail_head_block_ = 0;
+      }
+    }
+    return s;
+  }
+
+  const HeapSlot& tail_front() const {
+    return tail_blocks_[tail_head_block_]->s[tail_head_];
+  }
+
+  void queue_push(HeapSlot s) {
+    // tail_back_t_ is a cached copy of the newest tail slot's time:
+    // comparing against the member avoids a load of the slot just stored
+    // (store-forwarding stall on back-to-back schedules).
+    if (tail_size_ == 0 || tail_back_t_ <= s.t) {
+      tail_push(s);
+      return;
+    }
+    push_ooo(s);
+  }
+
+  /// Out-of-order push (kept out of line so the monotone fast path above
+  /// stays small enough to inline everywhere). The dominant such pattern is
+  /// an IMMINENT event — e.g. the fabric scheduling a delivery a few hundred
+  /// ns out while the tail holds arrivals microseconds away — so a one-slot
+  /// box absorbs it without heap traffic. Placement is pure routing:
+  /// queue_pop takes the exact minimum of box/tail/heap under before(), so
+  /// pop order is identical no matter which list a slot landed in.
+  [[gnu::noinline]] void push_ooo(HeapSlot s) {
+    if (!box_full_) {
+      box_ = s;
+      box_full_ = true;
+      return;
+    }
+    if (s.before(box_)) {
+      heap_push(box_);
+      box_ = s;
+    } else {
+      heap_push(s);
+    }
+  }
+
+  HeapSlot queue_pop() {
+    if (!box_full_ && heap_.empty() && tail_size_ != 0) [[likely]] {
+      return tail_pop();
+    }
+    return pop_mixed();
+  }
+
+  /// Exact three-way minimum when the box or heap is occupied.
+  [[gnu::noinline]] HeapSlot pop_mixed() {
+    if (box_full_) {
+      if ((heap_.empty() || box_.before(heap_.front())) &&
+          (tail_size_ == 0 || box_.before(tail_front()))) {
+        box_full_ = false;
+        return box_;
+      }
+    }
+    if (tail_size_ != 0 &&
+        (heap_.empty() || tail_front().before(heap_.front()))) {
+      return tail_pop();
+    }
+    return heap_pop();
+  }
+
+  bool queue_empty() const {
+    return tail_size_ == 0 && !box_full_ && heap_.empty();
+  }
+
+  void heap_push(HeapSlot s) {
+    heap_.push_back(s);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!s.before(heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = s;
+  }
+
+  HeapSlot heap_pop() {
+    const HeapSlot top = heap_.front();
+    const HeapSlot last = heap_.back();
+    heap_.pop_back();
+    const std::size_t sz = heap_.size();
+    if (sz > 0) {
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t left = 2 * i + 1;
+        if (left >= sz) break;
+        std::size_t child = left;
+        if (left + 1 < sz && heap_[left + 1].before(heap_[left])) {
+          child = left + 1;
+        }
+        if (!heap_[child].before(last)) break;
+        heap_[i] = heap_[child];
+        i = child;
+      }
+      heap_[i] = last;
+    }
+    return top;
+  }
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  HeapSlot box_{};        // one-slot fast path for imminent out-of-order pushes
+  bool box_full_ = false;
+  std::vector<HeapSlot> heap_;
+  std::vector<SlotBlock*> tail_blocks_;  // active blocks, front to back
+  std::vector<SlotBlock*> tail_spare_;   // drained blocks awaiting reuse
+  std::vector<std::unique_ptr<SlotBlock>> owned_blocks_;  // heap-grown blocks
+  std::size_t tail_head_block_ = 0;  // block holding the tail's front slot
+  std::size_t tail_head_ = 0;        // front slot index within that block
+  std::size_t tail_back_ = 0;        // one past the last slot in the back block
+  std::size_t tail_size_ = 0;        // slots currently queued in the tail
+  Time tail_back_t_ = 0;             // time of the most recently appended slot
+  // Embedded first block: simulations of up to kSlots in-flight events (the
+  // common case) never allocate tail storage at all.
+  SlotBlock first_block_;
+  ObjectPool<EventNode> event_pool_{512};
   std::vector<std::unique_ptr<Actor>> actors_;
   CounterSet counters_;
   bool running_ = false;

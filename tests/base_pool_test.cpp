@@ -67,5 +67,113 @@ TEST(BufferPoolTest, HighWaterTracksPeakUsage) {
   EXPECT_EQ(pool.high_water(), 3u);
 }
 
+TEST(SlabBufferPoolTest, SteadyStateStopsGrowing) {
+  SlabBufferPool pool(64, 4);
+  EXPECT_EQ(pool.capacity(), 0u);
+  std::vector<std::byte*> held;
+  for (int i = 0; i < 10; ++i) held.push_back(pool.acquire().data);
+  const std::size_t peak_capacity = pool.capacity();
+  EXPECT_GE(peak_capacity, 10u);
+  // Steady state at or below the high-water mark: capacity never moves.
+  for (int round = 0; round < 50; ++round) {
+    for (std::byte* b : held) pool.release(b);
+    held.clear();
+    for (int i = 0; i < 10; ++i) held.push_back(pool.acquire().data);
+    EXPECT_EQ(pool.capacity(), peak_capacity);
+  }
+  for (std::byte* b : held) pool.release(b);
+}
+
+TEST(SlabBufferPoolTest, FreshBuffersCarryFullZeroGuarantee) {
+  SlabBufferPool pool(32, 2);
+  const SlabBufferPool::Buffer b = pool.acquire();
+  ASSERT_EQ(b.zeroed, 32u);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(b.data[i], std::byte{0}) << "byte " << i;
+  }
+  pool.release(b.data, b.zeroed);
+}
+
+TEST(SlabBufferPoolTest, ReleaseGuaranteeRoundTrips) {
+  SlabBufferPool pool(32, 1);
+  SlabBufferPool::Buffer b = pool.acquire();
+  b.data[20] = std::byte{0xFF};
+  pool.release(b.data, 20);  // caller: only [0, 20) still zero
+  const SlabBufferPool::Buffer again = pool.acquire();
+  EXPECT_EQ(again.data, b.data);
+  EXPECT_EQ(again.zeroed, 20u);
+  pool.release(again.data, 0);
+  EXPECT_EQ(pool.acquire().zeroed, 0u);
+  pool.release(b.data, 0);
+}
+
+TEST(ZeroSlabCacheTest, CleanPoolDonatesSlabsToSuccessor) {
+  // An unusual geometry so this test cannot collide with slabs donated by
+  // other tests in this process.
+  constexpr std::size_t kBytes = 112;
+  constexpr std::size_t kPerSlab = 3;
+  std::byte* donated = nullptr;
+  {
+    SlabBufferPool pool(kBytes, kPerSlab);
+    const SlabBufferPool::Buffer b = pool.acquire();
+    donated = b.data;
+    // Returned fully zero (never written), so the dying pool may donate.
+    pool.release(b.data, b.zeroed);
+  }
+  SlabBufferPool next(kBytes, kPerSlab);
+  std::vector<SlabBufferPool::Buffer> all;
+  for (std::size_t i = 0; i < kPerSlab; ++i) all.push_back(next.acquire());
+  bool saw_donated = false;
+  for (const auto& b : all) {
+    saw_donated = saw_donated || b.data == donated;
+    EXPECT_EQ(b.zeroed, kBytes);
+    for (std::size_t i = 0; i < kBytes; ++i) {
+      ASSERT_EQ(b.data[i], std::byte{0});
+    }
+  }
+  EXPECT_TRUE(saw_donated);
+  for (const auto& b : all) next.release(b.data, b.zeroed);
+}
+
+TEST(ZeroSlabCacheTest, DirtyPoolDoesNotDonate) {
+  constexpr std::size_t kBytes = 176;  // unique geometry, see above
+  std::byte* dirty = nullptr;
+  {
+    SlabBufferPool pool(kBytes, 1);
+    SlabBufferPool::Buffer b = pool.acquire();
+    b.data[0] = std::byte{0xAA};
+    dirty = b.data;
+    pool.release(b.data, 0);
+  }
+  // The successor may reuse the same address range via the heap, but it must
+  // arrive through the value-initialized path: fully zero again.
+  SlabBufferPool next(kBytes, 1);
+  const SlabBufferPool::Buffer b = next.acquire();
+  EXPECT_EQ(b.zeroed, kBytes);
+  for (std::size_t i = 0; i < kBytes; ++i) {
+    ASSERT_EQ(b.data[i], std::byte{0}) << (b.data == dirty ? "reused" : "new");
+  }
+  next.release(b.data, b.zeroed);
+}
+
+TEST(ObjectPoolTest, RecyclesWithStablePointers) {
+  struct Node {
+    int tag = 0;
+  };
+  ObjectPool<Node> pool(4);
+  Node* a = pool.acquire();
+  a->tag = 7;
+  pool.release(a);
+  Node* b = pool.acquire();
+  EXPECT_EQ(b, a);  // LIFO free list hands the hot object back
+  const std::size_t cap = pool.capacity();
+  for (int i = 0; i < 100; ++i) {
+    Node* p = pool.acquire();
+    pool.release(p);
+  }
+  EXPECT_EQ(pool.capacity(), cap);
+  pool.release(b);
+}
+
 }  // namespace
 }  // namespace splap

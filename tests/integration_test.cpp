@@ -194,8 +194,9 @@ TEST(IntegrationTest, VirtualTimeIsDeterministicAcrossRuns) {
       ga::Runtime rt(n);
       ga::GlobalArray a = rt.create(32, 32);
       rt.sync();
-      std::vector<double> v(static_cast<std::size_t>(a.my_block().elems()),
-                            1.0);
+      // The accumulated patch is the whole 32x32 array, so the source
+      // buffer must cover all of it, not just this task's block.
+      std::vector<double> v(32u * 32u, 1.0);
       a.acc(ga::Patch{0, 31, 0, 31}, v.data(), 32, 1.0);
       rt.sync();
       rt.destroy(a);

@@ -241,7 +241,7 @@ TEST_F(FabricTest, PacketDataIntegrityPreserved) {
   Machine m(config());
   std::vector<std::byte> got;
   m.node(1).adapter().register_client(Client::kLapi, [&](Packet&& p) {
-    got = std::move(p.data);
+    got.assign(p.data.begin(), p.data.end());
   });
   m.engine().schedule_at(0, [&] {
     Packet p = make_packet(0, 1, 48, 256);
@@ -253,6 +253,40 @@ TEST_F(FabricTest, PacketDataIntegrityPreserved) {
   for (int i = 0; i < 256; ++i) {
     EXPECT_EQ(got[static_cast<std::size_t>(i)], static_cast<std::byte>(i));
   }
+}
+
+TEST_F(FabricTest, SteadyStateTrafficAllocatesNothing) {
+  // After the first wave of traffic has sized the pools, further waves on
+  // the same machine must recycle every payload buffer, in-flight record,
+  // and engine event node: the allocation counters stop moving. This is the
+  // regression test for the hot-path overhaul's allocation-free guarantee.
+  Machine m(config());
+  int delivered = 0;
+  m.node(1).adapter().register_client(Client::kLapi,
+                                      [&](Packet&&) { ++delivered; });
+  const auto wave = [&m] {
+    m.engine().schedule_at(m.engine().now(), [&m] {
+      for (int i = 0; i < 64; ++i) {
+        Packet p = m.fabric().make_packet();
+        p.src = 0;
+        p.dst = 1;
+        p.client = Client::kLapi;
+        p.header_bytes = 48;
+        p.data.resize(976);
+        m.fabric().transmit(std::move(p));
+      }
+    });
+    ASSERT_EQ(m.engine().run(), Status::kOk);
+  };
+  wave();
+  wave();
+  const std::size_t payload_buffers = m.fabric().payload_buffers_allocated();
+  const std::size_t event_nodes = m.engine().event_nodes_allocated();
+  EXPECT_GE(payload_buffers, 64u);
+  for (int w = 0; w < 10; ++w) wave();
+  EXPECT_EQ(m.fabric().payload_buffers_allocated(), payload_buffers);
+  EXPECT_EQ(m.engine().event_nodes_allocated(), event_nodes);
+  EXPECT_EQ(delivered, 12 * 64);
 }
 
 }  // namespace

@@ -145,7 +145,7 @@ TEST(EngineTest, NoDeadlockWhenAllFinish) {
   Engine eng;
   for (int i = 0; i < 4; ++i) {
     eng.spawn("t" + std::to_string(i),
-              [&](Actor& self) { self.compute(microseconds(i + 1)); });
+              [i](Actor& self) { self.compute(microseconds(i + 1)); });
   }
   EXPECT_EQ(eng.run(), Status::kOk);
 }
