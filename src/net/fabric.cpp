@@ -14,19 +14,23 @@ Fabric::Fabric(sim::Engine& engine, int nodes, FabricConfig config)
       rx_free_(static_cast<std::size_t>(nodes), 0),
       next_route_(static_cast<std::size_t>(nodes), 0),
       deliver_(static_cast<std::size_t>(nodes)),
+      deliver_fns_(static_cast<std::size_t>(nodes)),
       rng_(config.seed),
       payload_pool_(static_cast<std::size_t>(config.cost.packet_bytes), 256) {
   SPLAP_REQUIRE(nodes > 0, "fabric needs at least one node");
 }
 
 void Fabric::set_deliver(int dst, DeliverFn fn) {
-  auto holder = std::make_unique<DeliverFn>(std::move(fn));
+  SPLAP_REQUIRE(dst >= 0 && dst < nodes(), "bad node id");
+  // One holder slot per node: re-registering replaces the old function
+  // instead of leaking it for the fabric's lifetime.
+  auto& holder = deliver_fns_[static_cast<std::size_t>(dst)];
+  holder = std::make_unique<DeliverFn>(std::move(fn));
   set_deliver(dst,
               [](void* ctx, Packet&& pkt) {
                 (*static_cast<DeliverFn*>(ctx))(std::move(pkt));
               },
               holder.get());
-  deliver_fns_.push_back(std::move(holder));
 }
 
 void Fabric::set_deliver(int dst, DeliverThunk fn, void* ctx) {
@@ -118,12 +122,20 @@ void Fabric::finish_delivery(InFlight* rec) {
   const DeliverSlot slot = deliver_[dst];
   SPLAP_REQUIRE(slot.fn != nullptr,
                 "packet for a node with no adapter handler");
+  // Whatever the handler does not take with it (payload buffer, descriptor
+  // reference) goes back to the pools before the record is recycled — on the
+  // throw path too, or a throwing handler would strand the record (and its
+  // buffer) for the fabric's lifetime.
+  struct Reap {
+    Fabric* f;
+    InFlight* rec;
+    ~Reap() {
+      rec->pkt.data.reset();
+      rec->pkt.meta.reset();
+      f->inflight_pool_.release(rec);
+    }
+  } reap{this, rec};
   slot.fn(slot.ctx, std::move(rec->pkt));
-  // Whatever the handler did not take with it (payload buffer, descriptor
-  // reference) goes back to the pools before the record is recycled.
-  rec->pkt.data.reset();
-  rec->pkt.meta.reset();
-  inflight_pool_.release(rec);
 }
 
 }  // namespace splap::net

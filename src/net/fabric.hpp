@@ -116,7 +116,8 @@ class Fabric {
   std::vector<Time> rx_free_;    // per-dst drain DMA
   std::vector<int> next_route_;  // per-src round-robin route pointer
   std::vector<DeliverSlot> deliver_;
-  // Stable homes for std::function registrations (tests, tools); the hot
+  // Stable homes for std::function registrations (tests, tools), one slot
+  // per node so re-registration replaces rather than accumulates; the hot
   // slot then points at a trampoline that calls through the function.
   std::vector<std::unique_ptr<DeliverFn>> deliver_fns_;
   Rng rng_;

@@ -307,8 +307,14 @@ class Engine {
   HeapSlot tail_pop() {
     const HeapSlot s = tail_blocks_[tail_head_block_]->s[tail_head_++];
     if (--tail_size_ == 0) {
-      // Fully drained: recycle every block and reset to the empty state.
-      for (SlotBlock* b : tail_blocks_) tail_spare_.push_back(b);
+      // Fully drained: recycle the live suffix and reset to the empty state.
+      // Blocks before tail_head_block_ (the dead prefix kept around between
+      // prunes) were already handed to tail_spare_ when the head crossed
+      // them; recycling those again would alias two active blocks onto the
+      // same storage.
+      for (std::size_t b = tail_head_block_; b < tail_blocks_.size(); ++b) {
+        tail_spare_.push_back(tail_blocks_[b]);
+      }
       tail_blocks_.clear();
       tail_head_block_ = 0;
       tail_head_ = 0;

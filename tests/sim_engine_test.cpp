@@ -176,6 +176,35 @@ TEST(EngineTest, DeterministicAcrossRuns) {
   EXPECT_EQ(a, b);
 }
 
+TEST(EngineTest, TailBlockRecyclingSurvivesPartialThenFullDrain) {
+  // Regression: once the queue head crosses a block boundary, the drained
+  // block sits in the spare list AND (until the dead-prefix prune) in the
+  // active block table. The full-drain reset must recycle only the live
+  // suffix — recycling the whole table duplicates pointers in the spare
+  // list, and a later burst maps two active blocks onto the same storage,
+  // silently overwriting queued events.
+  static constexpr int kWave1 = 2100;  // crosses one 2048-slot block boundary
+  static constexpr int kWave2 = 5000;  // spans 3 blocks; an aliased pair corrupts
+  Engine eng;
+  std::vector<int> order;
+  order.reserve(kWave1 + kWave2);
+  for (int i = 0; i < kWave1; ++i) {
+    eng.schedule_at(microseconds(i), [&order, i] { order.push_back(i); });
+  }
+  eng.schedule_at(microseconds(kWave1), [&] {
+    // Runs after the tail fully drained; these pushes draw recycled blocks.
+    for (int j = 0; j < kWave2; ++j) {
+      eng.schedule_at(microseconds(kWave1 + 1 + j),
+                      [&order, j] { order.push_back(kWave1 + j); });
+    }
+  });
+  EXPECT_EQ(eng.run(), Status::kOk);
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kWave1 + kWave2));
+  for (int i = 0; i < kWave1 + kWave2; ++i) {
+    ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
 TEST(EngineTest, CurrentIsNullInEventContext) {
   Engine eng;
   eng.schedule_at(0, [] { EXPECT_EQ(Actor::current(), nullptr); });
