@@ -23,7 +23,9 @@ double lapi_one_way_us() {
   net::Machine m(machine2());
   lapi::Config cfg;
   cfg.interrupt_mode = false;
-  std::byte cell{};
+  // 4-byte landing buffer: the put below writes 4 bytes (a single-byte cell
+  // here is an out-of-bounds write that can corrupt adjacent locals).
+  std::byte cell[4] = {};
   lapi::Counter tgt;
   Time sent = kNoTime, landed = kNoTime;
   const Status st = m.run_spmd([&](net::Node& n) {
@@ -34,7 +36,7 @@ double lapi_one_way_us() {
       ctx.node().task().compute(microseconds(100));
       std::byte b[4] = {};
       sent = ctx.engine().now();
-      (void)ctx.put(1, std::span<const std::byte>(b, 4), &cell,
+      (void)ctx.put(1, std::span<const std::byte>(b, 4), cell,
                     static_cast<lapi::Counter*>(tab[1]), nullptr, nullptr);
     } else {
       ctx.waitcntr(tgt, 1);
@@ -52,7 +54,7 @@ double lapi_polling_rt_us(bool interrupt_mode) {
   net::Machine m(machine2());
   lapi::Config cfg;
   cfg.interrupt_mode = interrupt_mode;
-  std::byte ping{}, pong{};
+  std::byte ping[4] = {}, pong[4] = {};  // 4-byte landing buffers
   lapi::Counter ping_c, pong_c;
   Time rt = 0;
   const Status st = m.run_spmd([&](net::Node& n) {
@@ -64,13 +66,13 @@ double lapi_polling_rt_us(bool interrupt_mode) {
     if (ctx.task_id() == 0) {
       ctx.node().task().compute(microseconds(50));
       const Time t0 = ctx.engine().now();
-      (void)ctx.put(1, std::span<const std::byte>(b, 4), &ping,
+      (void)ctx.put(1, std::span<const std::byte>(b, 4), ping,
                     static_cast<lapi::Counter*>(pt[1]), nullptr, nullptr);
       ctx.waitcntr(pong_c, 1);
       rt = ctx.engine().now() - t0;
     } else {
       ctx.waitcntr(ping_c, 1);
-      (void)ctx.put(0, std::span<const std::byte>(b, 4), &pong,
+      (void)ctx.put(0, std::span<const std::byte>(b, 4), pong,
                     static_cast<lapi::Counter*>(qt[0]), nullptr, nullptr);
     }
     ctx.gfence();

@@ -16,4 +16,12 @@ cmake -B build-asan -S . -DSPLAP_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
 cmake --build build-asan -j"$(nproc)"
 ctest --test-dir build-asan --output-on-failure
 
+# The chaos harness exercises the retransmit/duplicate/corruption recovery
+# paths — the code most likely to touch freed records or stale buffers — so
+# it gets an explicit sanitized pass even though the full ctest run above
+# already includes it (this stage keeps failing loudly if the chaos label
+# set ever becomes empty).
+echo "== chaos harness (ASan+UBSan) =="
+ctest --test-dir build-asan -L chaos --no-tests=error --output-on-failure
+
 echo "All checks passed."

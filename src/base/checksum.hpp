@@ -1,0 +1,46 @@
+// CRC-32 (IEEE 802.3 reflected polynomial), table-driven.
+//
+// Used for the LAPI end-to-end payload integrity check: the origin stamps
+// every data-bearing packet's descriptor with the CRC of its payload bytes,
+// and the target discards any packet whose delivered bytes no longer match
+// (corruption injected by the fault model, see net/fault.hpp) — the
+// retransmission layer then recovers it exactly like a loss. CRC-32 is
+// linear, so any single-byte flip is guaranteed to change the checksum.
+//
+// No virtual time is charged for checksumming: it models the adapter's
+// hardware CRC engine, not protocol CPU.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace splap {
+
+inline std::uint32_t crc32(const std::byte* data, std::size_t len) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ static_cast<std::uint32_t>(data[i])) & 0xFFu] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// Never-zero variant for wire fields where 0 means "no checksum carried".
+inline std::uint32_t crc32_nz(const std::byte* data, std::size_t len) {
+  const std::uint32_t c = crc32(data, len);
+  return c == 0 ? 1u : c;
+}
+
+}  // namespace splap

@@ -171,7 +171,7 @@ void Runtime::lapi_put_acc(int id, const Patch& p, const double* buf,
   }
 
   // put/acc return once the source buffer is reusable.
-  if (org_waits > 0) ctx_->waitcntr(org, org_waits);
+  if (org_waits > 0) note(ctx_->waitcntr(org, org_waits));
 }
 
 // ---------------------------------------------------------------------------
@@ -262,7 +262,7 @@ void Runtime::lapi_get(int id, const Patch& p, double* buf, std::int64_t ld) {
   }
 
   // GA get is blocking (Section 5.4).
-  if (expected > 0) ctx_->waitcntr(done, expected);
+  if (expected > 0) note(ctx_->waitcntr(done, expected));
 }
 
 // ---------------------------------------------------------------------------
@@ -374,7 +374,7 @@ void Runtime::lapi_gather(int id, std::span<double> v,
       ++expected;  // one reply message per request chunk
     }
   }
-  if (expected > 0) ctx_->waitcntr(done, expected);
+  if (expected > 0) note(ctx_->waitcntr(done, expected));
 }
 
 // ---------------------------------------------------------------------------

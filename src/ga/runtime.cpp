@@ -189,7 +189,7 @@ void Runtime::fence() {
     for (int t = 0; t < nprocs(); ++t) {
       GenCntr& g = gen_[static_cast<std::size_t>(t)];
       if (g.outstanding > 0) {
-        ctx_->waitcntr(g.cntr, g.outstanding);
+        note(ctx_->waitcntr(g.cntr, g.outstanding));
         g.outstanding = 0;
         g.last_op = 0;
       }
@@ -338,7 +338,7 @@ void Runtime::brdcst(std::span<double> data, int root) {
       SPLAP_REQUIRE(st == Status::kOk, "brdcst put failed");
       ++sent;
     }
-    ctx_->waitcntr(org, sent);
+    note(ctx_->waitcntr(org, sent));
   }
   ctx_->gfence();  // root's puts fenced + everyone synchronized
 }
@@ -361,7 +361,7 @@ void Runtime::gop_sum(std::span<double> data) {
           static_cast<const std::byte*>(table[static_cast<std::size_t>(t)]),
           reinterpret_cast<std::byte*>(scratch.data()), nullptr, &org);
       SPLAP_REQUIRE(st == Status::kOk, "gop_sum get failed");
-      ctx_->waitcntr(org, 1);
+      note(ctx_->waitcntr(org, 1));
       node_.task().compute(cost().copy_time(
           static_cast<std::int64_t>(data.size_bytes())));
       for (std::size_t i = 0; i < data.size(); ++i) data[i] += scratch[i];

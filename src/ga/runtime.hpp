@@ -143,6 +143,11 @@ class Runtime {
   void brdcst(std::span<double> data, int root);
   void gop_sum(std::span<double> data);
 
+  /// Sticky transport health (kLapi): the first non-kOk status any GA wait
+  /// observed — a retry-exhausted transfer surfaces here instead of
+  /// silently delivering stale data. kOk on a healthy run; never reset.
+  Status comm_status() const { return comm_status_; }
+
   // Internal API used by GlobalArray (public for the handler plumbing).
   struct ArrayState {
     bool alive = false;
@@ -220,8 +225,14 @@ class Runtime {
     std::uint8_t last_op = 0;
   };
 
+  /// Latch the first communication failure (see comm_status()).
+  void note(Status st) {
+    if (st != Status::kOk && comm_status_ == Status::kOk) comm_status_ = st;
+  }
+
   net::Node& node_;
   Config config_;
+  Status comm_status_ = Status::kOk;
 
   std::unique_ptr<lapi::Context> ctx_;  // kLapi
   std::unique_ptr<mpl::Comm> comm_;     // kMpl

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <utility>
 
+#include "base/checksum.hpp"
 #include "base/log.hpp"
 
 // The poisoned-teardown path below leaks its service pool on purpose (see the
@@ -99,7 +100,12 @@ Context::Universe& Context::universe() { return Universe::of(node_.machine()); }
 // ---------------------------------------------------------------------------
 
 Context::Context(net::Node& node, Config config)
-    : node_(node), config_(config), interrupt_mode_(config.interrupt_mode) {
+    : node_(node),
+      config_(config),
+      interrupt_mode_(config.interrupt_mode),
+      retry_rng_(config.jitter_seed ^
+                 (static_cast<std::uint64_t>(node.id()) * 0x9e3779b9ULL)),
+      checksums_(node.machine().fabric().corruption_enabled()) {
   SPLAP_REQUIRE(sim::Actor::current() != nullptr,
                 "LAPI_Init must run in a task (actor) context");
   node_.adapter().register_client(
@@ -261,6 +267,13 @@ void Context::bump(Counter* c, std::int64_t by) {
   notify();
 }
 
+void Context::bump_failed(Counter* c) {
+  if (c == nullptr) return;
+  c->value_ += 1;
+  c->failed_ += 1;
+  notify();
+}
+
 void Context::setcntr(Counter& c, std::int64_t v) {
   c.value_ = v;
   notify();
@@ -274,7 +287,7 @@ std::int64_t Context::getcntr(Counter& c) {
   return v;
 }
 
-void Context::waitcntr(Counter& c, std::int64_t val) {
+Status Context::waitcntr(Counter& c, std::int64_t val) {
   sim::Actor* a = sim::Actor::current();
   SPLAP_REQUIRE(a != nullptr, "LAPI_Waitcntr must run in a task context");
   SPLAP_REQUIRE(val >= 0, "negative wait value");
@@ -285,7 +298,16 @@ void Context::waitcntr(Counter& c, std::int64_t val) {
     a->suspend("lapi-waitcntr");
   }
   c.value_ -= val;  // Waitcntr auto-decrements (Section 2.3)
+  // Failure completions (retry exhaustion) unblocked this wait like any
+  // other bump; surface them instead of pretending the data arrived. Each
+  // wait consumes at most `val` recorded failures, mirroring the decrement.
+  Status st = Status::kOk;
+  if (c.failed_ > 0) {
+    st = Status::kResourceExhausted;
+    c.failed_ -= std::min(c.failed_, val);
+  }
   exit_library();
+  return st;
 }
 
 // ---------------------------------------------------------------------------
@@ -400,6 +422,7 @@ Status Context::send_message(PktKind kind, int target,
   rec.data = data;
   rec.needs_done = (kind == PktKind::kPutHdr || kind == PktKind::kAmHdr) &&
                    hdr->cmpl_cntr != nullptr;
+  rec.sent_at = inject_at;
   const std::int64_t id = hdr->msg_id;
   sends_.emplace(id, std::move(rec));
   ++outstanding_data_;
@@ -441,7 +464,7 @@ Status Context::send_message(PktKind kind, int target,
   // departs, and none of that time means loss.
   const Time backlog = std::max<Time>(
       0, node_.machine().fabric().link_free(task_id()) - engine().now());
-  arm_timeout(id, config_.retransmit_timeout + 2 * backlog +
+  arm_timeout(id, initial_rto() + 2 * backlog +
                       2 * transfer_time(len, cm.wire_mb_s));
   return Status::kOk;
 }
@@ -471,6 +494,12 @@ void Context::transmit_packets(const SendRecord& rec) {
   const std::int64_t chunk0 = std::min(len, cap0);
   if (chunk0 > 0) {
     first.data.assign(rec.data->begin(), rec.data->begin() + chunk0);
+    // End-to-end checksum, armed only when the fabric injects corruption.
+    // No virtual-time charge: models the adapter's hardware CRC engine.
+    if (checksums_) {
+      rec.hdr_meta->data_crc = crc32_nz(rec.data->data(),
+                                        static_cast<std::size_t>(chunk0));
+    }
   }
   node_.machine().fabric().transmit(std::move(first));
 
@@ -486,6 +515,10 @@ void Context::transmit_packets(const SendRecord& rec) {
     m->kind = PktKind::kData;
     m->msg_id = hdr.msg_id;
     m->offset = offset;
+    if (checksums_) {
+      m->data_crc = crc32_nz(rec.data->data() + offset,
+                             static_cast<std::size_t>(chunk));
+    }
     p.meta = std::move(m);
     p.data.assign(rec.data->begin() + offset,
                   rec.data->begin() + offset + chunk);
@@ -516,9 +549,18 @@ void Context::arm_timeout(std::int64_t msg_id, Time delay) {
       delay, [this, w = std::weak_ptr<char>(alive_), msg_id, gen, delay] {
         if (w.expired()) return;
         auto jt = sends_.find(msg_id);
-        if (jt == sends_.end()) return;
+        if (jt == sends_.end()) {
+          // Record reclaimed (acked or failed) before this timer fired.
+          engine().counters().bump("lapi.stale_timeouts");
+          return;
+        }
         SendRecord& rec = jt->second;
-        if (gen != rec.timeout_gen) return;
+        if (gen != rec.timeout_gen) {
+          // A newer timer owns this record; this one was invalidated by an
+          // ack-triggered (or later) re-arm and must never retransmit.
+          engine().counters().bump("lapi.stale_timeouts");
+          return;
+        }
         if (rec.data_acked && (!rec.needs_done || rec.done_acked)) return;
         if (rec.retries >= config_.max_retries) {
           engine().counters().bump("lapi.retransmit_giveup");
@@ -526,7 +568,7 @@ void Context::arm_timeout(std::int64_t msg_id, Time delay) {
                      "lapi task %d: giving up on msg %lld to %d after %d retries",
                      task_id(), static_cast<long long>(msg_id), rec.target,
                      rec.retries);
-          notify();  // term()'s quiesce loop re-evaluates the give-up state
+          fail_send(msg_id);
           return;
         }
         ++rec.retries;
@@ -543,8 +585,61 @@ void Context::arm_timeout(std::int64_t msg_id, Time delay) {
           // assembly and re-acks with the done flag.
           transmit_probe(rec);
         }
-        arm_timeout(msg_id, delay * 2);
+        // Exponential backoff; the adaptive policy caps the doubling at
+        // rto_max and adds deterministic jitter so tasks whose losses were
+        // synchronized (e.g. a route going down) retry unsynchronized.
+        Time next = delay * 2;
+        if (config_.adaptive_timeout) {
+          next = std::min(next, config_.rto_max);
+          const auto spread =
+              static_cast<std::uint64_t>(next * config_.backoff_jitter);
+          if (spread > 0) {
+            next += static_cast<Time>(retry_rng_.next_below(spread));
+          }
+        }
+        arm_timeout(msg_id, next);
       });
+}
+
+Time Context::initial_rto() const {
+  if (!config_.adaptive_timeout || !have_rtt_) {
+    return config_.retransmit_timeout;
+  }
+  return std::clamp(srtt_ + 4 * rttvar_, config_.rto_min, config_.rto_max);
+}
+
+void Context::sample_rtt(Time sample) {
+  if (sample < 0) return;
+  if (!have_rtt_) {
+    have_rtt_ = true;
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+    return;
+  }
+  // Jacobson '88 with the classic 1/8 and 1/4 gains, in integer ns.
+  const Time err = sample > srtt_ ? sample - srtt_ : srtt_ - sample;
+  rttvar_ = (3 * rttvar_ + err) / 4;
+  srtt_ = (7 * srtt_ + sample) / 8;
+}
+
+void Context::fail_send(std::int64_t msg_id) {
+  auto it = sends_.find(msg_id);
+  if (it == sends_.end()) return;
+  SendRecord& rec = it->second;
+  const WireMeta& hdr = *rec.hdr_meta;
+  if (!rec.data_acked) --outstanding_data_;
+  if (rec.kind == PktKind::kGetReq) --outstanding_gets_;
+  // Complete every counter the operation still owes, marked failed: waiters
+  // unblock (never a hang) and waitcntr reports kResourceExhausted.
+  if (rec.org_pending ||
+      ((rec.kind == PktKind::kGetReq || rec.kind == PktKind::kRmwReq) &&
+       hdr.org_cntr != nullptr && !rec.data_acked)) {
+    bump_failed(hdr.org_cntr);
+  }
+  if (rec.needs_done && !rec.done_acked) bump_failed(hdr.cmpl_cntr);
+  engine().counters().bump("lapi.failed_ops");
+  sends_.erase(it);
+  notify();  // fence/term waiters re-evaluate with the record reclaimed
 }
 
 void Context::send_ack(int target, std::int64_t msg_id, bool data, bool done,
@@ -796,6 +891,18 @@ Time Context::process(net::Packet& pkt) {
   const WireMeta& m = pkt.meta_as<WireMeta>();
   const Time now = engine().now();
 
+  // End-to-end integrity check (armed with corruption injection): a payload
+  // whose CRC mismatches is discarded here, exactly as if the fabric had
+  // dropped it — the origin's retransmission recovers it, and corrupted
+  // bytes never reach user buffers or the assembly dedup state.
+  if (checksums_ && m.data_crc != 0 && !pkt.data.empty() &&
+      crc32_nz(pkt.data.data(), pkt.data.size()) != m.data_crc) {
+    engine().counters().bump("lapi.corrupt_drops");
+    SPLAP_DEBUG(now, "lapi task %d: CRC mismatch on msg %lld from %d, dropped",
+                task_id(), static_cast<long long>(m.msg_id), pkt.src);
+    return cm.lapi_pkt_rx;
+  }
+
   // Copies incoming fragment bytes into the assembly buffer; returns the
   // copy charge. Duplicate fragments (retransmits) are ignored.
   auto ingest = [&](Assembly& as, std::int64_t offset,
@@ -1034,6 +1141,11 @@ Time Context::process(net::Packet& pkt) {
             if (it == sends_.end()) return;  // stale/duplicate ack
             SendRecord& rec = it->second;
             if (meta->ack_data && !rec.data_acked) {
+              // Karn's rule: only never-retransmitted messages contribute
+              // RTT samples (a retransmit's ack is ambiguous).
+              if (config_.adaptive_timeout && rec.retries == 0) {
+                sample_rtt(engine().now() - rec.sent_at);
+              }
               rec.data_acked = true;
               --outstanding_data_;
               rec.data.reset();  // retransmit buffer released

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "base/cost_model.hpp"
+#include "base/rng.hpp"
 #include "base/status.hpp"
 #include "base/strided.hpp"
 #include "lapi/protocol.hpp"
@@ -110,7 +111,10 @@ class Context {
   std::int64_t getcntr(Counter& c);
   /// LAPI_Waitcntr: block until the counter reaches `val`, then decrement it
   /// by `val` (the paper's auto-decrement semantics). Drives progress.
-  void waitcntr(Counter& c, std::int64_t val);
+  /// Returns kOk normally; kResourceExhausted when any of the completions
+  /// consumed by this wait was a retry-exhaustion failure (the op's data is
+  /// not guaranteed delivered — the surfaced failure path, never a hang).
+  Status waitcntr(Counter& c, std::int64_t val);
 
   // --- ordering (Section 2.5) ---------------------------------------------
   /// LAPI_Fence: block until every data transfer this task originated has
@@ -133,6 +137,13 @@ class Context {
   /// Outstanding un-acked data messages (fence would block while > 0).
   int outstanding() const { return outstanding_data_ + outstanding_gets_; }
 
+  // --- introspection (tests / chaos harness) ------------------------------
+  /// Origin-side in-flight send records not yet reclaimed. Zero after a
+  /// fence + completed DONE acks: the leak check of the chaos harness.
+  std::size_t pending_sends() const { return sends_.size(); }
+  /// Current smoothed RTT estimate (0 until the first ack sample).
+  Time srtt() const { return srtt_; }
+
  private:
   struct Universe;  // per-machine registry (address exchange bootstrap)
 
@@ -144,6 +155,15 @@ class Context {
   void transmit_packets(const SendRecord& rec);
   void transmit_probe(const SendRecord& rec);
   void arm_timeout(std::int64_t msg_id, Time delay);
+  /// Retry exhaustion: complete the op with kResourceExhausted — unblock
+  /// every counter that has not fired yet (marked failed), release the
+  /// outstanding bookkeeping and reclaim the record. Never hangs a waiter.
+  void fail_send(std::int64_t msg_id);
+  /// First retransmit timeout for a fresh message: adaptive SRTT/RTTVAR
+  /// estimate when armed (and a sample exists), else the fixed config value.
+  Time initial_rto() const;
+  /// Feed a non-retransmitted message's ack RTT into the Jacobson estimator.
+  void sample_rtt(Time sample);
   void send_ack(int target, std::int64_t msg_id, bool data, bool done,
                 Counter* org_cntr, Counter* cmpl_cntr, Time when);
 
@@ -163,6 +183,9 @@ class Context {
   Time call_entry_cost() const;
 
   void bump(Counter* c, std::int64_t by = 1);
+  /// A completion that carries a failure: advances the counter so waiters
+  /// unblock, and records the failure for waitcntr to surface.
+  void bump_failed(Counter* c);
   void notify() { waiters_.wake_all(engine()); }
 
   /// Schedule a near-future protocol effect (counter bump, ack emission,
@@ -214,6 +237,16 @@ class Context {
   int outstanding_data_ = 0;
   int outstanding_gets_ = 0;
   int pending_effects_ = 0;  // deferred protocol effects not yet applied
+
+  // Adaptive retransmission state (Jacobson SRTT/RTTVAR; Karn's rule keeps
+  // retransmitted messages out of the sample stream).
+  bool have_rtt_ = false;
+  Time srtt_ = 0;
+  Time rttvar_ = 0;
+  Rng retry_rng_;  // deterministic backoff jitter (jitter_seed ^ task id)
+  /// Stamp/verify end-to-end payload CRCs (armed when the fabric injects
+  /// corruption; off otherwise so the clean path does no checksum work).
+  bool checksums_ = false;
 
   // Target-side state.
   std::map<std::pair<int, std::int64_t>, Assembly> assemblies_;

@@ -41,6 +41,11 @@ struct WireMeta {
   std::int64_t msg_id = 0;
   std::int64_t offset = 0;     // kData: byte offset of this fragment
   std::int64_t total_len = 0;  // header packets: full udata length
+  /// End-to-end CRC of this packet's payload bytes, stamped by the origin
+  /// when the fabric has corruption injection armed; 0 = not carried. The
+  /// target discards mismatching packets (treated as loss, recovered by
+  /// retransmission) so corrupted bytes never land in user buffers.
+  std::uint32_t data_crc = 0;
 
   // kPutHdr: where the data lands.
   std::byte* tgt_addr = nullptr;
@@ -106,6 +111,9 @@ struct SendRecord {
   bool org_pending = false;
   int retries = 0;
   std::uint64_t timeout_gen = 0;  // invalidates stale timeout events
+  /// Injection time of the (first) transmission; the data ack of a message
+  /// that was never retransmitted yields an RTT sample (Karn's rule).
+  Time sent_at = 0;
 };
 
 }  // namespace splap::lapi

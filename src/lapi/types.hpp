@@ -37,6 +37,10 @@ class Counter {
  private:
   friend class Context;
   std::int64_t value_ = 0;
+  /// Completions that reported a failure (retry exhaustion). Such bumps
+  /// still advance value_ so waiters unblock; waitcntr surfaces the error
+  /// as its Status instead of hanging the waiter forever.
+  std::int64_t failed_ = 0;
 };
 
 /// The four atomic read-modify-write primitives (Section 3).
@@ -106,9 +110,35 @@ struct Config {
   int completion_threads = 1;
   /// Retransmission: first timeout; doubles per retry. Generous by default:
   /// a busy dispatcher (e.g. a GA header handler streaming reply chunks)
-  /// can legitimately delay acks by more than a millisecond.
+  /// can legitimately delay acks by more than a millisecond. With
+  /// adaptive_timeout set this is only the pre-estimate timeout used until
+  /// the first ack RTT sample arrives.
   Time retransmit_timeout = milliseconds(4.0);
+  /// Retries before the operation is abandoned and completed with
+  /// Status::kResourceExhausted (surfaced through waitcntr on the origin
+  /// and completion counters; the in-flight record is fully reclaimed).
   int max_retries = 12;
+
+  // --- adaptive retransmission (Jacobson/Karn) ---------------------------
+  /// Derive the retransmit timeout from smoothed ack round-trip times
+  /// (SRTT + 4*RTTVAR, Jacobson), with exponential backoff plus
+  /// deterministic seeded jitter per retry and Karn's rule (retransmitted
+  /// messages contribute no RTT samples). Off by default: the fixed
+  /// timeout is deliberately generous (a busy target dispatcher delays
+  /// acks far beyond the smoothed estimate of quiet-time ops, and a
+  /// spurious retransmit perturbs calibrated timings), so the adaptive
+  /// policy is opt-in for lossy/faulted environments where fast loss
+  /// recovery matters more than undisturbed clean-path timing.
+  bool adaptive_timeout = false;
+  /// Clamp for the adaptive estimate (the fixed-timeout path ignores both).
+  Time rto_min = microseconds(150);
+  Time rto_max = milliseconds(250);
+  /// Each backed-off retry delay adds a uniform draw in
+  /// [0, delay * backoff_jitter) so synchronized losers unsynchronize
+  /// without any wall-clock randomness (the Rng is seeded from jitter_seed
+  /// and the task id).
+  double backoff_jitter = 0.25;
+  std::uint64_t jitter_seed = 0x7e57a11;
 };
 
 }  // namespace splap::lapi

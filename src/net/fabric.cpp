@@ -18,6 +18,13 @@ Fabric::Fabric(sim::Engine& engine, int nodes, FabricConfig config)
       rng_(config.seed),
       payload_pool_(static_cast<std::size_t>(config.cost.packet_bytes), 256) {
   SPLAP_REQUIRE(nodes > 0, "fabric needs at least one node");
+  if (config_.fault.any()) {
+    for (const RouteFault& f : config_.fault.route_faults) {
+      SPLAP_REQUIRE(f.route >= 0 && f.route < config_.cost.routes_per_pair,
+                    "route fault names a route the pair does not have");
+    }
+    faults_ = std::make_unique<FaultInjector>(config_.fault);
+  }
 }
 
 void Fabric::set_deliver(int dst, DeliverFn fn) {
@@ -64,18 +71,59 @@ void Fabric::transmit(Packet&& pkt) {
     const Time occupy = wire_memo_time_;
     link_free_[src] = depart + occupy;
 
-    const int route = next_route_[src];
+    int route = next_route_[src];
     // Round-robin without the integer divide (routes_per_pair is a runtime
     // value, so % would cost a real div on every packet).
     next_route_[src] = route + 1 == cm.routes_per_pair ? 0 : route + 1;
-    Time route_delay = cm.route_latency + route * cm.route_skew;
+    Time route_penalty = 0;
+    if (faults_ != nullptr && faults_->has_route_faults()) {
+      // Spray failover: if the round-robin route is down, walk forward to
+      // the next live route. All routes down means the pair is partitioned
+      // and the packet is lost (the reliability layers retry; by then a
+      // route may be back up).
+      int tried = 0;
+      while (tried < cm.routes_per_pair &&
+             !faults_->route_up(route, engine_.now())) {
+        route = route + 1 == cm.routes_per_pair ? 0 : route + 1;
+        ++tried;
+      }
+      if (tried == cm.routes_per_pair) {
+        ++packets_dropped_;
+        bytes_dropped_ += wire_bytes;
+        engine_.counters().bump("fabric.no_route");
+        SPLAP_DEBUG(engine_.now(), "fabric: no live route %d->%d", pkt.src,
+                    pkt.dst);
+        return;
+      }
+      if (tried > 0) {
+        ++route_failovers_;
+        engine_.counters().bump("fabric.route_failover");
+      }
+      route_penalty = faults_->route_penalty(route, engine_.now());
+    }
+    Time route_delay = cm.route_latency + route * cm.route_skew + route_penalty;
     if (config_.contention_jitter > 0) {
       route_delay += static_cast<Time>(rng_.next_below(
           static_cast<std::uint64_t>(config_.contention_jitter)));
     }
     arrival = depart + occupy + route_delay;
 
-    if (config_.drop_rate > 0 && rng_.next_bool(config_.drop_rate)) {
+    bool dropped =
+        config_.drop_rate > 0 && rng_.next_bool(config_.drop_rate);
+    if (faults_ != nullptr) {
+      // Always advance the loss model so the Gilbert–Elliott channel state
+      // evolves per packet, even when the legacy uniform draw already lost
+      // this one.
+      dropped |= faults_->drop_packet();
+      if (!dropped && pkt.data.empty() && faults_->corrupt_packet()) {
+        // A corrupted header-only packet has no payload byte to flip; the
+        // switch CRC discards it, which the protocol sees as a loss.
+        ++packets_corrupted_;
+        engine_.counters().bump("fabric.corrupted");
+        dropped = true;
+      }
+    }
+    if (dropped) {
       ++packets_dropped_;
       bytes_dropped_ += wire_bytes;
       engine_.counters().bump("fabric.drops");
@@ -83,6 +131,42 @@ void Fabric::transmit(Packet&& pkt) {
                   pkt.src, pkt.dst,
                   static_cast<long long>(pkt.wire_bytes()));
       return;  // pkt's payload buffer returns to the pool here
+    }
+    if (faults_ != nullptr) {
+      if (faults_->duplicate_packet()) {
+        // Switch-internal duplication: a second copy of the packet arrives
+        // over a skewed path. It shares the descriptor (receivers treat it
+        // as const) but carries its own payload buffer.
+        ++packets_duplicated_;
+        engine_.counters().bump("fabric.duplicated");
+        bytes_on_wire_ += wire_bytes;
+        Packet dup;
+        dup.src = pkt.src;
+        dup.dst = pkt.dst;
+        dup.client = pkt.client;
+        dup.header_bytes = pkt.header_bytes;
+        dup.meta = pkt.meta;
+        dup.data = Payload(&payload_pool_);
+        dup.data.assign(pkt.data.begin(), pkt.data.end());
+        const Time dup_arrival =
+            arrival + cm.route_skew +
+            faults_->duplicate_skew(cm.route_skew * cm.routes_per_pair + 1);
+        InFlight* drec = inflight_pool_.acquire();
+        drec->owner = this;
+        drec->pkt = std::move(dup);
+        engine_.schedule_thunk(
+            dup_arrival,
+            [](void* p) {
+              InFlight* r = static_cast<InFlight*>(p);
+              r->owner->stage_rx(r);
+            },
+            drec);
+      }
+      if (!pkt.data.empty() && faults_->corrupt_packet()) {
+        ++packets_corrupted_;
+        engine_.counters().bump("fabric.corrupted");
+        pkt.data[faults_->corrupt_byte(pkt.data.size())] ^= std::byte{0x40};
+      }
     }
   }
   bytes_on_wire_ += wire_bytes;

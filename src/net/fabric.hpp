@@ -13,18 +13,23 @@
 // real SP switch) and cross-traffic contention adds jitter, delivery is NOT
 // ordered — the property LAPI is architected around and MPI/MPL must mask.
 //
-// Fault injection: each packet is dropped with probability drop_rate
-// (deterministically, from the machine seed), exercising the reliability
-// layers above.
+// Fault injection: the legacy drop_rate drops each packet with uniform
+// probability (deterministically, from the machine seed). The richer
+// FaultConfig (net/fault.hpp) layers bursty loss, deterministic per-N loss,
+// per-route down/degrade windows with spray failover, duplication and
+// payload corruption on top — all opt-in, so the default path stays a null
+// check.
 #pragma once
 
 #include <array>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "base/cost_model.hpp"
 #include "base/rng.hpp"
 #include "base/stats.hpp"
+#include "net/fault.hpp"
 #include "net/packet.hpp"
 #include "sim/engine.hpp"
 
@@ -32,13 +37,18 @@ namespace splap::net {
 
 struct FabricConfig {
   CostModel cost;
-  /// Probability that any given packet is lost in the network.
+  /// Probability that any given packet is lost in the network (the legacy
+  /// uniform model; kept distinct from FaultConfig so the golden determinism
+  /// traces' RNG consumption order is preserved bit-for-bit).
   double drop_rate = 0.0;
   /// Upper bound of uniform extra delay per packet modelling contention with
   /// cross traffic inside the multistage switch (0 = unloaded machine, the
   /// calibration configuration).
   Time contention_jitter = 0;
   std::uint64_t seed = 0x5eed;
+  /// Extended fault model: bursty/per-N loss, route down/degrade windows,
+  /// duplication, payload corruption. Inert unless fault.any().
+  FaultConfig fault;
 };
 
 class Fabric {
@@ -83,6 +93,20 @@ class Fabric {
   std::int64_t packets_dropped() const { return packets_dropped_; }
   std::int64_t bytes_on_wire() const { return bytes_on_wire_; }
   std::int64_t bytes_dropped() const { return bytes_dropped_; }
+  /// Extra copies the fault model injected (each also counted in
+  /// packets_sent-independent bytes_on_wire once it reaches the adapter).
+  std::int64_t packets_duplicated() const { return packets_duplicated_; }
+  /// Delivered packets whose payload was corrupted in flight (header-only
+  /// packets hit by corruption are CRC-discarded by the switch and counted
+  /// under packets_dropped instead).
+  std::int64_t packets_corrupted() const { return packets_corrupted_; }
+  /// Packets whose round-robin route was down and were re-sprayed onto a
+  /// surviving route.
+  std::int64_t route_failovers() const { return route_failovers_; }
+
+  /// Corruption injection armed (protocol layers use this to decide whether
+  /// to stamp/verify end-to-end payload checksums).
+  bool corruption_enabled() const { return config_.fault.corrupt_rate > 0; }
 
   /// Payload buffers allocated so far (steady state: constant — the pool
   /// recycles). Exposed for the allocation-regression tests.
@@ -121,6 +145,10 @@ class Fabric {
   // slot then points at a trampoline that calls through the function.
   std::vector<std::unique_ptr<DeliverFn>> deliver_fns_;
   Rng rng_;
+  /// Non-null only when the extended fault model is configured; the hot
+  /// path's whole fault-model cost in the default configuration is this
+  /// null check.
+  std::unique_ptr<FaultInjector> faults_;
   // payload_pool_ must outlive inflight_pool_: destroying an InFlight
   // record releases its packet's payload buffer back into the payload pool.
   SlabBufferPool payload_pool_;
@@ -129,6 +157,9 @@ class Fabric {
   std::int64_t packets_dropped_ = 0;
   std::int64_t bytes_on_wire_ = 0;
   std::int64_t bytes_dropped_ = 0;
+  std::int64_t packets_duplicated_ = 0;
+  std::int64_t packets_corrupted_ = 0;
+  std::int64_t route_failovers_ = 0;
   // One-entry memo of wire_time(bytes): identical result, no per-packet
   // floating divide for the dominant fixed-size packet stream.
   std::int64_t wire_memo_bytes_ = -1;

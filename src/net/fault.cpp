@@ -1,0 +1,76 @@
+#include "net/fault.hpp"
+
+#include <utility>
+
+namespace splap::net {
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+bool FaultInjector::drop_packet() {
+  switch (config_.loss) {
+    case LossModel::kUniform:
+      return config_.loss_rate > 0 && rng_.next_bool(config_.loss_rate);
+    case LossModel::kGilbertElliott: {
+      // Transition first, then draw the loss for the new state: a link that
+      // just failed starts losing immediately (burst onset is abrupt).
+      if (bad_state_) {
+        if (config_.ge_exit_bad > 0 && rng_.next_bool(config_.ge_exit_bad)) {
+          bad_state_ = false;
+        }
+      } else {
+        if (config_.ge_enter_bad > 0 && rng_.next_bool(config_.ge_enter_bad)) {
+          bad_state_ = true;
+        }
+      }
+      const double p = bad_state_ ? config_.loss_bad : config_.loss_good;
+      return p > 0 && rng_.next_bool(p);
+    }
+    case LossModel::kEveryNth: {
+      if (config_.loss_every_n <= 0) return false;
+      ++pkt_index_;
+      if (pkt_index_ == config_.loss_every_n) {
+        pkt_index_ = 0;
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::duplicate_packet() {
+  return config_.duplicate_rate > 0 && rng_.next_bool(config_.duplicate_rate);
+}
+
+bool FaultInjector::corrupt_packet() {
+  return config_.corrupt_rate > 0 && rng_.next_bool(config_.corrupt_rate);
+}
+
+std::size_t FaultInjector::corrupt_byte(std::size_t len) {
+  SPLAP_REQUIRE(len > 0, "corrupting an empty payload");
+  return static_cast<std::size_t>(rng_.next_below(len));
+}
+
+Time FaultInjector::duplicate_skew(Time span) {
+  if (span <= 0) return 0;
+  return static_cast<Time>(
+      rng_.next_below(static_cast<std::uint64_t>(span)));
+}
+
+bool FaultInjector::route_up(int route, Time t) const {
+  for (const RouteFault& f : config_.route_faults) {
+    if (f.route == route && f.down && f.active(t)) return false;
+  }
+  return true;
+}
+
+Time FaultInjector::route_penalty(int route, Time t) const {
+  Time extra = 0;
+  for (const RouteFault& f : config_.route_faults) {
+    if (f.route == route && !f.down && f.active(t)) extra += f.extra_latency;
+  }
+  return extra;
+}
+
+}  // namespace splap::net

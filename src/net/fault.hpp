@@ -1,0 +1,132 @@
+// Pluggable fault model for the simulated SP switch.
+//
+// The seed fabric knew one fault: uniform i.i.d. packet loss. Real SP-class
+// switches misbehave in richer ways — loss arrives in bursts (a flaky link
+// CRC-failing everything for a stretch), whole routes go down or degrade
+// while the spray logic keeps the pair connected over the survivors, and
+// packets are occasionally duplicated or delivered with corrupted payloads.
+// This header models all of those as an opt-in FaultConfig attached to the
+// FabricConfig; with no faults configured the fabric's per-packet path is a
+// single null-pointer check.
+//
+// Determinism: every injector owns its own Rng seeded from FaultConfig::seed,
+// so fault sequences are reproducible bit-for-bit per seed and independent of
+// the fabric's contention-jitter RNG (whose consumption order is pinned by
+// the golden-trace determinism test). Route fault windows are pure functions
+// of virtual time — no wall clock anywhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "base/time.hpp"
+
+namespace splap::net {
+
+/// How packet loss is generated.
+enum class LossModel : std::uint8_t {
+  /// Independent per-packet drop with probability `loss_rate`.
+  kUniform,
+  /// Gilbert–Elliott two-state channel: a "good" state with loss_good and a
+  /// "bad" (burst) state with loss_bad; per-packet transition probabilities
+  /// ge_enter_bad / ge_exit_bad. Models the bursty loss of a degrading link.
+  kGilbertElliott,
+  /// Deterministically drop every Nth packet (loss_every_n); no randomness,
+  /// useful for pinning exact retransmission schedules in tests.
+  kEveryNth,
+};
+
+/// One scheduled fault window on a switch route. Applies to route index
+/// `route` on every node pair (the SP routes a pair over the same four
+/// switch paths; a broken intermediate link takes the path down for all
+/// pairs crossing it).
+struct RouteFault {
+  int route = 0;
+  Time from = 0;            // window start, inclusive
+  Time until = kNoTime;     // window end, exclusive; kNoTime = never ends
+  /// true: the route is unusable and the spray logic must fail over.
+  /// false: the route stays up but degraded, adding extra_latency.
+  bool down = true;
+  Time extra_latency = 0;
+
+  bool active(Time t) const {
+    return t >= from && (until == kNoTime || t < until);
+  }
+};
+
+struct FaultConfig {
+  LossModel loss = LossModel::kUniform;
+  /// kUniform: per-packet drop probability.
+  double loss_rate = 0.0;
+  // Gilbert–Elliott parameters (kGilbertElliott).
+  double ge_enter_bad = 0.0;  // P(good -> bad) evaluated per packet
+  double ge_exit_bad = 0.1;   // P(bad -> good) evaluated per packet
+  double loss_good = 0.0;     // drop probability in the good state
+  double loss_bad = 0.5;      // drop probability in the bad (burst) state
+  /// kEveryNth: drop packets number N, 2N, 3N, ... (0 disables).
+  std::int64_t loss_every_n = 0;
+
+  /// Probability a delivered packet is additionally delivered a second time
+  /// (switch-internal duplication; the dup takes a skewed path).
+  double duplicate_rate = 0.0;
+  /// Probability a delivered packet's payload has a byte flipped in flight.
+  /// Header-only packets cannot carry a flipped payload byte; for them a
+  /// corruption event means the switch CRC discards the packet (a drop).
+  double corrupt_rate = 0.0;
+
+  std::vector<RouteFault> route_faults;
+
+  std::uint64_t seed = 0xfa017;
+
+  bool injects_loss() const {
+    switch (loss) {
+      case LossModel::kUniform: return loss_rate > 0;
+      case LossModel::kGilbertElliott:
+        return loss_good > 0 || loss_bad > 0;
+      case LossModel::kEveryNth: return loss_every_n > 0;
+    }
+    return false;
+  }
+  /// Anything configured at all? When false the fabric skips the injector
+  /// entirely (the zero-cost default path).
+  bool any() const {
+    return injects_loss() || duplicate_rate > 0 || corrupt_rate > 0 ||
+           !route_faults.empty();
+  }
+};
+
+/// Per-fabric fault state machine. One drop_packet() call per transmitted
+/// packet advances the loss model (the Gilbert–Elliott channel state evolves
+/// even for packets that survive); duplication/corruption draws happen only
+/// when their rates are nonzero, so configs that disable them consume no
+/// randomness for them.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config);
+
+  /// Advance the loss model one packet; true = this packet is lost.
+  bool drop_packet();
+  bool duplicate_packet();
+  bool corrupt_packet();
+  /// Which payload byte to flip for a corrupted packet of `len` bytes.
+  std::size_t corrupt_byte(std::size_t len);
+  /// Deterministic extra path delay for a duplicate, in [0, span).
+  Time duplicate_skew(Time span);
+
+  bool route_up(int route, Time t) const;
+  /// Extra latency from degraded-but-up windows covering (route, t).
+  Time route_penalty(int route, Time t) const;
+  bool has_route_faults() const { return !config_.route_faults.empty(); }
+
+  /// Gilbert–Elliott channel currently in the burst state (test hook).
+  bool in_burst() const { return bad_state_; }
+
+ private:
+  FaultConfig config_;
+  Rng rng_;
+  bool bad_state_ = false;      // Gilbert–Elliott channel state
+  std::int64_t pkt_index_ = 0;  // kEveryNth position
+};
+
+}  // namespace splap::net

@@ -1,0 +1,451 @@
+// Deterministic chaos harness: every fault scenario the net/fault.hpp model
+// can produce (uniform loss, Gilbert–Elliott bursts, deterministic per-N
+// loss, duplication, payload corruption, route down/degrade windows, and all
+// of them combined) is driven against a mixed LAPI workload (put/get/amsend/
+// rmw) and a small Global Arrays workload, across multiple fabric seeds.
+//
+// Every scenario must converge to the SAME application-visible result:
+// exactly-once completion counts, byte-exact payloads, no leaked in-flight
+// records, no dead letters, and fabric counters consistent with the injected
+// faults. The runs are fully deterministic — fault injectors draw from their
+// own seeded RNG and route windows are functions of virtual time — so any
+// failure reproduces bit-for-bit under its scenario_seedN test name.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "ga/runtime.hpp"
+#include "lapi_test_util.hpp"
+#include "net/fault.hpp"
+
+namespace splap {
+namespace {
+
+struct Scenario {
+  const char* name;
+  net::FaultConfig fault;
+  // Which injected-fault counters the run must prove fired (a chaos test
+  // whose faults never trigger tests nothing).
+  bool expect_drops = false;
+  bool expect_dups = false;
+  bool expect_corruption = false;
+  bool expect_failover = false;
+};
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> v;
+  {
+    Scenario s;
+    s.name = "uniform";
+    s.fault.loss = net::LossModel::kUniform;
+    s.fault.loss_rate = 0.08;
+    s.expect_drops = true;
+    v.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "bursty";
+    s.fault.loss = net::LossModel::kGilbertElliott;
+    s.fault.ge_enter_bad = 0.02;
+    s.fault.ge_exit_bad = 0.2;
+    s.fault.loss_good = 0.005;
+    s.fault.loss_bad = 0.6;
+    s.expect_drops = true;
+    v.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "every_nth";
+    s.fault.loss = net::LossModel::kEveryNth;
+    s.fault.loss_every_n = 17;
+    s.expect_drops = true;
+    v.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "duplication";
+    s.fault.duplicate_rate = 0.12;
+    s.expect_dups = true;
+    v.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "corruption";
+    s.fault.corrupt_rate = 0.15;
+    s.expect_corruption = true;
+    v.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "route_down";
+    net::RouteFault down;
+    down.route = 0;
+    down.from = 0;
+    down.until = milliseconds(5.0);
+    s.fault.route_faults.push_back(down);
+    net::RouteFault slow;
+    slow.route = 1;
+    slow.from = 0;
+    slow.until = milliseconds(2.0);
+    slow.down = false;
+    slow.extra_latency = microseconds(2);
+    s.fault.route_faults.push_back(slow);
+    s.expect_failover = true;
+    v.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "combined";
+    s.fault.loss = net::LossModel::kGilbertElliott;
+    s.fault.ge_enter_bad = 0.015;
+    s.fault.ge_exit_bad = 0.25;
+    s.fault.loss_good = 0.01;
+    s.fault.loss_bad = 0.5;
+    s.fault.duplicate_rate = 0.06;
+    s.fault.corrupt_rate = 0.06;
+    net::RouteFault down;
+    down.route = 2;
+    down.from = 0;
+    down.until = milliseconds(4.0);
+    s.fault.route_faults.push_back(down);
+    s.expect_drops = true;
+    s.expect_dups = true;
+    s.expect_corruption = true;
+    s.expect_failover = true;
+    v.push_back(s);
+  }
+  return v;
+}
+
+const std::uint64_t kSeeds[] = {3, 7, 19, 42, 101};
+
+using ChaosParam = std::tuple<int, std::uint64_t>;  // scenario index, seed
+
+std::string chaos_name(const ::testing::TestParamInfo<ChaosParam>& info) {
+  return std::string(scenarios()[static_cast<std::size_t>(
+             std::get<0>(info.param))].name) +
+         "_seed" + std::to_string(std::get<1>(info.param));
+}
+
+net::Machine::Config chaos_machine(const Scenario& sc, std::uint64_t seed,
+                                   int tasks) {
+  net::Machine::Config cfg;
+  cfg.tasks = tasks;
+  cfg.fabric.fault = sc.fault;
+  cfg.fabric.fault.seed = seed;
+  cfg.fabric.seed = seed * 7 + 1;  // decorrelate the contention RNG
+  return cfg;
+}
+
+lapi::Config chaos_lapi_config() {
+  lapi::Config c;
+  c.retransmit_timeout = microseconds(300);
+  c.max_retries = 30;
+  c.adaptive_timeout = true;
+  return c;
+}
+
+void check_fabric_expectations(net::Machine& m, const Scenario& sc) {
+  EXPECT_GT(m.fabric().packets_sent(), 0);
+  EXPECT_GT(m.fabric().bytes_on_wire(), 0);
+  if (sc.expect_drops) {
+    EXPECT_GT(m.fabric().packets_dropped(), 0) << "loss injection inert";
+  }
+  if (sc.expect_dups) {
+    EXPECT_GT(m.fabric().packets_duplicated(), 0) << "duplication inert";
+  }
+  if (sc.expect_corruption) {
+    EXPECT_GT(m.fabric().packets_corrupted(), 0) << "corruption inert";
+  }
+  if (sc.expect_failover) {
+    EXPECT_GT(m.fabric().route_failovers(), 0) << "route faults inert";
+  }
+  // No operation was allowed to fail outright under these retry budgets, and
+  // every straggler (duplicate, late retransmit) was absorbed by a live
+  // dispatcher during the post-fence grace window, not dead-lettered.
+  EXPECT_EQ(m.engine().counters().get("lapi.failed_ops"), 0);
+  for (int t = 0; t < m.tasks(); ++t) {
+    EXPECT_EQ(m.node(t).adapter().dead_letters(), 0)
+        << "task " << t << " received packets after teardown";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LAPI chaos: puts, gets, active messages and rmw in one mixed workload.
+// ---------------------------------------------------------------------------
+
+class ChaosLapiTest : public ::testing::TestWithParam<ChaosParam> {};
+
+TEST_P(ChaosLapiTest, MixedTrafficExactlyOnce) {
+  const int si = std::get<0>(GetParam());
+  const std::uint64_t seed = std::get<1>(GetParam());
+  const Scenario sc = scenarios()[static_cast<std::size_t>(si)];
+  constexpr int kTasks = 4;
+  constexpr int kRounds = 3;
+  constexpr std::int64_t kPutLen = 6000;
+  constexpr std::int64_t kGetLen = 3000;
+  constexpr std::int64_t kAmLen = 1500;
+
+  net::Machine m(chaos_machine(sc, seed, kTasks));
+
+  auto pattern = [](int writer, std::int64_t i) {
+    return static_cast<std::byte>((writer * 131 + i) % 251);
+  };
+
+  // Shared state, indexed by task (one process image = one address space).
+  std::array<std::vector<std::byte>, kTasks> put_cell;  // written by me-1
+  std::array<std::vector<std::byte>, kTasks> get_src;   // read by me+2
+  std::array<std::vector<std::byte>, kTasks> am_land;   // amsend landing
+  std::array<lapi::Counter, kTasks> put_tgt_cntr;
+  std::array<int, kTasks> am_completions{};
+  std::array<std::size_t, kTasks> pending_after;
+  pending_after.fill(1);
+  std::int64_t rmw_var = 0;
+  std::array<std::vector<std::int64_t>, kTasks> rmw_prevs;
+  for (int t = 0; t < kTasks; ++t) {
+    put_cell[static_cast<std::size_t>(t)].resize(
+        static_cast<std::size_t>(kPutLen));
+    am_land[static_cast<std::size_t>(t)].resize(
+        static_cast<std::size_t>(kAmLen));
+    auto& src = get_src[static_cast<std::size_t>(t)];
+    src.resize(static_cast<std::size_t>(kGetLen));
+    for (std::int64_t i = 0; i < kGetLen; ++i) {
+      src[static_cast<std::size_t>(i)] = pattern(t + 64, i);
+    }
+  }
+
+  ASSERT_EQ(m.run_spmd([&](net::Node& n) {
+    lapi::Context ctx(n, chaos_lapi_config());
+    const int me = ctx.task_id();
+    const int put_to = (me + 1) % kTasks;
+    const int get_from = (me + 2) % kTasks;
+    const int am_to = (me + 3) % kTasks;
+
+    const lapi::AmHandlerId h = ctx.register_handler(
+        [&](lapi::Context& c, const lapi::AmDelivery& d) -> lapi::AmReply {
+          EXPECT_EQ(d.udata_len, kAmLen);
+          lapi::AmReply r;
+          r.buffer = am_land[static_cast<std::size_t>(c.task_id())].data();
+          r.completion = [&](lapi::Context& cc, sim::Actor& svc) {
+            ++am_completions[static_cast<std::size_t>(cc.task_id())];
+            svc.compute(microseconds(2));
+          };
+          r.header_cost = nanoseconds(400);
+          return r;
+        });
+    ctx.gfence();  // all handlers registered before traffic flows
+
+    std::vector<std::byte> put_src(static_cast<std::size_t>(kPutLen));
+    for (std::int64_t i = 0; i < kPutLen; ++i) {
+      put_src[static_cast<std::size_t>(i)] = pattern(me, i);
+    }
+    std::vector<std::byte> am_src(static_cast<std::size_t>(kAmLen));
+    for (std::int64_t i = 0; i < kAmLen; ++i) {
+      am_src[static_cast<std::size_t>(i)] = pattern(me + 32, i);
+    }
+
+    for (int round = 0; round < kRounds; ++round) {
+      lapi::Counter put_cmpl, get_org, am_cmpl, rmw_org;
+      ASSERT_EQ(ctx.put(put_to, put_src,
+                        put_cell[static_cast<std::size_t>(put_to)].data(),
+                        &put_tgt_cntr[static_cast<std::size_t>(put_to)],
+                        nullptr, &put_cmpl),
+                Status::kOk);
+
+      std::vector<std::byte> got(static_cast<std::size_t>(kGetLen));
+      ASSERT_EQ(ctx.get(get_from, kGetLen,
+                        get_src[static_cast<std::size_t>(get_from)].data(),
+                        got.data(), nullptr, &get_org),
+                Status::kOk);
+
+      ASSERT_EQ(ctx.amsend(am_to, h, {}, am_src, nullptr, nullptr, &am_cmpl),
+                Status::kOk);
+
+      std::int64_t prev = -1;
+      ASSERT_EQ(ctx.rmw(lapi::RmwOp::kFetchAndAdd, 0, &rmw_var, 1, 0, &prev,
+                        &rmw_org),
+                Status::kOk);
+
+      EXPECT_EQ(ctx.waitcntr(put_cmpl, 1), Status::kOk);
+      EXPECT_EQ(ctx.waitcntr(get_org, 1), Status::kOk);
+      EXPECT_EQ(ctx.waitcntr(am_cmpl, 1), Status::kOk);
+      EXPECT_EQ(ctx.waitcntr(rmw_org, 1), Status::kOk);
+
+      // The pulled bytes are byte-exact the moment the org counter fires.
+      for (std::int64_t i = 0; i < kGetLen; ++i) {
+        ASSERT_EQ(got[static_cast<std::size_t>(i)], pattern(get_from + 64, i))
+            << "task " << me << " get round " << round << " offset " << i;
+      }
+      rmw_prevs[static_cast<std::size_t>(me)].push_back(prev);
+    }
+
+    // Leak check: with every completion counter consumed and the fence
+    // passed, no origin-side send record may survive.
+    ctx.fence();
+    pending_after[static_cast<std::size_t>(me)] = ctx.pending_sends();
+
+    ctx.gfence();
+    // Target-side checks after global quiescence: every put landed
+    // byte-exact and fired the target counter exactly once per round.
+    const int writer = (me + kTasks - 1) % kTasks;
+    for (std::int64_t i = 0; i < kPutLen; ++i) {
+      ASSERT_EQ(
+          put_cell[static_cast<std::size_t>(me)][static_cast<std::size_t>(i)],
+          pattern(writer, i))
+          << "task " << me << " put offset " << i;
+    }
+    EXPECT_EQ(ctx.getcntr(put_tgt_cntr[static_cast<std::size_t>(me)]),
+              kRounds);
+    const int am_writer = (me + kTasks - 3) % kTasks;
+    for (std::int64_t i = 0; i < kAmLen; ++i) {
+      ASSERT_EQ(
+          am_land[static_cast<std::size_t>(me)][static_cast<std::size_t>(i)],
+          pattern(am_writer + 32, i))
+          << "task " << me << " am offset " << i;
+    }
+
+    // Grace window: keep the context alive past the collective so duplicate
+    // copies and late retransmits of the final barrier traffic land on a
+    // live dispatcher (and are deduplicated) instead of dead-lettering.
+    ctx.node().task().compute(milliseconds(3.0));
+  }), Status::kOk);
+
+  // Exactly-once: every task's AM completion handler ran once per round.
+  for (int t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(am_completions[static_cast<std::size_t>(t)], kRounds)
+        << "task " << t;
+    EXPECT_EQ(pending_after[static_cast<std::size_t>(t)], 0u) << "task " << t;
+  }
+  // The rmw stream executed exactly once each: the fetched values over all
+  // tasks form a permutation of 0..N-1.
+  EXPECT_EQ(rmw_var, kTasks * kRounds);
+  std::vector<std::int64_t> all_prevs;
+  for (const auto& p : rmw_prevs) {
+    all_prevs.insert(all_prevs.end(), p.begin(), p.end());
+  }
+  std::sort(all_prevs.begin(), all_prevs.end());
+  ASSERT_EQ(all_prevs.size(), static_cast<std::size_t>(kTasks * kRounds));
+  for (std::int64_t i = 0; i < kTasks * kRounds; ++i) {
+    EXPECT_EQ(all_prevs[static_cast<std::size_t>(i)], i);
+  }
+  check_fabric_expectations(m, sc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, ChaosLapiTest,
+    ::testing::Combine(
+        ::testing::Range(0, static_cast<int>(scenarios().size())),
+        ::testing::ValuesIn(kSeeds)),
+    chaos_name);
+
+// ---------------------------------------------------------------------------
+// GA chaos: accumulate/get/read_inc/gop_sum on the LAPI transport.
+// ---------------------------------------------------------------------------
+
+class ChaosGaTest : public ::testing::TestWithParam<ChaosParam> {};
+
+TEST_P(ChaosGaTest, AccumulateAndCollectivesSurvive) {
+  const int si = std::get<0>(GetParam());
+  const std::uint64_t seed = std::get<1>(GetParam());
+  const Scenario sc = scenarios()[static_cast<std::size_t>(si)];
+  constexpr int kTasks = 4;
+  constexpr std::int64_t kDim = 40;
+
+  net::Machine m(chaos_machine(sc, seed, kTasks));
+  ga::Config gcfg;
+  gcfg.transport = ga::Transport::kLapi;
+  gcfg.lapi = chaos_lapi_config();
+
+  std::array<Status, kTasks> comm_status;
+  comm_status.fill(Status::kUnknown);
+  std::array<std::int64_t, kTasks> inc_prevs{};
+
+  ASSERT_EQ(m.run_spmd([&](net::Node& n) {
+    ga::Runtime rt(n, gcfg);
+    ga::GlobalArray a = rt.create(kDim, kDim);
+    const ga::Patch whole{0, kDim - 1, 0, kDim - 1};
+
+    // Every task atomically accumulates (me+1) into every element; the
+    // final value of each element is the closed-form sum 1+2+...+N.
+    std::vector<double> mine(static_cast<std::size_t>(kDim * kDim),
+                             static_cast<double>(rt.me() + 1));
+    a.acc(whole, mine.data(), kDim, 1.0);
+    rt.sync();
+
+    std::vector<double> got(static_cast<std::size_t>(kDim * kDim), -1.0);
+    a.get(whole, got.data(), kDim);
+    const double expect = kTasks * (kTasks + 1) / 2.0;
+    for (const double g : got) {
+      ASSERT_DOUBLE_EQ(g, expect);
+    }
+
+    inc_prevs[static_cast<std::size_t>(rt.me())] = rt.read_inc(2, 1);
+
+    std::vector<double> v(8, static_cast<double>(rt.me()));
+    rt.gop_sum(v);
+    for (const double x : v) {
+      ASSERT_DOUBLE_EQ(x, 0.0 + 1.0 + 2.0 + 3.0);
+    }
+
+    rt.sync();
+    rt.destroy(a);
+    comm_status[static_cast<std::size_t>(rt.me())] = rt.comm_status();
+    // Grace window before teardown (see the LAPI chaos test).
+    n.task().compute(milliseconds(3.0));
+  }), Status::kOk);
+
+  for (int t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(comm_status[static_cast<std::size_t>(t)], Status::kOk)
+        << "task " << t << " saw a failed transfer";
+  }
+  // read_inc executed exactly once per task: the fetched values are a
+  // permutation of 0..N-1.
+  std::vector<std::int64_t> prevs(inc_prevs.begin(), inc_prevs.end());
+  std::sort(prevs.begin(), prevs.end());
+  for (int t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(prevs[static_cast<std::size_t>(t)], t);
+  }
+  check_fabric_expectations(m, sc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, ChaosGaTest,
+    ::testing::Combine(
+        ::testing::Range(0, static_cast<int>(scenarios().size())),
+        ::testing::ValuesIn(kSeeds)),
+    chaos_name);
+
+// ---------------------------------------------------------------------------
+// Determinism: a chaos run is a pure function of (scenario, seed).
+// ---------------------------------------------------------------------------
+
+TEST(ChaosDeterminismTest, SameSeedSameTrace) {
+  const Scenario sc = scenarios()[1];  // bursty
+  auto one_run = [&sc] {
+    net::Machine m(chaos_machine(sc, 42, 2));
+    std::vector<std::byte> tgt(20000);
+    EXPECT_EQ(lapi::testing::run_lapi(m, chaos_lapi_config(),
+                                      [&](lapi::Context& ctx) {
+      if (ctx.task_id() == 0) {
+        std::vector<std::byte> src(20000, std::byte{0x3C});
+        lapi::Counter cmpl;
+        EXPECT_EQ(ctx.put(1, src, tgt.data(), nullptr, nullptr, &cmpl),
+                  Status::kOk);
+        EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
+      }
+    }), Status::kOk);
+    return std::tuple<Time, std::int64_t, std::int64_t>(
+        m.engine().now(), m.fabric().packets_dropped(),
+        m.engine().counters().get("lapi.retransmits"));
+  };
+  const auto a = one_run();
+  const auto b = one_run();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace splap

@@ -65,23 +65,35 @@ TEST(LapiModesTest, PollingModeStallsUntilTargetPolls) {
   EXPECT_GT(m.engine().counters().get("lapi.backlogged"), 0);
 }
 
-TEST(LapiModesTest, PollingWithoutPollingDeadlocks) {
-  // The paper's warning, reproduced: the target never polls, so the
-  // origin's wait can never be satisfied. The engine detects it.
+TEST(LapiModesTest, PollingWithoutPollingFailsTheOperation) {
+  // The paper's warning, reproduced: the target never polls, so the put can
+  // never be delivered. The retransmit layer exhausts its retries and the
+  // failure surfaces through the completion counter as kResourceExhausted —
+  // the origin's wait is released instead of hanging forever.
   net::Machine m(machine_config(2));
   std::vector<std::byte> tgt(64);
+  Status wait_st = Status::kOk;
   EXPECT_EQ(m.run_spmd([&](net::Node& n) {
-    Context ctx(n, polling_config());
+    Config cfg = polling_config();
+    cfg.retransmit_timeout = microseconds(200);  // fail fast
+    cfg.max_retries = 4;
+    Context ctx(n, cfg);
     if (n.id() == 0) {
       std::vector<std::byte> src(64, std::byte{1});
       Counter cmpl;
       ASSERT_EQ(ctx.put(1, src, tgt.data(), nullptr, nullptr, &cmpl),
                 Status::kOk);
-      ctx.waitcntr(cmpl, 1);  // never satisfied
+      wait_st = ctx.waitcntr(cmpl, 1);  // released by retry exhaustion
+      EXPECT_EQ(ctx.pending_sends(), 0u);
+      EXPECT_EQ(ctx.outstanding(), 0);
     }
     // Target returns immediately without any LAPI call; its context is
-    // destroyed and origin waits forever.
-  }), Status::kDeadlock);
+    // destroyed and the origin's packets become adapter dead letters.
+  }), Status::kOk);
+  EXPECT_EQ(wait_st, Status::kResourceExhausted);
+  EXPECT_EQ(tgt[0], std::byte{0});  // the data never landed
+  EXPECT_GT(m.engine().counters().get("lapi.retransmit_giveup"), 0);
+  EXPECT_GT(m.engine().counters().get("lapi.failed_ops"), 0);
 }
 
 TEST(LapiModesTest, BlockedWaitsPollEvenInInterruptMode) {
