@@ -1,27 +1,90 @@
 #!/usr/bin/env bash
-# Full local gate: optimized build + tests, then ASan+UBSan build + tests.
-# The engine's park/unpark handoff and the pooled event/packet recycling are
-# exactly the kind of code that only sanitizers reliably catch regressions
-# in, so both configs must pass before a change ships.
+# Full local gate, in escalating order of what each stage can catch:
+#
+#   optimized  build + full ctest (the tier-1 contract)
+#   lint       splap-lint determinism rules over src/ and tests/, plus the
+#              rule-by-rule fixture self-tests
+#   tidy       clang-tidy over src/ (skipped with a notice when the host has
+#              no clang-tidy; the curated check set lives in .clang-tidy)
+#   asan       ASan+UBSan build + full ctest
+#   chaos      the fault-injection harness under ASan+UBSan (the code most
+#              likely to touch freed records or stale buffers)
+#   tsan       ThreadSanitizer over the genuinely-concurrent code: the actor
+#              park/unpark handoff (sim_engine_test) and the parallel sweep
+#              driver (bench_fig2_bandwidth with SPLAP_SWEEP_THREADS=4)
+#   audit      SPLAP_AUDIT build + full ctest: shadow-state lifecycle and
+#              virtual-time race auditing across every suite, chaos included
+#
+# Stages can be selected by name: `scripts/check.sh lint audit` runs just
+# those two; no arguments runs everything.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== optimized build =="
-cmake -B build -S . >/dev/null
-cmake --build build -j"$(nproc)"
-ctest --test-dir build --output-on-failure
+STAGES="$*"
+want() {
+  [ -z "${STAGES}" ] && return 0
+  case " ${STAGES} " in
+    *" $1 "*) return 0 ;;
+    *) return 1 ;;
+  esac
+}
 
-echo "== sanitized build (ASan+UBSan) =="
-cmake -B build-asan -S . -DSPLAP_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
-cmake --build build-asan -j"$(nproc)"
-ctest --test-dir build-asan --output-on-failure
+if want optimized; then
+  echo "== optimized build =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$(nproc)"
+  ctest --test-dir build --output-on-failure
+fi
 
-# The chaos harness exercises the retransmit/duplicate/corruption recovery
-# paths — the code most likely to touch freed records or stale buffers — so
-# it gets an explicit sanitized pass even though the full ctest run above
-# already includes it (this stage keeps failing loudly if the chaos label
-# set ever becomes empty).
-echo "== chaos harness (ASan+UBSan) =="
-ctest --test-dir build-asan -L chaos --no-tests=error --output-on-failure
+if want lint; then
+  echo "== determinism lint =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$(nproc)" --target splap_lint lint_selftest
+  ctest --test-dir build -L lint --no-tests=error --output-on-failure
+fi
+
+if want tidy; then
+  echo "== clang-tidy =="
+  if command -v clang-tidy >/dev/null 2>&1; then
+    cmake -B build -S . >/dev/null  # refreshes compile_commands.json
+    # Headers are pulled in via the translation units that include them.
+    find src -name '*.cpp' -print0 |
+      xargs -0 -n 4 clang-tidy -p build --quiet
+  else
+    echo "SKIP: clang-tidy not installed on this host (config: .clang-tidy)"
+  fi
+fi
+
+if want asan; then
+  echo "== sanitized build (ASan+UBSan) =="
+  cmake -B build-asan -S . -DSPLAP_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  cmake --build build-asan -j"$(nproc)"
+  ctest --test-dir build-asan --output-on-failure
+fi
+
+if want chaos; then
+  # An explicit sanitized pass over the chaos label even though the full
+  # ctest run above already includes it (this stage keeps failing loudly if
+  # the chaos label set ever becomes empty).
+  echo "== chaos harness (ASan+UBSan) =="
+  cmake -B build-asan -S . -DSPLAP_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  cmake --build build-asan -j"$(nproc)"
+  ctest --test-dir build-asan -L chaos --no-tests=error --output-on-failure
+fi
+
+if want tsan; then
+  echo "== thread-sanitized build (TSan) =="
+  cmake -B build-tsan -S . -DSPLAP_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  cmake --build build-tsan -j"$(nproc)" --target sim_engine_test bench_fig2_bandwidth
+  ./build-tsan/tests/sim_engine_test
+  SPLAP_SWEEP_THREADS=4 ./build-tsan/bench/bench_fig2_bandwidth
+fi
+
+if want audit; then
+  echo "== audit build (SPLAP_AUDIT) =="
+  cmake -B build-audit -S . -DSPLAP_AUDIT=ON >/dev/null
+  cmake --build build-audit -j"$(nproc)"
+  ctest --test-dir build-audit --output-on-failure
+fi
 
 echo "All checks passed."

@@ -1,0 +1,169 @@
+// Shadow-state audit instrumentation for the determinism-critical hot paths
+// (see DESIGN.md "Determinism invariants and how they are enforced").
+//
+// The engine, the recycling pools and the fabric all trade safety rails for
+// speed: pooled objects come back un-destructed, event nodes are referenced
+// from queue slots after their pool slot is notionally free, and tail blocks
+// cycle through a spare list by raw pointer. A lifecycle bug in any of them
+// (double-recycle, use-after-release, leak) does not crash — it silently
+// aliases two live objects onto one allocation and corrupts the event trace
+// *downstream*, which is the hardest failure mode to debug in a simulator
+// whose whole contract is bit-reproducibility.
+//
+// SPLAP_AUDIT builds (-DSPLAP_AUDIT=ON) compile in shadow bookkeeping that
+// turns those bugs into immediate aborts at the corrupting operation:
+//
+//   LiveSet      membership shadow for pool free lists and the engine's
+//                tail-block spare list: double acquire, double release,
+//                foreign release and use-after-release all fail loudly.
+//   RaceTracker  virtual-time race detector: every audited object remembers
+//                who touched it last (dispatch step + actor). A touch at the
+//                SAME virtual time from a different entity with no
+//                happens-before path between the two dispatches means the
+//                serialization order came from queue tie-breaking, not from
+//                the model — exactly the fragility that turns into a trace
+//                divergence when event insertion order shifts.
+//
+// Everything here is compiled out when SPLAP_AUDIT is off: release binaries
+// carry no shadow state, no branches, no extra members.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/time.hpp"
+
+namespace splap::audit {
+
+#if defined(SPLAP_AUDIT)
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// Print a diagnostic prefixed with "splap-audit:" and abort. The prefix is
+/// the contract the audit death tests match on.
+[[noreturn]] inline void fail(const char* what, const char* where,
+                              const void* obj) {
+  std::fprintf(stderr, "splap-audit: %s (at %s, object %p)\n", what, where,
+               obj);
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Shadow membership set. Pools mirror their set of live (acquired) objects
+/// here; the engine mirrors its tail-block spare list. Both directions of
+/// corruption are caught at the corrupting call, not at the later crash:
+/// inserting a member twice is a double-acquire/double-recycle, removing a
+/// non-member is a double-release or a foreign pointer.
+class LiveSet {
+ public:
+  explicit LiveSet(const char* what) : what_(what) {}
+
+  void insert(const void* p, const char* where) {
+    if (!members_.insert(p).second) fail_with("inserted twice into", where, p);
+  }
+  void remove(const void* p, const char* where) {
+    if (members_.erase(p) == 0) fail_with("not a member of", where, p);
+  }
+  void expect(const void* p, const char* where) const {
+    if (members_.count(p) == 0) fail_with("used after leaving", where, p);
+  }
+  bool contains(const void* p) const { return members_.count(p) != 0; }
+  std::size_t size() const { return members_.size(); }
+  void clear() { members_.clear(); }
+
+ private:
+  [[noreturn]] void fail_with(const char* verb, const char* where,
+                              const void* p) const {
+    char msg[160];
+    std::snprintf(msg, sizeof msg, "object %s the %s shadow set", verb, what_);
+    fail(msg, where, p);
+  }
+
+  const char* what_;
+  std::unordered_set<const void*> members_;
+};
+
+/// Virtual-time race detector over the engine's dispatch sequence.
+///
+/// Model: dispatch step N happens-before step M iff walking M's cause chain
+/// (each event remembers the step during which it was scheduled; work an
+/// actor does is attributed to the dispatch that granted it the control
+/// token) reaches N. Two touches of the same live object at the same
+/// virtual time whose steps are NOT so ordered — and which did not come from
+/// the same actor, whose slices are program-ordered — were serialized purely
+/// by the queue's (time, seq) tie-break. That order is deterministic today,
+/// but any change in event insertion order silently flips it; the auditor
+/// reports it as a race instead of letting the fragility hide.
+///
+/// The cause chain lives in a fixed ring (2^20 dispatches ≈ 16 MB); a walk
+/// that falls off the ring's history treats the pair as ordered, so very
+/// long gaps degrade to fewer reports, never to false ones.
+class RaceTracker {
+ public:
+  /// Record the cause (scheduling step) of the event dispatched at `step`.
+  void on_dispatch(std::uint64_t step, std::uint64_t cause) {
+    Entry& e = ring_[step & kRingMask];
+    e.step = step;
+    e.cause = cause;
+  }
+
+  /// A fresh live object (just acquired): forget any prior generation that
+  /// lived at this address, so recycling never chains unrelated touches.
+  void begin(const void* obj) { last_.erase(obj); }
+
+  /// The object left its live generation (released): stop tracking it.
+  void end(const void* obj) { last_.erase(obj); }
+
+  void touch(const void* obj, Time now, std::uint64_t step, int actor,
+             const char* where) {
+    auto [it, fresh] = last_.try_emplace(obj, Touch{now, step, actor});
+    if (!fresh) {
+      const Touch prev = it->second;
+      it->second = Touch{now, step, actor};
+      if (prev.t == now && prev.step != step &&
+          !(prev.actor >= 0 && prev.actor == actor) &&
+          !ordered(prev.step, step)) {
+        fail("virtual-time race: two unordered entities touched the object "
+             "at the same virtual time (serialization depends on queue "
+             "tie-breaking)",
+             where, obj);
+      }
+    }
+  }
+
+ private:
+  static constexpr std::size_t kRingBits = 20;
+  static constexpr std::uint64_t kRingMask = (1u << kRingBits) - 1;
+
+  /// True iff `prev` happens-before `cur` via the cause chain (or the chain
+  /// left the ring's history, in which case we assume ordered).
+  bool ordered(std::uint64_t prev, std::uint64_t cur) const {
+    std::uint64_t s = cur;
+    while (s > prev) {
+      const Entry& e = ring_[s & kRingMask];
+      if (e.step != s) return true;  // evicted from the ring: be conservative
+      s = e.cause;
+    }
+    return s == prev;
+  }
+
+  struct Entry {
+    std::uint64_t step = ~std::uint64_t{0};
+    std::uint64_t cause = 0;
+  };
+  struct Touch {
+    Time t;
+    std::uint64_t step;
+    int actor;  // -1 when the touch came from event/handler context
+  };
+  std::vector<Entry> ring_ = std::vector<Entry>(1u << kRingBits);
+  std::unordered_map<const void*, Touch> last_;
+};
+
+}  // namespace splap::audit

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/audit.hpp"
 #include "base/status.hpp"
 
 namespace splap {
@@ -64,7 +65,7 @@ class ZeroSlabCache {
         return;
       }
     }
-    slabs_.push_back(Entry{bytes, std::move(slab)});
+    slabs_.emplace_back(bytes, std::move(slab));
   }
 
  private:
@@ -102,12 +103,21 @@ class BufferPool {
     std::byte* b = free_.back();
     free_.pop_back();
     if (total_ - free_.size() > high_water_) high_water_ = total_ - free_.size();
+#ifdef SPLAP_AUDIT
+    audit_live_.insert(b, "BufferPool::try_acquire");
+#endif
     return b;
   }
 
   void release(std::byte* b) {
     SPLAP_REQUIRE(owns(b), "releasing a buffer this pool does not own");
     SPLAP_REQUIRE(free_.size() < total_, "double release into buffer pool");
+#ifdef SPLAP_AUDIT
+    // The SPLAP_REQUIREs above catch foreign pointers and free-list
+    // overflow; the shadow set additionally pins double release of one
+    // specific buffer while others are still outstanding.
+    audit_live_.remove(b, "BufferPool::release");
+#endif
     free_.push_back(b);
   }
 
@@ -129,6 +139,9 @@ class BufferPool {
   std::size_t total_ = 0;
   std::size_t high_water_ = 0;
   std::int64_t exhaustions_ = 0;
+#ifdef SPLAP_AUDIT
+  audit::LiveSet audit_live_{"BufferPool live-buffer"};
+#endif
 };
 
 /// Growable recycling pool of fixed-size byte buffers, used for hot-path
@@ -176,6 +189,9 @@ class SlabBufferPool {
     Buffer b = free_.back();
     free_.pop_back();
     if (total_ - free_.size() > high_water_) high_water_ = total_ - free_.size();
+#ifdef SPLAP_AUDIT
+    audit_live_.insert(b.data, "SlabBufferPool::acquire");
+#endif
     return b;
   }
 
@@ -183,6 +199,9 @@ class SlabBufferPool {
   /// pass 0 when unsure — correctness never depends on it, only fill cost.
   void release(std::byte* b, std::uint32_t zeroed = 0) {
     SPLAP_REQUIRE(b != nullptr, "releasing a null buffer");
+#ifdef SPLAP_AUDIT
+    audit_live_.remove(b, "SlabBufferPool::release");
+#endif
     free_.push_back(Buffer{b, zeroed});
   }
 
@@ -220,6 +239,9 @@ class SlabBufferPool {
   std::vector<Buffer> free_;
   std::size_t total_ = 0;
   std::size_t high_water_ = 0;
+#ifdef SPLAP_AUDIT
+  audit::LiveSet audit_live_{"SlabBufferPool live-buffer"};
+#endif
 };
 
 /// Growable recycling pool of default-constructed T. Objects come back from
@@ -242,17 +264,32 @@ class ObjectPool {
     T* p = free_.back();
     free_.pop_back();
     if (total_ - free_.size() > high_water_) high_water_ = total_ - free_.size();
+#ifdef SPLAP_AUDIT
+    audit_live_.insert(p, "ObjectPool::acquire");
+#endif
     return p;
   }
 
   void release(T* p) {
     SPLAP_REQUIRE(p != nullptr, "releasing a null object");
+#ifdef SPLAP_AUDIT
+    audit_live_.remove(p, "ObjectPool::release");
+#endif
     free_.push_back(p);
   }
 
   std::size_t capacity() const { return total_; }
   std::size_t in_use() const { return total_ - free_.size(); }
   std::size_t high_water() const { return high_water_; }
+
+#ifdef SPLAP_AUDIT
+  /// Audit builds only: abort if `p` is not currently acquired from this
+  /// pool. Owners of recycled records call this before dereferencing one
+  /// from a context that may have outlived it (a scheduled event, say).
+  void audit_expect_live(const T* p, const char* where) const {
+    audit_live_.expect(p, where);
+  }
+#endif
 
  private:
   void grow() {
@@ -271,6 +308,9 @@ class ObjectPool {
   std::vector<T*> free_;
   std::size_t total_ = 0;
   std::size_t high_water_ = 0;
+#ifdef SPLAP_AUDIT
+  audit::LiveSet audit_live_{"ObjectPool live-object"};
+#endif
 };
 
 }  // namespace splap

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/status.hpp"
@@ -26,11 +27,11 @@ class RunningStat {
   }
 
   std::int64_t count() const { return n_; }
-  double mean() const { return n_ ? mean_ : 0.0; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
   double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
   double stddev() const { return std::sqrt(variance()); }
-  double min() const { return n_ ? min_ : 0.0; }
-  double max() const { return n_ ? max_ : 0.0; }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
 
   void reset() { *this = RunningStat{}; }
 
@@ -46,17 +47,20 @@ class RunningStat {
 /// properties in tests ("exactly one copy on this path", "N retransmits").
 class CounterSet {
  public:
-  void bump(const std::string& name, std::int64_t by = 1) {
+  // string_view keys: callers bump with string literals on per-packet paths,
+  // and a std::string parameter would allocate a temporary on every call.
+  // The string is materialized only when a counter is first created.
+  void bump(std::string_view name, std::int64_t by = 1) {
     for (auto& kv : counters_) {
       if (kv.first == name) {
         kv.second += by;
         return;
       }
     }
-    counters_.emplace_back(name, by);
+    counters_.emplace_back(std::string(name), by);
   }
 
-  std::int64_t get(const std::string& name) const {
+  std::int64_t get(std::string_view name) const {
     for (const auto& kv : counters_) {
       if (kv.first == name) return kv.second;
     }

@@ -61,7 +61,9 @@ struct Context::Universe {
     static std::mutex m;
     return m;
   }
+  // splap-lint: allow(pointer-key): lookup/erase-only registry under mu()
   static std::map<net::Machine*, std::unique_ptr<Universe>>& all() {
+    // splap-lint: allow(pointer-key): never iterated; key order unobservable
     static std::map<net::Machine*, std::unique_ptr<Universe>> m;
     return m;
   }

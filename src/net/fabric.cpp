@@ -3,20 +3,23 @@
 #include <algorithm>
 #include <utility>
 
+#include "base/audit.hpp"
 #include "base/log.hpp"
 
 namespace splap::net {
 
 Fabric::Fabric(sim::Engine& engine, int nodes, FabricConfig config)
     : engine_(engine),
-      config_(config),
+      config_(std::move(config)),
       link_free_(static_cast<std::size_t>(nodes), 0),
       rx_free_(static_cast<std::size_t>(nodes), 0),
       next_route_(static_cast<std::size_t>(nodes), 0),
       deliver_(static_cast<std::size_t>(nodes)),
       deliver_fns_(static_cast<std::size_t>(nodes)),
-      rng_(config.seed),
-      payload_pool_(static_cast<std::size_t>(config.cost.packet_bytes), 256) {
+      // config_ (declared before rng_/payload_pool_) is already moved-into
+      // here, so these must read config_, not the moved-from parameter.
+      rng_(config_.seed),
+      payload_pool_(static_cast<std::size_t>(config_.cost.packet_bytes), 256) {
   SPLAP_REQUIRE(nodes > 0, "fabric needs at least one node");
   if (config_.fault.any()) {
     for (const RouteFault& f : config_.fault.route_faults) {
@@ -25,6 +28,16 @@ Fabric::Fabric(sim::Engine& engine, int nodes, FabricConfig config)
     }
     faults_ = std::make_unique<FaultInjector>(config_.fault);
   }
+}
+
+Fabric::~Fabric() {
+#ifdef SPLAP_AUDIT
+  if (engine_.queued_events() == 0 && inflight_pool_.in_use() != 0) {
+    audit::fail("in-flight record leak at fabric teardown (queue drained but "
+                "records were never delivered or released)",
+                "Fabric::~Fabric", nullptr);
+  }
+#endif
 }
 
 void Fabric::set_deliver(int dst, DeliverFn fn) {
@@ -154,6 +167,10 @@ void Fabric::transmit(Packet&& pkt) {
         InFlight* drec = inflight_pool_.acquire();
         drec->owner = this;
         drec->pkt = std::move(dup);
+#ifdef SPLAP_AUDIT
+        engine_.audit_object_begin(drec);
+        engine_.audit_object_touch(drec, "Fabric::transmit duplicate");
+#endif
         engine_.schedule_thunk(
             dup_arrival,
             [](void* p) {
@@ -178,6 +195,10 @@ void Fabric::transmit(Packet&& pkt) {
   InFlight* rec = inflight_pool_.acquire();
   rec->owner = this;
   rec->pkt = std::move(pkt);
+#ifdef SPLAP_AUDIT
+  engine_.audit_object_begin(rec);
+  engine_.audit_object_touch(rec, "Fabric::transmit");
+#endif
   engine_.schedule_thunk(
       arrival,
       [](void* p) {
@@ -188,6 +209,12 @@ void Fabric::transmit(Packet&& pkt) {
 }
 
 void Fabric::stage_rx(InFlight* rec) {
+#ifdef SPLAP_AUDIT
+  // The record is the scheduled event's raw context: if it was recycled out
+  // from under the event, this dereference is the corruption point.
+  inflight_pool_.audit_expect_live(rec, "Fabric::stage_rx");
+  engine_.audit_object_touch(rec, "Fabric::stage_rx");
+#endif
   const auto dst = static_cast<std::size_t>(rec->pkt.dst);
   const Time deliver_at =
       std::max(engine_.now(), rx_free_[dst]) + config_.cost.adapter_rx;
@@ -202,6 +229,10 @@ void Fabric::stage_rx(InFlight* rec) {
 }
 
 void Fabric::finish_delivery(InFlight* rec) {
+#ifdef SPLAP_AUDIT
+  inflight_pool_.audit_expect_live(rec, "Fabric::finish_delivery");
+  engine_.audit_object_touch(rec, "Fabric::finish_delivery");
+#endif
   const auto dst = static_cast<std::size_t>(rec->pkt.dst);
   const DeliverSlot slot = deliver_[dst];
   SPLAP_REQUIRE(slot.fn != nullptr,
@@ -216,6 +247,9 @@ void Fabric::finish_delivery(InFlight* rec) {
     ~Reap() {
       rec->pkt.data.reset();
       rec->pkt.meta.reset();
+#ifdef SPLAP_AUDIT
+      f->engine_.audit_object_end(rec);
+#endif
       f->inflight_pool_.release(rec);
     }
   } reap{this, rec};

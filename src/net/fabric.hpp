@@ -60,6 +60,12 @@ class Fabric {
 
   Fabric(sim::Engine& engine, int nodes, FabricConfig config);
 
+  /// Audit builds verify the in-flight record ledger drained: when the
+  /// engine's queue is empty (the simulation ran to completion) every record
+  /// must have been released by finish_delivery. Records still out while
+  /// events remain queued are a legitimate mid-flight teardown, not a leak.
+  ~Fabric();
+
   /// Register the receive-side entry point of node `dst` (the adapter).
   void set_deliver(int dst, DeliverFn fn);
   void set_deliver(int dst, DeliverThunk fn, void* ctx);

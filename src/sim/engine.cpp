@@ -92,9 +92,10 @@ void Actor::grant() {
   turn_.notify_one();
   park_until(kEngineHasControl);
   if (failure_) {
-    auto f = failure_;
+    // Move, don't copy: exception_ptr copies touch an atomic refcount.
+    std::exception_ptr f = std::move(failure_);
     failure_ = nullptr;
-    std::rethrow_exception(f);
+    std::rethrow_exception(std::move(f));
   }
 }
 
@@ -128,17 +129,44 @@ void Actor::compute(Time d) {
 Engine::~Engine() {
   shutdown();
   // Events still queued (failed run, deadlock) own callables; destroy them
-  // before the pool slabs go away.
-  if (box_full_) box_.node->clear();
-  for (const HeapSlot& s : heap_) s.node->clear();
+  // before the pool slabs go away. Audit builds also hand the swept nodes
+  // back to the pool so acquire/release pairing balances, then verify no
+  // node is left acquired: any remainder escaped both the run loop and this
+  // sweep, i.e. a queue-bookkeeping leak.
+#ifdef SPLAP_AUDIT
+#define SPLAP_SWEEP(node) \
+  do {                    \
+    (node)->clear();      \
+    event_pool_.release(node); \
+  } while (0)
+#else
+#define SPLAP_SWEEP(node) (node)->clear()
+#endif
+  if (box_full_) SPLAP_SWEEP(box_.node);
+  for (const HeapSlot& s : heap_) SPLAP_SWEEP(s.node);
   std::size_t idx = tail_head_;
   for (std::size_t b = tail_head_block_; b < tail_blocks_.size(); ++b) {
     const std::size_t end =
         b + 1 == tail_blocks_.size() ? tail_back_ : SlotBlock::kSlots;
-    for (std::size_t j = idx; j < end; ++j) tail_blocks_[b]->s[j].node->clear();
+    for (std::size_t j = idx; j < end; ++j) SPLAP_SWEEP(tail_blocks_[b]->s[j].node);
     idx = 0;
   }
+#undef SPLAP_SWEEP
+#ifdef SPLAP_AUDIT
+  if (event_pool_.in_use() != 0) {
+    audit::fail("event node leak at engine teardown", "Engine::~Engine",
+                nullptr);
+  }
+#endif
 }
+
+#ifdef SPLAP_AUDIT
+void Engine::audit_object_touch(const void* obj, const char* where) {
+  const Actor* a = Actor::current();
+  audit_race_.touch(obj, now_, audit_step_, a != nullptr ? a->id() : -1,
+                    where);
+}
+#endif
 
 void Engine::shutdown() {
   // Unwind any actor still blocked (failed run, deadlock, or an exception
@@ -186,6 +214,9 @@ Status Engine::run() {
     if (tail_size_ != 0) __builtin_prefetch(tail_front().node);
     EventNode* n = s.node;
     now_ = s.t;
+#ifdef SPLAP_AUDIT
+    audit_race_.on_dispatch(++audit_step_, n->audit_cause);
+#endif
     // invoke destroys the callable on both paths, so the node goes straight
     // back to the pool; a free node's stale thunk pointers are never read
     // (bind overwrites them, and ~Engine only sweeps queued nodes).

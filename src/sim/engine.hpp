@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/audit.hpp"
 #include "base/log.hpp"
 #include "base/pool.hpp"
 #include "base/stats.hpp"
@@ -134,7 +135,12 @@ class Engine {
   /// this + weak_ptr + std::function = 56 bytes).
   static constexpr std::size_t kInlineCallbackBytes = 64;
 
-  Engine() { tail_spare_.push_back(&first_block_); }
+  Engine() {
+    tail_spare_.push_back(&first_block_);
+#ifdef SPLAP_AUDIT
+    audit_spare_.insert(&first_block_, "Engine ctor");
+#endif
+  }
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -148,6 +154,9 @@ class Engine {
     SPLAP_REQUIRE(t >= now_, "cannot schedule an event in the virtual past");
     EventNode* n = event_pool_.acquire();
     n->bind(std::forward<F>(fn));
+#ifdef SPLAP_AUDIT
+    n->audit_cause = audit_step_;
+#endif
     queue_push(HeapSlot{t, next_seq_++, n});
   }
   template <class F>
@@ -165,6 +174,9 @@ class Engine {
     n->invoke = fn;
     n->destroy = nullptr;  // nothing owned; teardown clear() is a no-op
     n->obj = ctx;
+#ifdef SPLAP_AUDIT
+    n->audit_cause = audit_step_;
+#endif
     queue_push(HeapSlot{t, next_seq_++, n});
   }
 
@@ -195,6 +207,29 @@ class Engine {
   /// recycles). Exposed for the allocation-regression tests.
   std::size_t event_nodes_allocated() const { return event_pool_.capacity(); }
 
+  /// Events currently queued (all three lists). Owners use this at teardown
+  /// to distinguish "simulation drained" from "torn down mid-flight".
+  std::size_t queued_events() const {
+    return tail_size_ + heap_.size() + (box_full_ ? 1u : 0u);
+  }
+
+#ifdef SPLAP_AUDIT
+  // --- Audit hooks (SPLAP_AUDIT builds only) ----------------------------
+  // Owners of recycled records register each live generation with the
+  // virtual-time race tracker; touches are attributed to the current
+  // dispatch step and, when called from actor context, the acting actor.
+
+  void audit_object_begin(const void* obj) { audit_race_.begin(obj); }
+  void audit_object_end(const void* obj) { audit_race_.end(obj); }
+  void audit_object_touch(const void* obj, const char* where);
+
+  /// Test-only: re-introduce the pre-fix full-drain recycle loop that also
+  /// re-recycled the dead-prefix blocks already sitting in the spare list
+  /// (the aliasing bug the tail-block shadow set exists to catch). Used by
+  /// the auditor's regression fixture; never set outside tests.
+  void audit_set_legacy_full_drain(bool v) { audit_legacy_full_drain_ = v; }
+#endif
+
  private:
   friend class Actor;
 
@@ -211,6 +246,9 @@ class Engine {
     void (*invoke)(void*) = nullptr;
     void (*destroy)(void*) = nullptr;
     void* obj = nullptr;  // == inline_storage, or a heap allocation
+#ifdef SPLAP_AUDIT
+    std::uint64_t audit_cause = 0;  // dispatch step that scheduled this event
+#endif
     alignas(std::max_align_t) std::byte inline_storage[kInlineCallbackBytes];
 
     template <class F>
@@ -294,9 +332,15 @@ class Engine {
       if (tail_spare_.empty()) {
         owned_blocks_.push_back(std::make_unique_for_overwrite<SlotBlock>());
         tail_spare_.push_back(owned_blocks_.back().get());
+#ifdef SPLAP_AUDIT
+        audit_spare_.insert(owned_blocks_.back().get(), "tail_push grow");
+#endif
       }
       tail_blocks_.push_back(tail_spare_.back());
       tail_spare_.pop_back();
+#ifdef SPLAP_AUDIT
+      audit_spare_.remove(tail_blocks_.back(), "tail_push take-from-spare");
+#endif
       tail_back_ = 0;
     }
     tail_blocks_.back()->s[tail_back_++] = s;
@@ -312,8 +356,20 @@ class Engine {
       // prunes) were already handed to tail_spare_ when the head crossed
       // them; recycling those again would alias two active blocks onto the
       // same storage.
-      for (std::size_t b = tail_head_block_; b < tail_blocks_.size(); ++b) {
+#ifdef SPLAP_AUDIT
+      const std::size_t recycle_from =
+          audit_legacy_full_drain_ ? 0 : tail_head_block_;
+#else
+      const std::size_t recycle_from = tail_head_block_;
+#endif
+      for (std::size_t b = recycle_from; b < tail_blocks_.size(); ++b) {
         tail_spare_.push_back(tail_blocks_[b]);
+#ifdef SPLAP_AUDIT
+        // A block already in the spare list showing up again here is the
+        // storage-aliasing double recycle: two future tail blocks would
+        // share one allocation and overwrite each other's queued events.
+        audit_spare_.insert(tail_blocks_[b], "tail_pop full-drain recycle");
+#endif
       }
       tail_blocks_.clear();
       tail_head_block_ = 0;
@@ -321,6 +377,10 @@ class Engine {
       tail_back_ = 0;
     } else if (tail_head_ == SlotBlock::kSlots) {
       tail_spare_.push_back(tail_blocks_[tail_head_block_]);
+#ifdef SPLAP_AUDIT
+      audit_spare_.insert(tail_blocks_[tail_head_block_],
+                          "tail_pop block-crossing recycle");
+#endif
       ++tail_head_block_;
       tail_head_ = 0;
       if (tail_head_block_ >= 16) {
@@ -453,6 +513,15 @@ class Engine {
   std::vector<std::unique_ptr<Actor>> actors_;
   CounterSet counters_;
   bool running_ = false;
+#ifdef SPLAP_AUDIT
+  // Shadow state (audit builds only). audit_step_ numbers dispatches from 1;
+  // 0 means "scheduled before the run loop started", which happens-before
+  // everything. The spare-block shadow set mirrors tail_spare_ exactly.
+  audit::LiveSet audit_spare_{"tail spare-block"};
+  audit::RaceTracker audit_race_;
+  std::uint64_t audit_step_ = 0;
+  bool audit_legacy_full_drain_ = false;
+#endif
 };
 
 }  // namespace splap::sim

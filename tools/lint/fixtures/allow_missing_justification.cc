@@ -1,0 +1,6 @@
+// Fixture: an allow without a justification is itself a violation
+// (bad-allow) and does NOT mute the underlying rule.
+#include <unordered_map>  // splap-lint: allow(unordered-container)
+
+// splap-lint: allow(wall-clock):
+long t() { return time(nullptr); }

@@ -1,0 +1,11 @@
+// Fixture: properly justified annotations mute their rule — scanned under a
+// pretend src/sim/ path, this file must come back clean.
+#include <unordered_map>  // splap-lint: allow(unordered-container): fixture: include for shadow state below
+
+struct S {
+  // splap-lint: allow(unordered-container): shadow index for O(1) membership, never iterated
+  std::unordered_map<int, int> shadow;
+  std::unordered_map<int, int> shadow2;  // splap-lint: allow(unordered-container): same as above; trace-neutral
+};
+
+long t() { return time(nullptr); }  // splap-lint: allow(wall-clock): fixture demonstrating a trailing allow

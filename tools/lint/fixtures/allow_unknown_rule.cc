@@ -1,0 +1,3 @@
+// Fixture: an allow naming an unknown rule is a violation (bad-allow) and
+// mutes nothing.
+long t() { return time(nullptr); }  // splap-lint: allow(wibble): no such rule

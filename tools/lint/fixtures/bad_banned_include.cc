@@ -1,0 +1,8 @@
+// Fixture: every line marked BAD must raise `banned-include` (and the
+// <random>/<chrono> lines additionally carry no other code, so no second
+// rule fires on them).
+#include <random>      // BAD
+#include <chrono>      // BAD
+#include <ctime>       // BAD
+#include <sys/time.h>  // BAD
+#include <time.h>      // BAD

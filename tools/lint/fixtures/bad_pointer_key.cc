@@ -1,0 +1,12 @@
+// Fixture: every line marked BAD must raise `pointer-key`.
+#include <map>
+#include <set>
+
+struct Actor {};
+struct Rec {};
+
+std::map<Actor*, int> owners;              // BAD
+std::set<Rec*> live;                       // BAD
+std::set<const Actor*> watchers;           // BAD
+std::map<Actor*, std::set<int>> waiting;   // BAD
+std::multiset<Rec*> multi;                 // BAD

@@ -1,0 +1,11 @@
+// Fixture: every line marked BAD must raise `raw-rng`.
+int r0() { return rand(); }                          // BAD
+void r1(unsigned s) { srand(s); }                    // BAD
+int r2() { std::random_device rd; return rd(); }     // BAD
+int r3() { std::mt19937 g(1); return (int)g(); }     // BAD
+int r4() { std::mt19937_64 g(1); return (int)g(); }  // BAD
+int r5() { std::minstd_rand g; return (int)g(); }    // BAD
+int r6() { std::default_random_engine g; return 0; } // BAD
+int r7() { std::uniform_int_distribution<int> d; return 0; }   // BAD
+int r8() { std::uniform_real_distribution<float> d; return 0; } // BAD
+int r9() { std::bernoulli_distribution d; return 0; }           // BAD

@@ -1,0 +1,10 @@
+// Fixture: scanned under a pretend src/sim/ path, every line marked BAD
+// must raise `unordered-container`.
+#include <unordered_map>
+#include <unordered_set>
+
+struct S {
+  std::unordered_map<int, int> m;       // BAD
+  std::unordered_set<long> s;           // BAD
+  std::unordered_multimap<int, int> mm; // BAD
+};

@@ -1,0 +1,10 @@
+// Fixture: every line marked BAD must raise `wall-clock`.
+#include <cstdint>
+
+std::int64_t t0() { return std::chrono::duration_cast<int>(0); }  // BAD
+void t1() { auto x = std::chrono::system_clock::now(); (void)x; }  // BAD
+long t2() { return time(nullptr); }                                // BAD
+long t3() { return time(0); }                                      // BAD
+long t4() { return clock(); }                                      // BAD
+int t5() { struct timeval tv; return gettimeofday(&tv, 0); }       // BAD
+int t6() { return clock_gettime(0, nullptr); }                     // BAD

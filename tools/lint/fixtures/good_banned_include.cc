@@ -1,0 +1,6 @@
+// Fixture: nothing here may raise `banned-include`.
+#include <cstdint>
+#include <ratio>     // not banned (no clock in it)
+#include <string>
+// #include <chrono> in a comment is fine.
+const char* s = "#include <random>";  // string literal, not an include

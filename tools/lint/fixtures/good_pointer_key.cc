@@ -1,0 +1,14 @@
+// Fixture: nothing here may raise `pointer-key` — pointers as VALUES are
+// fine (never part of the comparison order), as are value keys.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+struct Actor {};
+
+std::map<std::int64_t, Actor*> by_id;       // pointer value, id key: fine
+std::map<int, std::vector<Actor*>> lists;   // pointer in value type: fine
+std::set<std::uint64_t> seen;               // value key
+std::vector<Actor*> order;                  // vector is not ordered-assoc
+std::map<std::pair<int, int>, int> pairs;   // compound value key

@@ -1,0 +1,16 @@
+// Fixture: nothing here may raise `raw-rng`.
+#include <cstdint>
+
+// The project Rng is the only sanctioned randomness source.
+struct Rng {
+  explicit Rng(std::uint64_t seed) : s_(seed) {}
+  std::uint64_t next_u64() { return s_ *= 6364136223846793005ULL; }
+  std::uint64_t s_;
+};
+
+std::uint64_t ok0() { Rng r(42); return r.next_u64(); }
+// Identifiers merely containing the banned substrings are fine:
+int operand(int x) { return x; }     // contains "rand" mid-word
+int mirand = 0;                      // ditto
+// Comments mentioning rand(), srand(), std::mt19937 are fine.
+const char* s = "std::random_device inside a string";

@@ -1,0 +1,10 @@
+// Fixture: the same hash containers are legal OUTSIDE the trace-affecting
+// dirs (this file is scanned under a pretend src/base/ path) — shadow state
+// and tooling may hash freely as long as the trace never observes it.
+#include <map>
+#include <unordered_map>
+
+struct S {
+  std::unordered_map<int, int> shadow;  // fine under src/base/
+  std::map<int, int> ordered;           // ordered+value key: always fine
+};

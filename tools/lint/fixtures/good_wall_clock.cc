@@ -1,0 +1,13 @@
+// Fixture: nothing here may raise `wall-clock` — these are the look-alikes
+// the rule must not trip on.
+#include <cstdint>
+
+using Time = std::int64_t;
+
+// Virtual-time helpers named *time* are fine (wire_time, transfer_time).
+Time wire_time(std::int64_t bytes) { return bytes * 8; }
+Time transfer_time(std::int64_t b) { return wire_time(b); }
+// A comment mentioning system_clock or time(nullptr) is not a violation.
+Time runtime(Time t) { return t; }   // identifier containing "time"
+Time daytime_offset = 0;             // ditto
+const char* s = "std::chrono::system_clock";  // string literal, not code

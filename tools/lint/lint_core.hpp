@@ -1,0 +1,58 @@
+// splap-lint: project-specific determinism lint for the splap tree.
+//
+// Every performance claim this repro makes rests on one invariant: same seed
+// => bit-identical event trace. The constructs that silently break it are
+// always the same few — wall-clock time sources, randomness that bypasses
+// base/rng.hpp, iteration over hash containers on trace-affecting paths,
+// pointer-valued keys in ordered containers (ASLR makes their order differ
+// run to run) — so instead of rediscovering each violation as a corrupted
+// golden trace, this lint bans them mechanically.
+//
+// The linter is deliberately textual (comment/string-stripped regex over
+// lines, not a C++ parser): the rules target tokens that are unambiguous at
+// the lexical level, and a zero-dependency tool can run in every build. The
+// escape hatch is an annotation carrying a mandatory justification:
+//
+//   // splap-lint: allow(<rule-id>): <why this is trace-neutral>
+//
+// placed on the offending line or on its own line directly above it. An
+// annotation without a justification (or naming an unknown rule) is itself
+// a violation, so the escape hatch cannot rot into a blanket mute.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace splap::lint {
+
+struct Violation {
+  std::string file;  // path as given (repo-relative for tree scans)
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The rule catalogue (stable ids; DESIGN.md section 7 documents each).
+const std::vector<RuleInfo>& rules();
+
+/// Lint one translation unit. `repo_rel` is the path relative to the repo
+/// root with '/' separators — the path-scoped rules (unordered-container)
+/// key off it. Violations come back in line order.
+std::vector<Violation> scan_source(std::string_view repo_rel,
+                                   std::string_view contents);
+
+/// Lint a file on disk; `file` must live under `root`.
+std::vector<Violation> scan_file(const std::filesystem::path& root,
+                                 const std::filesystem::path& file);
+
+/// Lint every C++ source under root/src and root/tests.
+std::vector<Violation> scan_tree(const std::filesystem::path& root);
+
+}  // namespace splap::lint

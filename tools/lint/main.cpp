@@ -1,0 +1,60 @@
+// splap_lint CLI: determinism lint over the project tree (see lint_core.hpp
+// for the rule rationale). Exit 0 = clean, 1 = violations, 2 = usage error.
+//
+//   splap_lint --root <repo-root>          # lint src/ and tests/
+//   splap_lint --root <repo-root> FILE...  # lint specific files
+//   splap_lint --list-rules
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+int main(int argc, char** argv) {
+  std::filesystem::path root = ".";
+  std::vector<std::filesystem::path> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const auto& r : splap::lint::rules()) {
+        std::printf("%-20s %s\n", r.id, r.summary);
+      }
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "splap_lint: unknown flag %s\n", argv[i]);
+      return 2;
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  std::error_code ec;
+  root = std::filesystem::canonical(root, ec);
+  if (ec) {
+    std::fprintf(stderr, "splap_lint: bad --root: %s\n", ec.message().c_str());
+    return 2;
+  }
+
+  std::vector<splap::lint::Violation> violations;
+  if (files.empty()) {
+    violations = splap::lint::scan_tree(root);
+  } else {
+    for (const auto& f : files) {
+      auto v = splap::lint::scan_file(root, std::filesystem::absolute(f));
+      violations.insert(violations.end(), v.begin(), v.end());
+    }
+  }
+  for (const auto& v : violations) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "splap-lint: %zu violation%s\n", violations.size(),
+                 violations.size() == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("splap-lint: clean\n");
+  return 0;
+}
