@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Golden-output guard: the refactor-safety net for the deterministic outputs
+# the repo's claims rest on. With faults off, these runs are pure virtual
+# time — any byte of drift means event ordering changed, which is exactly
+# what a transport-stack refactor must not do.
+#
+#   quickstart   the four-task walkthrough (virtual time + packet count)
+#   table2       the paper's Table 2 latency reproduction
+#   fig2         the bandwidth sweep of Figure 2 (also exercised with
+#                SPLAP_SWEEP_THREADS elsewhere; the output is thread-count
+#                invariant)
+#   engine perf  BENCH_engine.json carries wall-clock timings that legitimately
+#                vary run to run, so the guard pins its schema and benchmark
+#                name set, not its bytes
+#
+# Usage: scripts/golden_check.sh <build-dir>
+# Re-baselining (only after an intentional behavior change): re-run the three
+# binaries and overwrite tests/golden/*.txt with their output.
+set -euo pipefail
+BUILD_DIR="${1:?usage: golden_check.sh <build-dir>}"
+cd "$(dirname "$0")/.."
+GOLD=tests/golden
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "-- quickstart"
+"$BUILD_DIR"/examples/quickstart > "$TMP/quickstart.txt"
+diff -u "$GOLD/quickstart.txt" "$TMP/quickstart.txt"
+
+echo "-- table2"
+"$BUILD_DIR"/bench/bench_table2_latency > "$TMP/table2.txt"
+diff -u "$GOLD/table2.txt" "$TMP/table2.txt"
+
+echo "-- fig2"
+"$BUILD_DIR"/bench/bench_fig2_bandwidth > "$TMP/fig2.txt"
+diff -u "$GOLD/fig2.txt" "$TMP/fig2.txt"
+
+echo "-- engine perf schema"
+"$BUILD_DIR"/bench/bench_engine_perf --json_out="$TMP/BENCH_engine.json" \
+  > /dev/null
+grep -q '"schema": "splap-bench-v1"' "$TMP/BENCH_engine.json"
+for name in BM_EngineEventThroughput BM_ActorHandoff BM_FabricPacketRate \
+            BM_LapiPutMessageRate; do
+  grep -q "\"$name" "$TMP/BENCH_engine.json" \
+    || { echo "missing benchmark $name in BENCH_engine.json"; exit 1; }
+done
+
+echo "golden outputs identical"

@@ -1,0 +1,335 @@
+#include "lapi/assembly.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <utility>
+
+#include "base/checksum.hpp"
+#include "base/log.hpp"
+#include "base/strided.hpp"
+
+namespace splap::lapi {
+
+void AssemblyEngine::send_ack(int target, std::int64_t msg_id, bool data,
+                              bool done, Counter* org_cntr, Counter* cmpl_cntr,
+                              Time when) {
+  when += progress_.cost().lapi_ack_delay;  // delayed-ack coalescing timer
+  auto m = std::make_shared<WireMeta>();
+  m->kind = PktKind::kAck;
+  m->acked_msg = msg_id;
+  m->ack_data = data;
+  m->ack_done = done;
+  m->org_cntr = org_cntr;
+  m->cmpl_cntr = cmpl_cntr;
+  net::Packet p = wire_.make_packet();
+  p.src = task_id_;
+  p.dst = target;
+  p.client = net::Client::kLapi;
+  p.header_bytes = progress_.cost().lapi_header_bytes + kAckDescBytes;
+  p.meta = std::move(m);
+  SPLAP_DEBUG(progress_.engine().now(),
+              "lapi task %d: ack msg %lld to %d data=%d done=%d at %.3f",
+              task_id_, static_cast<long long>(msg_id), target, data, done,
+              to_us(when));
+  if (when <= progress_.engine().now()) {
+    wire_.transmit(std::move(p));
+  } else {
+    progress_.defer(when,
+                    [this, sp = std::make_shared<net::Packet>(std::move(p))] {
+                      wire_.transmit(std::move(*sp));
+                    });
+  }
+}
+
+Time AssemblyEngine::process(net::Packet& pkt) {
+  const CostModel& cm = progress_.cost();
+  const WireMeta& m = pkt.meta_as<WireMeta>();
+  const Time now = progress_.engine().now();
+
+  // End-to-end integrity check (armed with corruption injection): a payload
+  // whose CRC mismatches is discarded here, exactly as if the fabric had
+  // dropped it — the origin's retransmission recovers it, and corrupted
+  // bytes never reach user buffers or the assembly dedup state.
+  if (checksums_ && m.data_crc != 0 && !pkt.data.empty() &&
+      crc32_nz(pkt.data.data(), pkt.data.size()) != m.data_crc) {
+    progress_.engine().counters().bump("lapi.corrupt_drops");
+    SPLAP_DEBUG(now, "lapi task %d: CRC mismatch on msg %lld from %d, dropped",
+                task_id_, static_cast<long long>(m.msg_id), pkt.src);
+    return cm.lapi_pkt_rx;
+  }
+
+  // Copies incoming fragment bytes into the assembly buffer; returns the
+  // copy charge. Duplicate fragments (retransmits) are ignored.
+  auto ingest = [&](Assembly& as, std::int64_t offset,
+                    std::span<const std::byte> bytes) -> Time {
+    const auto len = static_cast<std::int64_t>(bytes.size());
+    if (len == 0) return 0;
+    if (as.seen.count(offset) != 0) return 0;
+    as.seen[offset] = len;
+    SPLAP_REQUIRE(as.buffer != nullptr, "assembly without a buffer");
+    SPLAP_REQUIRE(offset + len <= as.total, "fragment beyond message length");
+    if (as.hdr != nullptr && as.hdr->strided &&
+        as.kind == PktKind::kPutHdr) {
+      // Putv: the packed wire stream scatters straight into the strided
+      // destination region (the future-work zero-intermediate-copy path).
+      const WireMeta& h = *as.hdr;
+      std::int64_t off = offset;
+      const std::byte* s = bytes.data();
+      std::int64_t left = len;
+      while (left > 0) {
+        const std::int64_t col = off / h.s_row_bytes;
+        const std::int64_t in_col = off % h.s_row_bytes;
+        const std::int64_t chunk = std::min(left, h.s_row_bytes - in_col);
+        std::memcpy(as.buffer + col * h.s_ld + in_col, s,
+                    static_cast<std::size_t>(chunk));
+        off += chunk;
+        s += chunk;
+        left -= chunk;
+      }
+    } else {
+      std::memcpy(as.buffer + offset, bytes.data(),
+                  static_cast<std::size_t>(len));
+    }
+    as.received += len;
+    return cm.copy_time(len);
+  };
+
+  switch (m.kind) {
+    case PktKind::kPutHdr:
+    case PktKind::kAmHdr: {
+      const auto key = std::pair<int, std::int64_t>{pkt.src, m.msg_id};
+      Assembly& as = assemblies_[key];
+      if (as.completed) {
+        // Retransmitted header of a finished message: re-ack, do not
+        // re-deliver (the user may already have reused the buffer).
+        const bool done_ok = !as.completion || as.completion_ran;
+        send_ack(pkt.src, m.msg_id, true,
+                 done_ok && as.hdr->cmpl_cntr != nullptr, as.hdr->org_cntr,
+                 as.hdr->cmpl_cntr, now + cm.lapi_ack);
+        return cm.lapi_ack;
+      }
+      if (as.has_header) return cm.lapi_pkt_rx;  // duplicate, still assembling
+      as.has_header = true;
+      as.kind = m.kind;
+      as.total = m.total_len;
+      as.hdr = std::static_pointer_cast<const WireMeta>(pkt.meta);
+      Time c = progress_.pipelined() ? cm.lapi_dispatch_pipelined
+                                     : cm.lapi_dispatch;
+      if (m.kind == PktKind::kAmHdr) {
+        // The header handler executes after the demultiplex work; anything
+        // it sends queues behind that charge on the dispatcher timeline.
+        progress_.set_busy_until(std::max(progress_.busy_until(), now + c));
+        AmDelivery d{pkt.src, std::span<const std::byte>(m.uhdr), m.total_len};
+        AmReply r = env_.run_handler(m.handler_id, d);
+        SPLAP_REQUIRE(r.buffer != nullptr || m.total_len == 0,
+                      "header handler returned no buffer for a data message");
+        as.buffer = r.buffer;
+        as.completion = std::move(r.completion);
+        c += r.header_cost + cm.lapi_deliver;
+      } else {
+        as.buffer = m.tgt_addr;
+        c += cm.lapi_deliver;
+      }
+      c += ingest(as, 0, pkt.data);
+      for (auto& staged : as.staged) {
+        const WireMeta& sm = staged.meta_as<WireMeta>();
+        c += ingest(as, sm.offset, staged.data);
+      }
+      as.staged.clear();
+      if (as.received == as.total) {
+        as.completed = true;
+        progress_.defer(now + c, [this, key] {
+          finish_assembly(key.first, key.second);
+        });
+      }
+      return c;
+    }
+
+    case PktKind::kData: {
+      const auto key = std::pair<int, std::int64_t>{pkt.src, m.msg_id};
+      Assembly& as = assemblies_[key];
+      if (as.completed) {
+        const bool done_ok = !as.completion || as.completion_ran;
+        send_ack(pkt.src, m.msg_id, true,
+                 done_ok && as.hdr && as.hdr->cmpl_cntr != nullptr,
+                 as.hdr ? as.hdr->org_cntr : nullptr,
+                 as.hdr ? as.hdr->cmpl_cntr : nullptr, now + cm.lapi_ack);
+        return cm.lapi_ack;
+      }
+      if (!as.has_header) {
+        // Out-of-order: data beat the header packet. Stage until the header
+        // handler supplies the landing buffer (Section 2.1).
+        progress_.engine().counters().bump("lapi.staged");
+        as.staged.push_back(std::move(pkt));
+        return cm.lapi_pkt_rx;
+      }
+      Time c = cm.lapi_pkt_rx + ingest(as, m.offset, pkt.data);
+      if (as.received == as.total) {
+        as.completed = true;
+        progress_.defer(now + c, [this, key] {
+          finish_assembly(key.first, key.second);
+        });
+      }
+      return c;
+    }
+
+    case PktKind::kGetReq: {
+      const auto key = std::pair<int, std::int64_t>{pkt.src, m.msg_id};
+      Assembly& as = assemblies_[key];
+      if (as.completed) {
+        send_ack(pkt.src, m.msg_id, true, false, nullptr, nullptr,
+                 now + cm.lapi_ack);
+        return cm.lapi_ack;
+      }
+      as.completed = true;
+      as.has_header = true;
+      as.hdr = std::static_pointer_cast<const WireMeta>(pkt.meta);
+      const Time c = cm.lapi_dispatch + cm.lapi_deliver;
+      progress_.defer(
+          now + c, [this, origin = pkt.src, meta = as.hdr] {
+            // Ack the request (the origin's retransmit timer covers it).
+            send_ack(origin, meta->msg_id, true, false, nullptr, nullptr,
+                     progress_.engine().now());
+            // Serve: the reply is an internal Put back to the origin whose
+            // counter roles realize the Get semantics (Figure 1): the
+            // reply's target counter is the get's org_cntr, the reply's
+            // origin counter is the get's tgt_cntr.
+            auto hdr = std::make_shared<WireMeta>();
+            hdr->tgt_addr = meta->dst_addr;
+            hdr->total_len = meta->total_len;
+            hdr->tgt_cntr = meta->org_cntr;
+            hdr->org_cntr = meta->tgt_cntr;
+            hdr->get_reply = true;
+            std::shared_ptr<std::vector<std::byte>> data;
+            if (meta->strided) {
+              // Getv: gather the strided source (charged to the dispatcher)
+              // and ship it with the origin's strided landing descriptor.
+              hdr->strided = true;
+              hdr->s_row_bytes = meta->s_row_bytes;
+              hdr->s_cols = meta->s_cols;
+              hdr->s_ld = meta->s_ld;
+              data = std::make_shared<std::vector<std::byte>>(
+                  static_cast<std::size_t>(meta->total_len));
+              StridedRegion src;
+              src.base = const_cast<std::byte*>(meta->src_addr);
+              src.row_bytes = meta->g_row_bytes;
+              src.cols = meta->g_cols;
+              src.ld_bytes = meta->g_ld;
+              copy_strided_to_contig(src, data->data());
+              progress_.set_busy_until(
+                  std::max(progress_.engine().now(), progress_.busy_until()) +
+                  progress_.cost().copy_time(meta->total_len));
+            } else {
+              data = std::make_shared<std::vector<std::byte>>(
+                  meta->src_addr, meta->src_addr + meta->total_len);
+            }
+            const Status st =
+                env_.send_get_reply(origin, std::move(hdr), std::move(data));
+            SPLAP_REQUIRE(st == Status::kOk, "get reply send failed");
+          });
+      return c;
+    }
+
+    case PktKind::kRmwReq: {
+      const auto key = std::pair<int, std::int64_t>{pkt.src, m.msg_id};
+      const Time c = cm.lapi_dispatch;
+      progress_.defer(
+          now + c, [this, key,
+                    meta = std::static_pointer_cast<const WireMeta>(pkt.meta),
+                    origin = pkt.src] {
+            std::int64_t prev;
+            auto it = rmw_cache_.find(key);
+            if (it != rmw_cache_.end()) {
+              prev = it->second;  // duplicate request: do NOT re-execute
+            } else {
+              prev = *meta->rmw_var;
+              switch (meta->rmw_op) {
+                case RmwOp::kSwap: *meta->rmw_var = meta->rmw_in1; break;
+                case RmwOp::kCompareAndSwap:
+                  if (*meta->rmw_var == meta->rmw_in1) {
+                    *meta->rmw_var = meta->rmw_in2;
+                  }
+                  break;
+                case RmwOp::kFetchAndAdd: *meta->rmw_var += meta->rmw_in1; break;
+                case RmwOp::kFetchAndOr: *meta->rmw_var |= meta->rmw_in1; break;
+              }
+              rmw_cache_[key] = prev;
+            }
+            auto resp = std::make_shared<WireMeta>();
+            resp->kind = PktKind::kRmwResp;
+            resp->acked_msg = meta->msg_id;
+            resp->rmw_prev = prev;
+            resp->rmw_prev_out = meta->rmw_prev_out;
+            resp->org_cntr = meta->org_cntr;
+            net::Packet p = wire_.make_packet();
+            p.src = task_id_;
+            p.dst = origin;
+            p.client = net::Client::kLapi;
+            p.header_bytes =
+                progress_.cost().lapi_header_bytes + kRmwRespDescBytes;
+            p.meta = std::move(resp);
+            wire_.transmit(std::move(p));
+          });
+      return c;
+    }
+
+    // Origin-side packets are demultiplexed to the send engine before this
+    // layer; they never reach the assembly path.
+    case PktKind::kRmwResp:
+    case PktKind::kAck:
+      break;
+  }
+  SPLAP_REQUIRE(false, "unknown packet kind");
+  return 0;
+}
+
+void AssemblyEngine::finish_assembly(int origin, std::int64_t msg_id) {
+  const auto key = std::pair<int, std::int64_t>{origin, msg_id};
+  auto it = assemblies_.find(key);
+  SPLAP_REQUIRE(it != assemblies_.end(), "finishing unknown assembly");
+  Assembly& as = it->second;
+  const WireMeta& h = *as.hdr;
+  const bool want_done = h.cmpl_cntr != nullptr;
+
+  if (h.get_reply) {
+    env_.note_get_reply();
+  }
+
+  if (!as.completion) {
+    as.completion_ran = true;
+    progress_.bump(h.tgt_cntr);
+    send_ack(origin, msg_id, /*data=*/true, /*done=*/want_done, h.org_cntr,
+             h.cmpl_cntr, progress_.engine().now());
+    progress_.notify();
+  } else {
+    // Data is in place: ack it now (fence semantics, Section 5.3.2), then
+    // run the completion handler on a service thread; only after it returns
+    // do the target counter and the DONE ack fire (Figure 1, Step 4).
+    send_ack(origin, msg_id, /*data=*/true, /*done=*/false, h.org_cntr,
+             h.cmpl_cntr, progress_.engine().now());
+    env_.submit_completion([this, key](sim::Actor& svc_actor) {
+      auto jt = assemblies_.find(key);
+      SPLAP_REQUIRE(jt != assemblies_.end(),
+                    "assembly vanished before completion");
+      Assembly& a2 = jt->second;
+      const WireMeta& h2 = *a2.hdr;
+      auto completion = std::move(a2.completion);
+      a2.completion = nullptr;
+      env_.run_completion(completion, svc_actor);
+      a2.completion_ran = true;
+      progress_.bump(h2.tgt_cntr);
+      if (h2.cmpl_cntr != nullptr) {
+        send_ack(key.first, key.second, /*data=*/false, /*done=*/true,
+                 h2.org_cntr, h2.cmpl_cntr, progress_.engine().now());
+      }
+      progress_.notify();
+    });
+  }
+  // Shed assembly bulk; keep the completed marker for duplicate suppression.
+  as.staged.clear();
+  as.staged.shrink_to_fit();
+  as.seen.clear();
+}
+
+}  // namespace splap::lapi

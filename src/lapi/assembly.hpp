@@ -1,0 +1,110 @@
+// The LAPI target side: message assembly and delivery.
+//
+// Owns everything that happens when a data-bearing packet reaches its
+// destination (Section 2.1, steps 2-4 of Figure 1):
+//   - per-(origin, msg_id) assembly records with out-of-order staging (data
+//     packets that beat their header wait for the header handler to supply
+//     the landing buffer), fragment dedup, and the strided scatter path for
+//     Putv;
+//   - end-to-end CRC verification (corrupted packets are treated as loss and
+//     recovered by the origin's retransmission);
+//   - Get/Rmw serving, where the reply is handed back up to the facade as an
+//     internal Put / direct response packet;
+//   - the two-level DATA/DONE ack emission, including re-acks for
+//     retransmitted traffic into completed assemblies (duplicate
+//     suppression — the user may already have reused the buffer).
+//
+// Invariant owned here: user-visible delivery happens exactly once per
+// message — duplicates of any packet of a completed message are answered
+// with acks only, and a fragment ingests at most once (the seen map).
+//
+// What it does NOT know: handler tables, completion-service threads, or the
+// Context type — those stay behind the Env callback interface, so this layer
+// is unit-testable against a scripted fake wire.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "base/cost_model.hpp"
+#include "base/status.hpp"
+#include "lapi/progress.hpp"
+#include "lapi/protocol.hpp"
+#include "lapi/types.hpp"
+#include "net/delivery.hpp"
+
+namespace splap::lapi {
+
+class Context;
+
+class AssemblyEngine {
+ public:
+  /// The services above this layer: handler dispatch, completion-thread
+  /// submission, and the facade's validated send path for Get replies.
+  class Env {
+   public:
+    virtual AmReply run_handler(AmHandlerId id, const AmDelivery& d) = 0;
+    virtual void run_completion(
+        const std::function<void(Context&, sim::Actor&)>& fn,
+        sim::Actor& svc_actor) = 0;
+    virtual void submit_completion(std::function<void(sim::Actor&)> fn) = 0;
+    virtual Status send_get_reply(
+        int origin, std::shared_ptr<WireMeta> hdr,
+        std::shared_ptr<std::vector<std::byte>> data) = 0;
+    /// A get reply finished landing: retire the origin's outstanding-get.
+    virtual void note_get_reply() = 0;
+
+   protected:
+    ~Env() = default;
+  };
+
+  AssemblyEngine(net::Delivery& wire, ProgressEngine& progress, Env& env,
+                 int task_id, bool verify_checksums)
+      : wire_(wire),
+        progress_(progress),
+        env_(env),
+        task_id_(task_id),
+        checksums_(verify_checksums) {}
+
+  /// Process one received data-path packet (every kind except the
+  /// origin-side kAck/kRmwResp); returns the dispatcher processing cost.
+  Time process(net::Packet& pkt);
+
+ private:
+  // Assembly state at the target side of a message.
+  struct Assembly {
+    PktKind kind = PktKind::kPutHdr;
+    bool has_header = false;
+    bool completed = false;
+    bool completion_ran = false;
+    std::int64_t total = -1;
+    std::int64_t received = 0;
+    std::byte* buffer = nullptr;
+    std::shared_ptr<const WireMeta> hdr;  // counters/flags for acks
+    std::function<void(Context&, sim::Actor&)> completion;
+    /// Data packets that arrived before the header packet (out-of-order
+    /// delivery): staged until the header handler supplies the buffer.
+    std::vector<net::Packet> staged;
+    std::map<std::int64_t, std::int64_t> seen;  // offset -> len (dedup)
+  };
+
+  void send_ack(int target, std::int64_t msg_id, bool data, bool done,
+                Counter* org_cntr, Counter* cmpl_cntr, Time when);
+  void finish_assembly(int origin, std::int64_t msg_id);
+
+  net::Delivery& wire_;
+  ProgressEngine& progress_;
+  Env& env_;
+  const int task_id_;
+  /// Verify end-to-end payload CRCs (armed when the fabric injects
+  /// corruption; off otherwise so the clean path does no checksum work).
+  const bool checksums_;
+
+  std::map<std::pair<int, std::int64_t>, Assembly> assemblies_;
+  std::map<std::pair<int, std::int64_t>, std::int64_t> rmw_cache_;
+};
+
+}  // namespace splap::lapi

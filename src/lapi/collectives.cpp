@@ -1,0 +1,173 @@
+// Ordering and bootstrap collectives of the Context facade: LAPI_Fence,
+// LAPI_Gfence (dissemination barrier over handler id 0), LAPI_Address_init,
+// and the per-machine Universe registry that stands in for the out-of-band
+// PSSP job-start infrastructure of the real SP.
+#include "lapi/context.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+
+#include "base/log.hpp"
+
+namespace splap::lapi {
+
+namespace {
+
+/// Payload of the internal dissemination-barrier pulse (handler id 0).
+struct BarrierPulse {
+  std::int64_t seq;
+  int round;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Universe: per-machine context registry (the out-of-band bootstrap channel
+// the PSSP job-start infrastructure provides on the real SP).
+// ---------------------------------------------------------------------------
+
+struct Context::Universe {
+  net::Machine* machine = nullptr;
+  std::vector<Context*> ctxs;
+  int attached = 0;
+
+  struct Slot {
+    std::vector<void*> addrs;
+    int count = 0;
+    bool done = false;
+  };
+  std::vector<Slot> slots;
+
+  static std::mutex& mu() {
+    static std::mutex m;
+    return m;
+  }
+  // splap-lint: allow(pointer-key): lookup/erase-only registry under mu()
+  static std::map<net::Machine*, std::unique_ptr<Universe>>& all() {
+    // splap-lint: allow(pointer-key): never iterated; key order unobservable
+    static std::map<net::Machine*, std::unique_ptr<Universe>> m;
+    return m;
+  }
+
+  static Universe& of(net::Machine& machine) {
+    std::lock_guard<std::mutex> lock(mu());
+    auto& u = all()[&machine];
+    if (!u) {
+      u = std::make_unique<Universe>();
+      u->machine = &machine;
+      u->ctxs.resize(static_cast<std::size_t>(machine.tasks()), nullptr);
+    }
+    return *u;
+  }
+
+  void attach(Context* c) {
+    auto& slot = ctxs[static_cast<std::size_t>(c->task_id())];
+    SPLAP_REQUIRE(slot == nullptr, "duplicate LAPI_Init on a task");
+    slot = c;
+    ++attached;
+  }
+
+  void detach(Context* c) {
+    ctxs[static_cast<std::size_t>(c->task_id())] = nullptr;
+    if (--attached == 0) {
+      std::lock_guard<std::mutex> lock(mu());
+      all().erase(machine);  // self-destructs; do not touch *this after
+    }
+  }
+};
+
+Context::Universe& Context::universe() { return Universe::of(node_.machine()); }
+
+void Context::init_collectives() {
+  // Handler id 0 is reserved for the internal gfence barrier pulse.
+  handlers_.push_back([](Context& ctx, const AmDelivery& d) -> AmReply {
+    SPLAP_REQUIRE(d.uhdr.size() == sizeof(BarrierPulse),
+                  "malformed barrier pulse");
+    BarrierPulse p;
+    std::memcpy(&p, d.uhdr.data(), sizeof p);
+    ++ctx.barrier_got_[{p.seq, p.round}];
+    ctx.notify();
+    AmReply r;
+    r.header_cost = nanoseconds(300);
+    return r;
+  });
+
+  universe().attach(this);
+}
+
+void Context::detach_universe() { universe().detach(this); }
+
+// ---------------------------------------------------------------------------
+// Ordering
+// ---------------------------------------------------------------------------
+
+void Context::fence() {
+  sim::Actor* a = sim::Actor::current();
+  SPLAP_REQUIRE(a != nullptr, "LAPI_Fence must run in a task context");
+  enter_library();
+  a->compute(call_entry_cost());
+  while (send_.outstanding_data() > 0 || send_.outstanding_gets() > 0) {
+    progress_.waiters().add(*a);
+    a->suspend("lapi-fence");
+  }
+  exit_library();
+}
+
+void Context::gfence() {
+  sim::Actor* a = sim::Actor::current();
+  SPLAP_REQUIRE(a != nullptr, "LAPI_Gfence must run in a task context");
+  fence();
+  const int n = num_tasks();
+  const std::int64_t seq = barrier_seq_++;
+  if (n == 1) return;
+  int round = 0;
+  for (int dist = 1; dist < n; dist <<= 1, ++round) {
+    const int to = (task_id() + dist) % n;
+    BarrierPulse p{seq, round};
+    std::span<const std::byte> uhdr(reinterpret_cast<const std::byte*>(&p),
+                                    sizeof p);
+    const Status st = amsend(to, 0, uhdr, {}, nullptr, nullptr, nullptr);
+    SPLAP_REQUIRE(st == Status::kOk, "barrier pulse send failed");
+    enter_library();
+    const auto key = std::pair<std::int64_t, int>{seq, round};
+    while (barrier_got_[key] < 1) {
+      progress_.waiters().add(*a);
+      a->suspend("lapi-gfence");
+    }
+    exit_library();
+  }
+  // GC this generation's pulses.
+  barrier_got_.erase(barrier_got_.lower_bound({seq, 0}),
+                     barrier_got_.upper_bound({seq, round}));
+}
+
+void Context::address_init(void* mine, std::span<void*> table) {
+  sim::Actor* a = sim::Actor::current();
+  SPLAP_REQUIRE(a != nullptr, "LAPI_Address_init must run in a task context");
+  SPLAP_REQUIRE(static_cast<int>(table.size()) == num_tasks(),
+                "address table size must equal the task count");
+  enter_library();
+  a->compute(call_entry_cost());
+  Universe& u = universe();
+  const auto k = static_cast<std::size_t>(xchg_seq_++);
+  if (u.slots.size() <= k) u.slots.resize(k + 1);
+  auto& slot = u.slots[k];
+  if (slot.addrs.empty()) slot.addrs.resize(static_cast<std::size_t>(num_tasks()));
+  slot.addrs[static_cast<std::size_t>(task_id())] = mine;
+  if (++slot.count == num_tasks()) {
+    slot.done = true;
+    for (Context* c : u.ctxs) {
+      if (c != nullptr) c->notify();
+    }
+  } else {
+    while (!slot.done) {
+      progress_.waiters().add(*a);
+      a->suspend("lapi-address-init");
+    }
+  }
+  std::copy(slot.addrs.begin(), slot.addrs.end(), table.begin());
+  exit_library();
+}
+
+}  // namespace splap::lapi

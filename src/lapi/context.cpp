@@ -5,7 +5,6 @@
 #include <mutex>
 #include <utility>
 
-#include "base/checksum.hpp"
 #include "base/log.hpp"
 
 // The poisoned-teardown path below leaks its service pool on purpose (see the
@@ -24,78 +23,9 @@ namespace splap::lapi {
 
 namespace {
 
-/// Payload of the internal dissemination-barrier pulse (handler id 0).
-struct BarrierPulse {
-  std::int64_t seq;
-  int round;
-};
-
 constexpr std::int64_t kMaxDataSz = std::int64_t{1} << 30;
 
-/// Wire sizes of the control descriptors beyond the 48-byte LAPI header.
-constexpr std::int64_t kGetReqDescBytes = 32;
-constexpr std::int64_t kRmwReqDescBytes = 24;
-constexpr std::int64_t kRmwRespDescBytes = 8;
-constexpr std::int64_t kAckDescBytes = 12;
-
 }  // namespace
-
-// ---------------------------------------------------------------------------
-// Universe: per-machine context registry (the out-of-band bootstrap channel
-// the PSSP job-start infrastructure provides on the real SP).
-// ---------------------------------------------------------------------------
-
-struct Context::Universe {
-  net::Machine* machine = nullptr;
-  std::vector<Context*> ctxs;
-  int attached = 0;
-
-  struct Slot {
-    std::vector<void*> addrs;
-    int count = 0;
-    bool done = false;
-  };
-  std::vector<Slot> slots;
-
-  static std::mutex& mu() {
-    static std::mutex m;
-    return m;
-  }
-  // splap-lint: allow(pointer-key): lookup/erase-only registry under mu()
-  static std::map<net::Machine*, std::unique_ptr<Universe>>& all() {
-    // splap-lint: allow(pointer-key): never iterated; key order unobservable
-    static std::map<net::Machine*, std::unique_ptr<Universe>> m;
-    return m;
-  }
-
-  static Universe& of(net::Machine& machine) {
-    std::lock_guard<std::mutex> lock(mu());
-    auto& u = all()[&machine];
-    if (!u) {
-      u = std::make_unique<Universe>();
-      u->machine = &machine;
-      u->ctxs.resize(static_cast<std::size_t>(machine.tasks()), nullptr);
-    }
-    return *u;
-  }
-
-  void attach(Context* c) {
-    auto& slot = ctxs[static_cast<std::size_t>(c->task_id())];
-    SPLAP_REQUIRE(slot == nullptr, "duplicate LAPI_Init on a task");
-    slot = c;
-    ++attached;
-  }
-
-  void detach(Context* c) {
-    ctxs[static_cast<std::size_t>(c->task_id())] = nullptr;
-    if (--attached == 0) {
-      std::lock_guard<std::mutex> lock(mu());
-      all().erase(machine);  // self-destructs; do not touch *this after
-    }
-  }
-};
-
-Context::Universe& Context::universe() { return Universe::of(node_.machine()); }
 
 // ---------------------------------------------------------------------------
 // Init / Term
@@ -104,31 +34,22 @@ Context::Universe& Context::universe() { return Universe::of(node_.machine()); }
 Context::Context(net::Node& node, Config config)
     : node_(node),
       config_(config),
-      interrupt_mode_(config.interrupt_mode),
-      retry_rng_(config.jitter_seed ^
-                 (static_cast<std::uint64_t>(node.id()) * 0x9e3779b9ULL)),
-      checksums_(node.machine().fabric().corruption_enabled()) {
+      progress_(node.engine(), node.cost(), *this, config.interrupt_mode),
+      send_(node.machine().fabric(), progress_, node.id(), config,
+            node.machine().fabric().corruption_enabled()),
+      assembly_(node.machine().fabric(), progress_, *this, node.id(),
+                node.machine().fabric().corruption_enabled()) {
   SPLAP_REQUIRE(sim::Actor::current() != nullptr,
                 "LAPI_Init must run in a task (actor) context");
   node_.adapter().register_client(
-      net::Client::kLapi, [this](net::Packet&& p) { on_delivery(std::move(p)); });
+      net::Client::kLapi,
+      [this](net::Packet&& p) { progress_.on_delivery(std::move(p)); });
   svc_ = std::make_unique<SvcPool>(
       engine(), "lapi" + std::to_string(task_id()), config.completion_threads);
 
-  // Handler id 0 is reserved for the internal gfence barrier pulse.
-  handlers_.push_back([](Context& ctx, const AmDelivery& d) -> AmReply {
-    SPLAP_REQUIRE(d.uhdr.size() == sizeof(BarrierPulse),
-                  "malformed barrier pulse");
-    BarrierPulse p;
-    std::memcpy(&p, d.uhdr.data(), sizeof p);
-    ++ctx.barrier_got_[{p.seq, p.round}];
-    ctx.notify();
-    AmReply r;
-    r.header_cost = nanoseconds(300);
-    return r;
-  });
-
-  universe().attach(this);
+  // Registers the reserved barrier-pulse handler (id 0) and joins the
+  // per-machine Universe registry; defined in collectives.cpp.
+  init_collectives();
 }
 
 Context::~Context() { term(); }
@@ -146,9 +67,9 @@ void Context::term() {
     SPLAP_LSAN_IGNORE(svc_.get());
     svc_.release();  // NOLINT(bugprone-unused-return-value)
     node_.adapter().unregister_client(net::Client::kLapi);
-    universe().detach(this);
+    detach_universe();
     terminated_ = true;
-    alive_.reset();
+    progress_.invalidate();
     return;
   }
   // Quiesce: drain our own in-flight messages (e.g. the last gfence's
@@ -157,22 +78,21 @@ void Context::term() {
   // we would otherwise cancel. If the fabric lost a message for good (peer
   // already gone), the retransmit layer gives up and we proceed.
   enter_library();
-  while (outstanding_data_ > 0 || outstanding_gets_ > 0 ||
-         pending_effects_ > 0) {
-    bool gave_up = true;
-    for (const auto& [id, rec] : sends_) {
-      if (rec.retries < config_.max_retries) gave_up = false;
+  while (send_.outstanding_data() > 0 || send_.outstanding_gets() > 0 ||
+         progress_.pending_effects() > 0) {
+    if (send_.all_exhausted() && send_.outstanding_gets() == 0 &&
+        progress_.pending_effects() == 0) {
+      break;
     }
-    if (gave_up && outstanding_gets_ == 0 && pending_effects_ == 0) break;
-    waiters_.add(*a);
+    progress_.waiters().add(*a);
     a->suspend("lapi-term-quiesce");
   }
   exit_library();
   svc_->stop(*a);
   node_.adapter().unregister_client(net::Client::kLapi);
-  universe().detach(this);
+  detach_universe();
   terminated_ = true;
-  alive_.reset();  // cancels pending timeouts / deferred bumps
+  progress_.invalidate();  // cancels pending timeouts / deferred bumps
 }
 
 // ---------------------------------------------------------------------------
@@ -187,7 +107,7 @@ std::int64_t Context::qenv(Query q) const {
     case Query::kMaxUhdrSz: return cm.lapi_payload();
     case Query::kMaxDataSz: return kMaxDataSz;
     case Query::kPktPayload: return cm.lapi_payload();
-    case Query::kInterruptSet: return interrupt_mode_ ? 1 : 0;
+    case Query::kInterruptSet: return progress_.interrupt_mode() ? 1 : 0;
     case Query::kCmplThreads: return config_.completion_threads;
   }
   SPLAP_REQUIRE(false, "unknown LAPI_Qenv key");
@@ -196,20 +116,9 @@ std::int64_t Context::qenv(Query q) const {
 
 void Context::senv(Setting s, std::int64_t v) {
   switch (s) {
-    case Setting::kInterruptSet: {
-      const bool was = interrupt_mode_;
-      interrupt_mode_ = (v != 0);
-      if (!was && interrupt_mode_ && !backlog_.empty()) {
-        // Packets parked while polling-without-polls: the first interrupt
-        // after arming delivers them.
-        while (!backlog_.empty()) {
-          rx_q_.push_back(std::move(backlog_.front()));
-          backlog_.pop_front();
-        }
-        schedule_pump(/*charge_interrupt=*/true);
-      }
+    case Setting::kInterruptSet:
+      progress_.set_interrupt_mode(v != 0);
       return;
-    }
   }
   SPLAP_REQUIRE(false, "unknown LAPI_Senv key");
 }
@@ -222,59 +131,8 @@ AmHandlerId Context::register_handler(HeaderHandler handler) {
 }
 
 // ---------------------------------------------------------------------------
-// Library entry/exit: polling progress + warm-call model
-// ---------------------------------------------------------------------------
-
-void Context::enter_library() {
-  if (sim::Actor::current() == nullptr) return;  // handler context
-  ++in_library_;
-  if (!interrupt_mode_ && !backlog_.empty()) {
-    while (!backlog_.empty()) {
-      rx_q_.push_back(std::move(backlog_.front()));
-      backlog_.pop_front();
-    }
-    schedule_pump(/*charge_interrupt=*/false);
-  }
-}
-
-void Context::exit_library() {
-  if (sim::Actor::current() == nullptr) return;
-  --in_library_;
-  last_lib_exit_ = engine().now();
-}
-
-Time Context::call_entry_cost() const {
-  const CostModel& cm = cost();
-  return engine().now() == last_lib_exit_ ? cm.lapi_call_warm : cm.lapi_call;
-}
-
-// ---------------------------------------------------------------------------
 // Counters
 // ---------------------------------------------------------------------------
-
-void Context::defer(Time at, std::function<void()> fn) {
-  ++pending_effects_;
-  engine().schedule_at(
-      at, [this, w = std::weak_ptr<char>(alive_), fn = std::move(fn)] {
-        if (w.expired()) return;
-        --pending_effects_;
-        fn();
-        notify();
-      });
-}
-
-void Context::bump(Counter* c, std::int64_t by) {
-  if (c == nullptr) return;
-  c->value_ += by;
-  notify();
-}
-
-void Context::bump_failed(Counter* c) {
-  if (c == nullptr) return;
-  c->value_ += 1;
-  c->failed_ += 1;
-  notify();
-}
 
 void Context::setcntr(Counter& c, std::int64_t v) {
   c.value_ = v;
@@ -296,7 +154,7 @@ Status Context::waitcntr(Counter& c, std::int64_t val) {
   enter_library();
   a->compute(call_entry_cost());
   while (c.value_ < val) {
-    waiters_.add(*a);
+    progress_.waiters().add(*a);
     a->suspend("lapi-waitcntr");
   }
   c.value_ -= val;  // Waitcntr auto-decrements (Section 2.3)
@@ -313,79 +171,7 @@ Status Context::waitcntr(Counter& c, std::int64_t val) {
 }
 
 // ---------------------------------------------------------------------------
-// Ordering
-// ---------------------------------------------------------------------------
-
-void Context::fence() {
-  sim::Actor* a = sim::Actor::current();
-  SPLAP_REQUIRE(a != nullptr, "LAPI_Fence must run in a task context");
-  enter_library();
-  a->compute(call_entry_cost());
-  while (outstanding_data_ > 0 || outstanding_gets_ > 0) {
-    waiters_.add(*a);
-    a->suspend("lapi-fence");
-  }
-  exit_library();
-}
-
-void Context::gfence() {
-  sim::Actor* a = sim::Actor::current();
-  SPLAP_REQUIRE(a != nullptr, "LAPI_Gfence must run in a task context");
-  fence();
-  const int n = num_tasks();
-  const std::int64_t seq = barrier_seq_++;
-  if (n == 1) return;
-  int round = 0;
-  for (int dist = 1; dist < n; dist <<= 1, ++round) {
-    const int to = (task_id() + dist) % n;
-    BarrierPulse p{seq, round};
-    std::span<const std::byte> uhdr(reinterpret_cast<const std::byte*>(&p),
-                                    sizeof p);
-    const Status st = amsend(to, 0, uhdr, {}, nullptr, nullptr, nullptr);
-    SPLAP_REQUIRE(st == Status::kOk, "barrier pulse send failed");
-    enter_library();
-    const auto key = std::pair<std::int64_t, int>{seq, round};
-    while (barrier_got_[key] < 1) {
-      waiters_.add(*a);
-      a->suspend("lapi-gfence");
-    }
-    exit_library();
-  }
-  // GC this generation's pulses.
-  barrier_got_.erase(barrier_got_.lower_bound({seq, 0}),
-                     barrier_got_.upper_bound({seq, round}));
-}
-
-void Context::address_init(void* mine, std::span<void*> table) {
-  sim::Actor* a = sim::Actor::current();
-  SPLAP_REQUIRE(a != nullptr, "LAPI_Address_init must run in a task context");
-  SPLAP_REQUIRE(static_cast<int>(table.size()) == num_tasks(),
-                "address table size must equal the task count");
-  enter_library();
-  a->compute(call_entry_cost());
-  Universe& u = universe();
-  const auto k = static_cast<std::size_t>(xchg_seq_++);
-  if (u.slots.size() <= k) u.slots.resize(k + 1);
-  auto& slot = u.slots[k];
-  if (slot.addrs.empty()) slot.addrs.resize(static_cast<std::size_t>(num_tasks()));
-  slot.addrs[static_cast<std::size_t>(task_id())] = mine;
-  if (++slot.count == num_tasks()) {
-    slot.done = true;
-    for (Context* c : u.ctxs) {
-      if (c != nullptr) c->notify();
-    }
-  } else {
-    while (!slot.done) {
-      waiters_.add(*a);
-      a->suspend("lapi-address-init");
-    }
-  }
-  std::copy(slot.addrs.begin(), slot.addrs.end(), table.begin());
-  exit_library();
-}
-
-// ---------------------------------------------------------------------------
-// Send path
+// Send path: validate here, inject via the send engine
 // ---------------------------------------------------------------------------
 
 Status Context::send_message(PktKind kind, int target,
@@ -394,282 +180,8 @@ Status Context::send_message(PktKind kind, int target,
                              Time extra_call_cost) {
   if (terminated_) return Status::kBadHandle;
   if (target < 0 || target >= num_tasks()) return Status::kBadParameter;
-  const CostModel& cm = cost();
-  hdr->kind = kind;
-  hdr->msg_id = msg_seq_++;
-  const std::int64_t len =
-      data ? static_cast<std::int64_t>(data->size()) : 0;
-  const bool small = len <= cm.lapi_bcopy_limit;
-  const Time copy_in_call = small ? cm.copy_time(len) : 0;
-
-  Time inject_at;
-  if (sim::Actor* a = sim::Actor::current()) {
-    enter_library();
-    a->compute(call_entry_cost() + extra_call_cost + cm.lapi_pkt_tx +
-               copy_in_call);
-    inject_at = engine().now();
-    exit_library();
-  } else {
-    // Handler/dispatcher context: the send is part of the dispatcher's
-    // current work and queues behind it.
-    inject_at = std::max(engine().now(), busy_until_) + cm.lapi_pkt_tx +
-                copy_in_call;
-    busy_until_ = inject_at;
-  }
-
-  SendRecord rec;
-  rec.target = target;
-  rec.kind = kind;
-  rec.hdr_meta = hdr;
-  rec.data = data;
-  rec.needs_done = (kind == PktKind::kPutHdr || kind == PktKind::kAmHdr) &&
-                   hdr->cmpl_cntr != nullptr;
-  rec.sent_at = inject_at;
-  const std::int64_t id = hdr->msg_id;
-  sends_.emplace(id, std::move(rec));
-  ++outstanding_data_;
-
-  // Origin counter: user buffer reusable. Small messages were copied into
-  // the retransmit buffer during the call; large ones complete the copy into
-  // the adapter DMA region asynchronously (Section 5.3.1 / Section 6).
-  // For a get reply this "origin counter" is the Get's tgt_cntr: it fires
-  // at the serving side once the data has been copied out of the target
-  // buffer (Section 2.3's completion notion for Get).
-  //
-  // Small messages were bcopied into the retransmit buffer during the call,
-  // so the user buffer is reusable immediately. Large messages go zero-copy
-  // from the pinned user buffer: it is only reusable once the data ack
-  // returns (handled in the kAck path via org_pending).
-  if ((kind == PktKind::kPutHdr || kind == PktKind::kAmHdr) &&
-      hdr->org_cntr != nullptr) {
-    // Strided sends gathered their source during the call, so the user
-    // buffer is free at injection regardless of size.
-    if (small || hdr->strided) {
-      defer(inject_at, [this, c = hdr->org_cntr] { bump(c); });
-    } else {
-      sends_.at(id).org_pending = true;
-    }
-  }
-
-  if (inject_at <= engine().now()) {
-    transmit_packets(sends_.at(id));
-  } else {
-    defer(inject_at, [this, id] {
-      auto it = sends_.find(id);
-      if (it == sends_.end()) return;
-      transmit_packets(it->second);
-    });
-  }
-  // Scale the first timeout with the expected wire time AND the injection
-  // link's current backlog: a burst of pipelined messages (e.g. 512 GA
-  // column transfers) queues for many milliseconds before the last one even
-  // departs, and none of that time means loss.
-  const Time backlog = std::max<Time>(
-      0, node_.machine().fabric().link_free(task_id()) - engine().now());
-  arm_timeout(id, initial_rto() + 2 * backlog +
-                      2 * transfer_time(len, cm.wire_mb_s));
+  send_.submit(kind, target, std::move(hdr), std::move(data), extra_call_cost);
   return Status::kOk;
-}
-
-void Context::transmit_packets(const SendRecord& rec) {
-  const CostModel& cm = cost();
-  const WireMeta& hdr = *rec.hdr_meta;
-  const std::int64_t len =
-      rec.data ? static_cast<std::int64_t>(rec.data->size()) : 0;
-
-  net::Packet first = node_.machine().fabric().make_packet();
-  first.src = task_id();
-  first.dst = rec.target;
-  first.client = net::Client::kLapi;
-  first.meta = rec.hdr_meta;
-  first.header_bytes = cm.lapi_header_bytes;
-  switch (rec.kind) {
-    case PktKind::kGetReq: first.header_bytes += kGetReqDescBytes; break;
-    case PktKind::kRmwReq: first.header_bytes += kRmwReqDescBytes; break;
-    case PktKind::kAmHdr:
-      first.header_bytes += static_cast<std::int64_t>(hdr.uhdr.size());
-      break;
-    default: break;
-  }
-  const std::int64_t cap0 =
-      std::max<std::int64_t>(0, cm.packet_bytes - first.header_bytes);
-  const std::int64_t chunk0 = std::min(len, cap0);
-  if (chunk0 > 0) {
-    first.data.assign(rec.data->begin(), rec.data->begin() + chunk0);
-    // End-to-end checksum, armed only when the fabric injects corruption.
-    // No virtual-time charge: models the adapter's hardware CRC engine.
-    if (checksums_) {
-      rec.hdr_meta->data_crc = crc32_nz(rec.data->data(),
-                                        static_cast<std::size_t>(chunk0));
-    }
-  }
-  node_.machine().fabric().transmit(std::move(first));
-
-  std::int64_t offset = chunk0;
-  while (offset < len) {
-    const std::int64_t chunk = std::min(len - offset, cm.lapi_payload());
-    net::Packet p = node_.machine().fabric().make_packet();
-    p.src = task_id();
-    p.dst = rec.target;
-    p.client = net::Client::kLapi;
-    p.header_bytes = cm.lapi_header_bytes;
-    auto m = std::make_shared<WireMeta>();
-    m->kind = PktKind::kData;
-    m->msg_id = hdr.msg_id;
-    m->offset = offset;
-    if (checksums_) {
-      m->data_crc = crc32_nz(rec.data->data() + offset,
-                             static_cast<std::size_t>(chunk));
-    }
-    p.meta = std::move(m);
-    p.data.assign(rec.data->begin() + offset,
-                  rec.data->begin() + offset + chunk);
-    node_.machine().fabric().transmit(std::move(p));
-    offset += chunk;
-  }
-}
-
-void Context::transmit_probe(const SendRecord& rec) {
-  const CostModel& cm = cost();
-  net::Packet p = node_.machine().fabric().make_packet();
-  p.src = task_id();
-  p.dst = rec.target;
-  p.client = net::Client::kLapi;
-  p.meta = rec.hdr_meta;
-  p.header_bytes = cm.lapi_header_bytes;
-  if (rec.kind == PktKind::kAmHdr) {
-    p.header_bytes += static_cast<std::int64_t>(rec.hdr_meta->uhdr.size());
-  }
-  node_.machine().fabric().transmit(std::move(p));
-}
-
-void Context::arm_timeout(std::int64_t msg_id, Time delay) {
-  auto it = sends_.find(msg_id);
-  if (it == sends_.end()) return;
-  const std::uint64_t gen = ++it->second.timeout_gen;
-  engine().schedule_after(
-      delay, [this, w = std::weak_ptr<char>(alive_), msg_id, gen, delay] {
-        if (w.expired()) return;
-        auto jt = sends_.find(msg_id);
-        if (jt == sends_.end()) {
-          // Record reclaimed (acked or failed) before this timer fired.
-          engine().counters().bump("lapi.stale_timeouts");
-          return;
-        }
-        SendRecord& rec = jt->second;
-        if (gen != rec.timeout_gen) {
-          // A newer timer owns this record; this one was invalidated by an
-          // ack-triggered (or later) re-arm and must never retransmit.
-          engine().counters().bump("lapi.stale_timeouts");
-          return;
-        }
-        if (rec.data_acked && (!rec.needs_done || rec.done_acked)) return;
-        if (rec.retries >= config_.max_retries) {
-          engine().counters().bump("lapi.retransmit_giveup");
-          SPLAP_WARN(engine().now(),
-                     "lapi task %d: giving up on msg %lld to %d after %d retries",
-                     task_id(), static_cast<long long>(msg_id), rec.target,
-                     rec.retries);
-          fail_send(msg_id);
-          return;
-        }
-        ++rec.retries;
-        engine().counters().bump("lapi.retransmits");
-        SPLAP_DEBUG(engine().now(),
-                    "lapi task %d: retransmit msg %lld kind %d to %d (retry %d)",
-                    task_id(), static_cast<long long>(msg_id),
-                    static_cast<int>(rec.kind), rec.target, rec.retries);
-        if (!rec.data_acked) {
-          transmit_packets(rec);
-        } else {
-          // Data acked but the DONE ack was lost: the payload is gone, so
-          // probe with a bare duplicate header — the target sees a completed
-          // assembly and re-acks with the done flag.
-          transmit_probe(rec);
-        }
-        // Exponential backoff; the adaptive policy caps the doubling at
-        // rto_max and adds deterministic jitter so tasks whose losses were
-        // synchronized (e.g. a route going down) retry unsynchronized.
-        Time next = delay * 2;
-        if (config_.adaptive_timeout) {
-          next = std::min(next, config_.rto_max);
-          const auto spread =
-              static_cast<std::uint64_t>(next * config_.backoff_jitter);
-          if (spread > 0) {
-            next += static_cast<Time>(retry_rng_.next_below(spread));
-          }
-        }
-        arm_timeout(msg_id, next);
-      });
-}
-
-Time Context::initial_rto() const {
-  if (!config_.adaptive_timeout || !have_rtt_) {
-    return config_.retransmit_timeout;
-  }
-  return std::clamp(srtt_ + 4 * rttvar_, config_.rto_min, config_.rto_max);
-}
-
-void Context::sample_rtt(Time sample) {
-  if (sample < 0) return;
-  if (!have_rtt_) {
-    have_rtt_ = true;
-    srtt_ = sample;
-    rttvar_ = sample / 2;
-    return;
-  }
-  // Jacobson '88 with the classic 1/8 and 1/4 gains, in integer ns.
-  const Time err = sample > srtt_ ? sample - srtt_ : srtt_ - sample;
-  rttvar_ = (3 * rttvar_ + err) / 4;
-  srtt_ = (7 * srtt_ + sample) / 8;
-}
-
-void Context::fail_send(std::int64_t msg_id) {
-  auto it = sends_.find(msg_id);
-  if (it == sends_.end()) return;
-  SendRecord& rec = it->second;
-  const WireMeta& hdr = *rec.hdr_meta;
-  if (!rec.data_acked) --outstanding_data_;
-  if (rec.kind == PktKind::kGetReq) --outstanding_gets_;
-  // Complete every counter the operation still owes, marked failed: waiters
-  // unblock (never a hang) and waitcntr reports kResourceExhausted.
-  if (rec.org_pending ||
-      ((rec.kind == PktKind::kGetReq || rec.kind == PktKind::kRmwReq) &&
-       hdr.org_cntr != nullptr && !rec.data_acked)) {
-    bump_failed(hdr.org_cntr);
-  }
-  if (rec.needs_done && !rec.done_acked) bump_failed(hdr.cmpl_cntr);
-  engine().counters().bump("lapi.failed_ops");
-  sends_.erase(it);
-  notify();  // fence/term waiters re-evaluate with the record reclaimed
-}
-
-void Context::send_ack(int target, std::int64_t msg_id, bool data, bool done,
-                       Counter* org_cntr, Counter* cmpl_cntr, Time when) {
-  when += cost().lapi_ack_delay;  // delayed-ack coalescing timer
-  auto m = std::make_shared<WireMeta>();
-  m->kind = PktKind::kAck;
-  m->acked_msg = msg_id;
-  m->ack_data = data;
-  m->ack_done = done;
-  m->org_cntr = org_cntr;
-  m->cmpl_cntr = cmpl_cntr;
-  net::Packet p = node_.machine().fabric().make_packet();
-  p.src = task_id();
-  p.dst = target;
-  p.client = net::Client::kLapi;
-  p.header_bytes = cost().lapi_header_bytes + kAckDescBytes;
-  p.meta = std::move(m);
-  SPLAP_DEBUG(engine().now(), "lapi task %d: ack msg %lld to %d data=%d done=%d at %.3f",
-              task_id(), static_cast<long long>(msg_id), target, data, done,
-              to_us(when));
-  if (when <= engine().now()) {
-    node_.machine().fabric().transmit(std::move(p));
-  } else {
-    defer(when, [this, sp = std::make_shared<net::Packet>(std::move(p))] {
-      node_.machine().fabric().transmit(std::move(*sp));
-    });
-  }
 }
 
 // ---------------------------------------------------------------------------
@@ -710,11 +222,8 @@ Status Context::get(int target, std::int64_t len, const std::byte* tgt_addr,
   hdr->total_len = len;
   hdr->tgt_cntr = tgt_cntr;
   hdr->org_cntr = org_cntr;
-  ++outstanding_gets_;
-  const Status st = send_message(PktKind::kGetReq, target, std::move(hdr),
-                                 nullptr, cost().lapi_get_extra);
-  if (st != Status::kOk) --outstanding_gets_;
-  return st;
+  return send_message(PktKind::kGetReq, target, std::move(hdr), nullptr,
+                      cost().lapi_get_extra);
 }
 
 Status Context::putv(int target, const StridedRegion& src,
@@ -744,7 +253,7 @@ Status Context::putv(int target, const StridedRegion& src,
   auto data = std::make_shared<std::vector<std::byte>>(
       static_cast<std::size_t>(len));
   copy_strided_to_contig(src, data->data());
-  // Small messages are charged their bcopy inside send_message already.
+  // Small messages are charged their bcopy inside the send path already.
   const Time gather_cost =
       len > cost().lapi_bcopy_limit ? cost().copy_time(len) : 0;
   return send_message(PktKind::kPutHdr, target, std::move(hdr),
@@ -776,11 +285,8 @@ Status Context::getv(int target, const StridedRegion& src,
   hdr->s_ld = dst.ld_bytes;
   hdr->tgt_cntr = tgt_cntr;
   hdr->org_cntr = org_cntr;
-  ++outstanding_gets_;
-  const Status st = send_message(PktKind::kGetReq, target, std::move(hdr),
-                                 nullptr, cost().lapi_get_extra);
-  if (st != Status::kOk) --outstanding_gets_;
-  return st;
+  return send_message(PktKind::kGetReq, target, std::move(hdr), nullptr,
+                      cost().lapi_get_extra);
 }
 
 Status Context::amsend(int target, AmHandlerId handler,
@@ -836,387 +342,41 @@ std::int64_t Context::rmw_sync(RmwOp op, int target, std::int64_t* tgt_var,
 }
 
 // ---------------------------------------------------------------------------
-// Receive path: dispatcher
+// Receive path: demultiplex to the origin or target side
 // ---------------------------------------------------------------------------
 
-void Context::on_delivery(net::Packet&& pkt) {
-  engine().counters().bump("lapi.pkts_rx");
-  if (!progress_allowed()) {
-    // Polling mode, task outside the library: no progress (Section 2.1).
-    backlog_.push_back(std::move(pkt));
-    engine().counters().bump("lapi.backlogged");
-    return;
+Time Context::process_packet(net::Packet& pkt) {
+  switch (pkt.meta_as<WireMeta>().kind) {
+    case PktKind::kAck: return send_.on_ack(pkt);
+    case PktKind::kRmwResp: return send_.on_rmw_resp(pkt);
+    default: return assembly_.process(pkt);
   }
-  rx_q_.push_back(std::move(pkt));
-  // A task blocked inside a LAPI call polls the adapter even in interrupt
-  // mode; the interrupt is only taken when the CPU is off running user code.
-  schedule_pump(/*charge_interrupt=*/interrupt_mode_ && in_library_ == 0);
 }
 
-void Context::schedule_pump(bool charge_interrupt) {
-  if (pump_scheduled_) return;
-  const Time now = engine().now();
-  Time start = std::max(now, busy_until_);
-  if (charge_interrupt && busy_until_ <= now && now >= linger_until_) {
-    // Dispatcher was idle AND its post-drain polling window has expired: a
-    // fresh interrupt is taken. Packets landing while it is busy or still
-    // lingering are absorbed without one (Section 5.3.1).
-    start += cost().interrupt_cost;
-    engine().counters().bump("lapi.interrupts");
-  }
-  pump_scheduled_ = true;
-  defer(start, [this] {
-    pump_scheduled_ = false;
-    pump();
-  });
+// ---------------------------------------------------------------------------
+// AssemblyEngine::Env upcalls
+// ---------------------------------------------------------------------------
+
+AmReply Context::run_handler(AmHandlerId id, const AmDelivery& d) {
+  SPLAP_REQUIRE(id >= 0 && id < static_cast<AmHandlerId>(handlers_.size()),
+                "active message names an unregistered handler");
+  return handlers_[static_cast<std::size_t>(id)](*this, d);
 }
 
-void Context::pump() {
-  if (rx_q_.empty()) return;
-  if (engine().now() < busy_until_) {
-    schedule_pump(false);
-    return;
-  }
-  net::Packet pkt = std::move(rx_q_.front());
-  rx_q_.pop_front();
-  // A packet handled while the dispatcher is already hot (back-to-back with
-  // earlier traffic) skips the full demultiplex entry (Section 5.3.1).
-  pipelined_ = engine().now() <= linger_until_;
-  const Time cost_of_pkt = process(pkt);
-  busy_until_ = engine().now() + cost_of_pkt;
-  linger_until_ = busy_until_ + cost().dispatch_linger;
-  if (!rx_q_.empty()) schedule_pump(false);
+void Context::run_completion(
+    const std::function<void(Context&, sim::Actor&)>& fn,
+    sim::Actor& svc_actor) {
+  fn(*this, svc_actor);
 }
 
-Time Context::process(net::Packet& pkt) {
-  const CostModel& cm = cost();
-  const WireMeta& m = pkt.meta_as<WireMeta>();
-  const Time now = engine().now();
-
-  // End-to-end integrity check (armed with corruption injection): a payload
-  // whose CRC mismatches is discarded here, exactly as if the fabric had
-  // dropped it — the origin's retransmission recovers it, and corrupted
-  // bytes never reach user buffers or the assembly dedup state.
-  if (checksums_ && m.data_crc != 0 && !pkt.data.empty() &&
-      crc32_nz(pkt.data.data(), pkt.data.size()) != m.data_crc) {
-    engine().counters().bump("lapi.corrupt_drops");
-    SPLAP_DEBUG(now, "lapi task %d: CRC mismatch on msg %lld from %d, dropped",
-                task_id(), static_cast<long long>(m.msg_id), pkt.src);
-    return cm.lapi_pkt_rx;
-  }
-
-  // Copies incoming fragment bytes into the assembly buffer; returns the
-  // copy charge. Duplicate fragments (retransmits) are ignored.
-  auto ingest = [&](Assembly& as, std::int64_t offset,
-                    std::span<const std::byte> bytes) -> Time {
-    const auto len = static_cast<std::int64_t>(bytes.size());
-    if (len == 0) return 0;
-    if (as.seen.count(offset) != 0) return 0;
-    as.seen[offset] = len;
-    SPLAP_REQUIRE(as.buffer != nullptr, "assembly without a buffer");
-    SPLAP_REQUIRE(offset + len <= as.total, "fragment beyond message length");
-    if (as.hdr != nullptr && as.hdr->strided &&
-        as.kind == PktKind::kPutHdr) {
-      // Putv: the packed wire stream scatters straight into the strided
-      // destination region (the future-work zero-intermediate-copy path).
-      const WireMeta& h = *as.hdr;
-      std::int64_t off = offset;
-      const std::byte* s = bytes.data();
-      std::int64_t left = len;
-      while (left > 0) {
-        const std::int64_t col = off / h.s_row_bytes;
-        const std::int64_t in_col = off % h.s_row_bytes;
-        const std::int64_t chunk = std::min(left, h.s_row_bytes - in_col);
-        std::memcpy(as.buffer + col * h.s_ld + in_col, s,
-                    static_cast<std::size_t>(chunk));
-        off += chunk;
-        s += chunk;
-        left -= chunk;
-      }
-    } else {
-      std::memcpy(as.buffer + offset, bytes.data(),
-                  static_cast<std::size_t>(len));
-    }
-    as.received += len;
-    return cm.copy_time(len);
-  };
-
-  switch (m.kind) {
-    case PktKind::kPutHdr:
-    case PktKind::kAmHdr: {
-      const auto key = std::pair<int, std::int64_t>{pkt.src, m.msg_id};
-      Assembly& as = assemblies_[key];
-      if (as.completed) {
-        // Retransmitted header of a finished message: re-ack, do not
-        // re-deliver (the user may already have reused the buffer).
-        const bool done_ok = !as.completion || as.completion_ran;
-        send_ack(pkt.src, m.msg_id, true,
-                 done_ok && as.hdr->cmpl_cntr != nullptr, as.hdr->org_cntr,
-                 as.hdr->cmpl_cntr, now + cm.lapi_ack);
-        return cm.lapi_ack;
-      }
-      if (as.has_header) return cm.lapi_pkt_rx;  // duplicate, still assembling
-      as.has_header = true;
-      as.kind = m.kind;
-      as.total = m.total_len;
-      as.hdr = std::static_pointer_cast<const WireMeta>(pkt.meta);
-      Time c = pipelined_ ? cm.lapi_dispatch_pipelined : cm.lapi_dispatch;
-      if (m.kind == PktKind::kAmHdr) {
-        SPLAP_REQUIRE(m.handler_id >= 0 &&
-                          m.handler_id < static_cast<AmHandlerId>(handlers_.size()),
-                      "active message names an unregistered handler");
-        // The header handler executes after the demultiplex work; anything
-        // it sends queues behind that charge on the dispatcher timeline.
-        busy_until_ = std::max(busy_until_, now + c);
-        AmDelivery d{pkt.src, std::span<const std::byte>(m.uhdr), m.total_len};
-        AmReply r = handlers_[static_cast<std::size_t>(m.handler_id)](*this, d);
-        SPLAP_REQUIRE(r.buffer != nullptr || m.total_len == 0,
-                      "header handler returned no buffer for a data message");
-        as.buffer = r.buffer;
-        as.completion = std::move(r.completion);
-        c += r.header_cost + cm.lapi_deliver;
-      } else {
-        as.buffer = m.tgt_addr;
-        c += cm.lapi_deliver;
-      }
-      c += ingest(as, 0, pkt.data);
-      for (auto& staged : as.staged) {
-        const WireMeta& sm = staged.meta_as<WireMeta>();
-        c += ingest(as, sm.offset, staged.data);
-      }
-      as.staged.clear();
-      if (as.received == as.total) {
-        as.completed = true;
-        defer(now + c, [this, key] { finish_assembly(key.first, key.second); });
-      }
-      return c;
-    }
-
-    case PktKind::kData: {
-      const auto key = std::pair<int, std::int64_t>{pkt.src, m.msg_id};
-      Assembly& as = assemblies_[key];
-      if (as.completed) {
-        const bool done_ok = !as.completion || as.completion_ran;
-        send_ack(pkt.src, m.msg_id, true,
-                 done_ok && as.hdr && as.hdr->cmpl_cntr != nullptr,
-                 as.hdr ? as.hdr->org_cntr : nullptr,
-                 as.hdr ? as.hdr->cmpl_cntr : nullptr, now + cm.lapi_ack);
-        return cm.lapi_ack;
-      }
-      if (!as.has_header) {
-        // Out-of-order: data beat the header packet. Stage until the header
-        // handler supplies the landing buffer (Section 2.1).
-        engine().counters().bump("lapi.staged");
-        as.staged.push_back(std::move(pkt));
-        return cm.lapi_pkt_rx;
-      }
-      Time c = cm.lapi_pkt_rx + ingest(as, m.offset, pkt.data);
-      if (as.received == as.total) {
-        as.completed = true;
-        defer(now + c, [this, key] { finish_assembly(key.first, key.second); });
-      }
-      return c;
-    }
-
-    case PktKind::kGetReq: {
-      const auto key = std::pair<int, std::int64_t>{pkt.src, m.msg_id};
-      Assembly& as = assemblies_[key];
-      if (as.completed) {
-        send_ack(pkt.src, m.msg_id, true, false, nullptr, nullptr,
-                 now + cm.lapi_ack);
-        return cm.lapi_ack;
-      }
-      as.completed = true;
-      as.has_header = true;
-      as.hdr = std::static_pointer_cast<const WireMeta>(pkt.meta);
-      const Time c = cm.lapi_dispatch + cm.lapi_deliver;
-      defer(
-          now + c, [this, origin = pkt.src, meta = as.hdr] {
-            // Ack the request (the origin's retransmit timer covers it).
-            send_ack(origin, meta->msg_id, true, false, nullptr, nullptr,
-                     engine().now());
-            // Serve: the reply is an internal Put back to the origin whose
-            // counter roles realize the Get semantics (Figure 1): the
-            // reply's target counter is the get's org_cntr, the reply's
-            // origin counter is the get's tgt_cntr.
-            auto hdr = std::make_shared<WireMeta>();
-            hdr->tgt_addr = meta->dst_addr;
-            hdr->total_len = meta->total_len;
-            hdr->tgt_cntr = meta->org_cntr;
-            hdr->org_cntr = meta->tgt_cntr;
-            hdr->get_reply = true;
-            std::shared_ptr<std::vector<std::byte>> data;
-            if (meta->strided) {
-              // Getv: gather the strided source (charged to the dispatcher)
-              // and ship it with the origin's strided landing descriptor.
-              hdr->strided = true;
-              hdr->s_row_bytes = meta->s_row_bytes;
-              hdr->s_cols = meta->s_cols;
-              hdr->s_ld = meta->s_ld;
-              data = std::make_shared<std::vector<std::byte>>(
-                  static_cast<std::size_t>(meta->total_len));
-              StridedRegion src;
-              src.base = const_cast<std::byte*>(meta->src_addr);
-              src.row_bytes = meta->g_row_bytes;
-              src.cols = meta->g_cols;
-              src.ld_bytes = meta->g_ld;
-              copy_strided_to_contig(src, data->data());
-              busy_until_ = std::max(engine().now(), busy_until_) +
-                            cost().copy_time(meta->total_len);
-            } else {
-              data = std::make_shared<std::vector<std::byte>>(
-                  meta->src_addr, meta->src_addr + meta->total_len);
-            }
-            const Status st = send_message(PktKind::kPutHdr, origin,
-                                           std::move(hdr), std::move(data), 0);
-            SPLAP_REQUIRE(st == Status::kOk, "get reply send failed");
-          });
-      return c;
-    }
-
-    case PktKind::kRmwReq: {
-      const auto key = std::pair<int, std::int64_t>{pkt.src, m.msg_id};
-      const Time c = cm.lapi_dispatch;
-      defer(
-          now + c, [this, key,
-                    meta = std::static_pointer_cast<const WireMeta>(pkt.meta),
-                    origin = pkt.src] {
-            std::int64_t prev;
-            auto it = rmw_cache_.find(key);
-            if (it != rmw_cache_.end()) {
-              prev = it->second;  // duplicate request: do NOT re-execute
-            } else {
-              prev = *meta->rmw_var;
-              switch (meta->rmw_op) {
-                case RmwOp::kSwap: *meta->rmw_var = meta->rmw_in1; break;
-                case RmwOp::kCompareAndSwap:
-                  if (*meta->rmw_var == meta->rmw_in1) {
-                    *meta->rmw_var = meta->rmw_in2;
-                  }
-                  break;
-                case RmwOp::kFetchAndAdd: *meta->rmw_var += meta->rmw_in1; break;
-                case RmwOp::kFetchAndOr: *meta->rmw_var |= meta->rmw_in1; break;
-              }
-              rmw_cache_[key] = prev;
-            }
-            auto resp = std::make_shared<WireMeta>();
-            resp->kind = PktKind::kRmwResp;
-            resp->acked_msg = meta->msg_id;
-            resp->rmw_prev = prev;
-            resp->rmw_prev_out = meta->rmw_prev_out;
-            resp->org_cntr = meta->org_cntr;
-            net::Packet p = node_.machine().fabric().make_packet();
-            p.src = task_id();
-            p.dst = origin;
-            p.client = net::Client::kLapi;
-            p.header_bytes = cost().lapi_header_bytes + kRmwRespDescBytes;
-            p.meta = std::move(resp);
-            node_.machine().fabric().transmit(std::move(p));
-          });
-      return c;
-    }
-
-    case PktKind::kRmwResp: {
-      const Time c = cm.lapi_ack;
-      defer(
-          now + c, [this,
-                    meta = std::static_pointer_cast<const WireMeta>(pkt.meta)] {
-            auto it = sends_.find(meta->acked_msg);
-            if (it == sends_.end()) return;  // duplicate response
-            sends_.erase(it);
-            --outstanding_data_;
-            if (meta->rmw_prev_out != nullptr) {
-              *meta->rmw_prev_out = meta->rmw_prev;
-            }
-            bump(meta->org_cntr);
-            notify();
-          });
-      return c;
-    }
-
-    case PktKind::kAck: {
-      const Time c = cm.lapi_ack;
-      defer(
-          now + c, [this,
-                    meta = std::static_pointer_cast<const WireMeta>(pkt.meta)] {
-            auto it = sends_.find(meta->acked_msg);
-            if (it == sends_.end()) return;  // stale/duplicate ack
-            SendRecord& rec = it->second;
-            if (meta->ack_data && !rec.data_acked) {
-              // Karn's rule: only never-retransmitted messages contribute
-              // RTT samples (a retransmit's ack is ambiguous).
-              if (config_.adaptive_timeout && rec.retries == 0) {
-                sample_rtt(engine().now() - rec.sent_at);
-              }
-              rec.data_acked = true;
-              --outstanding_data_;
-              rec.data.reset();  // retransmit buffer released
-              if (rec.org_pending) {
-                rec.org_pending = false;
-                bump(rec.hdr_meta->org_cntr);  // user buffer unpinned
-              }
-              notify();
-            }
-            if (meta->ack_done && rec.needs_done && !rec.done_acked) {
-              rec.done_acked = true;
-              bump(meta->cmpl_cntr);
-            }
-            if (rec.data_acked && (!rec.needs_done || rec.done_acked)) {
-              sends_.erase(it);
-            }
-          });
-      return c;
-    }
-  }
-  SPLAP_REQUIRE(false, "unknown packet kind");
-  return 0;
+void Context::submit_completion(std::function<void(sim::Actor&)> fn) {
+  svc_->submit(std::move(fn));
 }
 
-void Context::finish_assembly(int origin, std::int64_t msg_id) {
-  const auto key = std::pair<int, std::int64_t>{origin, msg_id};
-  auto it = assemblies_.find(key);
-  SPLAP_REQUIRE(it != assemblies_.end(), "finishing unknown assembly");
-  Assembly& as = it->second;
-  const WireMeta& h = *as.hdr;
-  const bool want_done = h.cmpl_cntr != nullptr;
-
-  if (h.get_reply) {
-    --outstanding_gets_;
-  }
-
-  if (!as.completion) {
-    as.completion_ran = true;
-    bump(h.tgt_cntr);
-    send_ack(origin, msg_id, /*data=*/true, /*done=*/want_done, h.org_cntr,
-             h.cmpl_cntr, engine().now());
-    notify();
-  } else {
-    // Data is in place: ack it now (fence semantics, Section 5.3.2), then
-    // run the completion handler on a service thread; only after it returns
-    // do the target counter and the DONE ack fire (Figure 1, Step 4).
-    send_ack(origin, msg_id, /*data=*/true, /*done=*/false, h.org_cntr,
-             h.cmpl_cntr, engine().now());
-    svc_->submit([this, key](sim::Actor& svc_actor) {
-      auto jt = assemblies_.find(key);
-      SPLAP_REQUIRE(jt != assemblies_.end(), "assembly vanished before completion");
-      Assembly& a2 = jt->second;
-      const WireMeta& h2 = *a2.hdr;
-      auto completion = std::move(a2.completion);
-      a2.completion = nullptr;
-      completion(*this, svc_actor);
-      a2.completion_ran = true;
-      bump(h2.tgt_cntr);
-      if (h2.cmpl_cntr != nullptr) {
-        send_ack(key.first, key.second, /*data=*/false, /*done=*/true,
-                 h2.org_cntr, h2.cmpl_cntr, engine().now());
-      }
-      notify();
-    });
-  }
-  // Shed assembly bulk; keep the completed marker for duplicate suppression.
-  as.staged.clear();
-  as.staged.shrink_to_fit();
-  as.seen.clear();
+Status Context::send_get_reply(int origin, std::shared_ptr<WireMeta> hdr,
+                               std::shared_ptr<std::vector<std::byte>> data) {
+  return send_message(PktKind::kPutHdr, origin, std::move(hdr),
+                      std::move(data), 0);
 }
 
 }  // namespace splap::lapi

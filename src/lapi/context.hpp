@@ -8,6 +8,25 @@
 // (Section 2.3). Blocking behaviour is built by the caller with waitcntr —
 // exactly the simple extension the paper describes.
 //
+// The Context itself is a facade over the layered transport stack:
+//
+//   ProgressEngine (progress.hpp)  WHEN protocol work runs: interrupt/poll
+//     |                            scheduling, the dispatcher pump, deferred
+//     |                            effects, waiters, the lifetime token.
+//   SendEngine     (reliable.hpp)  the origin side: send records, packetizing,
+//     |                            retransmission (via ReliableChannel), acks
+//     |                            received, failure completion.
+//   AssemblyEngine (assembly.hpp)  the target side: reassembly, dedup, CRC
+//     |                            verification, handler/completion delivery,
+//     |                            Get/Rmw serving, ack emission.
+//   net::Delivery  (net/)          the wire.
+//
+// What stays here: API validation and call-time semantics (Table 1), the
+// handler table, counters/fences/collectives, the completion-thread pool,
+// and the Universe address-exchange registry. The Context demultiplexes
+// received packets to the origin or target side (ProgressEngine::Sink) and
+// provides the upcall services the assembly layer needs (AssemblyEngine::Env).
+//
 // Progress rules (Section 2.1): in interrupt mode the dispatcher runs on
 // packet arrival, charged the interrupt cost when it was idle (back-to-back
 // packets are absorbed without new interrupts, Section 5.3.1). In polling
@@ -16,17 +35,18 @@
 // result in deadlock" — reproduced faithfully, see the polling tests.
 #pragma once
 
-#include <deque>
 #include <map>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "base/cost_model.hpp"
-#include "base/rng.hpp"
 #include "base/status.hpp"
 #include "base/strided.hpp"
+#include "lapi/assembly.hpp"
+#include "lapi/progress.hpp"
 #include "lapi/protocol.hpp"
+#include "lapi/reliable.hpp"
 #include "lapi/svc_pool.hpp"
 #include "lapi/types.hpp"
 #include "net/machine.hpp"
@@ -34,7 +54,7 @@
 
 namespace splap::lapi {
 
-class Context {
+class Context : private ProgressEngine::Sink, private AssemblyEngine::Env {
  public:
   /// LAPI_Init. Must be constructed in the task's actor context.
   explicit Context(net::Node& node, Config config = {});
@@ -135,131 +155,67 @@ class Context {
   sim::Engine& engine() const { return node_.engine(); }
 
   /// Outstanding un-acked data messages (fence would block while > 0).
-  int outstanding() const { return outstanding_data_ + outstanding_gets_; }
+  int outstanding() const {
+    return send_.outstanding_data() + send_.outstanding_gets();
+  }
 
   // --- introspection (tests / chaos harness) ------------------------------
   /// Origin-side in-flight send records not yet reclaimed. Zero after a
   /// fence + completed DONE acks: the leak check of the chaos harness.
-  std::size_t pending_sends() const { return sends_.size(); }
+  std::size_t pending_sends() const { return send_.pending_sends(); }
   /// Current smoothed RTT estimate (0 until the first ack sample).
-  Time srtt() const { return srtt_; }
+  Time srtt() const { return send_.srtt(); }
 
  private:
   struct Universe;  // per-machine registry (address exchange bootstrap)
 
-  // Send path.
+  /// ProgressEngine::Sink: demultiplex one received packet to the origin
+  /// side (acks, RMW responses) or the target side (everything else).
+  Time process_packet(net::Packet& pkt) override;
+
+  // AssemblyEngine::Env: the services the target side calls back up for.
+  AmReply run_handler(AmHandlerId id, const AmDelivery& d) override;
+  void run_completion(const std::function<void(Context&, sim::Actor&)>& fn,
+                      sim::Actor& svc_actor) override;
+  void submit_completion(std::function<void(sim::Actor&)> fn) override;
+  Status send_get_reply(int origin, std::shared_ptr<WireMeta> hdr,
+                        std::shared_ptr<std::vector<std::byte>> data) override;
+  void note_get_reply() override { send_.note_get_reply(); }
+
+  /// Validate and inject (every data-transfer call lands here).
   Status send_message(PktKind kind, int target,
                       std::shared_ptr<WireMeta> hdr,
                       std::shared_ptr<std::vector<std::byte>> data,
                       Time extra_call_cost);
-  void transmit_packets(const SendRecord& rec);
-  void transmit_probe(const SendRecord& rec);
-  void arm_timeout(std::int64_t msg_id, Time delay);
-  /// Retry exhaustion: complete the op with kResourceExhausted — unblock
-  /// every counter that has not fired yet (marked failed), release the
-  /// outstanding bookkeeping and reclaim the record. Never hangs a waiter.
-  void fail_send(std::int64_t msg_id);
-  /// First retransmit timeout for a fresh message: adaptive SRTT/RTTVAR
-  /// estimate when armed (and a sample exists), else the fixed config value.
-  Time initial_rto() const;
-  /// Feed a non-retransmitted message's ack RTT into the Jacobson estimator.
-  void sample_rtt(Time sample);
-  void send_ack(int target, std::int64_t msg_id, bool data, bool done,
-                Counter* org_cntr, Counter* cmpl_cntr, Time when);
 
-  // Receive path (dispatcher).
-  void on_delivery(net::Packet&& pkt);
-  bool progress_allowed() const {
-    return interrupt_mode_ || in_library_ > 0;
-  }
-  void schedule_pump(bool charge_interrupt);
-  void pump();
-  Time process(net::Packet& pkt);  // returns processing cost
-  void finish_assembly(int origin, std::int64_t msg_id);
-
-  // Library entry/exit bookkeeping (polling progress + warm-call model).
-  void enter_library();
-  void exit_library();
-  Time call_entry_cost() const;
-
-  void bump(Counter* c, std::int64_t by = 1);
-  /// A completion that carries a failure: advances the counter so waiters
-  /// unblock, and records the failure for waitcntr to surface.
-  void bump_failed(Counter* c);
-  void notify() { waiters_.wake_all(engine()); }
-
-  /// Schedule a near-future protocol effect (counter bump, ack emission,
-  /// assembly completion). Unlike raw engine events these are counted, and
-  /// term() drains them before detaching — cancelling one could strand a
-  /// peer (e.g. an unsent ack leaves its retransmit loop spinning).
-  void defer(Time at, std::function<void()> fn);
+  // Shorthands into the progress engine for the blocking-call bodies.
+  void enter_library() { progress_.enter_library(); }
+  void exit_library() { progress_.exit_library(); }
+  Time call_entry_cost() const { return progress_.call_entry_cost(); }
+  void notify() { progress_.notify(); }
 
   Universe& universe();
-
-  // Assembly state at the target side of a message.
-  struct Assembly {
-    PktKind kind = PktKind::kPutHdr;
-    bool has_header = false;
-    bool completed = false;
-    bool completion_ran = false;
-    std::int64_t total = -1;
-    std::int64_t received = 0;
-    std::byte* buffer = nullptr;
-    std::shared_ptr<const WireMeta> hdr;  // counters/flags for acks
-    std::function<void(Context&, sim::Actor&)> completion;
-    /// Data packets that arrived before the header packet (out-of-order
-    /// delivery): staged until the header handler supplies the buffer.
-    std::vector<net::Packet> staged;
-    std::map<std::int64_t, std::int64_t> seen;  // offset -> len (dedup)
-  };
+  // Barrier-handler registration + Universe attach/detach (collectives.cpp).
+  void init_collectives();
+  void detach_universe();
 
   net::Node& node_;
   Config config_;
-  bool interrupt_mode_;
   bool terminated_ = false;
 
   std::vector<HeaderHandler> handlers_;
   std::unique_ptr<SvcPool> svc_;
 
-  // Dispatcher state.
-  std::deque<net::Packet> rx_q_;       // admitted, awaiting processing
-  std::deque<net::Packet> backlog_;    // polling mode, task outside library
-  bool pump_scheduled_ = false;
-  bool pipelined_ = false;  // current packet arrived back-to-back
-  Time busy_until_ = 0;
-  Time linger_until_ = 0;  // post-drain polling window (interrupt absorption)
-  int in_library_ = 0;
-  Time last_lib_exit_ = kNoTime;
-
-  // Origin-side state.
-  std::int64_t msg_seq_ = 0;
-  std::map<std::int64_t, SendRecord> sends_;
-  int outstanding_data_ = 0;
-  int outstanding_gets_ = 0;
-  int pending_effects_ = 0;  // deferred protocol effects not yet applied
-
-  // Adaptive retransmission state (Jacobson SRTT/RTTVAR; Karn's rule keeps
-  // retransmitted messages out of the sample stream).
-  bool have_rtt_ = false;
-  Time srtt_ = 0;
-  Time rttvar_ = 0;
-  Rng retry_rng_;  // deterministic backoff jitter (jitter_seed ^ task id)
-  /// Stamp/verify end-to-end payload CRCs (armed when the fabric injects
-  /// corruption; off otherwise so the clean path does no checksum work).
-  bool checksums_ = false;
-
-  // Target-side state.
-  std::map<std::pair<int, std::int64_t>, Assembly> assemblies_;
-  std::map<std::pair<int, std::int64_t>, std::int64_t> rmw_cache_;
+  // The transport stack (construction order matters: progress_ first, the
+  // two protocol sides on top of it).
+  ProgressEngine progress_;
+  SendEngine send_;
+  AssemblyEngine assembly_;
 
   // Collective state.
   std::int64_t barrier_seq_ = 0;
   std::map<std::pair<std::int64_t, int>, int> barrier_got_;
   std::int64_t xchg_seq_ = 0;
-
-  sim::WaitSet waiters_;
-  /// Guards events that may outlive the context (timeouts, delayed bumps).
-  std::shared_ptr<char> alive_ = std::make_shared<char>();
 };
 
 }  // namespace splap::lapi

@@ -21,6 +21,12 @@ namespace splap::lapi {
 
 class Counter;
 
+/// Wire sizes of the control descriptors beyond the 48-byte LAPI header.
+inline constexpr std::int64_t kGetReqDescBytes = 32;
+inline constexpr std::int64_t kRmwReqDescBytes = 24;
+inline constexpr std::int64_t kRmwRespDescBytes = 8;
+inline constexpr std::int64_t kAckDescBytes = 12;
+
 enum class PktKind : std::uint8_t {
   kPutHdr,   // first packet of a Put: target address + total length
   kAmHdr,    // first packet of an Amsend: handler id + uhdr
@@ -93,27 +99,6 @@ struct WireMeta {
   Counter* cmpl_cntr = nullptr;
   // Counter at the target (Put/Amsend) or at the serving side for Get.
   Counter* tgt_cntr = nullptr;
-};
-
-/// Origin-side record of an in-flight data-bearing message, kept until the
-/// data ack arrives (the retransmission source: the real library's copy into
-/// the adapter DMA buffers, Section 6 item 3).
-struct SendRecord {
-  int target = -1;
-  PktKind kind = PktKind::kPutHdr;
-  std::shared_ptr<WireMeta> hdr_meta;
-  std::shared_ptr<std::vector<std::byte>> data;  // full message payload
-  bool data_acked = false;
-  bool done_acked = false;  // only tracked when a DONE ack was requested
-  bool needs_done = false;
-  /// Large (zero-copy) send: the origin counter fires at the data ack, when
-  /// the pinned user buffer becomes reusable.
-  bool org_pending = false;
-  int retries = 0;
-  std::uint64_t timeout_gen = 0;  // invalidates stale timeout events
-  /// Injection time of the (first) transmission; the data ack of a message
-  /// that was never retransmitted yields an RTT sample (Karn's rule).
-  Time sent_at = 0;
 };
 
 }  // namespace splap::lapi

@@ -1,0 +1,409 @@
+#include "lapi/reliable.hpp"
+
+#include <algorithm>
+
+#include "base/checksum.hpp"
+#include "base/log.hpp"
+
+namespace splap::lapi {
+
+// ---------------------------------------------------------------------------
+// ReliableChannel: retransmit timers, backoff, RTT estimation
+// ---------------------------------------------------------------------------
+
+ReliableChannel::ReliableChannel(sim::Engine& engine, Sender& sender,
+                                 RetryPolicy policy, const std::string& scope,
+                                 std::uint64_t jitter_seed,
+                                 std::weak_ptr<char> alive)
+    : engine_(engine),
+      sender_(sender),
+      policy_(policy),
+      ctr_retransmits_(scope + ".retransmits"),
+      ctr_stale_(scope + ".stale_timeouts"),
+      ctr_giveup_(scope + ".retransmit_giveup"),
+      jitter_rng_(jitter_seed),
+      alive_(std::move(alive)) {}
+
+void ReliableChannel::arm(std::int64_t id, Time delay) {
+  RetryState* st = sender_.retry_state(id);
+  if (st == nullptr) return;
+  const std::uint64_t gen = ++st->timeout_gen;
+  engine_.schedule_after(delay, [this, w = alive_, id, gen, delay] {
+    if (w.expired()) return;
+    on_timer(id, gen, delay);
+  });
+}
+
+void ReliableChannel::on_timer(std::int64_t id, std::uint64_t gen, Time delay) {
+  RetryState* st = sender_.retry_state(id);
+  if (st == nullptr) {
+    // Record reclaimed (acked or failed) before this timer fired.
+    engine_.counters().bump(ctr_stale_);
+    return;
+  }
+  if (gen != st->timeout_gen) {
+    // A newer timer owns this record; this one was invalidated by an
+    // ack-triggered (or later) re-arm and must never retransmit.
+    engine_.counters().bump(ctr_stale_);
+    return;
+  }
+  if (sender_.settled(id)) return;
+  if (st->retries >= policy_.max_retries) {
+    engine_.counters().bump(ctr_giveup_);
+    sender_.give_up(id);
+    return;
+  }
+  ++st->retries;
+  engine_.counters().bump(ctr_retransmits_);
+  sender_.retransmit(id);
+  // Exponential backoff; the clamp caps the doubling at rto_max, and the
+  // adaptive policy adds deterministic jitter so tasks whose losses were
+  // synchronized (e.g. a route going down) retry unsynchronized.
+  Time next = delay * 2;
+  if (policy_.clamp_backoff) next = std::min(next, policy_.rto_max);
+  if (policy_.adaptive) {
+    const auto spread =
+        static_cast<std::uint64_t>(next * policy_.backoff_jitter);
+    if (spread > 0) {
+      next += static_cast<Time>(jitter_rng_.next_below(spread));
+    }
+  }
+  arm(id, next);
+}
+
+Time ReliableChannel::initial_rto() const {
+  if (!policy_.adaptive || !have_rtt_) return policy_.base_rto;
+  return std::clamp(srtt_ + 4 * rttvar_, policy_.rto_min, policy_.rto_max);
+}
+
+void ReliableChannel::on_rtt_sample(Time sample) {
+  if (sample < 0) return;
+  if (!have_rtt_) {
+    have_rtt_ = true;
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+    return;
+  }
+  // Jacobson '88 with the classic 1/8 and 1/4 gains, in integer ns.
+  const Time err = sample > srtt_ ? sample - srtt_ : srtt_ - sample;
+  rttvar_ = (3 * rttvar_ + err) / 4;
+  srtt_ = (7 * srtt_ + sample) / 8;
+}
+
+// ---------------------------------------------------------------------------
+// SendEngine: LAPI origin side
+// ---------------------------------------------------------------------------
+
+SendEngine::SendEngine(net::Delivery& wire, ProgressEngine& progress,
+                       int task_id, const Config& config, bool checksums)
+    : wire_(wire),
+      progress_(progress),
+      task_id_(task_id),
+      config_(config),
+      checksums_(checksums),
+      channel_(progress.engine(), *this,
+               RetryPolicy{config.retransmit_timeout, config.max_retries,
+                           config.adaptive_timeout, config.adaptive_timeout,
+                           config.rto_min, config.rto_max,
+                           config.backoff_jitter},
+               "lapi",
+               config.jitter_seed ^
+                   (static_cast<std::uint64_t>(task_id) * 0x9e3779b9ULL),
+               progress.alive()) {}
+
+void SendEngine::submit(PktKind kind, int target,
+                        std::shared_ptr<WireMeta> hdr,
+                        std::shared_ptr<std::vector<std::byte>> data,
+                        Time extra_call_cost) {
+  // Get requests are counted outstanding from the call itself: the fence
+  // must cover a Get whose request packet is still being injected.
+  if (kind == PktKind::kGetReq) ++outstanding_gets_;
+  sim::Engine& engine = progress_.engine();
+  const CostModel& cm = progress_.cost();
+  hdr->kind = kind;
+  hdr->msg_id = msg_seq_++;
+  const std::int64_t len =
+      data ? static_cast<std::int64_t>(data->size()) : 0;
+  const bool small = len <= cm.lapi_bcopy_limit;
+  const Time copy_in_call = small ? cm.copy_time(len) : 0;
+
+  Time inject_at;
+  if (sim::Actor* a = sim::Actor::current()) {
+    progress_.enter_library();
+    a->compute(progress_.call_entry_cost() + extra_call_cost + cm.lapi_pkt_tx +
+               copy_in_call);
+    inject_at = engine.now();
+    progress_.exit_library();
+  } else {
+    // Handler/dispatcher context: the send is part of the dispatcher's
+    // current work and queues behind it.
+    inject_at = std::max(engine.now(), progress_.busy_until()) +
+                cm.lapi_pkt_tx + copy_in_call;
+    progress_.set_busy_until(inject_at);
+  }
+
+  SendRecord rec;
+  rec.target = target;
+  rec.kind = kind;
+  rec.hdr_meta = hdr;
+  rec.data = data;
+  rec.needs_done = (kind == PktKind::kPutHdr || kind == PktKind::kAmHdr) &&
+                   hdr->cmpl_cntr != nullptr;
+  rec.sent_at = inject_at;
+  const std::int64_t id = hdr->msg_id;
+  sends_.emplace(id, std::move(rec));
+  ++outstanding_data_;
+#ifdef SPLAP_AUDIT
+  send_ledger_.insert(&sends_.at(id), "SendEngine::submit");
+#endif
+
+  // Origin counter: user buffer reusable. Small messages were copied into
+  // the retransmit buffer during the call; large ones complete the copy into
+  // the adapter DMA region asynchronously (Section 5.3.1 / Section 6).
+  // For a get reply this "origin counter" is the Get's tgt_cntr: it fires
+  // at the serving side once the data has been copied out of the target
+  // buffer (Section 2.3's completion notion for Get).
+  //
+  // Small messages were bcopied into the retransmit buffer during the call,
+  // so the user buffer is reusable immediately. Large messages go zero-copy
+  // from the pinned user buffer: it is only reusable once the data ack
+  // returns (handled in the kAck path via org_pending).
+  if ((kind == PktKind::kPutHdr || kind == PktKind::kAmHdr) &&
+      hdr->org_cntr != nullptr) {
+    // Strided sends gathered their source during the call, so the user
+    // buffer is free at injection regardless of size.
+    if (small || hdr->strided) {
+      progress_.defer(inject_at,
+                      [this, c = hdr->org_cntr] { progress_.bump(c); });
+    } else {
+      sends_.at(id).org_pending = true;
+    }
+  }
+
+  if (inject_at <= engine.now()) {
+    transmit_packets(sends_.at(id));
+  } else {
+    progress_.defer(inject_at, [this, id] {
+      auto it = sends_.find(id);
+      if (it == sends_.end()) return;
+      transmit_packets(it->second);
+    });
+  }
+  // Scale the first timeout with the expected wire time AND the injection
+  // link's current backlog: a burst of pipelined messages (e.g. 512 GA
+  // column transfers) queues for many milliseconds before the last one even
+  // departs, and none of that time means loss.
+  const Time backlog =
+      std::max<Time>(0, wire_.link_free(task_id_) - engine.now());
+  channel_.arm(id, channel_.initial_rto() + 2 * backlog +
+                       2 * transfer_time(len, cm.wire_mb_s));
+}
+
+void SendEngine::transmit_packets(const SendRecord& rec) {
+  const CostModel& cm = progress_.cost();
+  const WireMeta& hdr = *rec.hdr_meta;
+  const std::int64_t len =
+      rec.data ? static_cast<std::int64_t>(rec.data->size()) : 0;
+
+  net::Packet first = wire_.make_packet();
+  first.src = task_id_;
+  first.dst = rec.target;
+  first.client = net::Client::kLapi;
+  first.meta = rec.hdr_meta;
+  first.header_bytes = cm.lapi_header_bytes;
+  switch (rec.kind) {
+    case PktKind::kGetReq: first.header_bytes += kGetReqDescBytes; break;
+    case PktKind::kRmwReq: first.header_bytes += kRmwReqDescBytes; break;
+    case PktKind::kAmHdr:
+      first.header_bytes += static_cast<std::int64_t>(hdr.uhdr.size());
+      break;
+    default: break;
+  }
+  const std::int64_t cap0 =
+      std::max<std::int64_t>(0, cm.packet_bytes - first.header_bytes);
+  const std::int64_t chunk0 = std::min(len, cap0);
+  if (chunk0 > 0) {
+    first.data.assign(rec.data->begin(), rec.data->begin() + chunk0);
+    // End-to-end checksum, armed only when the fabric injects corruption.
+    // No virtual-time charge: models the adapter's hardware CRC engine.
+    if (checksums_) {
+      rec.hdr_meta->data_crc = crc32_nz(rec.data->data(),
+                                        static_cast<std::size_t>(chunk0));
+    }
+  }
+  wire_.transmit(std::move(first));
+
+  std::int64_t offset = chunk0;
+  while (offset < len) {
+    const std::int64_t chunk = std::min(len - offset, cm.lapi_payload());
+    net::Packet p = wire_.make_packet();
+    p.src = task_id_;
+    p.dst = rec.target;
+    p.client = net::Client::kLapi;
+    p.header_bytes = cm.lapi_header_bytes;
+    auto m = std::make_shared<WireMeta>();
+    m->kind = PktKind::kData;
+    m->msg_id = hdr.msg_id;
+    m->offset = offset;
+    if (checksums_) {
+      m->data_crc = crc32_nz(rec.data->data() + offset,
+                             static_cast<std::size_t>(chunk));
+    }
+    p.meta = std::move(m);
+    p.data.assign(rec.data->begin() + offset,
+                  rec.data->begin() + offset + chunk);
+    wire_.transmit(std::move(p));
+    offset += chunk;
+  }
+}
+
+void SendEngine::transmit_probe(const SendRecord& rec) {
+  const CostModel& cm = progress_.cost();
+  net::Packet p = wire_.make_packet();
+  p.src = task_id_;
+  p.dst = rec.target;
+  p.client = net::Client::kLapi;
+  p.meta = rec.hdr_meta;
+  p.header_bytes = cm.lapi_header_bytes;
+  if (rec.kind == PktKind::kAmHdr) {
+    p.header_bytes += static_cast<std::int64_t>(rec.hdr_meta->uhdr.size());
+  }
+  wire_.transmit(std::move(p));
+}
+
+// --- ReliableChannel::Sender hooks -----------------------------------------
+
+RetryState* SendEngine::retry_state(std::int64_t id) {
+  auto it = sends_.find(id);
+  return it == sends_.end() ? nullptr : &it->second.retry;
+}
+
+bool SendEngine::settled(std::int64_t id) {
+  const SendRecord& rec = sends_.at(id);
+  return rec.data_acked && (!rec.needs_done || rec.done_acked);
+}
+
+void SendEngine::retransmit(std::int64_t id) {
+  SendRecord& rec = sends_.at(id);
+#ifdef SPLAP_AUDIT
+  send_ledger_.expect(&rec, "SendEngine::retransmit");
+#endif
+  SPLAP_DEBUG(progress_.engine().now(),
+              "lapi task %d: retransmit msg %lld kind %d to %d (retry %d)",
+              task_id_, static_cast<long long>(id),
+              static_cast<int>(rec.kind), rec.target, rec.retry.retries);
+  if (!rec.data_acked) {
+    transmit_packets(rec);
+  } else {
+    // Data acked but the DONE ack was lost: the payload is gone, so probe
+    // with a bare duplicate header — the target sees a completed assembly
+    // and re-acks with the done flag.
+    transmit_probe(rec);
+  }
+}
+
+void SendEngine::give_up(std::int64_t id) {
+  const SendRecord& rec = sends_.at(id);
+  SPLAP_WARN(progress_.engine().now(),
+             "lapi task %d: giving up on msg %lld to %d after %d retries",
+             task_id_, static_cast<long long>(id), rec.target,
+             rec.retry.retries);
+  fail_send(id);
+}
+
+void SendEngine::fail_send(std::int64_t msg_id) {
+  auto it = sends_.find(msg_id);
+  if (it == sends_.end()) return;
+  SendRecord& rec = it->second;
+  const WireMeta& hdr = *rec.hdr_meta;
+  if (!rec.data_acked) --outstanding_data_;
+  if (rec.kind == PktKind::kGetReq) --outstanding_gets_;
+  // Complete every counter the operation still owes, marked failed: waiters
+  // unblock (never a hang) and waitcntr reports kResourceExhausted.
+  if (rec.org_pending ||
+      ((rec.kind == PktKind::kGetReq || rec.kind == PktKind::kRmwReq) &&
+       hdr.org_cntr != nullptr && !rec.data_acked)) {
+    progress_.bump_failed(hdr.org_cntr);
+  }
+  if (rec.needs_done && !rec.done_acked) progress_.bump_failed(hdr.cmpl_cntr);
+  progress_.engine().counters().bump("lapi.failed_ops");
+#ifdef SPLAP_AUDIT
+  send_ledger_.remove(&rec, "SendEngine::fail_send");
+#endif
+  sends_.erase(it);
+  progress_.notify();  // fence/term waiters re-evaluate, record reclaimed
+}
+
+// --- ack / response demux ---------------------------------------------------
+
+Time SendEngine::on_ack(const net::Packet& pkt) {
+  const Time c = progress_.cost().lapi_ack;
+  const Time now = progress_.engine().now();
+  progress_.defer(
+      now + c,
+      [this, meta = std::static_pointer_cast<const WireMeta>(pkt.meta)] {
+        auto it = sends_.find(meta->acked_msg);
+        if (it == sends_.end()) return;  // stale/duplicate ack
+        SendRecord& rec = it->second;
+#ifdef SPLAP_AUDIT
+        send_ledger_.expect(&rec, "SendEngine::on_ack");
+#endif
+        if (meta->ack_data && !rec.data_acked) {
+          // Karn's rule: only never-retransmitted messages contribute RTT
+          // samples (a retransmit's ack is ambiguous).
+          if (config_.adaptive_timeout && rec.retry.retries == 0) {
+            channel_.on_rtt_sample(progress_.engine().now() - rec.sent_at);
+          }
+          rec.data_acked = true;
+          --outstanding_data_;
+          rec.data.reset();  // retransmit buffer released
+          if (rec.org_pending) {
+            rec.org_pending = false;
+            progress_.bump(rec.hdr_meta->org_cntr);  // user buffer unpinned
+          }
+          progress_.notify();
+        }
+        if (meta->ack_done && rec.needs_done && !rec.done_acked) {
+          rec.done_acked = true;
+          progress_.bump(meta->cmpl_cntr);
+        }
+        if (rec.data_acked && (!rec.needs_done || rec.done_acked)) {
+#ifdef SPLAP_AUDIT
+          send_ledger_.remove(&rec, "SendEngine::on_ack");
+#endif
+          sends_.erase(it);
+        }
+      });
+  return c;
+}
+
+Time SendEngine::on_rmw_resp(const net::Packet& pkt) {
+  const Time c = progress_.cost().lapi_ack;
+  const Time now = progress_.engine().now();
+  progress_.defer(
+      now + c,
+      [this, meta = std::static_pointer_cast<const WireMeta>(pkt.meta)] {
+        auto it = sends_.find(meta->acked_msg);
+        if (it == sends_.end()) return;  // duplicate response
+#ifdef SPLAP_AUDIT
+        send_ledger_.remove(&it->second, "SendEngine::on_rmw_resp");
+#endif
+        sends_.erase(it);
+        --outstanding_data_;
+        if (meta->rmw_prev_out != nullptr) {
+          *meta->rmw_prev_out = meta->rmw_prev;
+        }
+        progress_.bump(meta->org_cntr);
+        progress_.notify();
+      });
+  return c;
+}
+
+bool SendEngine::all_exhausted() const {
+  for (const auto& [id, rec] : sends_) {
+    if (rec.retry.retries < config_.max_retries) return false;
+  }
+  return true;
+}
+
+}  // namespace splap::lapi

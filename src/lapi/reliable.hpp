@@ -1,0 +1,209 @@
+// Reliable-delivery core, shared by every protocol library in the tree.
+//
+// Two pieces live here:
+//
+//   ReliableChannel  the generation-numbered retransmit timer machinery —
+//                    exponential backoff with an optional rto_max clamp and
+//                    deterministic seeded jitter, Jacobson SRTT/RTTVAR
+//                    estimation with Karn's rule, and the stale-timer
+//                    suppression that keeps a re-armed record from being
+//                    retransmitted by an invalidated timeout. Protocol-
+//                    agnostic: what "retransmit" or "give up" means is the
+//                    owning Sender's business. LAPI and MPL both layer on
+//                    this one implementation (the paper's Section 5 layering:
+//                    MPI as a sibling client of the same reliable transport).
+//
+//   SendEngine       LAPI's origin side: msg-id allocation, in-flight send
+//                    records (the retransmission source — the real library's
+//                    copy into the adapter DMA buffers, Section 6 item 3),
+//                    packetization into header + data packets with end-to-end
+//                    CRC stamping, the two-level DATA/DONE ack protocol, and
+//                    retry-exhaustion failure completion.
+//
+// Invariant owned here: a send record is reclaimed exactly once — by the
+// final ack, an RMW response, or retry exhaustion — and no timer fires into
+// a reclaimed record (generation check; audited by the record ledger in
+// SPLAP_AUDIT builds).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/audit.hpp"
+#include "base/cost_model.hpp"
+#include "base/rng.hpp"
+#include "lapi/progress.hpp"
+#include "lapi/protocol.hpp"
+#include "net/delivery.hpp"
+
+namespace splap::lapi {
+
+/// Per-record retry bookkeeping embedded in the owner's send record.
+struct RetryState {
+  int retries = 0;
+  std::uint64_t timeout_gen = 0;  // invalidates stale timeout events
+};
+
+/// Retransmission policy of one channel. LAPI maps its Config here (the
+/// adaptive fields gated on adaptive_timeout); MPL uses the fixed timeout
+/// with the backoff clamp armed.
+struct RetryPolicy {
+  Time base_rto = milliseconds(4.0);
+  int max_retries = 12;
+  /// Jacobson initial-RTO estimation + deterministic backoff jitter.
+  bool adaptive = false;
+  /// Cap the doubled retry delay at rto_max (without it a dozen doublings
+  /// of a multi-ms base reach minutes of virtual time).
+  bool clamp_backoff = false;
+  Time rto_min = 0;
+  Time rto_max = 0;
+  double backoff_jitter = 0.0;
+};
+
+class ReliableChannel {
+ public:
+  /// The owner of the send records this channel times. retry_state returns
+  /// nullptr once a record has been reclaimed; the remaining hooks are only
+  /// invoked for live records.
+  class Sender {
+   public:
+    virtual RetryState* retry_state(std::int64_t id) = 0;
+    /// Fully acknowledged (no retransmission needed, record merely awaiting
+    /// reclamation); a settled record's timer expires silently.
+    virtual bool settled(std::int64_t id) = 0;
+    virtual void retransmit(std::int64_t id) = 0;
+    virtual void give_up(std::int64_t id) = 0;
+
+   protected:
+    ~Sender() = default;
+  };
+
+  /// `scope` prefixes the instrumentation counters ("<scope>.retransmits",
+  /// "<scope>.stale_timeouts", "<scope>.retransmit_giveup"). `alive` guards
+  /// timer events against outliving the owning protocol context.
+  ReliableChannel(sim::Engine& engine, Sender& sender, RetryPolicy policy,
+                  const std::string& scope, std::uint64_t jitter_seed,
+                  std::weak_ptr<char> alive);
+
+  /// (Re-)arm the retransmit timer of record `id`. Bumps the record's
+  /// timeout generation, invalidating every previously scheduled timer.
+  void arm(std::int64_t id, Time delay);
+
+  /// First retransmit timeout for a fresh message: adaptive SRTT/RTTVAR
+  /// estimate when armed (and a sample exists), else the fixed base RTO.
+  Time initial_rto() const;
+
+  /// Feed an ack round-trip into the Jacobson estimator. Callers enforce
+  /// Karn's rule (only never-retransmitted messages sample).
+  void on_rtt_sample(Time sample);
+
+  /// Current smoothed RTT estimate (0 until the first sample).
+  Time srtt() const { return srtt_; }
+  int max_retries() const { return policy_.max_retries; }
+
+ private:
+  void on_timer(std::int64_t id, std::uint64_t gen, Time delay);
+
+  sim::Engine& engine_;
+  Sender& sender_;
+  RetryPolicy policy_;
+  std::string ctr_retransmits_;
+  std::string ctr_stale_;
+  std::string ctr_giveup_;
+  Rng jitter_rng_;  // deterministic backoff jitter (seeded per task)
+  std::weak_ptr<char> alive_;
+
+  // Jacobson SRTT/RTTVAR state (Karn's rule keeps retransmitted messages
+  // out of the sample stream; callers enforce it).
+  bool have_rtt_ = false;
+  Time srtt_ = 0;
+  Time rttvar_ = 0;
+};
+
+/// Origin-side record of an in-flight data-bearing LAPI message, kept until
+/// the data ack arrives.
+struct SendRecord {
+  int target = -1;
+  PktKind kind = PktKind::kPutHdr;
+  std::shared_ptr<WireMeta> hdr_meta;
+  std::shared_ptr<std::vector<std::byte>> data;  // full message payload
+  bool data_acked = false;
+  bool done_acked = false;  // only tracked when a DONE ack was requested
+  bool needs_done = false;
+  /// Large (zero-copy) send: the origin counter fires at the data ack, when
+  /// the pinned user buffer becomes reusable.
+  bool org_pending = false;
+  RetryState retry;
+  /// Injection time of the (first) transmission; the data ack of a message
+  /// that was never retransmitted yields an RTT sample (Karn's rule).
+  Time sent_at = 0;
+};
+
+class SendEngine final : public ReliableChannel::Sender {
+ public:
+  SendEngine(net::Delivery& wire, ProgressEngine& progress, int task_id,
+             const Config& config, bool checksums);
+
+  /// Inject a validated message: allocates the msg id, charges the call (or
+  /// queues behind the dispatcher in handler context), records the send for
+  /// retransmission and arms its timer. The facade has already validated
+  /// the target and the library state.
+  void submit(PktKind kind, int target, std::shared_ptr<WireMeta> hdr,
+              std::shared_ptr<std::vector<std::byte>> data,
+              Time extra_call_cost);
+
+  /// Dispatcher demux entry points (return the packet processing cost).
+  Time on_ack(const net::Packet& pkt);
+  Time on_rmw_resp(const net::Packet& pkt);
+
+  /// A get reply finished landing at the origin (assembly side calls this;
+  /// the caller is responsible for any notify that follows).
+  void note_get_reply() { --outstanding_gets_; }
+
+  int outstanding_data() const { return outstanding_data_; }
+  int outstanding_gets() const { return outstanding_gets_; }
+  std::size_t pending_sends() const { return sends_.size(); }
+  Time srtt() const { return channel_.srtt(); }
+  bool checksums() const { return checksums_; }
+  /// True when every remaining record has exhausted its retries (term's
+  /// quiesce loop stops waiting on such records).
+  bool all_exhausted() const;
+
+ private:
+  // ReliableChannel::Sender hooks.
+  RetryState* retry_state(std::int64_t id) override;
+  bool settled(std::int64_t id) override;
+  void retransmit(std::int64_t id) override;
+  void give_up(std::int64_t id) override;
+
+  void transmit_packets(const SendRecord& rec);
+  void transmit_probe(const SendRecord& rec);
+  /// Retry exhaustion: complete the op with kResourceExhausted — unblock
+  /// every counter that has not fired yet (marked failed), release the
+  /// outstanding bookkeeping and reclaim the record. Never hangs a waiter.
+  void fail_send(std::int64_t msg_id);
+
+  net::Delivery& wire_;
+  ProgressEngine& progress_;
+  const int task_id_;
+  const Config config_;
+  /// Stamp/verify end-to-end payload CRCs (armed when the fabric injects
+  /// corruption; off otherwise so the clean path does no checksum work).
+  const bool checksums_;
+
+  std::int64_t msg_seq_ = 0;
+  std::map<std::int64_t, SendRecord> sends_;
+  int outstanding_data_ = 0;
+  int outstanding_gets_ = 0;
+  ReliableChannel channel_;
+#ifdef SPLAP_AUDIT
+  /// Shadow ledger of live send records: double-reclaim or a timer/ack
+  /// touching a reclaimed record aborts at the corrupting operation.
+  audit::LiveSet send_ledger_{"lapi send record"};
+#endif
+};
+
+}  // namespace splap::lapi

@@ -36,6 +36,7 @@ class Counter {
 
  private:
   friend class Context;
+  friend class ProgressEngine;  // counter bumps run on the dispatcher
   std::int64_t value_ = 0;
   /// Completions that reported a failure (retry exhaustion). Such bumps
   /// still advance value_ so waiters unblock; waitcntr surfaces the error

@@ -17,13 +17,25 @@ constexpr std::int64_t kCtlDescBytes = 8;
 // Lifecycle
 // ---------------------------------------------------------------------------
 
-Comm::Comm(net::Node& node, Config config) : node_(node), config_(config) {
+Comm::Comm(net::Node& node, Config config)
+    : node_(node), config_(config), wire_(node.machine().fabric()) {
   SPLAP_REQUIRE(sim::Actor::current() != nullptr,
                 "Comm must be constructed in a task context");
   SPLAP_REQUIRE(config_.eager_limit >= 0 && config_.eager_limit <= 65536,
                 "MP_EAGER_LIMIT out of range (max 64K, Section 4)");
   next_send_seq_.assign(static_cast<std::size_t>(size()), 0);
   next_admit_.assign(static_cast<std::size_t>(size()), 0);
+  // The shared reliable-delivery core, configured like the fixed-timeout
+  // LAPI policy but with the backoff clamp armed: MPL has no adaptive
+  // estimation, so without the clamp the per-retry doubling was unbounded.
+  lapi::RetryPolicy policy;
+  policy.base_rto = config_.retransmit_timeout;
+  policy.max_retries = config_.max_retries;
+  policy.clamp_backoff = true;
+  policy.rto_max = config_.rto_max;
+  channel_ = std::make_unique<lapi::ReliableChannel>(
+      engine(), static_cast<lapi::ReliableChannel::Sender&>(*this), policy,
+      "mpl", /*jitter_seed=*/0, std::weak_ptr<char>(alive_));
   node_.adapter().register_client(
       net::Client::kMpl, [this](net::Packet&& p) { on_delivery(std::move(p)); });
 }
@@ -38,7 +50,7 @@ void Comm::term() {
     while (!sends_.empty() || pending_effects_ > 0) {
       bool gave_up = true;
       for (const auto& [id, req] : sends_) {
-        if (req.retries < config_.max_retries) gave_up = false;
+        if (req.retry.retries < config_.max_retries) gave_up = false;
       }
       if (gave_up && pending_effects_ == 0) break;
       waiters_.add(*a);
@@ -98,6 +110,9 @@ Request Comm::start_send(int dst, int tag, std::span<const std::byte> data) {
 
   seq_to_send_[{dst, req.seq}] = id;
   sends_.emplace(id, std::move(req));
+#ifdef SPLAP_AUDIT
+  send_ledger_.insert(&sends_.at(id), "Comm::start_send");
+#endif
   if (inject_at <= engine().now()) {
     transmit_send(sends_.at(id), id);
   } else {
@@ -106,10 +121,10 @@ Request Comm::start_send(int dst, int tag, std::span<const std::byte> data) {
       if (it != sends_.end()) transmit_send(it->second, id);
     });
   }
-  const Time backlog = std::max<Time>(
-      0, node_.machine().fabric().link_free(rank()) - engine().now());
-  arm_timeout(id, config_.retransmit_timeout + 2 * backlog +
-                      2 * transfer_time(len, cm.wire_mb_s));
+  const Time backlog =
+      std::max<Time>(0, wire_.link_free(rank()) - engine().now());
+  channel_->arm(id, channel_->initial_rto() + 2 * backlog +
+                        2 * transfer_time(len, cm.wire_mb_s));
   engine().counters().bump("mpl.sends");
   return id;
 }
@@ -118,7 +133,7 @@ void Comm::transmit_send(const SendReq& req, std::int64_t /*id*/) {
   const CostModel& cm = cost();
   if (req.state == SState::kWaitCts) {
     // Rendezvous: request to send only.
-    net::Packet p = node_.machine().fabric().make_packet();
+    net::Packet p = wire_.make_packet();
     p.src = rank();
     p.dst = req.dst;
     p.client = net::Client::kMpl;
@@ -129,12 +144,12 @@ void Comm::transmit_send(const SendReq& req, std::int64_t /*id*/) {
     m->tag = req.tag;
     m->total_len = static_cast<std::int64_t>(req.data->size());
     p.meta = std::move(m);
-    node_.machine().fabric().transmit(std::move(p));
+    wire_.transmit(std::move(p));
     return;
   }
   // Eager: envelope packet with the first chunk, then data packets.
   const std::int64_t len = static_cast<std::int64_t>(req.data->size());
-  net::Packet first = node_.machine().fabric().make_packet();
+  net::Packet first = wire_.make_packet();
   first.src = rank();
   first.dst = req.dst;
   first.client = net::Client::kMpl;
@@ -149,7 +164,7 @@ void Comm::transmit_send(const SendReq& req, std::int64_t /*id*/) {
   if (chunk0 > 0) {
     first.data.assign(req.data->begin(), req.data->begin() + chunk0);
   }
-  node_.machine().fabric().transmit(std::move(first));
+  wire_.transmit(std::move(first));
   transmit_data(req);
 }
 
@@ -161,7 +176,7 @@ void Comm::transmit_data(const SendReq& req) {
       req.state == SState::kEagerDone ? std::min(len, cm.mpi_payload()) : 0;
   while (offset < len) {
     const std::int64_t chunk = std::min(len - offset, cm.mpi_payload());
-    net::Packet p = node_.machine().fabric().make_packet();
+    net::Packet p = wire_.make_packet();
     p.src = rank();
     p.dst = req.dst;
     p.client = net::Client::kMpl;
@@ -172,42 +187,40 @@ void Comm::transmit_data(const SendReq& req) {
     m->offset = offset;
     p.meta = std::move(m);
     p.data.assign(req.data->begin() + offset, req.data->begin() + offset + chunk);
-    node_.machine().fabric().transmit(std::move(p));
+    wire_.transmit(std::move(p));
     offset += chunk;
   }
 }
 
-void Comm::arm_timeout(std::int64_t id, Time delay) {
+lapi::RetryState* Comm::retry_state(std::int64_t id) {
   auto it = sends_.find(id);
-  if (it == sends_.end()) return;
-  const std::uint64_t gen = ++it->second.timeout_gen;
-  engine().schedule_after(
-      delay, [this, w = std::weak_ptr<char>(alive_), id, gen, delay] {
-        if (w.expired()) return;
-        auto jt = sends_.find(id);
-        if (jt == sends_.end()) return;
-        SendReq& req = jt->second;
-        if (gen != req.timeout_gen || req.acked) return;
-        if (req.retries >= config_.max_retries) {
-          engine().counters().bump("mpl.retransmit_giveup");
-          notify();
-          return;
-        }
-        ++req.retries;
-        engine().counters().bump("mpl.retransmits");
-        if (req.state == SState::kWaitCts) {
-          transmit_send(req, id);  // re-RTS
-        } else if (req.state == SState::kEagerDone) {
-          transmit_send(req, id);  // envelope + data
-        } else {
-          transmit_data(req);  // streaming: data only, envelope was the RTS
-        }
-        arm_timeout(id, delay * 2);
-      });
+  return it == sends_.end() ? nullptr : &it->second.retry;
+}
+
+bool Comm::settled(std::int64_t id) { return sends_.at(id).acked; }
+
+void Comm::retransmit(std::int64_t id) {
+  SendReq& req = sends_.at(id);
+#ifdef SPLAP_AUDIT
+  send_ledger_.expect(&req, "Comm::retransmit");
+#endif
+  if (req.state == SState::kWaitCts) {
+    transmit_send(req, id);  // re-RTS
+  } else if (req.state == SState::kEagerDone) {
+    transmit_send(req, id);  // envelope + data
+  } else {
+    transmit_data(req);  // streaming: data only, envelope was the RTS
+  }
+}
+
+void Comm::give_up(std::int64_t /*id*/) {
+  // The record stays: term's quiesce loop observes the exhausted retry
+  // budget and unblocks waiters instead of spinning.
+  notify();
 }
 
 void Comm::send_ctl(int dst, MplKind kind, std::int64_t seq, Time when) {
-  net::Packet p = node_.machine().fabric().make_packet();
+  net::Packet p = wire_.make_packet();
   p.src = rank();
   p.dst = dst;
   p.client = net::Client::kMpl;
@@ -217,10 +230,10 @@ void Comm::send_ctl(int dst, MplKind kind, std::int64_t seq, Time when) {
   m->seq = seq;
   p.meta = std::move(m);
   if (when <= engine().now()) {
-    node_.machine().fabric().transmit(std::move(p));
+    wire_.transmit(std::move(p));
   } else {
     defer(when, [this, sp = std::make_shared<net::Packet>(std::move(p))] {
-      node_.machine().fabric().transmit(std::move(*sp));
+      wire_.transmit(std::move(*sp));
     });
   }
 }
@@ -515,10 +528,10 @@ Time Comm::process(net::Packet& pkt) {
         if (req.state != SState::kWaitCts) return;  // duplicate CTS
         req.state = SState::kStreaming;
         transmit_data(req);
-        arm_timeout(rid, config_.retransmit_timeout +
-                             2 * transfer_time(
-                                     static_cast<std::int64_t>(req.data->size()),
-                                     cost().wire_mb_s));
+        channel_->arm(rid, channel_->initial_rto() +
+                               2 * transfer_time(static_cast<std::int64_t>(
+                                                     req.data->size()),
+                                                 cost().wire_mb_s));
       });
       return c;
     }
@@ -533,6 +546,9 @@ Time Comm::process(net::Packet& pkt) {
         if (jt != sends_.end()) {
           jt->second.acked = true;
           jt->second.state = SState::kDone;
+#ifdef SPLAP_AUDIT
+          send_ledger_.remove(&jt->second, "Comm::process/kAck");
+#endif
           sends_.erase(jt);
         }
         seq_to_send_.erase(it);

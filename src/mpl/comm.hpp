@@ -33,9 +33,12 @@
 #include <span>
 #include <vector>
 
+#include "base/audit.hpp"
 #include "base/cost_model.hpp"
 #include "base/status.hpp"
+#include "lapi/reliable.hpp"
 #include "mpl/types.hpp"
+#include "net/delivery.hpp"
 #include "net/machine.hpp"
 #include "sim/sync.hpp"
 
@@ -52,7 +55,11 @@ struct MplMeta {
   std::int64_t offset = 0;
 };
 
-class Comm {
+/// The communicator shares LAPI's reliable-delivery core: retransmit timers,
+/// exponential backoff (clamped at Config::rto_max) and stale-timer
+/// suppression come from lapi::ReliableChannel — MPL is a sibling client of
+/// the same transport machinery, not a second implementation of it.
+class Comm : private lapi::ReliableChannel::Sender {
  public:
   explicit Comm(net::Node& node, Config config = {});
   ~Comm();
@@ -121,8 +128,7 @@ class Comm {
     std::shared_ptr<std::vector<std::byte>> data;  // retransmit source
     std::int64_t seq = 0;
     bool acked = false;
-    int retries = 0;
-    std::uint64_t timeout_gen = 0;
+    lapi::RetryState retry;
   };
 
   // --- target-side state -----------------------------------------------------
@@ -171,8 +177,14 @@ class Comm {
   Request start_send(int dst, int tag, std::span<const std::byte> data);
   void transmit_send(const SendReq& req, std::int64_t id);
   void transmit_data(const SendReq& req);
-  void arm_timeout(std::int64_t id, Time delay);
   void send_ctl(int dst, MplKind kind, std::int64_t seq, Time when);
+
+  // lapi::ReliableChannel::Sender hooks (the shared retransmit machinery
+  // calls back here for the protocol-specific resend/give-up actions).
+  lapi::RetryState* retry_state(std::int64_t id) override;
+  bool settled(std::int64_t id) override;
+  void retransmit(std::int64_t id) override;
+  void give_up(std::int64_t id) override;
 
   // Receive path.
   void on_delivery(net::Packet&& pkt);
@@ -196,6 +208,9 @@ class Comm {
 
   net::Node& node_;
   Config config_;
+  /// Narrow injection interface into the fabric (the transmit side only;
+  /// receives arrive through the adapter registration).
+  net::Delivery& wire_;
   bool terminated_ = false;
 
   void defer(Time at, std::function<void()> fn);
@@ -224,6 +239,14 @@ class Comm {
 
   sim::WaitSet waiters_;
   std::shared_ptr<char> alive_ = std::make_shared<char>();
+  /// Shared retransmit core (constructed after alive_, which guards its
+  /// timer events against a torn-down communicator).
+  std::unique_ptr<lapi::ReliableChannel> channel_;
+#ifdef SPLAP_AUDIT
+  /// Shadow ledger of live send records: a timer or ack touching a record
+  /// after reclamation aborts at the corrupting operation.
+  audit::LiveSet send_ledger_{"mpl send record"};
+#endif
 };
 
 }  // namespace splap::mpl

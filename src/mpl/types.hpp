@@ -35,6 +35,11 @@ struct Config {
   /// Retransmission parameters of the internal reliability layer.
   Time retransmit_timeout = milliseconds(4.0);
   int max_retries = 12;
+  /// Backoff clamp: the per-retry doubling of the retransmit delay stops at
+  /// this ceiling (uncapped, a dozen doublings of the 4 ms base would reach
+  /// minutes of virtual time between the last retries — far beyond any
+  /// plausible recovery, so a transiently-partitioned peer looked hung).
+  Time rto_max = milliseconds(250);
 };
 
 /// Completion information for a receive.

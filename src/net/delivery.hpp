@@ -1,0 +1,41 @@
+// The narrow injection-side interface protocol transports consume.
+//
+// LAPI's and MPL's transmit paths need exactly three things from the
+// network: a pooled packet to fill in, a way to hand it to the source-side
+// injection link, and the time at which that link will next be free (for
+// backlog-aware retransmit timers). Handing the layers this interface —
+// instead of letting them reach through node.machine().fabric() — keeps the
+// dependency arrow pointing downward (transport -> net) and lets tests drive
+// the transport stack against a scripted fake wire with loss, reordering,
+// duplication and corruption, without standing up a whole Machine.
+//
+// Receive-side delivery is NOT part of this interface: the fabric calls the
+// node's Adapter at each packet's delivery time, and the protocol's
+// registered client handler decides what an "arrival" means (interrupt vs
+// poll). See net/machine.hpp.
+#pragma once
+
+#include "base/time.hpp"
+#include "net/packet.hpp"
+
+namespace splap::net {
+
+class Delivery {
+ public:
+  /// Mint a packet whose payload buffer comes from the wire's recycling
+  /// pool (a default-constructed Packet falls back to the heap).
+  virtual Packet make_packet() = 0;
+
+  /// Hand a packet to the src-side injection link at the current virtual
+  /// time. The caller has already paid any CPU cost; transport is DMA.
+  virtual void transmit(Packet&& pkt) = 0;
+
+  /// When the packet last handed to transmit() will have cleared the
+  /// injection link (for senders that model TX queue backpressure).
+  virtual Time link_free(int src) const = 0;
+
+ protected:
+  ~Delivery() = default;
+};
+
+}  // namespace splap::net

@@ -29,6 +29,7 @@
 #include "base/cost_model.hpp"
 #include "base/rng.hpp"
 #include "base/stats.hpp"
+#include "net/delivery.hpp"
 #include "net/fault.hpp"
 #include "net/packet.hpp"
 #include "sim/engine.hpp"
@@ -51,7 +52,7 @@ struct FabricConfig {
   FaultConfig fault;
 };
 
-class Fabric {
+class Fabric : public Delivery {
  public:
   using DeliverFn = std::function<void(Packet&&)>;
   /// Raw delivery target: one indirect call, no std::function machinery on
@@ -74,7 +75,7 @@ class Fabric {
   /// pool (returned automatically when the last holder drops it). Senders on
   /// the hot path should build packets through this instead of `Packet{}` so
   /// steady-state traffic does not touch the allocator.
-  Packet make_packet() {
+  Packet make_packet() override {
     Packet p;
     p.data = Payload(&payload_pool_);
     return p;
@@ -82,11 +83,13 @@ class Fabric {
 
   /// Hand a packet to the src-side injection link at the current virtual
   /// time. The caller has already paid any CPU cost; transport is DMA.
-  void transmit(Packet&& pkt);
+  void transmit(Packet&& pkt) override;
 
   /// When the packet last handed to transmit() will have cleared the
   /// injection link (for senders that want to model TX queue backpressure).
-  Time link_free(int src) const { return link_free_[static_cast<size_t>(src)]; }
+  Time link_free(int src) const override {
+    return link_free_[static_cast<size_t>(src)];
+  }
 
   const CostModel& cost() const { return config_.cost; }
   int nodes() const { return static_cast<int>(link_free_.size()); }

@@ -1,0 +1,429 @@
+// Transport-layer unit tests: the reliable-delivery core and the assembly
+// engine exercised in isolation, below the Context facade.
+//
+// Part A drives lapi::ReliableChannel against a mock Sender on a bare
+// sim::Engine: backoff doubling, the rto_max clamp, stale-timer suppression
+// (reclaimed records and generation invalidation), settled-record silence,
+// and the Jacobson/Karn RTO estimator arithmetic.
+//
+// Part B wires ProgressEngine + SendEngine + AssemblyEngine to a scripted
+// fake wire (net::Delivery) that injects loss, reordering, duplication and
+// payload corruption — proving the layers deliver exactly-once without a
+// net::Machine, a Context, or any actor, which is the point of the layering.
+//
+// Deliberately does NOT include lapi/context.hpp: the layering lint forbids
+// the transport layers (and their tests) from seeing the facade.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "base/cost_model.hpp"
+#include "base/time.hpp"
+#include "lapi/assembly.hpp"
+#include "lapi/progress.hpp"
+#include "lapi/protocol.hpp"
+#include "lapi/reliable.hpp"
+#include "lapi/types.hpp"
+#include "net/delivery.hpp"
+#include "net/packet.hpp"
+#include "sim/engine.hpp"
+
+namespace splap::lapi {
+namespace {
+
+// ===========================================================================
+// Part A: ReliableChannel against a mock sender
+// ===========================================================================
+
+class MockSender : public ReliableChannel::Sender {
+ public:
+  std::map<std::int64_t, RetryState> records;
+  std::set<std::int64_t> settled_ids;
+  std::vector<std::pair<Time, std::int64_t>> resends;  // (virtual time, id)
+  std::vector<std::int64_t> gave_up;
+
+  explicit MockSender(sim::Engine& eng) : eng_(eng) {}
+
+  RetryState* retry_state(std::int64_t id) override {
+    auto it = records.find(id);
+    return it == records.end() ? nullptr : &it->second;
+  }
+  bool settled(std::int64_t id) override {
+    return settled_ids.count(id) != 0;
+  }
+  void retransmit(std::int64_t id) override {
+    resends.emplace_back(eng_.now(), id);
+  }
+  void give_up(std::int64_t id) override { gave_up.push_back(id); }
+
+ private:
+  sim::Engine& eng_;
+};
+
+struct ChannelFixture {
+  sim::Engine eng;
+  MockSender sender{eng};
+  std::shared_ptr<char> alive = std::make_shared<char>();
+
+  ReliableChannel make(RetryPolicy policy) {
+    return ReliableChannel(eng, sender, policy, "test", /*jitter_seed=*/0,
+                           alive);
+  }
+};
+
+TEST(ReliableChannelTest, BackoffDoublesThenGivesUp) {
+  ChannelFixture f;
+  RetryPolicy p;
+  p.base_rto = microseconds(100);
+  p.max_retries = 3;
+  ReliableChannel ch = f.make(p);
+  f.sender.records[7];  // one armed record, never acked
+  ch.arm(7, p.base_rto);
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  // Unclamped doubling: fires at 100, 300 (100+200), 700 (+400) us; the
+  // fourth timer at 1500 us finds the budget exhausted and gives up.
+  ASSERT_EQ(f.sender.resends.size(), 3u);
+  EXPECT_EQ(f.sender.resends[0].first, microseconds(100));
+  EXPECT_EQ(f.sender.resends[1].first, microseconds(300));
+  EXPECT_EQ(f.sender.resends[2].first, microseconds(700));
+  ASSERT_EQ(f.sender.gave_up, std::vector<std::int64_t>{7});
+  EXPECT_EQ(f.eng.counters().get("test.retransmits"), 3);
+  EXPECT_EQ(f.eng.counters().get("test.retransmit_giveup"), 1);
+}
+
+TEST(ReliableChannelTest, ClampCapsTheDoubling) {
+  ChannelFixture f;
+  RetryPolicy p;
+  p.base_rto = microseconds(100);
+  p.max_retries = 3;
+  p.clamp_backoff = true;
+  p.rto_max = microseconds(150);
+  ReliableChannel ch = f.make(p);
+  f.sender.records[1];
+  ch.arm(1, p.base_rto);
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  // Every post-retry delay is min(2 * delay, 150us): 100, 250, 400 us.
+  ASSERT_EQ(f.sender.resends.size(), 3u);
+  EXPECT_EQ(f.sender.resends[0].first, microseconds(100));
+  EXPECT_EQ(f.sender.resends[1].first, microseconds(250));
+  EXPECT_EQ(f.sender.resends[2].first, microseconds(400));
+}
+
+TEST(ReliableChannelTest, SettledRecordIsSilent) {
+  ChannelFixture f;
+  ReliableChannel ch = f.make(RetryPolicy{});
+  f.sender.records[3];
+  f.sender.settled_ids.insert(3);
+  ch.arm(3, microseconds(100));
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  EXPECT_TRUE(f.sender.resends.empty());
+  EXPECT_TRUE(f.sender.gave_up.empty());
+  EXPECT_EQ(f.eng.counters().get("test.retransmits"), 0);
+  EXPECT_EQ(f.eng.counters().get("test.stale_timeouts"), 0);
+}
+
+TEST(ReliableChannelTest, ReclaimedRecordCountsStale) {
+  ChannelFixture f;
+  ReliableChannel ch = f.make(RetryPolicy{});
+  f.sender.records[5];
+  ch.arm(5, microseconds(100));
+  f.sender.records.erase(5);  // acked-and-erased before the timer fires
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  EXPECT_TRUE(f.sender.resends.empty());
+  EXPECT_EQ(f.eng.counters().get("test.stale_timeouts"), 1);
+}
+
+TEST(ReliableChannelTest, ReArmInvalidatesTheOlderTimer) {
+  ChannelFixture f;
+  RetryPolicy p;
+  p.base_rto = microseconds(100);
+  p.max_retries = 0;  // the live timer goes straight to give-up
+  ReliableChannel ch = f.make(p);
+  f.sender.records[9];
+  ch.arm(9, microseconds(100));
+  ch.arm(9, microseconds(500));  // newer generation owns the record now
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  // The 100us timer sees a generation mismatch and must not act; only the
+  // 500us timer reaches the retry logic (which immediately gives up).
+  EXPECT_TRUE(f.sender.resends.empty());
+  EXPECT_EQ(f.eng.counters().get("test.stale_timeouts"), 1);
+  ASSERT_EQ(f.sender.gave_up, std::vector<std::int64_t>{9});
+}
+
+TEST(ReliableChannelTest, ExpiredLifetimeTokenCancelsTimers) {
+  ChannelFixture f;
+  ReliableChannel ch = f.make(RetryPolicy{});
+  f.sender.records[2];
+  ch.arm(2, microseconds(100));
+  f.alive.reset();  // owner tore down; the pending timer must be inert
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  EXPECT_TRUE(f.sender.resends.empty());
+  EXPECT_EQ(f.eng.counters().get("test.stale_timeouts"), 0);
+}
+
+TEST(ReliableChannelTest, JacobsonEstimatorArithmetic) {
+  ChannelFixture f;
+  RetryPolicy p;
+  p.base_rto = milliseconds(4.0);
+  p.adaptive = true;
+  p.rto_min = microseconds(150);
+  p.rto_max = milliseconds(250.0);
+  ReliableChannel ch = f.make(p);
+  // No samples yet: the pre-estimate timeout is the configured base.
+  EXPECT_EQ(ch.initial_rto(), milliseconds(4.0));
+  ch.on_rtt_sample(milliseconds(1.0));
+  // First sample: SRTT = sample, RTTVAR = sample/2 -> RTO = 1ms + 4*0.5ms.
+  EXPECT_EQ(ch.srtt(), milliseconds(1.0));
+  EXPECT_EQ(ch.initial_rto(), milliseconds(3.0));
+  ch.on_rtt_sample(milliseconds(1.0));
+  // Identical sample: SRTT unchanged, RTTVAR decays 3/4 -> RTO = 2.5ms.
+  EXPECT_EQ(ch.initial_rto(), microseconds(2500));
+  // A non-adaptive channel ignores samples entirely.
+  RetryPolicy fixed;
+  fixed.base_rto = milliseconds(4.0);
+  ReliableChannel fx = f.make(fixed);
+  fx.on_rtt_sample(microseconds(10));
+  EXPECT_EQ(fx.initial_rto(), milliseconds(4.0));
+}
+
+// ===========================================================================
+// Part B: the LAPI transport stack on a scripted fake wire
+// ===========================================================================
+
+/// A two-endpoint "fabric" with per-scenario fault scripting. Delivers each
+/// transmitted packet to the destination's progress engine after a fixed
+/// latency; data packets can be dropped, corrupted or duplicated, and header
+/// packets can be delayed past their data (reordering).
+class FakeWire final : public net::Delivery {
+ public:
+  explicit FakeWire(sim::Engine& eng) : eng_(eng) {}
+
+  void connect(int id, ProgressEngine* p) { eps_[id] = p; }
+
+  int drop_first_n_data = 0;
+  int corrupt_first_n_data = 0;
+  bool duplicate_data = false;
+  Time header_extra_latency = 0;
+
+  net::Packet make_packet() override { return net::Packet{}; }
+  Time link_free(int /*src*/) const override { return eng_.now(); }
+
+  void transmit(net::Packet&& pkt) override {
+    const WireMeta& m = pkt.meta_as<WireMeta>();
+    const bool is_data = m.kind == PktKind::kData;
+    if (is_data && drop_first_n_data > 0) {
+      --drop_first_n_data;
+      return;  // swallowed by the wire; the origin's timer recovers it
+    }
+    if (is_data && corrupt_first_n_data > 0 && !pkt.data.empty()) {
+      --corrupt_first_n_data;
+      pkt.data.data()[0] ^= std::byte{0x40};
+    }
+    if (is_data && duplicate_data) deliver(clone(pkt), kLatency);
+    Time lat = kLatency;
+    if (m.kind == PktKind::kPutHdr || m.kind == PktKind::kAmHdr) {
+      lat += header_extra_latency;
+    }
+    deliver(std::move(pkt), lat);
+  }
+
+ private:
+  static constexpr Time kLatency = microseconds(1);
+
+  static net::Packet clone(const net::Packet& pkt) {
+    net::Packet c;
+    c.src = pkt.src;
+    c.dst = pkt.dst;
+    c.client = pkt.client;
+    c.header_bytes = pkt.header_bytes;
+    c.meta = pkt.meta;
+    c.data.assign(pkt.data.data(), pkt.data.data() + pkt.data.size());
+    return c;
+  }
+
+  void deliver(net::Packet&& pkt, Time lat) {
+    auto sp = std::make_shared<net::Packet>(std::move(pkt));
+    eng_.schedule_after(lat, [this, sp] {
+      eps_.at(sp->dst)->on_delivery(std::move(*sp));
+    });
+  }
+
+  sim::Engine& eng_;
+  std::map<int, ProgressEngine*> eps_;
+};
+
+/// One task's transport stack without the Context facade: the Sink demux and
+/// a null Env (these scenarios exercise Put only, which needs no handler
+/// table, completion threads, or Get-reply send path).
+class Endpoint final : public ProgressEngine::Sink, public AssemblyEngine::Env {
+ public:
+  Endpoint(sim::Engine& eng, const CostModel& cm, FakeWire& wire, int id,
+           const Config& cfg, bool checksums)
+      : progress_(eng, cm, *this, /*interrupt_mode=*/true),
+        send_(wire, progress_, id, cfg, checksums),
+        assembly_(wire, progress_, *this, id, checksums) {
+    wire.connect(id, &progress_);
+  }
+
+  ProgressEngine& progress() { return progress_; }
+  SendEngine& send() { return send_; }
+
+ private:
+  Time process_packet(net::Packet& pkt) override {
+    const WireMeta& m = pkt.meta_as<WireMeta>();
+    if (m.kind == PktKind::kAck) return send_.on_ack(pkt);
+    if (m.kind == PktKind::kRmwResp) return send_.on_rmw_resp(pkt);
+    return assembly_.process(pkt);
+  }
+  AmReply run_handler(AmHandlerId /*id*/, const AmDelivery& /*d*/) override {
+    ADD_FAILURE() << "unexpected AM handler dispatch";
+    return {};
+  }
+  void run_completion(const std::function<void(Context&, sim::Actor&)>&,
+                      sim::Actor&) override {}
+  void submit_completion(std::function<void(sim::Actor&)>) override {}
+  Status send_get_reply(int, std::shared_ptr<WireMeta>,
+                        std::shared_ptr<std::vector<std::byte>>) override {
+    ADD_FAILURE() << "unexpected Get reply";
+    return Status::kOk;
+  }
+  void note_get_reply() override {}
+
+  ProgressEngine progress_;
+  SendEngine send_;
+  AssemblyEngine assembly_;
+};
+
+struct StackFixture {
+  sim::Engine eng;
+  CostModel cm;
+  FakeWire wire{eng};
+  Config cfg;
+  std::unique_ptr<Endpoint> origin;
+  std::unique_ptr<Endpoint> target;
+
+  StackFixture() {
+    cfg.retransmit_timeout = microseconds(200);
+    cfg.max_retries = 20;
+  }
+
+  void build(bool checksums = false) {
+    origin = std::make_unique<Endpoint>(eng, cm, wire, 0, cfg, checksums);
+    target = std::make_unique<Endpoint>(eng, cm, wire, 1, cfg, checksums);
+  }
+
+  /// Inject a Put of `payload` landing at `tgt` (a multi-packet message when
+  /// the payload exceeds one packet's worth).
+  void put(std::shared_ptr<std::vector<std::byte>> payload, std::byte* tgt) {
+    eng.schedule_at(0, [this, payload, tgt] {
+      auto hdr = std::make_shared<WireMeta>();
+      hdr->tgt_addr = tgt;
+      hdr->total_len = static_cast<std::int64_t>(payload->size());
+      origin->send().submit(PktKind::kPutHdr, 1, hdr, payload, 0);
+    });
+  }
+
+  static std::shared_ptr<std::vector<std::byte>> pattern(std::int64_t n) {
+    auto v = std::make_shared<std::vector<std::byte>>(
+        static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      (*v)[static_cast<std::size_t>(i)] = static_cast<std::byte>(i % 251);
+    }
+    return v;
+  }
+
+  void expect_delivered(const std::vector<std::byte>& expect,
+                        const std::vector<std::byte>& got) {
+    ASSERT_EQ(expect.size(), got.size());
+    EXPECT_EQ(std::memcmp(expect.data(), got.data(), got.size()), 0);
+    EXPECT_EQ(origin->send().pending_sends(), 0u);
+    EXPECT_EQ(origin->send().outstanding_data(), 0);
+  }
+};
+
+constexpr std::int64_t kLen = 5000;  // several data packets at 1 KB MTU
+
+TEST(TransportStackTest, CleanPutDeliversWithoutRetransmission) {
+  StackFixture f;
+  f.build();
+  auto src = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst(static_cast<std::size_t>(kLen));
+  f.put(src, dst.data());
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  f.expect_delivered(*src, dst);
+  EXPECT_EQ(f.eng.counters().get("lapi.retransmits"), 0);
+  EXPECT_EQ(f.eng.counters().get("lapi.staged"), 0);
+}
+
+TEST(TransportStackTest, DroppedDataPacketIsRetransmitted) {
+  StackFixture f;
+  f.build();
+  f.wire.drop_first_n_data = 2;
+  auto src = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst(static_cast<std::size_t>(kLen));
+  f.put(src, dst.data());
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  f.expect_delivered(*src, dst);
+  EXPECT_GT(f.eng.counters().get("lapi.retransmits"), 0);
+  EXPECT_EQ(f.eng.counters().get("lapi.retransmit_giveup"), 0);
+}
+
+TEST(TransportStackTest, DataBeforeHeaderIsStagedThenDelivered) {
+  StackFixture f;
+  f.build();
+  f.wire.header_extra_latency = microseconds(50);
+  auto src = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst(static_cast<std::size_t>(kLen));
+  f.put(src, dst.data());
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  f.expect_delivered(*src, dst);
+  EXPECT_GT(f.eng.counters().get("lapi.staged"), 0);
+}
+
+TEST(TransportStackTest, DuplicatedDataPacketsIngestOnce) {
+  StackFixture f;
+  f.build();
+  f.wire.duplicate_data = true;
+  auto src = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst(static_cast<std::size_t>(kLen));
+  f.put(src, dst.data());
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  f.expect_delivered(*src, dst);
+}
+
+TEST(TransportStackTest, CorruptPayloadIsDroppedAndRecovered) {
+  StackFixture f;
+  f.build(/*checksums=*/true);
+  f.wire.corrupt_first_n_data = 1;
+  auto src = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst(static_cast<std::size_t>(kLen));
+  f.put(src, dst.data());
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  f.expect_delivered(*src, dst);
+  EXPECT_GT(f.eng.counters().get("lapi.corrupt_drops"), 0);
+  EXPECT_GT(f.eng.counters().get("lapi.retransmits"), 0);
+}
+
+TEST(TransportStackTest, ExhaustedRetriesFailTheSendCleanly) {
+  StackFixture f;
+  f.cfg.max_retries = 2;
+  f.build();
+  f.wire.drop_first_n_data = 1 << 20;  // the wire eats all data forever
+  auto src = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst(static_cast<std::size_t>(kLen));
+  f.put(src, dst.data());
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  EXPECT_EQ(f.eng.counters().get("lapi.retransmit_giveup"), 1);
+  EXPECT_EQ(f.eng.counters().get("lapi.failed_ops"), 1);
+  // The record is fully reclaimed: no leak, no outstanding bookkeeping.
+  EXPECT_EQ(f.origin->send().pending_sends(), 0u);
+  EXPECT_EQ(f.origin->send().outstanding_data(), 0);
+}
+
+}  // namespace
+}  // namespace splap::lapi

@@ -1,0 +1,4 @@
+// Fixture: a transport layer reaching up to the Context facade (scanned
+// under pretend src/mpl/ and src/lapi/{reliable,assembly,progress} paths).
+
+#include "lapi/context.hpp"

@@ -1,0 +1,6 @@
+// Fixture: upward includes from the network layer (scanned under a pretend
+// src/net/ path); every protocol-library include line must fire.
+
+#include "lapi/context.hpp"
+#include "mpl/comm.hpp"
+#include "ga/array.hpp"

@@ -1,0 +1,6 @@
+// Fixture: transport layers may include their siblings and the layers
+// below them — just not the facade.
+
+#include "lapi/protocol.hpp"
+#include "lapi/reliable.hpp"
+#include "net/delivery.hpp"

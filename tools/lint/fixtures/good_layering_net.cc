@@ -1,0 +1,11 @@
+// Fixture: system headers and downward/sibling includes are fine in
+// src/net, and protocol names inside comments or strings are not includes.
+
+#include <vector>
+
+#include "base/time.hpp"
+#include "net/packet.hpp"
+#include "sim/engine.hpp"
+
+// #include "lapi/context.hpp" — commented out, must not fire
+const char* doc = "#include \"mpl/comm.hpp\"";

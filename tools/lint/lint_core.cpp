@@ -20,6 +20,8 @@ namespace {
 struct Line {
   std::string code;     // comments and literal contents replaced by spaces
   std::string comment;  // concatenated comment text on this line
+  std::string raw;      // the line verbatim (for include-directive rules,
+                        // whose quoted paths the string pass blanks out)
 };
 
 std::vector<Line> lex_lines(std::string_view src) {
@@ -45,6 +47,7 @@ std::vector<Line> lex_lines(std::string_view src) {
       cur = &lines.back();
       continue;
     }
+    cur->raw.push_back(c);
     switch (st) {
       case State::kCode:
         if (c == '/' && next == '/') {
@@ -140,7 +143,19 @@ bool starts_with(std::string_view s, std::string_view prefix) {
 
 bool in_trace_dirs(std::string_view rel) {
   return starts_with(rel, "src/sim/") || starts_with(rel, "src/net/") ||
-         starts_with(rel, "src/lapi/");
+         starts_with(rel, "src/lapi/") || starts_with(rel, "src/mpl/");
+}
+
+bool in_net(std::string_view rel) { return starts_with(rel, "src/net/"); }
+
+/// The files below the Context facade: the shared reliable core, the
+/// assembly engine, the progress engine, and the whole MPL communicator
+/// (a sibling client of the same transport machinery).
+bool in_transport_layers(std::string_view rel) {
+  return starts_with(rel, "src/mpl/") ||
+         starts_with(rel, "src/lapi/reliable.") ||
+         starts_with(rel, "src/lapi/assembly.") ||
+         starts_with(rel, "src/lapi/progress.");
 }
 
 struct Rule {
@@ -149,6 +164,11 @@ struct Rule {
   const char* message;
   std::regex pattern;
   bool (*in_scope)(std::string_view rel);
+  /// Match against the verbatim line instead of the blanked code text
+  /// (needed for `#include "..."` rules: the quoted path is a string
+  /// literal, which the lexical pass blanks). Comment-only lines are still
+  /// skipped, so commented-out includes never fire.
+  bool raw = false;
 };
 
 bool scope_all(std::string_view) { return true; }
@@ -199,6 +219,22 @@ const std::vector<Rule>& rule_table() {
         std::regex(R"(std::(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[A-Za-z_][A-Za-z0-9_:<>\s]*?\*\s*[,>])",
                    f),
         &scope_all});
+    r.push_back(Rule{
+        "layering-net",
+        "src/net must not include protocol layers (lapi/, mpl/, ga/)",
+        "upward include from the network layer: src/net sits below the "
+        "protocol libraries and must not see lapi/, mpl/ or ga/ headers "
+        "(dependency arrows point downward; see DESIGN.md §5)",
+        std::regex(R"(^\s*#\s*include\s*"(?:lapi|mpl|ga)/)", f),
+        &in_net, /*raw=*/true});
+    r.push_back(Rule{
+        "layering-context",
+        "transport layers must not include the Context facade",
+        "transport-layer include of lapi/context.hpp: reliable/assembly/"
+        "progress and the MPL communicator sit below the facade and reach "
+        "it only through their callback interfaces (Sender/Env/Sink)",
+        std::regex(R"(^\s*#\s*include\s*"lapi/context\.hpp")", f),
+        &in_transport_layers, /*raw=*/true});
     return r;
   }();
   return rules;
@@ -286,7 +322,7 @@ std::vector<Violation> scan_source(std::string_view repo_rel,
     const int lineno = static_cast<int>(i) + 1;
     for (const Rule& r : rule_table()) {
       if (!r.in_scope(repo_rel)) continue;
-      if (!std::regex_search(ln.code, r.pattern)) continue;
+      if (!std::regex_search(r.raw ? ln.raw : ln.code, r.pattern)) continue;
       if (per_line[i].allowed.count(r.id) != 0) continue;
       out.push_back(Violation{file, lineno, r.id, r.message});
     }

@@ -90,7 +90,8 @@ TEST(LintRules, BannedIncludeQuietOnLookalikes) {
 
 TEST(LintRules, UnorderedContainerFiresInTraceDirs) {
   const std::string content = fixture("bad_unordered.cc");
-  for (const char* dir : {"src/sim/x.cc", "src/net/x.cc", "src/lapi/x.cc"}) {
+  for (const char* dir : {"src/sim/x.cc", "src/net/x.cc", "src/lapi/x.cc",
+                          "src/mpl/x.cc"}) {
     const auto v = scan_source(dir, content);
     // Two includes + three members.
     EXPECT_EQ(fired_rules(v), n_of(5, "unordered-container"))
@@ -120,6 +121,44 @@ TEST(LintRules, PointerKeyFiresOnEachBadLine) {
 TEST(LintRules, PointerKeyQuietOnPointerValues) {
   const auto v = scan_source("src/mpl/x.cc", fixture("good_pointer_key.cc"));
   EXPECT_TRUE(v.empty()) << v.front().line << ": " << v.front().message;
+}
+
+TEST(LintRules, LayeringNetFiresOnUpwardIncludes) {
+  const auto v = scan_source("src/net/x.cc", fixture("bad_layering_net.cc"));
+  EXPECT_EQ(fired(v), (std::multiset<std::pair<std::string, int>>{
+                          {"layering-net", 4},
+                          {"layering-net", 5},
+                          {"layering-net", 6}}));
+}
+
+TEST(LintRules, LayeringNetQuietOnGoodIncludesAndOutsideNet) {
+  EXPECT_TRUE(
+      scan_source("src/net/x.cc", fixture("good_layering_net.cc")).empty());
+  // The same upward includes are legal from layers above the network.
+  EXPECT_TRUE(
+      scan_source("src/ga/x.cc", fixture("bad_layering_net.cc")).empty());
+}
+
+TEST(LintRules, LayeringContextFiresInEveryTransportLayer) {
+  const std::string content = fixture("bad_layering_context.cc");
+  for (const char* p : {"src/mpl/comm.hpp", "src/lapi/reliable.cpp",
+                        "src/lapi/assembly.hpp", "src/lapi/progress.cpp"}) {
+    EXPECT_EQ(fired_rules(scan_source(p, content)),
+              n_of(1, "layering-context"))
+        << "under " << p;
+  }
+}
+
+TEST(LintRules, LayeringContextQuietAboveTheTransportLayers) {
+  const std::string content = fixture("bad_layering_context.cc");
+  // The facade's own TUs and the libraries above it include context.hpp
+  // legitimately.
+  EXPECT_TRUE(scan_source("src/lapi/context.cpp", content).empty());
+  EXPECT_TRUE(scan_source("src/lapi/collectives.cpp", content).empty());
+  EXPECT_TRUE(scan_source("src/ga/x.cc", content).empty());
+  EXPECT_TRUE(scan_source("src/lapi/reliable.cpp",
+                          fixture("good_layering_context.cc"))
+                  .empty());
 }
 
 TEST(LintAllow, JustifiedAllowMutesTheRule) {
@@ -173,6 +212,7 @@ TEST(LintCatalogue, ListsEveryRule) {
   EXPECT_EQ(ids, (std::set<std::string>{"wall-clock", "raw-rng",
                                         "banned-include",
                                         "unordered-container", "pointer-key",
+                                        "layering-net", "layering-context",
                                         "bad-allow"}));
 }
 
