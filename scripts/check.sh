@@ -9,6 +9,9 @@
 #   asan       ASan+UBSan build + full ctest
 #   chaos      the fault-injection harness under ASan+UBSan (the code most
 #              likely to touch freed records or stale buffers)
+#   overload   the flow-control overload harness (bounded-RX incast,
+#              partial-table sheds, credit loss, the MPL unexpected cap)
+#              under both ASan+UBSan and SPLAP_AUDIT
 #   tsan       ThreadSanitizer over the genuinely-concurrent code: the actor
 #              park/unpark handoff (sim_engine_test) and the parallel sweep
 #              driver (bench_fig2_bandwidth with SPLAP_SWEEP_THREADS=4)
@@ -70,6 +73,21 @@ if want chaos; then
   cmake -B build-asan -S . -DSPLAP_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
   cmake --build build-asan -j"$(nproc)"
   ctest --test-dir build-asan -L chaos --no-tests=error --output-on-failure
+fi
+
+if want overload; then
+  # Overload scenarios drive the credit/NACK recovery machinery through its
+  # worst cases (drops of recovery traffic included), so they run under both
+  # the memory sanitizers and the shadow-state auditor: a leaked credit or a
+  # send record touched after reclamation fails here first.
+  echo "== overload harness (ASan+UBSan) =="
+  cmake -B build-asan -S . -DSPLAP_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  cmake --build build-asan -j"$(nproc)"
+  ctest --test-dir build-asan -L overload --no-tests=error --output-on-failure
+  echo "== overload harness (SPLAP_AUDIT) =="
+  cmake -B build-audit -S . -DSPLAP_AUDIT=ON >/dev/null
+  cmake --build build-audit -j"$(nproc)"
+  ctest --test-dir build-audit -L overload --no-tests=error --output-on-failure
 fi
 
 if want tsan; then

@@ -13,13 +13,14 @@ namespace splap::lapi {
 
 void AssemblyEngine::send_ack(int target, std::int64_t msg_id, bool data,
                               bool done, Counter* org_cntr, Counter* cmpl_cntr,
-                              Time when) {
+                              std::int64_t pkts, Time when) {
   when += progress_.cost().lapi_ack_delay;  // delayed-ack coalescing timer
   auto m = std::make_shared<WireMeta>();
   m->kind = PktKind::kAck;
   m->acked_msg = msg_id;
   m->ack_data = data;
   m->ack_done = done;
+  m->ack_pkts = pkts;  // piggybacked credit grant (cumulative)
   m->org_cntr = org_cntr;
   m->cmpl_cntr = cmpl_cntr;
   net::Packet p = wire_.make_packet();
@@ -39,6 +40,92 @@ void AssemblyEngine::send_ack(int target, std::int64_t msg_id, bool data,
                     [this, sp = std::make_shared<net::Packet>(std::move(p))] {
                       wire_.transmit(std::move(*sp));
                     });
+  }
+}
+
+void AssemblyEngine::send_nack(int origin, std::int64_t msg_id) {
+  // One NACK per message until forward progress: a full adapter dropping a
+  // six-packet burst must trigger one recovery, not six. The suppression
+  // clears when a packet of the message is accepted (or it is reclaimed).
+  if (!nacked_.insert({origin, msg_id}).second) return;
+  progress_.engine().counters().bump("lapi.nack_sent");
+  auto m = std::make_shared<WireMeta>();
+  m->kind = PktKind::kNack;
+  m->acked_msg = msg_id;
+  net::Packet p = wire_.make_packet();
+  p.src = task_id_;
+  p.dst = origin;
+  p.client = net::Client::kLapi;
+  p.header_bytes = progress_.cost().lapi_header_bytes + kNackDescBytes;
+  p.meta = std::move(m);
+  // Emitted by the adapter itself at the drop instant (exception-interrupt
+  // path): no dispatcher charge, no delayed-ack coalescing — speed is the
+  // whole point of the NACK.
+  wire_.transmit(std::move(p));
+}
+
+void AssemblyEngine::on_overflow(const net::Packet& pkt) {
+  const WireMeta& m = pkt.meta_as<WireMeta>();
+  switch (m.kind) {
+    case PktKind::kPutHdr:
+    case PktKind::kAmHdr:
+    case PktKind::kData:
+    case PktKind::kGetReq:
+    case PktKind::kRmwReq:
+      send_nack(pkt.src, m.msg_id);
+      break;
+    default:
+      // Lost acks/credits/nacks/cancels heal by other means (probe
+      // retransmissions, cumulative grants, the TTL sweep).
+      break;
+  }
+}
+
+void AssemblyEngine::maybe_emit_credit(int origin, std::int64_t msg_id,
+                                       Assembly& as) {
+  if (config_.credit_update_interval <= 0 || as.completed) return;
+  if (as.pkts_ingested - as.last_credit_sent < config_.credit_update_interval) {
+    return;
+  }
+  as.last_credit_sent = as.pkts_ingested;
+  progress_.engine().counters().bump("lapi.credit_updates");
+  auto m = std::make_shared<WireMeta>();
+  m->kind = PktKind::kCredit;
+  m->acked_msg = msg_id;
+  m->ack_pkts = as.pkts_ingested;
+  net::Packet p = wire_.make_packet();
+  p.src = task_id_;
+  p.dst = origin;
+  p.client = net::Client::kLapi;
+  p.header_bytes = progress_.cost().lapi_header_bytes + kCreditDescBytes;
+  p.meta = std::move(m);
+  wire_.transmit(std::move(p));
+}
+
+bool AssemblyEngine::admit_partial(Time now) {
+  if (config_.partial_ttl > 0) gc_partials(now);
+  return config_.max_partials <= 0 ||
+         live_partials_ < static_cast<std::size_t>(config_.max_partials);
+}
+
+AssemblyEngine::AssemblyMap::iterator AssemblyEngine::reclaim_partial(
+    AssemblyMap::iterator it) {
+  progress_.engine().counters().bump("lapi.partials_reclaimed");
+  nacked_.erase(it->first);
+  --live_partials_;
+  return assemblies_.erase(it);
+}
+
+void AssemblyEngine::gc_partials(Time now) {
+  for (auto it = assemblies_.begin(); it != assemblies_.end();) {
+    const Assembly& as = it->second;
+    if (!as.completed && now - as.last_update > config_.partial_ttl) {
+      SPLAP_DEBUG(now, "lapi task %d: TTL-reclaiming stale partial from %d",
+                  task_id_, it->first.first);
+      it = reclaim_partial(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -67,6 +154,7 @@ Time AssemblyEngine::process(net::Packet& pkt) {
     if (len == 0) return 0;
     if (as.seen.count(offset) != 0) return 0;
     as.seen[offset] = len;
+    ++as.pkts_ingested;  // one distinct wire packet landed (credit grant)
     SPLAP_REQUIRE(as.buffer != nullptr, "assembly without a buffer");
     SPLAP_REQUIRE(offset + len <= as.total, "fragment beyond message length");
     if (as.hdr != nullptr && as.hdr->strided &&
@@ -99,18 +187,33 @@ Time AssemblyEngine::process(net::Packet& pkt) {
     case PktKind::kPutHdr:
     case PktKind::kAmHdr: {
       const auto key = std::pair<int, std::int64_t>{pkt.src, m.msg_id};
-      Assembly& as = assemblies_[key];
+      auto at = assemblies_.find(key);
+      if (at == assemblies_.end()) {
+        if (!admit_partial(now)) {
+          // Partial table full: shed the whole message (graceful
+          // degradation, not abort) and tell the origin to retry soon.
+          progress_.engine().counters().bump("lapi.partials_shed");
+          send_nack(pkt.src, m.msg_id);
+          return cm.lapi_pkt_rx;
+        }
+        at = assemblies_.emplace(key, Assembly{}).first;
+        ++live_partials_;
+      }
+      Assembly& as = at->second;
       if (as.completed) {
         // Retransmitted header of a finished message: re-ack, do not
         // re-deliver (the user may already have reused the buffer).
         const bool done_ok = !as.completion || as.completion_ran;
         send_ack(pkt.src, m.msg_id, true,
                  done_ok && as.hdr->cmpl_cntr != nullptr, as.hdr->org_cntr,
-                 as.hdr->cmpl_cntr, now + cm.lapi_ack);
+                 as.hdr->cmpl_cntr, as.pkts_ingested, now + cm.lapi_ack);
         return cm.lapi_ack;
       }
+      as.last_update = now;
       if (as.has_header) return cm.lapi_pkt_rx;  // duplicate, still assembling
+      nacked_.erase(key);  // fresh progress: re-arm NACK for this message
       as.has_header = true;
+      if (pkt.data.empty()) ++as.pkts_ingested;  // payload-less header packet
       as.kind = m.kind;
       as.total = m.total_len;
       as.hdr = std::static_pointer_cast<const WireMeta>(pkt.meta);
@@ -139,37 +242,61 @@ Time AssemblyEngine::process(net::Packet& pkt) {
       as.staged.clear();
       if (as.received == as.total) {
         as.completed = true;
+        --live_partials_;
         progress_.defer(now + c, [this, key] {
           finish_assembly(key.first, key.second);
         });
+      } else {
+        maybe_emit_credit(pkt.src, m.msg_id, as);
       }
       return c;
     }
 
     case PktKind::kData: {
       const auto key = std::pair<int, std::int64_t>{pkt.src, m.msg_id};
-      Assembly& as = assemblies_[key];
+      auto at = assemblies_.find(key);
+      if (at == assemblies_.end()) {
+        if (!admit_partial(now)) {
+          progress_.engine().counters().bump("lapi.partials_shed");
+          send_nack(pkt.src, m.msg_id);
+          return cm.lapi_pkt_rx;
+        }
+        at = assemblies_.emplace(key, Assembly{}).first;
+        ++live_partials_;
+      }
+      Assembly& as = at->second;
       if (as.completed) {
         const bool done_ok = !as.completion || as.completion_ran;
         send_ack(pkt.src, m.msg_id, true,
                  done_ok && as.hdr && as.hdr->cmpl_cntr != nullptr,
                  as.hdr ? as.hdr->org_cntr : nullptr,
-                 as.hdr ? as.hdr->cmpl_cntr : nullptr, now + cm.lapi_ack);
+                 as.hdr ? as.hdr->cmpl_cntr : nullptr, as.pkts_ingested,
+                 now + cm.lapi_ack);
         return cm.lapi_ack;
       }
+      as.last_update = now;
       if (!as.has_header) {
         // Out-of-order: data beat the header packet. Stage until the header
-        // handler supplies the landing buffer (Section 2.1).
+        // handler supplies the landing buffer (Section 2.1). Staged packets
+        // do not count toward pkts_ingested until they actually land — the
+        // grant must never exceed what ingest has deduplicated.
         progress_.engine().counters().bump("lapi.staged");
         as.staged.push_back(std::move(pkt));
         return cm.lapi_pkt_rx;
       }
+      const std::int64_t before = as.pkts_ingested;
       Time c = cm.lapi_pkt_rx + ingest(as, m.offset, pkt.data);
+      if (as.pkts_ingested > before) {
+        nacked_.erase(key);  // fresh progress: re-arm NACK for this message
+      }
       if (as.received == as.total) {
         as.completed = true;
+        --live_partials_;
         progress_.defer(now + c, [this, key] {
           finish_assembly(key.first, key.second);
         });
+      } else {
+        maybe_emit_credit(pkt.src, m.msg_id, as);
       }
       return c;
     }
@@ -179,18 +306,20 @@ Time AssemblyEngine::process(net::Packet& pkt) {
       Assembly& as = assemblies_[key];
       if (as.completed) {
         send_ack(pkt.src, m.msg_id, true, false, nullptr, nullptr,
-                 now + cm.lapi_ack);
+                 as.pkts_ingested, now + cm.lapi_ack);
         return cm.lapi_ack;
       }
-      as.completed = true;
+      nacked_.erase(key);
+      as.completed = true;  // instant: a request, never a partial
       as.has_header = true;
+      as.pkts_ingested = 1;
       as.hdr = std::static_pointer_cast<const WireMeta>(pkt.meta);
       const Time c = cm.lapi_dispatch + cm.lapi_deliver;
       progress_.defer(
           now + c, [this, origin = pkt.src, meta = as.hdr] {
             // Ack the request (the origin's retransmit timer covers it).
             send_ack(origin, meta->msg_id, true, false, nullptr, nullptr,
-                     progress_.engine().now());
+                     /*pkts=*/1, progress_.engine().now());
             // Serve: the reply is an internal Put back to the origin whose
             // counter roles realize the Get semantics (Figure 1): the
             // reply's target counter is the get's org_cntr, the reply's
@@ -233,6 +362,7 @@ Time AssemblyEngine::process(net::Packet& pkt) {
 
     case PktKind::kRmwReq: {
       const auto key = std::pair<int, std::int64_t>{pkt.src, m.msg_id};
+      nacked_.erase(key);
       const Time c = cm.lapi_dispatch;
       progress_.defer(
           now + c, [this, key,
@@ -274,10 +404,26 @@ Time AssemblyEngine::process(net::Packet& pkt) {
       return c;
     }
 
+    case PktKind::kCancel: {
+      // The origin abandoned this message (gave up retransmitting): free the
+      // incomplete partial now instead of waiting for the TTL sweep.
+      const auto key = std::pair<int, std::int64_t>{pkt.src, m.acked_msg};
+      auto at = assemblies_.find(key);
+      if (at != assemblies_.end() && !at->second.completed) {
+        SPLAP_DEBUG(now, "lapi task %d: cancel from %d reclaims partial %lld",
+                    task_id_, pkt.src, static_cast<long long>(m.acked_msg));
+        reclaim_partial(at);
+      }
+      nacked_.erase(key);
+      return cm.lapi_pkt_rx;
+    }
+
     // Origin-side packets are demultiplexed to the send engine before this
     // layer; they never reach the assembly path.
     case PktKind::kRmwResp:
     case PktKind::kAck:
+    case PktKind::kNack:
+    case PktKind::kCredit:
       break;
   }
   SPLAP_REQUIRE(false, "unknown packet kind");
@@ -300,14 +446,14 @@ void AssemblyEngine::finish_assembly(int origin, std::int64_t msg_id) {
     as.completion_ran = true;
     progress_.bump(h.tgt_cntr);
     send_ack(origin, msg_id, /*data=*/true, /*done=*/want_done, h.org_cntr,
-             h.cmpl_cntr, progress_.engine().now());
+             h.cmpl_cntr, as.pkts_ingested, progress_.engine().now());
     progress_.notify();
   } else {
     // Data is in place: ack it now (fence semantics, Section 5.3.2), then
     // run the completion handler on a service thread; only after it returns
     // do the target counter and the DONE ack fire (Figure 1, Step 4).
     send_ack(origin, msg_id, /*data=*/true, /*done=*/false, h.org_cntr,
-             h.cmpl_cntr, progress_.engine().now());
+             h.cmpl_cntr, as.pkts_ingested, progress_.engine().now());
     env_.submit_completion([this, key](sim::Actor& svc_actor) {
       auto jt = assemblies_.find(key);
       SPLAP_REQUIRE(jt != assemblies_.end(),
@@ -321,7 +467,8 @@ void AssemblyEngine::finish_assembly(int origin, std::int64_t msg_id) {
       progress_.bump(h2.tgt_cntr);
       if (h2.cmpl_cntr != nullptr) {
         send_ack(key.first, key.second, /*data=*/false, /*done=*/true,
-                 h2.org_cntr, h2.cmpl_cntr, progress_.engine().now());
+                 h2.org_cntr, h2.cmpl_cntr, a2.pkts_ingested,
+                 progress_.engine().now());
       }
       progress_.notify();
     });

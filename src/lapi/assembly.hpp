@@ -27,6 +27,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "base/cost_model.hpp"
@@ -62,16 +63,28 @@ class AssemblyEngine {
   };
 
   AssemblyEngine(net::Delivery& wire, ProgressEngine& progress, Env& env,
-                 int task_id, bool verify_checksums)
+                 int task_id, const Config& config, bool verify_checksums)
       : wire_(wire),
         progress_(progress),
         env_(env),
         task_id_(task_id),
+        config_(config),
         checksums_(verify_checksums) {}
 
   /// Process one received data-path packet (every kind except the
-  /// origin-side kAck/kRmwResp); returns the dispatcher processing cost.
+  /// origin-side kAck/kRmwResp/kNack/kCredit); returns the dispatcher
+  /// processing cost.
   Time process(net::Packet& pkt);
+
+  /// The adapter's bounded RX queue dropped `pkt` before delivery: NACK the
+  /// origin of a request/data packet so it recovers at fast-retransmit speed
+  /// instead of RTO speed. Dropped control packets (acks, credits) need no
+  /// NACK — they heal through probes and cumulative grants.
+  void on_overflow(const net::Packet& pkt);
+
+  /// Partial (incomplete) assemblies currently held. Completed-message
+  /// duplicate-suppression markers are not partials.
+  std::size_t live_partials() const { return live_partials_; }
 
  private:
   // Assembly state at the target side of a message.
@@ -89,22 +102,51 @@ class AssemblyEngine {
     /// delivery): staged until the header handler supplies the buffer.
     std::vector<net::Packet> staged;
     std::map<std::int64_t, std::int64_t> seen;  // offset -> len (dedup)
+    /// Distinct wire packets of this message ingested so far (header packet
+    /// counted once). This is the cumulative credit grant (ack_pkts) echoed
+    /// on acks and kCredit updates; it survives completion shedding so
+    /// re-acks still release the origin's full lease.
+    std::int64_t pkts_ingested = 0;
+    /// pkts_ingested value at the last standalone kCredit emission.
+    std::int64_t last_credit_sent = 0;
+    /// Last packet activity (the partial-TTL sweep's staleness clock).
+    Time last_update = 0;
   };
 
+  using AssemblyMap = std::map<std::pair<int, std::int64_t>, Assembly>;
+
   void send_ack(int target, std::int64_t msg_id, bool data, bool done,
-                Counter* org_cntr, Counter* cmpl_cntr, Time when);
+                Counter* org_cntr, Counter* cmpl_cntr, std::int64_t pkts,
+                Time when);
   void finish_assembly(int origin, std::int64_t msg_id);
+  /// NACK `origin` about msg_id, at most once until that message shows
+  /// forward progress (an accepted packet clears the suppression).
+  void send_nack(int origin, std::int64_t msg_id);
+  /// Emit a standalone kCredit update when enough new packets of a
+  /// still-incomplete message have been ingested since the last one.
+  void maybe_emit_credit(int origin, std::int64_t msg_id, Assembly& as);
+  /// May a packet open a new partial right now? Runs the TTL sweep first,
+  /// then applies the max_partials cap.
+  bool admit_partial(Time now);
+  /// Drop a partial: counter, live count, NACK suppression state.
+  AssemblyMap::iterator reclaim_partial(AssemblyMap::iterator it);
+  void gc_partials(Time now);
 
   net::Delivery& wire_;
   ProgressEngine& progress_;
   Env& env_;
   const int task_id_;
+  const Config config_;
   /// Verify end-to-end payload CRCs (armed when the fabric injects
   /// corruption; off otherwise so the clean path does no checksum work).
   const bool checksums_;
 
-  std::map<std::pair<int, std::int64_t>, Assembly> assemblies_;
+  AssemblyMap assemblies_;
   std::map<std::pair<int, std::int64_t>, std::int64_t> rmw_cache_;
+  /// Messages already NACKed with no forward progress since (suppresses
+  /// NACK storms when a burst of one message's packets all overflow).
+  std::set<std::pair<int, std::int64_t>> nacked_;
+  std::size_t live_partials_ = 0;
 };
 
 }  // namespace splap::lapi

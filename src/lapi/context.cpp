@@ -37,13 +37,19 @@ Context::Context(net::Node& node, Config config)
       progress_(node.engine(), node.cost(), *this, config.interrupt_mode),
       send_(node.machine().fabric(), progress_, node.id(), config,
             node.machine().fabric().corruption_enabled()),
-      assembly_(node.machine().fabric(), progress_, *this, node.id(),
+      assembly_(node.machine().fabric(), progress_, *this, node.id(), config,
                 node.machine().fabric().corruption_enabled()) {
   SPLAP_REQUIRE(sim::Actor::current() != nullptr,
                 "LAPI_Init must run in a task (actor) context");
   node_.adapter().register_client(
       net::Client::kLapi,
       [this](net::Packet&& p) { progress_.on_delivery(std::move(p)); });
+  // Bounded-RX drops of LAPI packets come back as overflow notifications
+  // (the adapter's "exception interrupt"): NACK the origin for fast
+  // recovery instead of waiting out its retransmission timeout.
+  node_.adapter().register_overflow(
+      net::Client::kLapi,
+      [this](const net::Packet& p) { assembly_.on_overflow(p); });
   svc_ = std::make_unique<SvcPool>(
       engine(), "lapi" + std::to_string(task_id()), config.completion_threads);
 
@@ -349,6 +355,8 @@ Time Context::process_packet(net::Packet& pkt) {
   switch (pkt.meta_as<WireMeta>().kind) {
     case PktKind::kAck: return send_.on_ack(pkt);
     case PktKind::kRmwResp: return send_.on_rmw_resp(pkt);
+    case PktKind::kNack: return send_.on_nack(pkt);
+    case PktKind::kCredit: return send_.on_credit(pkt);
     default: return assembly_.process(pkt);
   }
 }

@@ -165,6 +165,13 @@ class Context : private ProgressEngine::Sink, private AssemblyEngine::Env {
   std::size_t pending_sends() const { return send_.pending_sends(); }
   /// Current smoothed RTT estimate (0 until the first ack sample).
   Time srtt() const { return send_.srtt(); }
+  /// Incomplete reassembly partials currently held at this target.
+  std::size_t partials() const { return assembly_.live_partials(); }
+  /// Flow-control credits currently available toward `peer` (the full
+  /// window when credits are off or nothing is outstanding).
+  std::int64_t credits_available(int peer) const {
+    return send_.credits_available(peer);
+  }
 
  private:
   struct Universe;  // per-machine registry (address exchange bootstrap)

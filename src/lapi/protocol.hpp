@@ -26,6 +26,9 @@ inline constexpr std::int64_t kGetReqDescBytes = 32;
 inline constexpr std::int64_t kRmwReqDescBytes = 24;
 inline constexpr std::int64_t kRmwRespDescBytes = 8;
 inline constexpr std::int64_t kAckDescBytes = 12;
+inline constexpr std::int64_t kNackDescBytes = 12;
+inline constexpr std::int64_t kCreditDescBytes = 12;
+inline constexpr std::int64_t kCancelDescBytes = 12;
 
 enum class PktKind : std::uint8_t {
   kPutHdr,   // first packet of a Put: target address + total length
@@ -35,6 +38,13 @@ enum class PktKind : std::uint8_t {
   kRmwReq,   // read-modify-write request
   kRmwResp,  // previous value back to the origin
   kAck,      // data-complete and/or handler-done acknowledgement
+  kNack,     // target->origin: a packet of acked_msg was dropped at the
+             // target adapter (RX overflow / partial-table shed); the origin
+             // fast-retransmits without waiting for the RTO
+  kCredit,   // target->origin: standalone credit update carrying the
+             // cumulative ingested-packet count for acked_msg
+  kCancel,   // origin->target: origin abandoned acked_msg (retry
+             // exhaustion); the target reclaims any partial assembly
 };
 
 /// Descriptor attached to every LAPI packet. A real implementation packs a
@@ -87,10 +97,15 @@ struct WireMeta {
   std::int64_t rmw_prev = 0;      // kRmwResp payload
   std::int64_t* rmw_prev_out = nullptr;
 
-  // kAck.
+  // kAck / kNack / kCredit / kCancel.
   std::int64_t acked_msg = 0;
   bool ack_data = false;  // all bytes landed in the target buffer
   bool ack_done = false;  // completion handler finished
+  /// Cumulative count of distinct wire packets of acked_msg the target has
+  /// ingested so far, carried on kAck (piggybacked) and kCredit (standalone)
+  /// packets. Cumulative so duplicates are idempotent and a lost update is
+  /// healed by the next one; the origin releases credit leases against it.
+  std::int64_t ack_pkts = 0;
 
   // Counters at the message's origin, echoed back by acks. Raw pointers are
   // valid across "address spaces" because the simulation shares one process

@@ -101,6 +101,7 @@ SendEngine::SendEngine(net::Delivery& wire, ProgressEngine& progress,
       task_id_(task_id),
       config_(config),
       checksums_(checksums),
+      credits_(config.credit_window),
       channel_(progress.engine(), *this,
                RetryPolicy{config.retransmit_timeout, config.max_retries,
                            config.adaptive_timeout, config.adaptive_timeout,
@@ -126,9 +127,40 @@ void SendEngine::submit(PktKind kind, int target,
       data ? static_cast<std::int64_t>(data->size()) : 0;
   const bool small = len <= cm.lapi_bcopy_limit;
   const Time copy_in_call = small ? cm.copy_time(len) : 0;
+  // Loopback traffic never competes for a peer's adapter buffering, so the
+  // credit gate only governs remote targets.
+  const bool flow = credits_.enabled() && target != task_id_;
+  const std::int64_t pkts = flow ? packet_count(kind, *hdr, len) : 1;
 
   Time inject_at;
+  bool park_for_credits = false;
   if (sim::Actor* a = sim::Actor::current()) {
+    if (config_.max_injection_backlog > 0) {
+      // Sender-side pacing: instead of over-injecting into a saturated TX
+      // link, the call blocks until the backlog drains to the limit.
+      const Time backlog = wire_.link_free(task_id_) - engine.now();
+      if (backlog > config_.max_injection_backlog) {
+        engine.counters().bump("lapi.tx_backpressure");
+        a->compute(backlog - config_.max_injection_backlog);
+      }
+    }
+    if (flow &&
+        !(credits_.can_send(target, pkts) && credit_waitq_.count(target) == 0)) {
+      // Backpressure: the call parks until the peer's credit pool can admit
+      // this message (and no earlier handler-context send is queued ahead).
+      // Credits released by any record reclamation notify() the waiters.
+      engine.counters().bump("lapi.credit_stalls");
+      a->wait(
+          [this, a, target, pkts] {
+            if (credits_.can_send(target, pkts) &&
+                credit_waitq_.count(target) == 0) {
+              return true;
+            }
+            progress_.waiters().add(*a);
+            return false;
+          },
+          "lapi-credit-park");
+    }
     progress_.enter_library();
     a->compute(progress_.call_entry_cost() + extra_call_cost + cm.lapi_pkt_tx +
                copy_in_call);
@@ -140,6 +172,11 @@ void SendEngine::submit(PktKind kind, int target,
     inject_at = std::max(engine.now(), progress_.busy_until()) +
                 cm.lapi_pkt_tx + copy_in_call;
     progress_.set_busy_until(inject_at);
+    // A handler must not block: an over-window send is queued per peer and
+    // started by drain_credit_waitq when credits return.
+    park_for_credits =
+        flow && !(credits_.can_send(target, pkts) &&
+                  credit_waitq_.count(target) == 0);
   }
 
   SendRecord rec;
@@ -150,6 +187,7 @@ void SendEngine::submit(PktKind kind, int target,
   rec.needs_done = (kind == PktKind::kPutHdr || kind == PktKind::kAmHdr) &&
                    hdr->cmpl_cntr != nullptr;
   rec.sent_at = inject_at;
+  rec.pkts = pkts;
   const std::int64_t id = hdr->msg_id;
   sends_.emplace(id, std::move(rec));
   ++outstanding_data_;
@@ -180,6 +218,18 @@ void SendEngine::submit(PktKind kind, int target,
     }
   }
 
+  if (park_for_credits) {
+    // No transmission and no timer yet: the record is parked until credits
+    // return. Deadlock-free: a peer pool below its window implies live
+    // leased records, each of which releases on reclamation and drains this
+    // queue; a full pool admits any message (including over-window ones).
+    sends_.at(id).queued = true;
+    engine.counters().bump("lapi.credit_queued");
+    credit_waitq_[target].push_back(id);
+    return;
+  }
+  if (flow) lease_credits(sends_.at(id));
+
   if (inject_at <= engine.now()) {
     transmit_packets(sends_.at(id));
   } else {
@@ -189,53 +239,171 @@ void SendEngine::submit(PktKind kind, int target,
       transmit_packets(it->second);
     });
   }
+  arm_initial(id, len);
+}
+
+void SendEngine::arm_initial(std::int64_t id, std::int64_t len) {
   // Scale the first timeout with the expected wire time AND the injection
   // link's current backlog: a burst of pipelined messages (e.g. 512 GA
   // column transfers) queues for many milliseconds before the last one even
   // departs, and none of that time means loss.
-  const Time backlog =
-      std::max<Time>(0, wire_.link_free(task_id_) - engine.now());
+  const CostModel& cm = progress_.cost();
+  const Time backlog = std::max<Time>(
+      0, wire_.link_free(task_id_) - progress_.engine().now());
   channel_.arm(id, channel_.initial_rto() + 2 * backlog +
                        2 * transfer_time(len, cm.wire_mb_s));
 }
 
-void SendEngine::transmit_packets(const SendRecord& rec) {
+// --- credit accounting ------------------------------------------------------
+
+std::int64_t SendEngine::packet_count(PktKind kind, const WireMeta& hdr,
+                                      std::int64_t len) const {
+  const CostModel& cm = progress_.cost();
+  std::int64_t header_bytes = cm.lapi_header_bytes;
+  switch (kind) {
+    case PktKind::kGetReq: header_bytes += kGetReqDescBytes; break;
+    case PktKind::kRmwReq: header_bytes += kRmwReqDescBytes; break;
+    case PktKind::kAmHdr:
+      header_bytes += static_cast<std::int64_t>(hdr.uhdr.size());
+      break;
+    default: break;
+  }
+  const std::int64_t chunk0 =
+      std::min(len, std::max<std::int64_t>(0, cm.packet_bytes - header_bytes));
+  const std::int64_t per = std::max<std::int64_t>(1, cm.lapi_payload());
+  return 1 + (len - chunk0 + per - 1) / per;
+}
+
+void SendEngine::lease_credits(SendRecord& rec) {
+  credits_.consume(rec.target, rec.pkts);
+  rec.credits_held = rec.pkts;
+  rec.credits_granted = 0;
+#ifdef SPLAP_AUDIT
+  credit_ledger_.insert(&rec, "SendEngine::lease_credits");
+#endif
+}
+
+void SendEngine::credit_return(SendRecord& rec, std::int64_t n) {
+  if (n <= 0 || rec.credits_held <= 0) return;
+#ifdef SPLAP_AUDIT
+  credit_ledger_.expect(&rec, "SendEngine::credit_return");
+#endif
+  n = std::min(n, rec.credits_held);
+  rec.credits_held -= n;
+  credits_.release(rec.target, n);
+#ifdef SPLAP_AUDIT
+  if (rec.credits_held == 0) {
+    credit_ledger_.remove(&rec, "SendEngine::credit_return");
+  }
+  if (credits_.available(rec.target) > credits_.window()) {
+    audit::fail("credit pool above its window (over-release)",
+                "SendEngine::credit_return", &rec);
+  }
+#endif
+  drain_credit_waitq(rec.target);
+  progress_.notify();  // parked actor-context senders re-evaluate
+}
+
+void SendEngine::apply_grant(SendRecord& rec, std::int64_t granted) {
+  if (rec.credits_held <= 0) return;
+  granted = std::min(granted, rec.pkts);
+  if (granted <= rec.credits_granted) return;  // duplicate / stale update
+  const std::int64_t fresh = granted - rec.credits_granted;
+  rec.credits_granted = granted;
+  // Grant progress means the target is ingesting again: a later overflow
+  // may fast-retransmit anew.
+  rec.nack_rtx = false;
+  credit_return(rec, fresh);
+}
+
+void SendEngine::drain_credit_waitq(int peer) {
+  auto qit = credit_waitq_.find(peer);
+  if (qit == credit_waitq_.end()) return;
+  sim::Engine& engine = progress_.engine();
+  const CostModel& cm = progress_.cost();
+  auto& q = qit->second;
+  while (!q.empty()) {
+    auto it = sends_.find(q.front());
+    if (it == sends_.end()) {  // reclaimed while parked
+      q.pop_front();
+      continue;
+    }
+    SendRecord& rec = it->second;
+    if (!credits_.can_send(peer, rec.pkts)) break;
+    q.pop_front();
+    rec.queued = false;
+    lease_credits(rec);
+    // Start it as any handler-context send: behind the dispatcher's
+    // current work.
+    const std::int64_t id = it->first;
+    const std::int64_t len =
+        rec.data ? static_cast<std::int64_t>(rec.data->size()) : 0;
+    const Time inject_at =
+        std::max(engine.now(), progress_.busy_until()) + cm.lapi_pkt_tx;
+    progress_.set_busy_until(inject_at);
+    rec.sent_at = inject_at;
+    if (inject_at <= engine.now()) {
+      transmit_packets(rec);
+    } else {
+      progress_.defer(inject_at, [this, id] {
+        auto it2 = sends_.find(id);
+        if (it2 == sends_.end()) return;
+        transmit_packets(it2->second);
+      });
+    }
+    arm_initial(id, len);
+  }
+  if (q.empty()) credit_waitq_.erase(qit);
+}
+
+void SendEngine::transmit_packets(const SendRecord& rec,
+                                  std::int64_t skip_first) {
   const CostModel& cm = progress_.cost();
   const WireMeta& hdr = *rec.hdr_meta;
   const std::int64_t len =
       rec.data ? static_cast<std::int64_t>(rec.data->size()) : 0;
 
-  net::Packet first = wire_.make_packet();
-  first.src = task_id_;
-  first.dst = rec.target;
-  first.client = net::Client::kLapi;
-  first.meta = rec.hdr_meta;
-  first.header_bytes = cm.lapi_header_bytes;
+  std::int64_t header_bytes = cm.lapi_header_bytes;
   switch (rec.kind) {
-    case PktKind::kGetReq: first.header_bytes += kGetReqDescBytes; break;
-    case PktKind::kRmwReq: first.header_bytes += kRmwReqDescBytes; break;
+    case PktKind::kGetReq: header_bytes += kGetReqDescBytes; break;
+    case PktKind::kRmwReq: header_bytes += kRmwReqDescBytes; break;
     case PktKind::kAmHdr:
-      first.header_bytes += static_cast<std::int64_t>(hdr.uhdr.size());
+      header_bytes += static_cast<std::int64_t>(hdr.uhdr.size());
       break;
     default: break;
   }
   const std::int64_t cap0 =
-      std::max<std::int64_t>(0, cm.packet_bytes - first.header_bytes);
+      std::max<std::int64_t>(0, cm.packet_bytes - header_bytes);
   const std::int64_t chunk0 = std::min(len, cap0);
-  if (chunk0 > 0) {
-    first.data.assign(rec.data->begin(), rec.data->begin() + chunk0);
-    // End-to-end checksum, armed only when the fabric injects corruption.
-    // No virtual-time charge: models the adapter's hardware CRC engine.
-    if (checksums_) {
-      rec.hdr_meta->data_crc = crc32_nz(rec.data->data(),
-                                        static_cast<std::size_t>(chunk0));
+  if (skip_first > 0) {
+    --skip_first;  // the header packet is already at the target
+  } else {
+    net::Packet first = wire_.make_packet();
+    first.src = task_id_;
+    first.dst = rec.target;
+    first.client = net::Client::kLapi;
+    first.meta = rec.hdr_meta;
+    first.header_bytes = header_bytes;
+    if (chunk0 > 0) {
+      first.data.assign(rec.data->begin(), rec.data->begin() + chunk0);
+      // End-to-end checksum, armed only when the fabric injects corruption.
+      // No virtual-time charge: models the adapter's hardware CRC engine.
+      if (checksums_) {
+        rec.hdr_meta->data_crc = crc32_nz(rec.data->data(),
+                                          static_cast<std::size_t>(chunk0));
+      }
     }
+    wire_.transmit(std::move(first));
   }
-  wire_.transmit(std::move(first));
 
   std::int64_t offset = chunk0;
   while (offset < len) {
     const std::int64_t chunk = std::min(len - offset, cm.lapi_payload());
+    if (skip_first > 0) {
+      --skip_first;
+      offset += chunk;
+      continue;
+    }
     net::Packet p = wire_.make_packet();
     p.src = task_id_;
     p.dst = rec.target;
@@ -292,6 +460,7 @@ void SendEngine::retransmit(std::int64_t id) {
               "lapi task %d: retransmit msg %lld kind %d to %d (retry %d)",
               task_id_, static_cast<long long>(id),
               static_cast<int>(rec.kind), rec.target, rec.retry.retries);
+  rec.nack_rtx = false;  // a fresh RTO round may fast-retransmit again
   if (!rec.data_acked) {
     transmit_packets(rec);
   } else {
@@ -318,6 +487,24 @@ void SendEngine::fail_send(std::int64_t msg_id) {
   const WireMeta& hdr = *rec.hdr_meta;
   if (!rec.data_acked) --outstanding_data_;
   if (rec.kind == PktKind::kGetReq) --outstanding_gets_;
+  release_credits(rec);
+  if ((rec.kind == PktKind::kPutHdr || rec.kind == PktKind::kAmHdr) &&
+      !rec.data_acked) {
+    // Best-effort cancel (header-only, never retransmitted) so the target
+    // reclaims the partial assembly this abandoned message left behind; the
+    // partial-TTL sweep is the backstop if it is lost.
+    const CostModel& cm = progress_.cost();
+    net::Packet cancel = wire_.make_packet();
+    cancel.src = task_id_;
+    cancel.dst = rec.target;
+    cancel.client = net::Client::kLapi;
+    auto m = std::make_shared<WireMeta>();
+    m->kind = PktKind::kCancel;
+    m->acked_msg = msg_id;
+    cancel.meta = std::move(m);
+    cancel.header_bytes = cm.lapi_header_bytes + kCancelDescBytes;
+    wire_.transmit(std::move(cancel));
+  }
   // Complete every counter the operation still owes, marked failed: waiters
   // unblock (never a hang) and waitcntr reports kResourceExhausted.
   if (rec.org_pending ||
@@ -348,6 +535,7 @@ Time SendEngine::on_ack(const net::Packet& pkt) {
 #ifdef SPLAP_AUDIT
         send_ledger_.expect(&rec, "SendEngine::on_ack");
 #endif
+        apply_grant(rec, meta->ack_pkts);
         if (meta->ack_data && !rec.data_acked) {
           // Karn's rule: only never-retransmitted messages contribute RTT
           // samples (a retransmit's ack is ambiguous).
@@ -368,6 +556,7 @@ Time SendEngine::on_ack(const net::Packet& pkt) {
           progress_.bump(meta->cmpl_cntr);
         }
         if (rec.data_acked && (!rec.needs_done || rec.done_acked)) {
+          release_credits(rec);
 #ifdef SPLAP_AUDIT
           send_ledger_.remove(&rec, "SendEngine::on_ack");
 #endif
@@ -385,6 +574,7 @@ Time SendEngine::on_rmw_resp(const net::Packet& pkt) {
       [this, meta = std::static_pointer_cast<const WireMeta>(pkt.meta)] {
         auto it = sends_.find(meta->acked_msg);
         if (it == sends_.end()) return;  // duplicate response
+        release_credits(it->second);
 #ifdef SPLAP_AUDIT
         send_ledger_.remove(&it->second, "SendEngine::on_rmw_resp");
 #endif
@@ -395,6 +585,59 @@ Time SendEngine::on_rmw_resp(const net::Packet& pkt) {
         }
         progress_.bump(meta->org_cntr);
         progress_.notify();
+      });
+  return c;
+}
+
+Time SendEngine::on_nack(const net::Packet& pkt) {
+  const Time c = progress_.cost().lapi_ack;
+  const Time now = progress_.engine().now();
+  progress_.defer(
+      now + c,
+      [this, meta = std::static_pointer_cast<const WireMeta>(pkt.meta)] {
+        auto it = sends_.find(meta->acked_msg);
+        if (it == sends_.end()) return;  // already settled or failed
+        SendRecord& rec = it->second;
+#ifdef SPLAP_AUDIT
+        send_ledger_.expect(&rec, "SendEngine::on_nack");
+#endif
+        // One fast retransmit per recovery round: repeated NACKs from a
+        // still-full adapter must not multiply into a retransmit storm (the
+        // guard resets on grant progress or an RTO retransmit).
+        if (rec.queued || rec.nack_rtx) return;
+        if (rec.data_acked && (!rec.needs_done || rec.done_acked)) return;
+        rec.nack_rtx = true;
+        progress_.engine().counters().bump("lapi.nack_fast_rtx");
+        SPLAP_DEBUG(progress_.engine().now(),
+                    "lapi task %d: NACK fast retransmit msg %lld to %d",
+                    task_id_, static_cast<long long>(meta->acked_msg),
+                    rec.target);
+        if (!rec.data_acked) {
+          // Skip the prefix the target's cumulative grant already covers:
+          // recovery into a still-tight adapter must carry fresh packets,
+          // not duplicates that re-win the same queue slots.
+          transmit_packets(rec, std::max<std::int64_t>(0, rec.credits_granted));
+        } else {
+          transmit_probe(rec);
+        }
+        // Re-arm so the RTO measures from the recovery transmission (the
+        // retry budget is untouched: overflow is congestion, not loss of
+        // connectivity).
+        arm_initial(it->first,
+                    rec.data ? static_cast<std::int64_t>(rec.data->size()) : 0);
+      });
+  return c;
+}
+
+Time SendEngine::on_credit(const net::Packet& pkt) {
+  const Time c = progress_.cost().lapi_ack;
+  const Time now = progress_.engine().now();
+  progress_.defer(
+      now + c,
+      [this, meta = std::static_pointer_cast<const WireMeta>(pkt.meta)] {
+        auto it = sends_.find(meta->acked_msg);
+        if (it == sends_.end()) return;  // stale update, lease long returned
+        apply_grant(it->second, meta->ack_pkts);
       });
   return c;
 }

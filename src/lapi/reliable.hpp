@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -123,6 +124,39 @@ class ReliableChannel {
   Time rttvar_ = 0;
 };
 
+/// Per-peer packet-credit pool, origin side (the real LAPI's token scheme
+/// over the TB3 adapter's finite buffering). A message leases one credit per
+/// wire packet before its first transmission; leases return incrementally as
+/// the target reports ingested packets (cumulative ack_pkts on acks/kCredit)
+/// and in full when the send record is reclaimed. A message larger than the
+/// whole window may start only when the peer's pool is completely idle,
+/// taking the balance negative — so a below-window pool always implies a
+/// live record whose reclamation will release credits, which is the
+/// deadlock-freedom argument (see DESIGN.md §6): credit restoration rides
+/// the record-reclamation invariant, never on any single packet surviving.
+class CreditGate {
+ public:
+  explicit CreditGate(std::int64_t window) : window_(window) {}
+  bool enabled() const { return window_ > 0; }
+  std::int64_t window() const { return window_; }
+  std::int64_t available(int peer) const {
+    auto it = credits_.find(peer);
+    return it == credits_.end() ? window_ : it->second;
+  }
+  bool can_send(int peer, std::int64_t pkts) const {
+    const std::int64_t avail = available(peer);
+    return avail >= pkts || avail == window_;
+  }
+  void consume(int peer, std::int64_t pkts) {
+    credits_.try_emplace(peer, window_).first->second -= pkts;
+  }
+  void release(int peer, std::int64_t pkts) { credits_.at(peer) += pkts; }
+
+ private:
+  std::int64_t window_;
+  std::map<int, std::int64_t> credits_;
+};
+
 /// Origin-side record of an in-flight data-bearing LAPI message, kept until
 /// the data ack arrives.
 struct SendRecord {
@@ -140,6 +174,21 @@ struct SendRecord {
   /// Injection time of the (first) transmission; the data ack of a message
   /// that was never retransmitted yields an RTT sample (Karn's rule).
   Time sent_at = 0;
+
+  // --- flow control (inert unless Config::credit_window > 0) --------------
+  /// Wire packets this message occupies (header + data fragments). Credit
+  /// unit: retransmissions ride the original lease.
+  std::int64_t pkts = 1;
+  /// Credits still leased from the per-peer gate.
+  std::int64_t credits_held = 0;
+  /// Cumulative target-ingest count already credited back (grants are
+  /// cumulative, so duplicated/reordered updates are idempotent).
+  std::int64_t credits_granted = 0;
+  /// Parked in the per-peer credit wait queue; not yet transmitted.
+  bool queued = false;
+  /// One NACK-driven fast retransmit per recovery round (reset by grant
+  /// progress or an RTO retransmit, so overflow storms cannot multiply).
+  bool nack_rtx = false;
 };
 
 class SendEngine final : public ReliableChannel::Sender {
@@ -158,6 +207,13 @@ class SendEngine final : public ReliableChannel::Sender {
   /// Dispatcher demux entry points (return the packet processing cost).
   Time on_ack(const net::Packet& pkt);
   Time on_rmw_resp(const net::Packet& pkt);
+  /// The target's adapter dropped a packet of one of our messages (RX
+  /// overflow) or shed it at the partial table: fast retransmit without
+  /// waiting out the RTO.
+  Time on_nack(const net::Packet& pkt);
+  /// Standalone credit update: cumulative ingested-packet count for a
+  /// still-incomplete message, releasing part of its lease mid-stream.
+  Time on_credit(const net::Packet& pkt);
 
   /// A get reply finished landing at the origin (assembly side calls this;
   /// the caller is responsible for any notify that follows).
@@ -168,6 +224,16 @@ class SendEngine final : public ReliableChannel::Sender {
   std::size_t pending_sends() const { return sends_.size(); }
   Time srtt() const { return channel_.srtt(); }
   bool checksums() const { return checksums_; }
+  /// Flow-control introspection (tests): credits available toward `peer`
+  /// and sends parked awaiting credits.
+  std::int64_t credits_available(int peer) const {
+    return credits_.available(peer);
+  }
+  std::size_t credit_queued() const {
+    std::size_t n = 0;
+    for (const auto& [peer, q] : credit_waitq_) n += q.size();
+    return n;
+  }
   /// True when every remaining record has exhausted its retries (term's
   /// quiesce loop stops waiting on such records).
   bool all_exhausted() const;
@@ -179,12 +245,37 @@ class SendEngine final : public ReliableChannel::Sender {
   void retransmit(std::int64_t id) override;
   void give_up(std::int64_t id) override;
 
-  void transmit_packets(const SendRecord& rec);
+  /// Inject the message's wire packets (header + data fragments), optionally
+  /// skipping the first `skip_first` — the NACK fast path skips the packets
+  /// the target's cumulative grant already covers, so a recovery burst into
+  /// a still-tight adapter carries fresh packets instead of duplicates. The
+  /// skip is a heuristic (grants count ingested packets, which is the wire
+  /// prefix only under in-order arrival); the RTO path always resends
+  /// everything, so a wrong guess costs time, never correctness.
+  void transmit_packets(const SendRecord& rec, std::int64_t skip_first = 0);
   void transmit_probe(const SendRecord& rec);
   /// Retry exhaustion: complete the op with kResourceExhausted — unblock
   /// every counter that has not fired yet (marked failed), release the
   /// outstanding bookkeeping and reclaim the record. Never hangs a waiter.
+  /// Also emits a best-effort kCancel so the target reclaims any partial
+  /// assembly the abandoned message left behind.
   void fail_send(std::int64_t msg_id);
+
+  /// Wire packets a message of this shape occupies (mirrors the
+  /// transmit_packets fragmentation math; the credit unit).
+  std::int64_t packet_count(PktKind kind, const WireMeta& hdr,
+                            std::int64_t len) const;
+  /// Arm the first RTO of `id`, scaled by the injection backlog + wire time.
+  void arm_initial(std::int64_t id, std::int64_t len);
+  void lease_credits(SendRecord& rec);
+  /// Return up to `n` leased credits to the peer pool, drain its wait queue
+  /// and wake parked senders. No-op on unleased records.
+  void credit_return(SendRecord& rec, std::int64_t n);
+  /// Apply a cumulative ingest report (ack_pkts) to a record's lease.
+  void apply_grant(SendRecord& rec, std::int64_t granted);
+  void release_credits(SendRecord& rec) { credit_return(rec, rec.credits_held); }
+  /// Start queued sends toward `peer` while credits allow, FIFO.
+  void drain_credit_waitq(int peer);
 
   net::Delivery& wire_;
   ProgressEngine& progress_;
@@ -198,11 +289,19 @@ class SendEngine final : public ReliableChannel::Sender {
   std::map<std::int64_t, SendRecord> sends_;
   int outstanding_data_ = 0;
   int outstanding_gets_ = 0;
+  CreditGate credits_;
+  /// Handler-context sends that could not lease credits, FIFO per peer;
+  /// drained as grants/reclamations return credits.
+  std::map<int, std::deque<std::int64_t>> credit_waitq_;
   ReliableChannel channel_;
 #ifdef SPLAP_AUDIT
   /// Shadow ledger of live send records: double-reclaim or a timer/ack
   /// touching a reclaimed record aborts at the corrupting operation.
   audit::LiveSet send_ledger_{"lapi send record"};
+  /// Shadow ledger of live credit leases: a record releasing more credits
+  /// than it holds, or releasing after its lease fully returned, aborts at
+  /// the corrupting operation (conservation of the per-peer window).
+  audit::LiveSet credit_ledger_{"lapi credit lease"};
 #endif
 };
 

@@ -140,6 +140,32 @@ struct Config {
   /// and the task id).
   double backoff_jitter = 0.25;
   std::uint64_t jitter_seed = 0x7e57a11;
+
+  // --- end-to-end flow control (all default off: golden traces unchanged) --
+  /// Per-peer packet-credit window (the real LAPI's token scheme over the
+  /// TB3 adapter's finite buffering). A message leases one credit per wire
+  /// packet before it may start toward a peer; credits return as the target
+  /// reports ingested packets (piggybacked on acks, or via standalone
+  /// kCredit updates) and are fully restored when the send record settles or
+  /// is abandoned. 0 = no flow control.
+  std::int64_t credit_window = 0;
+  /// Target side: emit a standalone kCredit update after this many newly
+  /// ingested packets of a still-incomplete message, so large streams return
+  /// credits before the final ack. 0 = piggybacked grants only.
+  std::int64_t credit_update_interval = 0;
+  /// Cap on concurrently open partial (incomplete) reassembly entries per
+  /// task. When full, packets that would open a new partial are shed (the
+  /// origin recovers by NACK/retransmission, surfacing kResourceExhausted
+  /// only if retries exhaust). 0 = unbounded.
+  std::int64_t max_partials = 0;
+  /// Reclaim partial assemblies idle longer than this (lazy sweep on new
+  /// partial creation), covering origins that died without a kCancel.
+  /// 0 = no TTL sweep; the explicit giveup/kCancel reclaim is always on.
+  Time partial_ttl = 0;
+  /// Sender-side link pacing: an actor-context call whose TX link backlog
+  /// exceeds this parks (blocks computing) until the backlog drains to the
+  /// limit, instead of over-injecting. 0 = no pacing.
+  Time max_injection_backlog = 0;
 };
 
 }  // namespace splap::lapi

@@ -215,7 +215,9 @@ void Comm::retransmit(std::int64_t id) {
 
 void Comm::give_up(std::int64_t /*id*/) {
   // The record stays: term's quiesce loop observes the exhausted retry
-  // budget and unblocks waiters instead of spinning.
+  // budget and unblocks waiters instead of spinning. The sticky status is
+  // how the caller learns delivery is no longer guaranteed.
+  comm_status_ = Status::kResourceExhausted;
   notify();
 }
 
@@ -471,6 +473,7 @@ Time Comm::process(net::Packet& pkt) {
     case MplKind::kRts: {
       InMsg& msg = in_[key];
       Time c = cm.mpi_pkt_rx;
+      if (msg.shed) return c;  // tombstone: no buffering, no ack
       if (msg.assembled) {
         send_ctl(src, MplKind::kAck, m.seq, engine().now() + c);
         return c;
@@ -489,6 +492,7 @@ Time Comm::process(net::Packet& pkt) {
       msg.tag = m.tag;
       msg.total = m.total_len;
       c += match_scan();  // admission in per-source order + matching
+      if (msg.shed) return c;  // admission capped the queue: drop the payload
       if (m.kind == MplKind::kEager) {
         c += ingest(msg, 0, pkt.data);
       }
@@ -503,6 +507,7 @@ Time Comm::process(net::Packet& pkt) {
     case MplKind::kData: {
       InMsg& msg = in_[key];
       Time c = cm.mpi_pkt_rx;
+      if (msg.shed) return c;  // tombstone: no buffering, no ack
       if (msg.assembled) {
         send_ctl(src, MplKind::kAck, m.seq, engine().now() + c);
         return c;
@@ -612,7 +617,26 @@ Time Comm::match_scan() {
           break;
         }
       }
-      if (!bound) unexpected_.push_back(key);
+      if (!bound) {
+        if (config_.max_unexpected > 0 && !msg.is_rndv &&
+            static_cast<std::int64_t>(unexpected_.size()) >=
+                config_.max_unexpected) {
+          // Unexpected queue full: shed this eager message instead of
+          // buffering without bound. The tombstone keeps the in-order
+          // cursor honest; no ack ever goes back, so the sender's retry
+          // budget exhausts and surfaces the loss on its side too.
+          msg.shed = true;
+          msg.stage.clear();
+          msg.stage.shrink_to_fit();
+          msg.early.clear();
+          msg.seen.clear();
+          msg.received = 0;
+          engine().counters().bump("mpl.unexpected_shed");
+          comm_status_ = Status::kResourceExhausted;
+        } else {
+          unexpected_.push_back(key);
+        }
+      }
     }
     // New postings may match queued unexpected messages.
     for (auto uit = unexpected_.begin(); uit != unexpected_.end();) {

@@ -113,6 +113,11 @@ class Comm : private lapi::ReliableChannel::Sender {
   const CostModel& cost() const { return node_.cost(); }
   sim::Engine& engine() const { return node_.engine(); }
 
+  /// Sticky health status: kOk until this communicator sheds an unexpected
+  /// message (max_unexpected) or exhausts a send's retry budget; then
+  /// kResourceExhausted. Overload is surfaced here, never as an abort.
+  Status comm_status() const { return comm_status_; }
+
  private:
   // --- origin-side state ---------------------------------------------------
   enum class SState {
@@ -140,6 +145,9 @@ class Comm : private lapi::ReliableChannel::Sender {
     bool assembled = false;   // all bytes in `stage` or user buffer
     bool delivered = false;   // handed to a posting / rcvncall handler
     bool acked = false;
+    /// Shed by the unexpected-queue cap: a tombstone that refuses further
+    /// buffering and never acks (the sender's retries exhaust cleanly).
+    bool shed = false;
     int tag = 0;
     std::int64_t total = -1;
     std::int64_t received = 0;
@@ -236,6 +244,8 @@ class Comm : private lapi::ReliableChannel::Sender {
   bool pump_scheduled_ = false;
   Time busy_until_ = 0;
   int pending_effects_ = 0;
+
+  Status comm_status_ = Status::kOk;
 
   sim::WaitSet waiters_;
   std::shared_ptr<char> alive_ = std::make_shared<char>();

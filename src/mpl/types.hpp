@@ -40,6 +40,15 @@ struct Config {
   /// minutes of virtual time between the last retries — far beyond any
   /// plausible recovery, so a transiently-partitioned peer looked hung).
   Time rto_max = milliseconds(250);
+  /// Cap on the unexpected-message queue (eager messages buffered with no
+  /// matching receive — the receiver-side memory a never-receiving rank can
+  /// grow without bound). 0 = unbounded. Over the cap, a newly admitted
+  /// unmatched eager message is shed: its staging memory is dropped, it is
+  /// never acked (the sender's retry budget exhausts), and comm_status()
+  /// latches kResourceExhausted — degradation, never an abort. Rendezvous
+  /// messages are exempt: an RTS buffers no payload, and shedding one would
+  /// strand the blocked sender.
+  std::int64_t max_unexpected = 0;
 };
 
 /// Completion information for a receive.

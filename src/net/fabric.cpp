@@ -15,6 +15,9 @@ Fabric::Fabric(sim::Engine& engine, int nodes, FabricConfig config)
       rx_free_(static_cast<std::size_t>(nodes), 0),
       next_route_(static_cast<std::size_t>(nodes), 0),
       deliver_(static_cast<std::size_t>(nodes)),
+      overflow_(static_cast<std::size_t>(nodes)),
+      rx_count_(static_cast<std::size_t>(nodes), 0),
+      rx_hwm_(static_cast<std::size_t>(nodes), 0),
       deliver_fns_(static_cast<std::size_t>(nodes)),
       // config_ (declared before rng_/payload_pool_) is already moved-into
       // here, so these must read config_, not the moved-from parameter.
@@ -56,6 +59,11 @@ void Fabric::set_deliver(int dst, DeliverFn fn) {
 void Fabric::set_deliver(int dst, DeliverThunk fn, void* ctx) {
   SPLAP_REQUIRE(dst >= 0 && dst < nodes(), "bad node id");
   deliver_[static_cast<std::size_t>(dst)] = DeliverSlot{fn, ctx};
+}
+
+void Fabric::set_overflow(int dst, OverflowThunk fn, void* ctx) {
+  SPLAP_REQUIRE(dst >= 0 && dst < nodes(), "bad node id");
+  overflow_[static_cast<std::size_t>(dst)] = OverflowSlot{fn, ctx};
 }
 
 void Fabric::transmit(Packet&& pkt) {
@@ -208,6 +216,15 @@ void Fabric::transmit(Packet&& pkt) {
       rec);
 }
 
+void Fabric::release_record(InFlight* rec) {
+  rec->pkt.data.reset();
+  rec->pkt.meta.reset();
+#ifdef SPLAP_AUDIT
+  engine_.audit_object_end(rec);
+#endif
+  inflight_pool_.release(rec);
+}
+
 void Fabric::stage_rx(InFlight* rec) {
 #ifdef SPLAP_AUDIT
   // The record is the scheduled event's raw context: if it was recycled out
@@ -216,6 +233,25 @@ void Fabric::stage_rx(InFlight* rec) {
   engine_.audit_object_touch(rec, "Fabric::stage_rx");
 #endif
   const auto dst = static_cast<std::size_t>(rec->pkt.dst);
+  if (config_.rx_queue_depth > 0) {
+    // Bounded adapter RX: a packet occupies a queue slot from arrival until
+    // the drain DMA hands it to the node. A full queue drops the arrival
+    // deterministically — the transport above recovers (NACK/retransmit).
+    if (rx_count_[dst] >= config_.rx_queue_depth) {
+      ++rx_overflows_;
+      ++packets_dropped_;
+      bytes_dropped_ += rec->pkt.wire_bytes();
+      engine_.counters().bump("fabric.rx_overflow");
+      SPLAP_DEBUG(engine_.now(), "fabric: RX overflow at node %d (%d queued)",
+                  rec->pkt.dst, rx_count_[dst]);
+      const OverflowSlot hook = overflow_[dst];
+      if (hook.fn != nullptr) hook.fn(hook.ctx, rec->pkt);
+      release_record(rec);
+      return;
+    }
+    ++rx_count_[dst];
+    rx_hwm_[dst] = std::max(rx_hwm_[dst], rx_count_[dst]);
+  }
   const Time deliver_at =
       std::max(engine_.now(), rx_free_[dst]) + config_.cost.adapter_rx;
   rx_free_[dst] = deliver_at;
@@ -234,6 +270,7 @@ void Fabric::finish_delivery(InFlight* rec) {
   engine_.audit_object_touch(rec, "Fabric::finish_delivery");
 #endif
   const auto dst = static_cast<std::size_t>(rec->pkt.dst);
+  if (config_.rx_queue_depth > 0) --rx_count_[dst];
   const DeliverSlot slot = deliver_[dst];
   SPLAP_REQUIRE(slot.fn != nullptr,
                 "packet for a node with no adapter handler");
@@ -244,14 +281,7 @@ void Fabric::finish_delivery(InFlight* rec) {
   struct Reap {
     Fabric* f;
     InFlight* rec;
-    ~Reap() {
-      rec->pkt.data.reset();
-      rec->pkt.meta.reset();
-#ifdef SPLAP_AUDIT
-      f->engine_.audit_object_end(rec);
-#endif
-      f->inflight_pool_.release(rec);
-    }
+    ~Reap() { f->release_record(rec); }
   } reap{this, rec};
   slot.fn(slot.ctx, std::move(rec->pkt));
 }

@@ -50,6 +50,13 @@ struct FabricConfig {
   /// Extended fault model: bursty/per-N loss, route down/degrade windows,
   /// duplication, payload corruption. Inert unless fault.any().
   FaultConfig fault;
+  /// Adapter RX queue depth per node: packets queued between arrival at the
+  /// adapter and drain-DMA completion. When the queue is full, further
+  /// arrivals are deterministically dropped (counted in rx_overflows and the
+  /// `fabric.rx_overflow` counter, reported to the node's overflow hook so a
+  /// transport can NACK). 0 = unbounded (the default; golden traces
+  /// unchanged).
+  int rx_queue_depth = 0;
 };
 
 class Fabric : public Delivery {
@@ -70,6 +77,14 @@ class Fabric : public Delivery {
   /// Register the receive-side entry point of node `dst` (the adapter).
   void set_deliver(int dst, DeliverFn fn);
   void set_deliver(int dst, DeliverThunk fn, void* ctx);
+
+  /// Overflow notification for node `dst`: invoked (at the drop instant)
+  /// with the packet an RX-overflow discarded, before its buffers return to
+  /// the pools. The fabric knows nothing about what the hook does with it —
+  /// credits/NACKs are transport state above this layer. Only fires when
+  /// rx_queue_depth > 0.
+  using OverflowThunk = void (*)(void* ctx, const Packet& pkt);
+  void set_overflow(int dst, OverflowThunk fn, void* ctx);
 
   /// Mint a packet whose payload buffer comes from this fabric's recycling
   /// pool (returned automatically when the last holder drops it). Senders on
@@ -112,6 +127,18 @@ class Fabric : public Delivery {
   /// Packets whose round-robin route was down and were re-sprayed onto a
   /// surviving route.
   std::int64_t route_failovers() const { return route_failovers_; }
+  /// Packets discarded because a node's bounded adapter RX queue was full
+  /// (also counted in packets_dropped).
+  std::int64_t rx_overflows() const { return rx_overflows_; }
+  /// Peak adapter RX queue occupancy observed at `node` (0 when
+  /// rx_queue_depth is 0: unbounded queues are not tracked).
+  int rx_high_water(int node) const {
+    return rx_hwm_[static_cast<std::size_t>(node)];
+  }
+  /// Current adapter RX queue occupancy at `node`.
+  int rx_occupancy(int node) const {
+    return rx_count_[static_cast<std::size_t>(node)];
+  }
 
   /// Corruption injection armed (protocol layers use this to decide whether
   /// to stamp/verify end-to-end payload checksums).
@@ -143,12 +170,22 @@ class Fabric : public Delivery {
     void* ctx = nullptr;
   };
 
+  struct OverflowSlot {
+    OverflowThunk fn = nullptr;
+    void* ctx = nullptr;
+  };
+
+  void release_record(InFlight* rec);
+
   sim::Engine& engine_;
   FabricConfig config_;
   std::vector<Time> link_free_;  // per-src injection link
   std::vector<Time> rx_free_;    // per-dst drain DMA
   std::vector<int> next_route_;  // per-src round-robin route pointer
   std::vector<DeliverSlot> deliver_;
+  std::vector<OverflowSlot> overflow_;
+  std::vector<int> rx_count_;  // per-dst adapter RX queue occupancy
+  std::vector<int> rx_hwm_;    // per-dst occupancy high-water mark
   // Stable homes for std::function registrations (tests, tools), one slot
   // per node so re-registration replaces rather than accumulates; the hot
   // slot then points at a trampoline that calls through the function.
@@ -169,6 +206,7 @@ class Fabric : public Delivery {
   std::int64_t packets_duplicated_ = 0;
   std::int64_t packets_corrupted_ = 0;
   std::int64_t route_failovers_ = 0;
+  std::int64_t rx_overflows_ = 0;
   // One-entry memo of wire_time(bytes): identical result, no per-packet
   // floating divide for the dominant fixed-size packet stream.
   std::int64_t wire_memo_bytes_ = -1;

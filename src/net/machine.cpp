@@ -21,6 +21,12 @@ Machine::Machine(Config config)
           static_cast<Node*>(node)->adapter().deliver(std::move(pkt));
         },
         nodes_.back().get());
+    fabric_.set_overflow(
+        i,
+        [](void* node, const Packet& pkt) {
+          static_cast<Node*>(node)->adapter().overflow(pkt);
+        },
+        nodes_.back().get());
   }
 }
 

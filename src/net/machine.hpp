@@ -36,6 +36,21 @@ class Adapter {
 
   void unregister_client(Client client) {
     handlers_[static_cast<std::size_t>(client)] = nullptr;
+    overflow_handlers_[static_cast<std::size_t>(client)] = nullptr;
+  }
+
+  /// Optional per-client RX-overflow notification: invoked with each packet
+  /// the bounded adapter RX queue discarded for `client` (the packet is
+  /// about to be destroyed — inspect, don't keep). Lets a transport NACK
+  /// the origin instead of waiting out its retransmission timeout.
+  using OverflowHandler = std::function<void(const Packet&)>;
+  void register_overflow(Client client, OverflowHandler handler) {
+    overflow_handlers_[static_cast<std::size_t>(client)] = std::move(handler);
+  }
+
+  void overflow(const Packet& pkt) {
+    auto& h = overflow_handlers_[static_cast<std::size_t>(pkt.client)];
+    if (h != nullptr) h(pkt);
   }
 
   void deliver(Packet&& pkt) {
@@ -56,6 +71,8 @@ class Adapter {
  private:
   std::array<ClientHandler, static_cast<std::size_t>(Client::kCount)>
       handlers_{};
+  std::array<OverflowHandler, static_cast<std::size_t>(Client::kCount)>
+      overflow_handlers_{};
   std::int64_t dead_letters_ = 0;
 };
 

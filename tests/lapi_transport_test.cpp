@@ -15,6 +15,7 @@
 // the transport layers (and their tests) from seeing the facade.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -208,7 +209,20 @@ class FakeWire final : public net::Delivery {
   int drop_first_n_data = 0;
   int corrupt_first_n_data = 0;
   bool duplicate_data = false;
+  bool drop_credits = false;       // standalone kCredit updates never arrive
+  bool duplicate_credits = false;  // every kCredit delivered twice
+  bool drop_cancels = false;       // the best-effort kCancel is lost
   Time header_extra_latency = 0;
+  Time latency = microseconds(1);
+
+  /// Bounded-RX emulation: when rx_depth > 0 and the destination is in
+  /// overflow_to, at most rx_depth packets may be in flight toward it; the
+  /// excess is dropped and reported to that endpoint's assembly engine,
+  /// exactly as the adapter's overflow hook would.
+  int rx_depth = 0;
+  std::map<int, AssemblyEngine*> overflow_to;
+  int rx_overflows = 0;
+  int rx_high_water = 0;
 
   net::Packet make_packet() override { return net::Packet{}; }
   Time link_free(int /*src*/) const override { return eng_.now(); }
@@ -220,12 +234,17 @@ class FakeWire final : public net::Delivery {
       --drop_first_n_data;
       return;  // swallowed by the wire; the origin's timer recovers it
     }
+    if (m.kind == PktKind::kCredit && drop_credits) return;
+    if (m.kind == PktKind::kCancel && drop_cancels) return;
     if (is_data && corrupt_first_n_data > 0 && !pkt.data.empty()) {
       --corrupt_first_n_data;
       pkt.data.data()[0] ^= std::byte{0x40};
     }
-    if (is_data && duplicate_data) deliver(clone(pkt), kLatency);
-    Time lat = kLatency;
+    if (is_data && duplicate_data) deliver(clone(pkt), latency);
+    if (m.kind == PktKind::kCredit && duplicate_credits) {
+      deliver(clone(pkt), latency);
+    }
+    Time lat = latency;
     if (m.kind == PktKind::kPutHdr || m.kind == PktKind::kAmHdr) {
       lat += header_extra_latency;
     }
@@ -233,7 +252,6 @@ class FakeWire final : public net::Delivery {
   }
 
  private:
-  static constexpr Time kLatency = microseconds(1);
 
   static net::Packet clone(const net::Packet& pkt) {
     net::Packet c;
@@ -247,14 +265,28 @@ class FakeWire final : public net::Delivery {
   }
 
   void deliver(net::Packet&& pkt, Time lat) {
+    auto of = overflow_to.find(pkt.dst);
+    const bool bounded = rx_depth > 0 && of != overflow_to.end();
+    if (bounded) {
+      int& occ = rx_occ_[pkt.dst];
+      if (occ >= rx_depth) {
+        ++rx_overflows;
+        of->second->on_overflow(pkt);
+        return;
+      }
+      ++occ;
+      rx_high_water = std::max(rx_high_water, occ);
+    }
     auto sp = std::make_shared<net::Packet>(std::move(pkt));
-    eng_.schedule_after(lat, [this, sp] {
+    eng_.schedule_after(lat, [this, sp, bounded] {
+      if (bounded) --rx_occ_[sp->dst];
       eps_.at(sp->dst)->on_delivery(std::move(*sp));
     });
   }
 
   sim::Engine& eng_;
   std::map<int, ProgressEngine*> eps_;
+  std::map<int, int> rx_occ_;  // per-destination in-flight (bounded RX)
 };
 
 /// One task's transport stack without the Context facade: the Sink demux and
@@ -266,18 +298,21 @@ class Endpoint final : public ProgressEngine::Sink, public AssemblyEngine::Env {
            const Config& cfg, bool checksums)
       : progress_(eng, cm, *this, /*interrupt_mode=*/true),
         send_(wire, progress_, id, cfg, checksums),
-        assembly_(wire, progress_, *this, id, checksums) {
+        assembly_(wire, progress_, *this, id, cfg, checksums) {
     wire.connect(id, &progress_);
   }
 
   ProgressEngine& progress() { return progress_; }
   SendEngine& send() { return send_; }
+  AssemblyEngine& assembly() { return assembly_; }
 
  private:
   Time process_packet(net::Packet& pkt) override {
     const WireMeta& m = pkt.meta_as<WireMeta>();
     if (m.kind == PktKind::kAck) return send_.on_ack(pkt);
     if (m.kind == PktKind::kRmwResp) return send_.on_rmw_resp(pkt);
+    if (m.kind == PktKind::kNack) return send_.on_nack(pkt);
+    if (m.kind == PktKind::kCredit) return send_.on_credit(pkt);
     return assembly_.process(pkt);
   }
   AmReply run_handler(AmHandlerId /*id*/, const AmDelivery& /*d*/) override {
@@ -423,6 +458,160 @@ TEST(TransportStackTest, ExhaustedRetriesFailTheSendCleanly) {
   // The record is fully reclaimed: no leak, no outstanding bookkeeping.
   EXPECT_EQ(f.origin->send().pending_sends(), 0u);
   EXPECT_EQ(f.origin->send().outstanding_data(), 0);
+}
+
+// ===========================================================================
+// Flow control: credit windows, NACK fast retransmit, partial-table caps
+// ===========================================================================
+
+// kLen = 5000 packs into 6 wire packets (header chunk + 5 data fragments), so
+// any window below 6 exercises the oversize rule and subsequent queueing.
+constexpr std::int64_t kLenPkts = 6;
+
+TEST(TransportFlowControlTest, CreditExhaustionQueuesThenDelivers) {
+  StackFixture f;
+  f.cfg.credit_window = 2;  // < kLenPkts: first send uses the oversize rule
+  f.build();
+  auto src1 = StackFixture::pattern(kLen);
+  auto src2 = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst1(static_cast<std::size_t>(kLen));
+  std::vector<std::byte> dst2(static_cast<std::size_t>(kLen));
+  f.put(src1, dst1.data());
+  f.put(src2, dst2.data());  // must park until the first lease returns
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  f.expect_delivered(*src1, dst1);
+  f.expect_delivered(*src2, dst2);
+  EXPECT_EQ(f.eng.counters().get("lapi.credit_queued"), 1);
+  // Credit conservation: every lease returned, the pool is whole again.
+  EXPECT_EQ(f.origin->send().credits_available(1), 2);
+}
+
+TEST(TransportFlowControlTest, DuplicatedCreditUpdatesNeverOverRelease) {
+  StackFixture f;
+  f.cfg.credit_window = 8;
+  f.cfg.credit_update_interval = 1;  // a kCredit per freshly ingested packet
+  f.build();
+  f.wire.duplicate_credits = true;
+  auto src = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst(static_cast<std::size_t>(kLen));
+  f.put(src, dst.data());
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  f.expect_delivered(*src, dst);
+  EXPECT_GT(f.eng.counters().get("lapi.credit_updates"), 0);
+  // Cumulative grants are idempotent: doubling every update must not mint
+  // credits (the pool ends exactly at its window, never above).
+  EXPECT_EQ(f.origin->send().credits_available(1), 8);
+}
+
+TEST(TransportFlowControlTest, LostCreditUpdatesHealViaAcks) {
+  StackFixture f;
+  f.cfg.credit_window = 2;
+  f.cfg.credit_update_interval = 1;
+  f.build();
+  f.wire.drop_credits = true;  // the wire eats every standalone update
+  auto src1 = StackFixture::pattern(kLen);
+  auto src2 = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst1(static_cast<std::size_t>(kLen));
+  std::vector<std::byte> dst2(static_cast<std::size_t>(kLen));
+  f.put(src1, dst1.data());
+  f.put(src2, dst2.data());
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  // No deadlock: the completion ack piggybacks the cumulative grant, and
+  // record reclamation releases the remainder of the lease regardless.
+  f.expect_delivered(*src1, dst1);
+  f.expect_delivered(*src2, dst2);
+  EXPECT_EQ(f.origin->send().credits_available(1), 2);
+}
+
+TEST(TransportFlowControlTest, NackRecoveryBeatsTheRto) {
+  StackFixture f;
+  f.cfg.retransmit_timeout = milliseconds(50.0);  // RTO far beyond the run
+  f.cfg.credit_window = 64;          // grants flow, resetting the fast-rtx
+  f.cfg.credit_update_interval = 1;  // guard each recovery round
+  f.build();
+  f.wire.latency = microseconds(20);  // packets pile up in flight
+  f.wire.rx_depth = 2;
+  f.wire.overflow_to[1] = &f.target->assembly();
+  auto src = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst(static_cast<std::size_t>(kLen));
+  f.put(src, dst.data());
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  f.expect_delivered(*src, dst);
+  EXPECT_GT(f.wire.rx_overflows, 0);
+  EXPECT_GT(f.eng.counters().get("lapi.nack_sent"), 0);
+  EXPECT_GT(f.eng.counters().get("lapi.nack_fast_rtx"), 0);
+  // The whole recovery ran on NACKs: the 50 ms timer never had to fire.
+  EXPECT_EQ(f.eng.counters().get("lapi.retransmits"), 0);
+  // NACK suppression held: never more than one NACK per recovery round.
+  EXPECT_LE(f.eng.counters().get("lapi.nack_sent"),
+            f.eng.counters().get("lapi.nack_fast_rtx") + 1);
+}
+
+TEST(TransportFlowControlTest, GiveUpCancelsThePartialAtTheTarget) {
+  StackFixture f;
+  f.cfg.max_retries = 2;
+  f.build();
+  f.wire.drop_first_n_data = 1 << 20;  // header lands, data never does
+  auto src = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst(static_cast<std::size_t>(kLen));
+  f.put(src, dst.data());
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  EXPECT_EQ(f.eng.counters().get("lapi.failed_ops"), 1);
+  // The best-effort kCancel reclaimed the orphaned partial immediately.
+  EXPECT_EQ(f.eng.counters().get("lapi.partials_reclaimed"), 1);
+  EXPECT_EQ(f.target->assembly().live_partials(), 0u);
+  EXPECT_EQ(f.origin->send().pending_sends(), 0u);
+}
+
+TEST(TransportFlowControlTest, TtlSweepReclaimsWhenTheCancelIsLost) {
+  StackFixture f;
+  f.cfg.max_retries = 2;
+  f.cfg.partial_ttl = milliseconds(1.0);
+  f.build();
+  // The first message's data never arrives: 5 fragments per transmission ×
+  // (initial + 2 retries) = 15 drops cover its whole retry budget.
+  f.wire.drop_first_n_data = 15;
+  f.wire.drop_cancels = true;     // and neither does its cancel
+  auto src1 = StackFixture::pattern(kLen);
+  auto src2 = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst1(static_cast<std::size_t>(kLen));
+  std::vector<std::byte> dst2(static_cast<std::size_t>(kLen));
+  f.put(src1, dst1.data());  // its data never lands
+  // A second message long after the first gave up: admitting its partial
+  // runs the TTL sweep, which reaps the stale orphan.
+  f.eng.schedule_at(milliseconds(20.0), [&f, src2, &dst2] {
+    auto hdr = std::make_shared<WireMeta>();
+    hdr->tgt_addr = dst2.data();
+    hdr->total_len = static_cast<std::int64_t>(src2->size());
+    f.origin->send().submit(PktKind::kPutHdr, 1, hdr, src2, 0);
+  });
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  ASSERT_EQ(src2->size(), dst2.size());
+  EXPECT_EQ(std::memcmp(src2->data(), dst2.data(), dst2.size()), 0);
+  EXPECT_EQ(f.eng.counters().get("lapi.failed_ops"), 1);
+  EXPECT_EQ(f.eng.counters().get("lapi.partials_reclaimed"), 1);
+  EXPECT_EQ(f.target->assembly().live_partials(), 0u);
+}
+
+TEST(TransportFlowControlTest, MaxPartialsCapShedsAndRecovers) {
+  StackFixture f;
+  f.cfg.max_partials = 1;
+  f.build();
+  f.wire.drop_first_n_data = 1;  // keep the first message incomplete a while
+  auto src1 = StackFixture::pattern(kLen);
+  auto src2 = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst1(static_cast<std::size_t>(kLen));
+  std::vector<std::byte> dst2(static_cast<std::size_t>(kLen));
+  f.put(src1, dst1.data());
+  f.put(src2, dst2.data());  // its packets arrive over the partial cap
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  // Graceful degradation: the overloaded table shed, nothing failed, and the
+  // shed message was delivered once the table drained.
+  f.expect_delivered(*src1, dst1);
+  f.expect_delivered(*src2, dst2);
+  EXPECT_GT(f.eng.counters().get("lapi.partials_shed"), 0);
+  EXPECT_EQ(f.eng.counters().get("lapi.failed_ops"), 0);
+  EXPECT_EQ(f.target->assembly().live_partials(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,416 @@
+// Overload chaos: the end-to-end flow-control machinery driven past its
+// configured limits on a real net::Machine, across multiple fabric seeds.
+//
+// Three LAPI scenarios and one MPL scenario:
+//   - incast: 8 senders burst multi-packet puts at one receiver whose
+//     adapter RX queue is bounded; loss and duplication are injected on top.
+//     Exactly-once delivery, peak RX occupancy <= the configured depth, and
+//     no credit deadlock are the assertions.
+//   - slow receiver: expensive AM header handlers plus a small reassembly
+//     partial-table cap; the table sheds (graceful degradation) and every
+//     message is still delivered exactly once.
+//   - credit loss: a put workload under uniform loss + duplication that eats
+//     credit-update packets too; cumulative grants and reclamation-time
+//     release must heal the pool (termination, no deadlock, pool whole).
+//   - MPL unexpected-queue cap: a never-receiving rank sheds eager overflow,
+//     latches kResourceExhausted, and still delivers the queued messages
+//     when a receive finally posts.
+//
+// Runs are deterministic per seed; under SPLAP_AUDIT the credit ledger and
+// send-record ledgers abort on any leaked or double-released record.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lapi_test_util.hpp"
+#include "mpl/comm.hpp"
+#include "net/fault.hpp"
+
+namespace splap {
+namespace {
+
+using lapi::testing::as_bytes_of;
+
+const std::uint64_t kSeeds[] = {3, 7, 19, 42, 101};
+
+std::string seed_name(const ::testing::TestParamInfo<std::uint64_t>& info) {
+  return "seed" + std::to_string(info.param);
+}
+
+lapi::Config overload_lapi_config() {
+  lapi::Config c;
+  c.retransmit_timeout = microseconds(300);
+  c.max_retries = 30;
+  c.adaptive_timeout = true;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Incast: N senders, one bounded receiver, loss + duplication on the wire.
+// ---------------------------------------------------------------------------
+
+class OverloadIncastTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+struct IncastStats {
+  int high_water = -1;
+  std::int64_t rx_overflows = -1;
+  std::int64_t nack_sent = -1;
+  std::int64_t failed_ops = -1;
+};
+
+void run_incast(std::uint64_t seed, int rx_depth, Time adapter_rx,
+                IncastStats* out) {
+  constexpr int kTasks = 9;  // 8 senders -> task 0
+  constexpr int kRounds = 2;
+  constexpr std::int64_t kLen = 5000;  // 6 wire packets per message
+
+  net::Machine::Config mcfg;
+  mcfg.tasks = kTasks;
+  mcfg.fabric.rx_queue_depth = rx_depth;
+  if (adapter_rx > 0) mcfg.fabric.cost.adapter_rx = adapter_rx;
+  mcfg.fabric.fault.loss = net::LossModel::kUniform;
+  mcfg.fabric.fault.loss_rate = 0.05;
+  mcfg.fabric.fault.duplicate_rate = 0.08;
+  mcfg.fabric.fault.seed = seed;
+  mcfg.fabric.seed = seed * 7 + 1;
+  net::Machine m(mcfg);
+
+  lapi::Config lcfg = overload_lapi_config();
+  lcfg.credit_window = 4;
+  lcfg.credit_update_interval = 2;
+
+  auto pattern = [](int writer, std::int64_t i) {
+    return static_cast<std::byte>((writer * 131 + i) % 251);
+  };
+
+  // Task 0's landing area: one region per sender.
+  std::vector<std::byte> land(static_cast<std::size_t>((kTasks - 1) * kLen));
+  std::array<lapi::Counter, kTasks> tgt_cntr;
+  std::array<std::size_t, kTasks> pending_after{};
+
+  ASSERT_EQ(m.run_spmd([&](net::Node& n) {
+    lapi::Context ctx(n, lcfg);
+    const int me = ctx.task_id();
+    ctx.gfence();
+    if (me != 0) {
+      std::vector<std::byte> src(static_cast<std::size_t>(kLen));
+      for (std::int64_t i = 0; i < kLen; ++i) {
+        src[static_cast<std::size_t>(i)] = pattern(me, i);
+      }
+      std::byte* region = land.data() + (me - 1) * kLen;
+      for (int round = 0; round < kRounds; ++round) {
+        lapi::Counter cmpl;
+        ASSERT_EQ(ctx.put(0, src, region,
+                          &tgt_cntr[static_cast<std::size_t>(me)], nullptr,
+                          &cmpl),
+                  Status::kOk);
+        EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
+      }
+    }
+    ctx.fence();
+    pending_after[static_cast<std::size_t>(me)] = ctx.pending_sends();
+    ctx.gfence();
+    if (me == 0) {
+      EXPECT_EQ(ctx.partials(), 0u);  // nothing half-assembled at the end
+    }
+    // Grace window: stragglers land on a live dispatcher, not dead letters.
+    ctx.node().task().compute(milliseconds(3.0));
+  }), Status::kOk);
+
+  // Exactly-once, byte-exact: each sender's region holds its pattern and its
+  // target counter fired once per round.
+  for (int s = 1; s < kTasks; ++s) {
+    for (std::int64_t i = 0; i < kLen; ++i) {
+      ASSERT_EQ(land[static_cast<std::size_t>((s - 1) * kLen + i)],
+                pattern(s, i))
+          << "sender " << s << " offset " << i;
+    }
+  }
+  for (int t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(pending_after[static_cast<std::size_t>(t)], 0u) << "task " << t;
+    EXPECT_EQ(m.node(t).adapter().dead_letters(), 0) << "task " << t;
+  }
+  out->high_water = m.fabric().rx_high_water(0);
+  out->rx_overflows = m.fabric().rx_overflows();
+  out->nack_sent = m.engine().counters().get("lapi.nack_sent");
+  out->failed_ops = m.engine().counters().get("lapi.failed_ops");
+}
+
+TEST_P(OverloadIncastTest, BoundedRxDeliversExactlyOnce) {
+  const std::uint64_t seed = GetParam();
+
+  // The acceptance configuration: depth 16 absorbs the 8-sender waves (the
+  // destination's drain DMA outruns the per-source links), so the bound holds
+  // without engaging. Occupancy must still stay within it.
+  IncastStats deep;
+  ASSERT_NO_FATAL_FAILURE(
+      run_incast(seed, /*rx_depth=*/16, /*adapter_rx=*/0, &deep));
+  EXPECT_LE(deep.high_water, 16);
+  EXPECT_GT(deep.high_water, 0);
+  EXPECT_EQ(deep.failed_ops, 0);
+
+  // A receiver whose drain DMA (5us/packet) is slower than the aggregate
+  // 8-sender arrival rate, with a tighter queue: it must fill and overflow,
+  // the overflow must NACK, and delivery must still be exactly-once (the
+  // byte checks inside run_incast).
+  IncastStats tight;
+  ASSERT_NO_FATAL_FAILURE(
+      run_incast(seed, /*rx_depth=*/10, /*adapter_rx=*/microseconds(5),
+                 &tight));
+  EXPECT_LE(tight.high_water, 10);
+  EXPECT_GT(tight.rx_overflows, 0);
+  EXPECT_GT(tight.nack_sent, 0);
+  EXPECT_EQ(tight.failed_ops, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Incast, OverloadIncastTest,
+                         ::testing::ValuesIn(kSeeds), seed_name);
+
+// ---------------------------------------------------------------------------
+// Slow receiver: expensive AM handlers + a small partial-table cap.
+// ---------------------------------------------------------------------------
+
+class OverloadSlowReceiverTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OverloadSlowReceiverTest, PartialCapShedsButDeliversAll) {
+  const std::uint64_t seed = GetParam();
+  constexpr int kTasks = 5;  // 4 senders -> task 0
+  constexpr int kBurst = 4;  // concurrent AMs per sender
+  constexpr std::int64_t kAmLen = 3000;  // 4 wire packets per message
+
+  net::Machine::Config mcfg;
+  mcfg.tasks = kTasks;
+  mcfg.fabric.seed = seed * 7 + 1;
+  net::Machine m(mcfg);
+
+  lapi::Config lcfg = overload_lapi_config();
+  lcfg.max_partials = 2;  // far below the 16-message burst
+
+  std::vector<std::byte> land(
+      static_cast<std::size_t>((kTasks - 1) * kBurst * kAmLen));
+  std::array<int, kTasks> completions{};
+
+  ASSERT_EQ(m.run_spmd([&](net::Node& n) {
+    lapi::Context ctx(n, lcfg);
+    const int me = ctx.task_id();
+    const lapi::AmHandlerId h = ctx.register_handler(
+        [&](lapi::Context&, const lapi::AmDelivery& d) -> lapi::AmReply {
+          // The sender stamps (sender, slot) into the user header.
+          EXPECT_EQ(d.uhdr.size(), 2 * sizeof(std::int64_t));
+          std::int64_t hdr[2];
+          std::memcpy(hdr, d.uhdr.data(), sizeof(hdr));
+          lapi::AmReply r;
+          r.buffer = land.data() +
+                     ((hdr[0] - 1) * kBurst + hdr[1]) * kAmLen;
+          r.completion = [&](lapi::Context& cc, sim::Actor& svc) {
+            ++completions[static_cast<std::size_t>(cc.task_id())];
+            svc.compute(microseconds(1));
+          };
+          r.header_cost = microseconds(30);  // the "slow receiver"
+          return r;
+        });
+    ctx.gfence();
+    if (me != 0) {
+      std::vector<std::byte> src(static_cast<std::size_t>(kAmLen));
+      for (std::int64_t i = 0; i < kAmLen; ++i) {
+        src[static_cast<std::size_t>(i)] =
+            static_cast<std::byte>((me * 131 + i) % 251);
+      }
+      std::vector<lapi::Counter> cmpl(kBurst);
+      for (int b = 0; b < kBurst; ++b) {
+        std::int64_t hdr[2] = {me, b};
+        ASSERT_EQ(ctx.amsend(0, h, as_bytes_of(hdr, sizeof(hdr)), src,
+                             nullptr, nullptr,
+                             &cmpl[static_cast<std::size_t>(b)]),
+                  Status::kOk);
+      }
+      for (int b = 0; b < kBurst; ++b) {
+        EXPECT_EQ(ctx.waitcntr(cmpl[static_cast<std::size_t>(b)], 1),
+                  Status::kOk);
+      }
+    }
+    ctx.fence();
+    ctx.gfence();
+    ctx.node().task().compute(milliseconds(3.0));
+  }), Status::kOk);
+
+  // Every burst message delivered byte-exact exactly once, despite the
+  // partial table shedding under the concurrent load.
+  for (int s = 1; s < kTasks; ++s) {
+    for (int b = 0; b < kBurst; ++b) {
+      for (std::int64_t i = 0; i < kAmLen; ++i) {
+        ASSERT_EQ(land[static_cast<std::size_t>(
+                      ((s - 1) * kBurst + b) * kAmLen + i)],
+                  static_cast<std::byte>((s * 131 + i) % 251))
+            << "sender " << s << " burst " << b << " offset " << i;
+      }
+    }
+  }
+  EXPECT_EQ(completions[0], (kTasks - 1) * kBurst);
+  EXPECT_GT(m.engine().counters().get("lapi.partials_shed"), 0);
+  EXPECT_EQ(m.engine().counters().get("lapi.failed_ops"), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SlowReceiver, OverloadSlowReceiverTest,
+                         ::testing::ValuesIn(kSeeds), seed_name);
+
+// ---------------------------------------------------------------------------
+// Credit loss: the pool must heal through cumulative grants + reclamation.
+// ---------------------------------------------------------------------------
+
+class OverloadCreditLossTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(OverloadCreditLossTest, LostAndDuplicatedCreditsNeverDeadlock) {
+  const std::uint64_t seed = GetParam();
+  constexpr int kTasks = 4;
+  constexpr int kRounds = 3;
+  constexpr std::int64_t kLen = 5000;  // 6 packets, window 2: oversize rule
+
+  net::Machine::Config mcfg;
+  mcfg.tasks = kTasks;
+  mcfg.fabric.fault.loss = net::LossModel::kUniform;
+  mcfg.fabric.fault.loss_rate = 0.15;  // eats credits and NACKs too
+  mcfg.fabric.fault.duplicate_rate = 0.10;
+  mcfg.fabric.fault.seed = seed;
+  mcfg.fabric.seed = seed * 7 + 1;
+  net::Machine m(mcfg);
+
+  lapi::Config lcfg = overload_lapi_config();
+  lcfg.credit_window = 2;
+  lcfg.credit_update_interval = 1;
+
+  auto pattern = [](int writer, std::int64_t i) {
+    return static_cast<std::byte>((writer * 131 + i) % 251);
+  };
+
+  // Two regions per task: each task receives two concurrent puts per round
+  // from its ring predecessor (the second send must park on credits).
+  std::array<std::vector<std::byte>, 2 * kTasks> cell;
+  for (auto& c : cell) c.resize(static_cast<std::size_t>(kLen));
+  std::array<std::size_t, kTasks> pending_after{};
+  std::array<std::int64_t, kTasks> credits_after{};
+
+  ASSERT_EQ(m.run_spmd([&](net::Node& n) {
+    lapi::Context ctx(n, lcfg);
+    const int me = ctx.task_id();
+    const int to = (me + 1) % kTasks;
+    ctx.gfence();
+    std::vector<std::byte> src(static_cast<std::size_t>(kLen));
+    for (std::int64_t i = 0; i < kLen; ++i) {
+      src[static_cast<std::size_t>(i)] = pattern(me, i);
+    }
+    for (int round = 0; round < kRounds; ++round) {
+      lapi::Counter c0, c1;
+      ASSERT_EQ(ctx.put(to, src, cell[static_cast<std::size_t>(2 * to)].data(),
+                        nullptr, nullptr, &c0),
+                Status::kOk);
+      ASSERT_EQ(ctx.put(to, src,
+                        cell[static_cast<std::size_t>(2 * to + 1)].data(),
+                        nullptr, nullptr, &c1),
+                Status::kOk);
+      EXPECT_EQ(ctx.waitcntr(c0, 1), Status::kOk);
+      EXPECT_EQ(ctx.waitcntr(c1, 1), Status::kOk);
+    }
+    ctx.fence();
+    pending_after[static_cast<std::size_t>(me)] = ctx.pending_sends();
+    credits_after[static_cast<std::size_t>(me)] = ctx.credits_available(to);
+    ctx.gfence();
+    ctx.node().task().compute(milliseconds(3.0));
+  }), Status::kOk);
+
+  for (int t = 0; t < kTasks; ++t) {
+    const int writer = (t + kTasks - 1) % kTasks;
+    for (int r = 0; r < 2; ++r) {
+      for (std::int64_t i = 0; i < kLen; ++i) {
+        ASSERT_EQ(cell[static_cast<std::size_t>(2 * t + r)]
+                      [static_cast<std::size_t>(i)],
+                  pattern(writer, i))
+            << "task " << t << " region " << r << " offset " << i;
+      }
+    }
+    EXPECT_EQ(pending_after[static_cast<std::size_t>(t)], 0u) << "task " << t;
+    // Credit conservation: every lease came home despite the lossy wire.
+    EXPECT_EQ(credits_after[static_cast<std::size_t>(t)], 2) << "task " << t;
+    EXPECT_EQ(m.node(t).adapter().dead_letters(), 0) << "task " << t;
+  }
+  EXPECT_GT(m.engine().counters().get("lapi.credit_updates"), 0);
+  EXPECT_GT(m.fabric().packets_dropped(), 0);
+  EXPECT_EQ(m.engine().counters().get("lapi.failed_ops"), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(CreditLoss, OverloadCreditLossTest,
+                         ::testing::ValuesIn(kSeeds), seed_name);
+
+// ---------------------------------------------------------------------------
+// MPL: the unexpected-queue cap against a never-receiving rank.
+// ---------------------------------------------------------------------------
+
+TEST(MplUnexpectedCapTest, ShedsOverflowLatchesStatusAndStillDelivers) {
+  constexpr int kMsgs = 10;
+  constexpr int kCap = 3;
+  constexpr std::int64_t kLen = 512;  // eager
+  constexpr int kTag = 5;
+
+  net::Machine::Config mcfg;
+  mcfg.tasks = 2;
+  net::Machine m(mcfg);
+  mpl::Config cfg;
+  cfg.max_unexpected = kCap;
+  cfg.retransmit_timeout = microseconds(500);
+  cfg.max_retries = 3;
+
+  std::array<Status, 2> status{Status::kUnknown, Status::kUnknown};
+  std::array<std::vector<std::byte>, kCap> got;
+
+  ASSERT_EQ(m.run_spmd([&](net::Node& n) {
+    mpl::Comm comm(n, cfg);
+    if (comm.rank() == 1) {
+      std::vector<std::byte> src(static_cast<std::size_t>(kLen));
+      for (int k = 0; k < kMsgs; ++k) {
+        for (std::int64_t i = 0; i < kLen; ++i) {
+          src[static_cast<std::size_t>(i)] =
+              static_cast<std::byte>((k * 131 + i) % 251);
+        }
+        ASSERT_EQ(comm.send(0, kTag, src), Status::kOk);
+      }
+      // Outlive the shed messages' retry budgets before tearing down.
+      n.task().compute(milliseconds(30.0));
+    } else {
+      // Never receives while the flood arrives; the queue must cap at kCap
+      // and shed the rest. Virtual-time delay stands in for "busy rank"
+      // (a barrier would itself need the unexpected queue).
+      n.task().compute(milliseconds(30.0));
+      // The queued (non-shed) messages are still deliverable, in order.
+      for (int k = 0; k < kCap; ++k) {
+        std::vector<std::byte> buf(static_cast<std::size_t>(kLen));
+        mpl::RecvStatus st;
+        ASSERT_EQ(comm.recv(1, kTag, buf, &st), Status::kOk);
+        EXPECT_EQ(st.len, kLen);
+        got[static_cast<std::size_t>(k)] = std::move(buf);
+      }
+    }
+    status[static_cast<std::size_t>(comm.rank())] = comm.comm_status();
+    comm.barrier();
+  }), Status::kOk);
+
+  // The first kCap messages queued and delivered byte-exact, in order.
+  for (int k = 0; k < kCap; ++k) {
+    for (std::int64_t i = 0; i < kLen; ++i) {
+      ASSERT_EQ(got[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)],
+                static_cast<std::byte>((k * 131 + i) % 251))
+          << "msg " << k << " offset " << i;
+    }
+  }
+  EXPECT_EQ(m.engine().counters().get("mpl.unexpected_shed"), kMsgs - kCap);
+  // Both sides learned: the receiver shed, the sender exhausted retries.
+  EXPECT_EQ(status[0], Status::kResourceExhausted);
+  EXPECT_EQ(status[1], Status::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace splap
