@@ -12,9 +12,14 @@
 #   overload   the flow-control overload harness (bounded-RX incast,
 #              partial-table sheds, credit loss, the MPL unexpected cap)
 #              under both ASan+UBSan and SPLAP_AUDIT
+#   scale      the engine scale-out harness (tests labelled `scale`): the
+#              1024-node smoke and the serial-vs-SPLAP_EXEC_THREADS=4
+#              determinism comparisons, run optimized, under ASan+UBSan, and
+#              under SPLAP_AUDIT with the worker lanes forced on
 #   tsan       ThreadSanitizer over the genuinely-concurrent code: the actor
-#              park/unpark handoff (sim_engine_test) and the parallel sweep
-#              driver (bench_fig2_bandwidth with SPLAP_SWEEP_THREADS=4)
+#              park/unpark handoff (sim_engine_test), the parallel sweep
+#              driver (bench_fig2_bandwidth with SPLAP_SWEEP_THREADS=4), and
+#              the worker-lane determinism tests (scale_test)
 #   audit      SPLAP_AUDIT build + full ctest: shadow-state lifecycle and
 #              virtual-time race auditing across every suite, chaos included
 #
@@ -90,12 +95,39 @@ if want overload; then
   ctest --test-dir build-audit -L overload --no-tests=error --output-on-failure
 fi
 
+if want scale; then
+  # The engine scale-out machinery end to end: the 1024-node smoke and the
+  # serial-vs-parallel determinism comparisons run optimized, then under
+  # ASan+UBSan, then under the SPLAP_AUDIT race/lifecycle auditor with the
+  # worker lanes forced on for every suite that tolerates it (the audit
+  # tracker serializes its own bookkeeping, so lane races surface as
+  # ordering violations rather than silent corruption).
+  echo "== scale harness (optimized) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$(nproc)"
+  ctest --test-dir build -L scale --no-tests=error --output-on-failure
+  echo "== scale harness (ASan+UBSan) =="
+  cmake -B build-asan -S . -DSPLAP_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  cmake --build build-asan -j"$(nproc)"
+  ctest --test-dir build-asan -L scale --no-tests=error --output-on-failure
+  echo "== scale harness (SPLAP_AUDIT, SPLAP_EXEC_THREADS=4) =="
+  cmake -B build-audit -S . -DSPLAP_AUDIT=ON >/dev/null
+  cmake --build build-audit -j"$(nproc)"
+  ctest --test-dir build-audit -L scale --no-tests=error --output-on-failure
+  SPLAP_EXEC_THREADS=4 ./build-audit/tests/scale_test \
+    --gtest_filter='*FabricBurst*:*LapiRing*'
+fi
+
 if want tsan; then
   echo "== thread-sanitized build (TSan) =="
   cmake -B build-tsan -S . -DSPLAP_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug >/dev/null
-  cmake --build build-tsan -j"$(nproc)" --target sim_engine_test bench_fig2_bandwidth
+  cmake --build build-tsan -j"$(nproc)" --target sim_engine_test bench_fig2_bandwidth scale_test
   ./build-tsan/tests/sim_engine_test
   SPLAP_SWEEP_THREADS=4 ./build-tsan/bench/bench_fig2_bandwidth
+  # The lookahead-parallel lanes under TSan: the determinism tests run the
+  # same workload serial and with SPLAP_EXEC_THREADS=4, so any unsynchronized
+  # cross-lane access in the engine, fabric or LAPI stack reports here.
+  ./build-tsan/tests/scale_test --gtest_filter='*FabricBurst*:*LapiRing*'
 fi
 
 if want audit; then

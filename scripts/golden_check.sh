@@ -12,6 +12,13 @@
 #   engine perf  BENCH_engine.json carries wall-clock timings that legitimately
 #                vary run to run, so the guard pins its schema and benchmark
 #                name set, not its bytes
+#   scale        BENCH_scale.json likewise: schema + run-name set pinned, plus
+#                the one number that is a hard claim rather than a timing —
+#                the 1024-node stackless-vs-threaded speedup floor (>= 10x).
+#                The floor is skipped in sanitized/audit builds: instrumentation
+#                taxes the inline stackless path far more than the
+#                thread-creation-bound baseline, so the ratio only means
+#                something on an optimized build.
 #
 # Usage: scripts/golden_check.sh <build-dir>
 # Re-baselining (only after an intentional behavior change): re-run the three
@@ -44,5 +51,28 @@ for name in BM_EngineEventThroughput BM_ActorHandoff BM_FabricPacketRate \
   grep -q "\"$name" "$TMP/BENCH_engine.json" \
     || { echo "missing benchmark $name in BENCH_engine.json"; exit 1; }
 done
+
+echo "-- scale schema"
+"$BUILD_DIR"/bench/bench_scale --json_out="$TMP/BENCH_scale.json" > /dev/null
+grep -q '"schema": "splap-scale-v1"' "$TMP/BENCH_scale.json"
+for name in threaded_64 stackless_64 threaded_256 stackless_256 \
+            threaded_1024 stackless_1024 stackless_exec4_1024; do
+  grep -q "\"name\": \"$name\"" "$TMP/BENCH_scale.json" \
+    || { echo "missing run $name in BENCH_scale.json"; exit 1; }
+done
+# The PR's headline claim, re-proven on every run: at 1024 nodes the
+# stackless driver moves packets at >= 10x the thread-per-actor rate.
+# Sanitizer/audit instrumentation slows the inline stackless path far more
+# than the thread-creation-bound baseline, so the ratio is only meaningful
+# (and only enforced) on an uninstrumented build.
+if grep -qE 'SPLAP_SANITIZE:[A-Z]+=(ON|thread)|SPLAP_AUDIT:[A-Z]+=ON' \
+    "$BUILD_DIR/CMakeCache.txt" 2>/dev/null; then
+  echo "   (instrumented build: schema+names pinned, speedup floor skipped)"
+else
+  speedup=$(grep -o '"speedup_1024": [0-9.]*' "$TMP/BENCH_scale.json" |
+    grep -o '[0-9.]*$')
+  awk -v s="$speedup" 'BEGIN { exit !(s >= 10.0) }' \
+    || { echo "1024-node stackless speedup ${speedup}x < 10x"; exit 1; }
+fi
 
 echo "golden outputs identical"

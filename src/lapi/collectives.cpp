@@ -39,7 +39,9 @@ struct Context::Universe {
   };
   std::vector<Slot> slots;
 
+  // splap-lint: allow(os-sync): guards the out-of-band bootstrap registry
   static std::mutex& mu() {
+    // splap-lint: allow(os-sync): PSSP job-start stand-in, not simulated state
     static std::mutex m;
     return m;
   }
@@ -51,6 +53,7 @@ struct Context::Universe {
   }
 
   static Universe& of(net::Machine& machine) {
+    // splap-lint: allow(os-sync): bootstrap registry access, trace-neutral
     std::lock_guard<std::mutex> lock(mu());
     auto& u = all()[&machine];
     if (!u) {
@@ -61,7 +64,12 @@ struct Context::Universe {
     return *u;
   }
 
+  // attach/detach run on task threads that may execute concurrently under
+  // the worker lanes, so the shared registry state (the attached count and
+  // the ctxs slots) is guarded by the same out-of-band bootstrap mutex.
   void attach(Context* c) {
+    // splap-lint: allow(os-sync): bootstrap registry access, trace-neutral
+    std::lock_guard<std::mutex> lock(mu());
     auto& slot = ctxs[static_cast<std::size_t>(c->task_id())];
     SPLAP_REQUIRE(slot == nullptr, "duplicate LAPI_Init on a task");
     slot = c;
@@ -69,9 +77,10 @@ struct Context::Universe {
   }
 
   void detach(Context* c) {
+    // splap-lint: allow(os-sync): bootstrap registry access, trace-neutral
+    std::lock_guard<std::mutex> lock(mu());
     ctxs[static_cast<std::size_t>(c->task_id())] = nullptr;
     if (--attached == 0) {
-      std::lock_guard<std::mutex> lock(mu());
       all().erase(machine);  // self-destructs; do not touch *this after
     }
   }
@@ -149,6 +158,12 @@ void Context::address_init(void* mine, std::span<void*> table) {
                 "address table size must equal the task count");
   enter_library();
   a->compute(call_entry_cost());
+  // The Universe slot is out-of-band shared memory (the PSSP job-start
+  // channel, not simulated traffic): the last arriver mutates every peer's
+  // wait set directly, across shards, which the lookahead-parallel lanes
+  // cannot order. Drop to serial execution for the rest of the run.
+  engine().mark_parallel_unsafe(
+      "LAPI_Address_init out-of-band rendezvous crosses node shards");
   Universe& u = universe();
   const auto k = static_cast<std::size_t>(xchg_seq_++);
   if (u.slots.size() <= k) u.slots.resize(k + 1);

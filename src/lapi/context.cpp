@@ -41,6 +41,8 @@ Context::Context(net::Node& node, Config config)
                 node.machine().fabric().corruption_enabled()) {
   SPLAP_REQUIRE(sim::Actor::current() != nullptr,
                 "LAPI_Init must run in a task (actor) context");
+  ctr_put_ = engine().counters().handle("lapi.put");
+  ctr_get_ = engine().counters().handle("lapi.get");
   node_.adapter().register_client(
       net::Client::kLapi,
       [this](net::Packet&& p) { progress_.on_delivery(std::move(p)); });
@@ -51,7 +53,8 @@ Context::Context(net::Node& node, Config config)
       net::Client::kLapi,
       [this](const net::Packet& p) { assembly_.on_overflow(p); });
   svc_ = std::make_unique<SvcPool>(
-      engine(), "lapi" + std::to_string(task_id()), config.completion_threads);
+      engine(), "lapi" + std::to_string(task_id()), config.completion_threads,
+      config.stackless_completions, node_.id());
 
   // Registers the reserved barrier-pulse handler (id 0) and joins the
   // per-machine Universe registry; defined in collectives.cpp.
@@ -203,7 +206,7 @@ Status Context::put(int target, std::span<const std::byte> src,
   if (static_cast<std::int64_t>(src.size()) > kMaxDataSz) {
     return Status::kBadParameter;
   }
-  engine().counters().bump("lapi.put");
+  ctr_put_.bump();
   auto hdr = std::make_shared<WireMeta>();
   hdr->tgt_addr = tgt_addr;
   hdr->total_len = static_cast<std::int64_t>(src.size());
@@ -221,7 +224,7 @@ Status Context::get(int target, std::int64_t len, const std::byte* tgt_addr,
   if (len > 0 && (tgt_addr == nullptr || org_addr == nullptr)) {
     return Status::kBadParameter;
   }
-  engine().counters().bump("lapi.get");
+  ctr_get_.bump();
   auto hdr = std::make_shared<WireMeta>();
   hdr->src_addr = tgt_addr;
   hdr->dst_addr = org_addr;

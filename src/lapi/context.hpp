@@ -209,6 +209,9 @@ class Context : private ProgressEngine::Sink, private AssemblyEngine::Env {
   net::Node& node_;
   Config config_;
   bool terminated_ = false;
+  // Per-operation counters, resolved once at init (put/get run per message).
+  CounterSet::Handle ctr_put_;
+  CounterSet::Handle ctr_get_;
 
   std::vector<HeaderHandler> handlers_;
   std::unique_ptr<SvcPool> svc_;

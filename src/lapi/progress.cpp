@@ -79,11 +79,11 @@ void ProgressEngine::bump_failed(Counter* c) {
 // ---------------------------------------------------------------------------
 
 void ProgressEngine::on_delivery(net::Packet&& pkt) {
-  engine_.counters().bump("lapi.pkts_rx");
+  ctr_pkts_rx_.bump();
   if (!progress_allowed()) {
     // Polling mode, task outside the library: no progress (Section 2.1).
     backlog_.push_back(std::move(pkt));
-    engine_.counters().bump("lapi.backlogged");
+    ctr_backlogged_.bump();
     return;
   }
   rx_q_.push_back(std::move(pkt));
@@ -101,7 +101,7 @@ void ProgressEngine::schedule_pump(bool charge_interrupt) {
     // fresh interrupt is taken. Packets landing while it is busy or still
     // lingering are absorbed without one (Section 5.3.1).
     start += cost_.interrupt_cost;
-    engine_.counters().bump("lapi.interrupts");
+    ctr_interrupts_.bump();
   }
   pump_scheduled_ = true;
   defer(start, [this] {

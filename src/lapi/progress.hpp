@@ -49,7 +49,10 @@ class ProgressEngine {
   ProgressEngine(sim::Engine& engine, const CostModel& cost, Sink& sink,
                  bool interrupt_mode)
       : engine_(engine), cost_(cost), sink_(sink),
-        interrupt_mode_(interrupt_mode) {}
+        interrupt_mode_(interrupt_mode),
+        ctr_pkts_rx_(engine.counters().handle("lapi.pkts_rx")),
+        ctr_backlogged_(engine.counters().handle("lapi.backlogged")),
+        ctr_interrupts_(engine.counters().handle("lapi.interrupts")) {}
 
   // --- packet admission / pump ---------------------------------------------
   void on_delivery(net::Packet&& pkt);
@@ -104,6 +107,10 @@ class ProgressEngine {
   const CostModel& cost_;
   Sink& sink_;
   bool interrupt_mode_;
+  // Per-packet counters, resolved once (on_delivery runs for every packet).
+  CounterSet::Handle ctr_pkts_rx_;
+  CounterSet::Handle ctr_backlogged_;
+  CounterSet::Handle ctr_interrupts_;
 
   std::deque<net::Packet> rx_q_;     // admitted, awaiting processing
   std::deque<net::Packet> backlog_;  // polling mode, task outside library

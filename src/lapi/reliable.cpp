@@ -18,9 +18,9 @@ ReliableChannel::ReliableChannel(sim::Engine& engine, Sender& sender,
     : engine_(engine),
       sender_(sender),
       policy_(policy),
-      ctr_retransmits_(scope + ".retransmits"),
-      ctr_stale_(scope + ".stale_timeouts"),
-      ctr_giveup_(scope + ".retransmit_giveup"),
+      ctr_retransmits_(engine.counters().handle(scope + ".retransmits")),
+      ctr_stale_(engine.counters().handle(scope + ".stale_timeouts")),
+      ctr_giveup_(engine.counters().handle(scope + ".retransmit_giveup")),
       jitter_rng_(jitter_seed),
       alive_(std::move(alive)) {}
 
@@ -38,23 +38,23 @@ void ReliableChannel::on_timer(std::int64_t id, std::uint64_t gen, Time delay) {
   RetryState* st = sender_.retry_state(id);
   if (st == nullptr) {
     // Record reclaimed (acked or failed) before this timer fired.
-    engine_.counters().bump(ctr_stale_);
+    ctr_stale_.bump();
     return;
   }
   if (gen != st->timeout_gen) {
     // A newer timer owns this record; this one was invalidated by an
     // ack-triggered (or later) re-arm and must never retransmit.
-    engine_.counters().bump(ctr_stale_);
+    ctr_stale_.bump();
     return;
   }
   if (sender_.settled(id)) return;
   if (st->retries >= policy_.max_retries) {
-    engine_.counters().bump(ctr_giveup_);
+    ctr_giveup_.bump();
     sender_.give_up(id);
     return;
   }
   ++st->retries;
-  engine_.counters().bump(ctr_retransmits_);
+  ctr_retransmits_.bump();
   sender_.retransmit(id);
   // Exponential backoff; the clamp caps the doubling at rto_max, and the
   // adaptive policy adds deterministic jitter so tasks whose losses were

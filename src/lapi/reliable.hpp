@@ -111,9 +111,11 @@ class ReliableChannel {
   sim::Engine& engine_;
   Sender& sender_;
   RetryPolicy policy_;
-  std::string ctr_retransmits_;
-  std::string ctr_stale_;
-  std::string ctr_giveup_;
+  // Resolved once at construction: timer paths fire per retransmission and
+  // must not pay a counter-name scan each time.
+  CounterSet::Handle ctr_retransmits_;
+  CounterSet::Handle ctr_stale_;
+  CounterSet::Handle ctr_giveup_;
   Rng jitter_rng_;  // deterministic backoff jitter (seeded per task)
   std::weak_ptr<char> alive_;
 

@@ -36,6 +36,8 @@ Comm::Comm(net::Node& node, Config config)
   channel_ = std::make_unique<lapi::ReliableChannel>(
       engine(), static_cast<lapi::ReliableChannel::Sender&>(*this), policy,
       "mpl", /*jitter_seed=*/0, std::weak_ptr<char>(alive_));
+  ctr_sends_ = engine().counters().handle("mpl.sends");
+  ctr_pkts_rx_ = engine().counters().handle("mpl.pkts_rx");
   node_.adapter().register_client(
       net::Client::kMpl, [this](net::Packet&& p) { on_delivery(std::move(p)); });
 }
@@ -125,7 +127,7 @@ Request Comm::start_send(int dst, int tag, std::span<const std::byte> data) {
       std::max<Time>(0, wire_.link_free(rank()) - engine().now());
   channel_->arm(id, channel_->initial_rto() + 2 * backlog +
                         2 * transfer_time(len, cm.wire_mb_s));
-  engine().counters().bump("mpl.sends");
+  ctr_sends_.bump();
   return id;
 }
 
@@ -395,7 +397,7 @@ void Comm::pump_handlers() {
 // ---------------------------------------------------------------------------
 
 void Comm::on_delivery(net::Packet&& pkt) {
-  engine().counters().bump("mpl.pkts_rx");
+  ctr_pkts_rx_.bump();
   rx_q_.push_back(std::move(pkt));
   schedule_pump();
 }

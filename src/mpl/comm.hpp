@@ -249,6 +249,9 @@ class Comm : private lapi::ReliableChannel::Sender {
 
   sim::WaitSet waiters_;
   std::shared_ptr<char> alive_ = std::make_shared<char>();
+  // Per-send/per-packet counters, resolved once in the ctor.
+  CounterSet::Handle ctr_sends_;
+  CounterSet::Handle ctr_pkts_rx_;
   /// Shared retransmit core (constructed after alive_, which guards its
   /// timer events against a torn-down communicator).
   std::unique_ptr<lapi::ReliableChannel> channel_;

@@ -22,7 +22,14 @@ Fabric::Fabric(sim::Engine& engine, int nodes, FabricConfig config)
       // config_ (declared before rng_/payload_pool_) is already moved-into
       // here, so these must read config_, not the moved-from parameter.
       rng_(config_.seed),
-      payload_pool_(static_cast<std::size_t>(config_.cost.packet_bytes), 256) {
+      payload_pool_(static_cast<std::size_t>(config_.cost.packet_bytes), 256),
+      sent_(static_cast<std::size_t>(nodes), 0),
+      bytes_on_wire_(static_cast<std::size_t>(nodes), 0),
+      rx_overflows_(static_cast<std::size_t>(nodes), 0),
+      rx_overflow_bytes_(static_cast<std::size_t>(nodes), 0),
+      wire_memo_bytes_(static_cast<std::size_t>(nodes), -1),
+      wire_memo_time_(static_cast<std::size_t>(nodes), 0),
+      ctr_rx_overflow_(engine.counters().handle("fabric.rx_overflow")) {
   SPLAP_REQUIRE(nodes > 0, "fabric needs at least one node");
   if (config_.fault.any()) {
     for (const RouteFault& f : config_.fault.route_faults) {
@@ -30,6 +37,25 @@ Fabric::Fabric(sim::Engine& engine, int nodes, FabricConfig config)
                     "route fault names a route the pair does not have");
     }
     faults_ = std::make_unique<FaultInjector>(config_.fault);
+  }
+  // The minimum cross-node latency any transmit can produce: departure pays
+  // adapter_tx before the wire, and every route adds at least route_latency
+  // (skew, jitter and fault penalties only ever add). This is the engine's
+  // conservative lookahead for parallel window formation.
+  engine_.offer_lookahead(config_.cost.adapter_tx + config_.cost.route_latency);
+  // Drop/jitter/fault draws come from one global RNG whose consumption order
+  // IS the behavior; lanes cannot partition that, so such configurations run
+  // serially (which also lets their tallies stay scalar).
+  if (config_.drop_rate > 0 || config_.contention_jitter > 0 ||
+      config_.fault.any()) {
+    engine_.mark_parallel_unsafe(
+        "fabric drop/jitter/fault model draws from a global RNG");
+  }
+  if (engine_.exec_threads() > 1) {
+    // Lanes acquire payload buffers (make_packet on src) and release them on
+    // another lane (delivery on dst); same for in-flight records.
+    payload_pool_.set_locked(true);
+    inflight_pool_.set_locked(true);
   }
 }
 
@@ -74,7 +100,7 @@ void Fabric::transmit(Packet&& pkt) {
   SPLAP_REQUIRE(wire_bytes <= config_.cost.packet_bytes,
                 "packet exceeds the wire MTU");
   const CostModel& cm = config_.cost;
-  ++packets_sent_;
+  ++sent_[src];
 
   Time arrival;
   if (pkt.src == pkt.dst) {
@@ -85,11 +111,11 @@ void Fabric::transmit(Packet&& pkt) {
         std::max(engine_.now() + cm.adapter_tx, link_free_[src]);
     // wire_time only depends on the total byte count; a one-entry memo
     // skips the floating divide for the dominant full-MTU packet stream.
-    if (wire_bytes != wire_memo_bytes_) {
-      wire_memo_bytes_ = wire_bytes;
-      wire_memo_time_ = cm.wire_time(wire_bytes, 0);
+    if (wire_bytes != wire_memo_bytes_[src]) {
+      wire_memo_bytes_[src] = wire_bytes;
+      wire_memo_time_[src] = cm.wire_time(wire_bytes, 0);
     }
-    const Time occupy = wire_memo_time_;
+    const Time occupy = wire_memo_time_[src];
     link_free_[src] = depart + occupy;
 
     int route = next_route_[src];
@@ -109,8 +135,8 @@ void Fabric::transmit(Packet&& pkt) {
         ++tried;
       }
       if (tried == cm.routes_per_pair) {
-        ++packets_dropped_;
-        bytes_dropped_ += wire_bytes;
+        ++fault_dropped_;
+        fault_bytes_dropped_ += wire_bytes;
         engine_.counters().bump("fabric.no_route");
         SPLAP_DEBUG(engine_.now(), "fabric: no live route %d->%d", pkt.src,
                     pkt.dst);
@@ -145,8 +171,8 @@ void Fabric::transmit(Packet&& pkt) {
       }
     }
     if (dropped) {
-      ++packets_dropped_;
-      bytes_dropped_ += wire_bytes;
+      ++fault_dropped_;
+      fault_bytes_dropped_ += wire_bytes;
       engine_.counters().bump("fabric.drops");
       SPLAP_DEBUG(engine_.now(), "fabric: dropped packet %d->%d (%lld B)",
                   pkt.src, pkt.dst,
@@ -160,7 +186,7 @@ void Fabric::transmit(Packet&& pkt) {
         // as const) but carries its own payload buffer.
         ++packets_duplicated_;
         engine_.counters().bump("fabric.duplicated");
-        bytes_on_wire_ += wire_bytes;
+        bytes_on_wire_[src] += wire_bytes;
         Packet dup;
         dup.src = pkt.src;
         dup.dst = pkt.dst;
@@ -179,8 +205,8 @@ void Fabric::transmit(Packet&& pkt) {
         engine_.audit_object_begin(drec);
         engine_.audit_object_touch(drec, "Fabric::transmit duplicate");
 #endif
-        engine_.schedule_thunk(
-            dup_arrival,
+        engine_.schedule_thunk_on(
+            dup_arrival, drec->pkt.dst,
             [](void* p) {
               InFlight* r = static_cast<InFlight*>(p);
               r->owner->stage_rx(r);
@@ -194,12 +220,15 @@ void Fabric::transmit(Packet&& pkt) {
       }
     }
   }
-  bytes_on_wire_ += wire_bytes;
+  bytes_on_wire_[src] += wire_bytes;
 
   // The drain DMA serializes packets in ARRIVAL order, so the rx_free
   // bookkeeping must run when the packet reaches the adapter, not when it
   // was sent — otherwise a late-sent packet that took a faster route could
   // never overtake (and the fabric would be spuriously in-order).
+  // Pinned to the destination shard: from stage_rx onward everything touches
+  // dst-side state (rx queue, drain DMA, the node's handlers), which is what
+  // lets the parallel executor run receive processing on the dst's lane.
   InFlight* rec = inflight_pool_.acquire();
   rec->owner = this;
   rec->pkt = std::move(pkt);
@@ -207,8 +236,8 @@ void Fabric::transmit(Packet&& pkt) {
   engine_.audit_object_begin(rec);
   engine_.audit_object_touch(rec, "Fabric::transmit");
 #endif
-  engine_.schedule_thunk(
-      arrival,
+  engine_.schedule_thunk_on(
+      arrival, rec->pkt.dst,
       [](void* p) {
         InFlight* r = static_cast<InFlight*>(p);
         r->owner->stage_rx(r);
@@ -238,10 +267,9 @@ void Fabric::stage_rx(InFlight* rec) {
     // the drain DMA hands it to the node. A full queue drops the arrival
     // deterministically — the transport above recovers (NACK/retransmit).
     if (rx_count_[dst] >= config_.rx_queue_depth) {
-      ++rx_overflows_;
-      ++packets_dropped_;
-      bytes_dropped_ += rec->pkt.wire_bytes();
-      engine_.counters().bump("fabric.rx_overflow");
+      ++rx_overflows_[dst];
+      rx_overflow_bytes_[dst] += rec->pkt.wire_bytes();
+      ctr_rx_overflow_.bump();
       SPLAP_DEBUG(engine_.now(), "fabric: RX overflow at node %d (%d queued)",
                   rec->pkt.dst, rx_count_[dst]);
       const OverflowSlot hook = overflow_[dst];
@@ -255,8 +283,10 @@ void Fabric::stage_rx(InFlight* rec) {
   const Time deliver_at =
       std::max(engine_.now(), rx_free_[dst]) + config_.cost.adapter_rx;
   rx_free_[dst] = deliver_at;
-  engine_.schedule_thunk(
-      deliver_at,
+  // Same-shard hop (adapter_rx < lookahead, so it stays inside the window
+  // and runs on this very lane in (time, seq) order).
+  engine_.schedule_thunk_on(
+      deliver_at, rec->pkt.dst,
       [](void* p) {
         InFlight* r = static_cast<InFlight*>(p);
         r->owner->finish_delivery(r);

@@ -33,8 +33,19 @@ Machine::Machine(Config config)
 Status Machine::run_spmd(const std::function<void(Node&)>& body) {
   for (auto& node : nodes_) {
     Node* n = node.get();
-    n->task_ = &engine_.spawn("task" + std::to_string(n->id()),
-                              [n, body](sim::Actor&) { body(*n); });
+    // Pinned to the node's shard so the parallel executor may resume the
+    // task from that node's worker lane.
+    try {
+      n->task_ = &engine_.spawn_on(n->id(), "task" + std::to_string(n->id()),
+                                   [n, body](sim::Actor&) { body(*n); });
+    } catch (const sim::SpawnError& e) {
+      // Thread exhaustion at high node counts is an environment limit, not a
+      // bug: quiesce the tasks already spawned and report it as recoverable.
+      SPLAP_WARN(engine_.now(), "run_spmd: %s", e.what());
+      engine_.shutdown();
+      for (auto& nd : nodes_) nd->task_ = nullptr;
+      return Status::kResourceExhausted;
+    }
   }
   const Status st = engine_.run();
   for (auto& node : nodes_) node->task_ = nullptr;

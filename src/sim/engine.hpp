@@ -26,7 +26,9 @@
 #include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <new>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <type_traits>
@@ -43,6 +45,18 @@
 namespace splap::sim {
 
 class Engine;
+struct ExecLane;   // one worker lane of the parallel window executor
+struct ExecState;  // worker threads + window rendezvous (engine.cpp)
+
+/// Thread-creation exhaustion surfaced from Engine::spawn: at high node
+/// counts pthread_create legitimately fails (address space for stacks,
+/// RLIMIT constraints) and callers need a recoverable error, not an uncaught
+/// std::system_error. Harness layers translate this into
+/// Status::kResourceExhausted.
+class SpawnError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// A simulated task (or internal service thread). Create via Engine::spawn.
 class Actor {
@@ -54,6 +68,23 @@ class Actor {
   const std::string& name() const { return name_; }
   int id() const { return id_; }
   Engine& engine() const { return engine_; }
+
+  /// The node shard this actor belongs to (kNoShard when unsharded). Events
+  /// the actor schedules inherit it; the parallel window executor uses it to
+  /// decide which worker lane may resume the actor.
+  int shard() const { return shard_; }
+
+  /// Stackless (handler-mode) actors run inline on the dispatching thread
+  /// and must never block: suspend/wait/compute abort with a contract
+  /// message. See DESIGN.md "Stackless actors".
+  bool stackless() const { return stackless_; }
+
+  /// Run `fn(*this)` inline under this actor's identity (Actor::current()
+  /// points here for the duration). Only valid on a stackless actor, from
+  /// event/handler context — this is how callback-style endpoints (service
+  /// pools, bench drivers) execute work attributed to the actor without an
+  /// OS-thread handoff.
+  void run_inline(const std::function<void(Actor&)>& fn);
 
   /// Current virtual time (engine clock).
   Time now() const;
@@ -89,29 +120,45 @@ class Actor {
 
  private:
   friend class Engine;
-  Actor(Engine& engine, int id, std::string name,
+  Actor(Engine& engine, int id, int shard, std::string name,
         std::function<void(Actor&)> body);
+  struct StacklessTag {};
+  Actor(Engine& engine, int id, int shard, std::string name,
+        std::function<void(Actor&)> body, StacklessTag);
 
   void thread_main(std::function<void(Actor&)> body);
-  // Called from the engine thread: hand execution to the actor, return when
-  // it suspends or finishes.
+  // Called from the dispatching thread (engine run loop or a worker lane):
+  // hand execution to the actor, return when it suspends or finishes.
+  // Stackless actors run their body inline here instead of unparking a
+  // thread.
   void grant();
-  // Block the calling thread until `turn_` equals `want`. Fast path is a
-  // bounded spin (useful only with >1 hardware thread); slow path parks on
-  // the atomic word (futex wait), so an idle handoff costs one wake syscall
-  // instead of two mutex round-trips.
+  // Block the calling thread until the owner half of `turn_` equals `want`.
+  // Three phases: an adaptive bounded spin (useful only with >1 hardware
+  // thread), a short yield loop (lets the partner's timeslice run on a
+  // loaded or single-CPU machine without a futex round trip), then a futex
+  // park. The parked bit tells the handing-over side whether a wake syscall
+  // is needed at all.
   void park_until(std::uint32_t want);
+  // Release the control token to `next` (kEngineHasControl or
+  // kActorHasControl) and wake the partner only if it actually parked.
+  void hand_to(std::uint32_t next);
 
   // Ownership token for the single-runnable-entity invariant. Exactly one
-  // side (engine or actor thread) holds control at any instant; all other
-  // Actor fields are only touched by the side that holds it, so the
+  // side (dispatcher or actor thread) holds control at any instant; all
+  // other Actor fields are only touched by the side that holds it, so the
   // release-store/acquire-load pair on this word is the only synchronization
-  // the handoff needs.
+  // the handoff needs. Bit 1 is set by a waiter that is about to park on the
+  // futex; the handoff exchange clears it and elides the notify syscall when
+  // it was never set (the partner is spinning or yielding).
   static constexpr std::uint32_t kEngineHasControl = 0;
   static constexpr std::uint32_t kActorHasControl = 1;
+  static constexpr std::uint32_t kOwnerMask = 1;
+  static constexpr std::uint32_t kParkedBit = 2;
 
   Engine& engine_;
   const int id_;
+  const int shard_;
+  const bool stackless_;
   const std::string name_;
   const char* block_reason_ = "not started";
 
@@ -119,7 +166,15 @@ class Actor {
   bool finished_ = false;
   bool wake_pending_ = false;  // coalesces redundant wakeups
   bool poisoned_ = false;      // engine teardown: unwind on next suspend
+  // Adaptive handoff spin bounds (-1: unset), indexed by the awaited owner
+  // value. Two slots because the two sides' park_until calls can overlap for
+  // an instant at the handoff boundary (the waker is still inside its own
+  // park_until epilogue when the woken side parks again), and each side only
+  // ever waits for its own distinct owner value.
+  int spin_budget_[2] = {-1, -1};
+  ExecLane* lane_ctx_ = nullptr;  // worker lane that granted us, else null
   std::exception_ptr failure_;
+  std::function<void(Actor&)> stackless_body_;  // stackless actors only
   std::thread thread_;
 };
 
@@ -135,33 +190,44 @@ class Engine {
   /// this + weak_ptr + std::function = 56 bytes).
   static constexpr std::size_t kInlineCallbackBytes = 64;
 
-  Engine() {
-    tail_spare_.push_back(&first_block_);
-#ifdef SPLAP_AUDIT
-    audit_spare_.insert(&first_block_, "Engine ctor");
-#endif
-  }
+  /// Events not pinned to any node shard; they serialize against everything
+  /// (the parallel window executor treats them as barriers).
+  static constexpr int kNoShard = -1;
+
+  // Out of line: members include unique_ptr<ExecState> (incomplete here),
+  // so construction/destruction must live where ExecState is defined.
+  Engine();
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  Time now() const { return now_; }
+  Time now() const {
+    if (exec_enabled_) [[unlikely]] return now_slow();
+    return now_;
+  }
 
   /// Schedule `fn` at absolute virtual time `t` (>= now; scheduling into the
-  /// virtual past would silently corrupt the clock, so it aborts).
+  /// virtual past would silently corrupt the clock, so it aborts). The event
+  /// inherits the scheduling context's node shard.
   template <class F>
   void schedule_at(Time t, F&& fn) {
-    SPLAP_REQUIRE(t >= now_, "cannot schedule an event in the virtual past");
-    EventNode* n = event_pool_.acquire();
+    EventNode* n = acquire_node();
     n->bind(std::forward<F>(fn));
-#ifdef SPLAP_AUDIT
-    n->audit_cause = audit_step_;
-#endif
-    queue_push(HeapSlot{t, next_seq_++, n});
+    commit(t, kInheritShard, n);
   }
   template <class F>
   void schedule_after(Time d, F&& fn) {
-    schedule_at(now_ + d, std::forward<F>(fn));
+    schedule_at(now() + d, std::forward<F>(fn));
+  }
+
+  /// schedule_at pinned to node shard `shard` (kNoShard = serialize against
+  /// everything). Layers that hop work between nodes (the fabric) tag the
+  /// destination explicitly; everything else inherits.
+  template <class F>
+  void schedule_at_on(Time t, int shard, F&& fn) {
+    EventNode* n = acquire_node();
+    n->bind(std::forward<F>(fn));
+    commit(t, shard, n);
   }
 
   /// Raw-thunk fast path for pinned callbacks (fabric packet staging and the
@@ -169,23 +235,68 @@ class Engine {
   /// scheduling constructs no capture and running destroys nothing. `ctx`
   /// must outlive the event.
   void schedule_thunk(Time t, void (*fn)(void*), void* ctx) {
-    SPLAP_REQUIRE(t >= now_, "cannot schedule an event in the virtual past");
-    EventNode* n = event_pool_.acquire();
+    EventNode* n = acquire_node();
     n->invoke = fn;
     n->destroy = nullptr;  // nothing owned; teardown clear() is a no-op
     n->obj = ctx;
-#ifdef SPLAP_AUDIT
-    n->audit_cause = audit_step_;
-#endif
-    queue_push(HeapSlot{t, next_seq_++, n});
+    commit(t, kInheritShard, n);
   }
 
-  /// Create an actor whose body starts executing at the current time.
+  /// schedule_thunk pinned to node shard `shard`.
+  void schedule_thunk_on(Time t, int shard, void (*fn)(void*), void* ctx) {
+    EventNode* n = acquire_node();
+    n->invoke = fn;
+    n->destroy = nullptr;
+    n->obj = ctx;
+    commit(t, shard, n);
+  }
+
+  /// Create a thread-backed actor whose body starts executing at the current
+  /// time. The actor inherits the scheduling context's shard. Throws
+  /// SpawnError when the OS refuses another thread.
   Actor& spawn(std::string name, std::function<void(Actor&)> body);
+
+  /// spawn pinned to node shard `shard` (the SPMD harness pins each task to
+  /// its node so the parallel executor may resume it from that node's lane).
+  Actor& spawn_on(int shard, std::string name,
+                  std::function<void(Actor&)> body);
+
+  /// Create a stackless (handler-mode) actor: no OS thread, no stack — the
+  /// body runs inline on the dispatching thread at the current virtual time
+  /// and must never block (suspend aborts). With a null body the actor is a
+  /// persistent identity for run_inline callbacks (service endpoints). This
+  /// is what lets one process hold 10^5..10^6 protocol endpoints.
+  Actor& spawn_stackless(int shard, std::string name,
+                         std::function<void(Actor&)> body);
 
   /// Make `a` runnable again at the current time. Safe to call when the
   /// actor is running or already woken (coalesced into one resume).
   void wake(Actor& a);
+
+  // --- parallel window executor (opt-in; see DESIGN.md) -------------------
+
+  /// Worker lanes for lookahead-parallel event execution. 1 = serial (the
+  /// default). Read from SPLAP_EXEC_THREADS at construction; capped at
+  /// CounterSet::kStripes - 1. Traces are bit-identical to serial mode.
+  void set_exec_threads(int n);
+  int exec_threads() const { return exec_threads_; }
+
+  /// A transport layer guarantees that any event it schedules across shards
+  /// lands at least `d` after the scheduling event. The executor's window
+  /// width is the minimum offered lookahead; without one, no windows form.
+  void offer_lookahead(Time d) {
+    if (d > 0 && (lookahead_ == 0 || d < lookahead_)) lookahead_ = d;
+  }
+  Time lookahead() const { return lookahead_; }
+
+  /// Configurations whose event behavior depends on shared mutable state the
+  /// lanes cannot partition (global RNG draws: drops, jitter, faults) call
+  /// this once; the engine then never forms parallel windows.
+  void mark_parallel_unsafe(const char* why);
+
+  /// Total events dispatched (serial and in-window). Throughput observable
+  /// for the scale benchmarks.
+  std::uint64_t events_executed() const { return events_executed_; }
 
   /// Run until the event queue drains. Returns kOk, or kDeadlock if actors
   /// remain blocked with no event that could ever wake them. Rethrows the
@@ -219,8 +330,8 @@ class Engine {
   // virtual-time race tracker; touches are attributed to the current
   // dispatch step and, when called from actor context, the acting actor.
 
-  void audit_object_begin(const void* obj) { audit_race_.begin(obj); }
-  void audit_object_end(const void* obj) { audit_race_.end(obj); }
+  void audit_object_begin(const void* obj);
+  void audit_object_end(const void* obj);
   void audit_object_touch(const void* obj, const char* where);
 
   /// Test-only: re-introduce the pre-fix full-drain recycle loop that also
@@ -232,6 +343,12 @@ class Engine {
 
  private:
   friend class Actor;
+  friend struct ExecLane;
+  friend struct ExecState;
+
+  /// Sentinel for commit(): resolve the shard from the scheduling context
+  /// (the currently dispatching event / acting actor).
+  static constexpr int kInheritShard = -2;
 
   /// One scheduled event's callable. Nodes are pool-recycled and
   /// pointer-stable, so the bound callable is constructed once in place and
@@ -246,6 +363,7 @@ class Engine {
     void (*invoke)(void*) = nullptr;
     void (*destroy)(void*) = nullptr;
     void* obj = nullptr;  // == inline_storage, or a heap allocation
+    std::int32_t shard = kNoShard;  // node shard this event is pinned to
 #ifdef SPLAP_AUDIT
     std::uint64_t audit_cause = 0;  // dispatch step that scheduled this event
 #endif
@@ -458,6 +576,20 @@ class Engine {
     return tail_size_ == 0 && !box_full_ && heap_.empty();
   }
 
+  /// Pointer to the minimum slot across box/tail/heap without popping it
+  /// (window formation peeks to decide whether the front is sharded).
+  /// Null when the queue is empty; invalidated by any push or pop.
+  const HeapSlot* queue_peek() const {
+    const HeapSlot* best = box_full_ ? &box_ : nullptr;
+    if (tail_size_ != 0 && (best == nullptr || tail_front().before(*best))) {
+      best = &tail_front();
+    }
+    if (!heap_.empty() && (best == nullptr || heap_.front().before(*best))) {
+      best = &heap_.front();
+    }
+    return best;
+  }
+
   void heap_push(HeapSlot s) {
     heap_.push_back(s);
     std::size_t i = heap_.size() - 1;
@@ -493,6 +625,55 @@ class Engine {
     return top;
   }
 
+  // --- scheduling fast path ---------------------------------------------
+  // With the executor disabled (the default) these compile down to exactly
+  // the pre-executor code: pool pop, bind, queue_push. With it enabled they
+  // route through the slow paths, which resolve the scheduling context (a
+  // worker lane, an actor granted from one, or the serial loop).
+
+  // The pool locks itself when the executor is enabled (set_exec_threads
+  // flips it), so lanes and actor threads may allocate nodes concurrently.
+  EventNode* acquire_node() { return event_pool_.acquire(); }
+
+  void commit(Time t, int shard, EventNode* n) {
+    if (exec_enabled_) [[unlikely]] {
+      commit_slow(t, shard, n);
+      return;
+    }
+    SPLAP_REQUIRE(t >= now_, "cannot schedule an event in the virtual past");
+    n->shard = shard == kInheritShard ? dispatch_shard_ : shard;
+#ifdef SPLAP_AUDIT
+    n->audit_cause = audit_step_;
+#endif
+    queue_push(HeapSlot{t, next_seq_++, n});
+  }
+
+  void commit_slow(Time t, int shard, EventNode* n);
+  Time now_slow() const;
+  void init_exec_from_env();
+
+  /// Shard of the current scheduling context (worker lane, actor granted
+  /// from one, or the serially dispatching event). Spawned actors inherit it.
+  int context_shard() const;
+
+  Actor& spawn_impl(int shard, std::string name,
+                    std::function<void(Actor&)> body, bool stackless);
+
+  /// Dispatch one already-popped event on the serial path (sets now_, runs,
+  /// recycles the node; exceptions propagate after the node is released).
+  void dispatch_serial(const HeapSlot& s);
+
+  /// Try to form and execute a lookahead window starting from the queue
+  /// front. Returns false when the front is unsharded (or the window would
+  /// be trivially small), in which case the caller single-steps serially.
+  bool try_parallel_window();
+
+  /// Replay-merge after a window join: walks the executed events in serial
+  /// (time, seq) order, assigns the exact seqs serial execution would have
+  /// given every child, queues the deferred ones, and surfaces the first
+  /// in-order exception. Defined with the executor in engine.cpp.
+  void merge_window();
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   HeapSlot box_{};        // one-slot fast path for imminent out-of-order pushes
@@ -513,14 +694,27 @@ class Engine {
   std::vector<std::unique_ptr<Actor>> actors_;
   CounterSet counters_;
   bool running_ = false;
+
+  // --- parallel window executor state -----------------------------------
+  bool exec_enabled_ = false;      // exec_threads_ > 1
+  int exec_threads_ = 1;
+  bool parallel_unsafe_ = false;   // a config opted out (global RNG, faults)
+  Time lookahead_ = 0;             // min cross-shard latency offered
+  int dispatch_shard_ = kNoShard;  // shard of the serially dispatching event
+  std::uint64_t events_executed_ = 0;
+  std::unique_ptr<ExecState> exec_;  // lanes + rendezvous (engine.cpp)
+  std::mutex spawn_mu_;  // guards actors_/id assignment when lanes spawn
 #ifdef SPLAP_AUDIT
   // Shadow state (audit builds only). audit_step_ numbers dispatches from 1;
   // 0 means "scheduled before the run loop started", which happens-before
   // everything. The spare-block shadow set mirrors tail_spare_ exactly.
+  // With the executor enabled, worker lanes serialize on audit_mu_ around
+  // every tracker operation (shadow state is diagnostic, not hot).
   audit::LiveSet audit_spare_{"tail spare-block"};
   audit::RaceTracker audit_race_;
   std::uint64_t audit_step_ = 0;
   bool audit_legacy_full_drain_ = false;
+  std::mutex audit_mu_;
 #endif
 };
 

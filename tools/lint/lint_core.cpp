@@ -148,6 +148,15 @@ bool in_trace_dirs(std::string_view rel) {
 
 bool in_net(std::string_view rel) { return starts_with(rel, "src/net/"); }
 
+/// The layers above the engine: all concurrency there is virtual (actors
+/// suspend, events order effects). Only src/sim and src/base may own real
+/// threads, locks or atomics — the engine's worker lanes and actor handoff
+/// are the single place OS concurrency is allowed to live.
+bool in_protocol_layers(std::string_view rel) {
+  return starts_with(rel, "src/net/") || starts_with(rel, "src/lapi/") ||
+         starts_with(rel, "src/mpl/") || starts_with(rel, "src/ga/");
+}
+
 /// The files below the Context facade: the shared reliable core, the
 /// assembly engine, the progress engine, and the whole MPL communicator
 /// (a sibling client of the same transport machinery).
@@ -219,6 +228,18 @@ const std::vector<Rule>& rule_table() {
         std::regex(R"(std::(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[A-Za-z_][A-Za-z0-9_:<>\s]*?\*\s*[,>])",
                    f),
         &scope_all});
+    r.push_back(Rule{
+        "os-sync",
+        "no OS threads/locks/atomics above the engine "
+        "(virtual concurrency only)",
+        "OS concurrency primitive in a protocol layer: code above the "
+        "engine runs on virtual time and synchronizes through actors and "
+        "events (the parallel worker lanes order cross-node effects "
+        "deterministically); real locks or atomics here would hide "
+        "nondeterminism from the trace gate",
+        std::regex(R"(\bstd::(?:recursive_|timed_|shared_)?mutex\b|\bstd::condition_variable(?:_any)?\b|\bstd::(?:jthread|thread)\b|\bstd::atomic\b|\bstd::atomic_\w+|\bthread_local\b|\bpthread_\w+)",
+                   f),
+        &in_protocol_layers});
     r.push_back(Rule{
         "layering-net",
         "src/net must not include protocol layers (lapi/, mpl/, ga/)",

@@ -139,6 +139,29 @@ TEST(LintRules, LayeringNetQuietOnGoodIncludesAndOutsideNet) {
       scan_source("src/ga/x.cc", fixture("bad_layering_net.cc")).empty());
 }
 
+TEST(LintRules, OsSyncFiresOnEachBadLine) {
+  const auto v = scan_source("src/lapi/x.cc", fixture("bad_os_sync.cc"));
+  EXPECT_EQ(fired(v), (std::multiset<std::pair<std::string, int>>{
+                          {"os-sync", 5},
+                          {"os-sync", 6},
+                          {"os-sync", 7},
+                          {"os-sync", 8},
+                          {"os-sync", 9},
+                          {"os-sync", 10},
+                          {"os-sync", 11}}));
+}
+
+TEST(LintRules, OsSyncQuietOnVirtualCodeAndBelowProtocolLayers) {
+  EXPECT_TRUE(
+      scan_source("src/lapi/x.cc", fixture("good_os_sync.cc")).empty());
+  // The engine layer owns the real threads (worker lanes, actor handoff):
+  // the same primitives are legal under src/sim and src/base.
+  EXPECT_TRUE(
+      scan_source("src/sim/x.cc", fixture("bad_os_sync.cc")).empty());
+  EXPECT_TRUE(
+      scan_source("src/base/x.cc", fixture("bad_os_sync.cc")).empty());
+}
+
 TEST(LintRules, LayeringContextFiresInEveryTransportLayer) {
   const std::string content = fixture("bad_layering_context.cc");
   for (const char* p : {"src/mpl/comm.hpp", "src/lapi/reliable.cpp",
@@ -212,8 +235,8 @@ TEST(LintCatalogue, ListsEveryRule) {
   EXPECT_EQ(ids, (std::set<std::string>{"wall-clock", "raw-rng",
                                         "banned-include",
                                         "unordered-container", "pointer-key",
-                                        "layering-net", "layering-context",
-                                        "bad-allow"}));
+                                        "os-sync", "layering-net",
+                                        "layering-context", "bad-allow"}));
 }
 
 }  // namespace
