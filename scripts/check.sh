@@ -12,6 +12,11 @@
 #   overload   the flow-control overload harness (bounded-RX incast,
 #              partial-table sheds, credit loss, the MPL unexpected cap)
 #              under both ASan+UBSan and SPLAP_AUDIT
+#   recovery   the crash-stop recovery harness (tests labelled `recovery`:
+#              kill/restart scenarios plus the crash chaos cases) run
+#              optimized, under ASan+UBSan, and under SPLAP_AUDIT — a
+#              crashed node's teardown must leak zero records and credits
+#              beyond the forgiven crashed-epoch residue
 #   scale      the engine scale-out harness (tests labelled `scale`): the
 #              1024-node smoke and the serial-vs-SPLAP_EXEC_THREADS=4
 #              determinism comparisons, run optimized, under ASan+UBSan, and
@@ -93,6 +98,27 @@ if want overload; then
   cmake -B build-audit -S . -DSPLAP_AUDIT=ON >/dev/null
   cmake --build build-audit -j"$(nproc)"
   ctest --test-dir build-audit -L overload --no-tests=error --output-on-failure
+fi
+
+if want recovery; then
+  # Crash-stop recovery scenarios tear contexts down mid-flight, the exact
+  # window where a stale timer or straggler ack can touch a reclaimed
+  # record. The suite runs optimized first (the behavioural contract:
+  # bounded detection, epoch rejection, full lease reclamation), then under
+  # the memory sanitizers, then under SPLAP_AUDIT whose teardown ledger
+  # forgives only the crashed incarnation's own residue.
+  echo "== recovery harness (optimized) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$(nproc)"
+  ctest --test-dir build -L recovery --no-tests=error --output-on-failure
+  echo "== recovery harness (ASan+UBSan) =="
+  cmake -B build-asan -S . -DSPLAP_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  cmake --build build-asan -j"$(nproc)"
+  ctest --test-dir build-asan -L recovery --no-tests=error --output-on-failure
+  echo "== recovery harness (SPLAP_AUDIT) =="
+  cmake -B build-audit -S . -DSPLAP_AUDIT=ON >/dev/null
+  cmake --build build-audit -j"$(nproc)"
+  ctest --test-dir build-audit -L recovery --no-tests=error --output-on-failure
 fi
 
 if want scale; then

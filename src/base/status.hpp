@@ -20,6 +20,7 @@ enum class Status {
   kNoProgress,       // polling-mode wait that can never be satisfied
   kDeadlock,         // engine detected that no actor can ever run again
   kResourceExhausted,// buffer pool / retransmit window exhausted
+  kPeerFailed,       // the remote task crashed (crash-stop node failure)
   kUnknown,
 };
 
@@ -32,6 +33,7 @@ constexpr std::string_view to_string(Status s) {
     case Status::kNoProgress: return "NO_PROGRESS";
     case Status::kDeadlock: return "DEADLOCK";
     case Status::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case Status::kPeerFailed: return "PEER_FAILED";
     case Status::kUnknown: return "UNKNOWN";
   }
   return "INVALID_STATUS";

@@ -217,9 +217,10 @@ void Runtime::fence() {
 void Runtime::sync() {
   fence();
   if (config_.transport == Transport::kLapi) {
-    ctx_->gfence();
+    note(ctx_->gfence());
   } else {
     comm_->barrier();
+    note(comm_->comm_status());
   }
 }
 
@@ -340,7 +341,7 @@ void Runtime::brdcst(std::span<double> data, int root) {
     }
     note(ctx_->waitcntr(org, sent));
   }
-  ctx_->gfence();  // root's puts fenced + everyone synchronized
+  note(ctx_->gfence());  // root's puts fenced + everyone synchronized
 }
 
 void Runtime::gop_sum(std::span<double> data) {
@@ -351,7 +352,7 @@ void Runtime::gop_sum(std::span<double> data) {
   }
   std::vector<void*> table(static_cast<std::size_t>(nprocs()));
   ctx_->address_init(data.data(), table);
-  ctx_->gfence();  // contributions stable before task 0 reads them
+  note(ctx_->gfence());  // contributions stable before task 0 reads them
   if (me() == 0) {
     std::vector<double> scratch(data.size());
     for (int t = 1; t < nprocs(); ++t) {
@@ -367,7 +368,7 @@ void Runtime::gop_sum(std::span<double> data) {
       for (std::size_t i = 0; i < data.size(); ++i) data[i] += scratch[i];
     }
   }
-  ctx_->gfence();  // sum finished before it is broadcast back
+  note(ctx_->gfence());  // sum finished before it is broadcast back
   brdcst(data, 0);
 }
 

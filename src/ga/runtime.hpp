@@ -143,9 +143,11 @@ class Runtime {
   void brdcst(std::span<double> data, int root);
   void gop_sum(std::span<double> data);
 
-  /// Sticky transport health (kLapi): the first non-kOk status any GA wait
-  /// observed — a retry-exhausted transfer surfaces here instead of
-  /// silently delivering stale data. kOk on a healthy run; never reset.
+  /// Sticky transport health: the first non-kOk status any GA wait or sync
+  /// observed — a retry-exhausted transfer (kResourceExhausted) or a dead
+  /// participant (kPeerFailed, from the transport's crash detector)
+  /// surfaces here instead of silently delivering stale data or hanging a
+  /// collective. kOk on a healthy run; never reset.
   Status comm_status() const { return comm_status_; }
 
   // Internal API used by GlobalArray (public for the handler plumbing).

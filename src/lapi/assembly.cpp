@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <span>
 #include <utility>
 
@@ -13,10 +14,13 @@ namespace splap::lapi {
 
 void AssemblyEngine::send_ack(int target, std::int64_t msg_id, bool data,
                               bool done, Counter* org_cntr, Counter* cmpl_cntr,
-                              std::int64_t pkts, Time when) {
+                              std::int64_t pkts, std::int64_t origin_epoch,
+                              Time when) {
   when += progress_.cost().lapi_ack_delay;  // delayed-ack coalescing timer
   auto m = std::make_shared<WireMeta>();
   m->kind = PktKind::kAck;
+  m->epoch = epoch_;
+  m->dst_epoch = origin_epoch;
   m->acked_msg = msg_id;
   m->ack_data = data;
   m->ack_done = done;
@@ -43,7 +47,8 @@ void AssemblyEngine::send_ack(int target, std::int64_t msg_id, bool data,
   }
 }
 
-void AssemblyEngine::send_nack(int origin, std::int64_t msg_id) {
+void AssemblyEngine::send_nack(int origin, std::int64_t msg_id,
+                               std::int64_t origin_epoch) {
   // One NACK per message until forward progress: a full adapter dropping a
   // six-packet burst must trigger one recovery, not six. The suppression
   // clears when a packet of the message is accepted (or it is reclaimed).
@@ -51,6 +56,8 @@ void AssemblyEngine::send_nack(int origin, std::int64_t msg_id) {
   progress_.engine().counters().bump("lapi.nack_sent");
   auto m = std::make_shared<WireMeta>();
   m->kind = PktKind::kNack;
+  m->epoch = epoch_;
+  m->dst_epoch = origin_epoch;
   m->acked_msg = msg_id;
   net::Packet p = wire_.make_packet();
   p.src = task_id_;
@@ -72,7 +79,7 @@ void AssemblyEngine::on_overflow(const net::Packet& pkt) {
     case PktKind::kData:
     case PktKind::kGetReq:
     case PktKind::kRmwReq:
-      send_nack(pkt.src, m.msg_id);
+      send_nack(pkt.src, m.msg_id, m.epoch);
       break;
     default:
       // Lost acks/credits/nacks/cancels heal by other means (probe
@@ -82,7 +89,8 @@ void AssemblyEngine::on_overflow(const net::Packet& pkt) {
 }
 
 void AssemblyEngine::maybe_emit_credit(int origin, std::int64_t msg_id,
-                                       Assembly& as) {
+                                       Assembly& as,
+                                       std::int64_t origin_epoch) {
   if (config_.credit_update_interval <= 0 || as.completed) return;
   if (as.pkts_ingested - as.last_credit_sent < config_.credit_update_interval) {
     return;
@@ -91,6 +99,8 @@ void AssemblyEngine::maybe_emit_credit(int origin, std::int64_t msg_id,
   progress_.engine().counters().bump("lapi.credit_updates");
   auto m = std::make_shared<WireMeta>();
   m->kind = PktKind::kCredit;
+  m->epoch = epoch_;
+  m->dst_epoch = origin_epoch;
   m->acked_msg = msg_id;
   m->ack_pkts = as.pkts_ingested;
   net::Packet p = wire_.make_packet();
@@ -193,7 +203,7 @@ Time AssemblyEngine::process(net::Packet& pkt) {
           // Partial table full: shed the whole message (graceful
           // degradation, not abort) and tell the origin to retry soon.
           progress_.engine().counters().bump("lapi.partials_shed");
-          send_nack(pkt.src, m.msg_id);
+          send_nack(pkt.src, m.msg_id, m.epoch);
           return cm.lapi_pkt_rx;
         }
         at = assemblies_.emplace(key, Assembly{}).first;
@@ -206,7 +216,8 @@ Time AssemblyEngine::process(net::Packet& pkt) {
         const bool done_ok = !as.completion || as.completion_ran;
         send_ack(pkt.src, m.msg_id, true,
                  done_ok && as.hdr->cmpl_cntr != nullptr, as.hdr->org_cntr,
-                 as.hdr->cmpl_cntr, as.pkts_ingested, now + cm.lapi_ack);
+                 as.hdr->cmpl_cntr, as.pkts_ingested, m.epoch,
+                 now + cm.lapi_ack);
         return cm.lapi_ack;
       }
       as.last_update = now;
@@ -247,7 +258,7 @@ Time AssemblyEngine::process(net::Packet& pkt) {
           finish_assembly(key.first, key.second);
         });
       } else {
-        maybe_emit_credit(pkt.src, m.msg_id, as);
+        maybe_emit_credit(pkt.src, m.msg_id, as, m.epoch);
       }
       return c;
     }
@@ -258,7 +269,7 @@ Time AssemblyEngine::process(net::Packet& pkt) {
       if (at == assemblies_.end()) {
         if (!admit_partial(now)) {
           progress_.engine().counters().bump("lapi.partials_shed");
-          send_nack(pkt.src, m.msg_id);
+          send_nack(pkt.src, m.msg_id, m.epoch);
           return cm.lapi_pkt_rx;
         }
         at = assemblies_.emplace(key, Assembly{}).first;
@@ -271,7 +282,7 @@ Time AssemblyEngine::process(net::Packet& pkt) {
                  done_ok && as.hdr && as.hdr->cmpl_cntr != nullptr,
                  as.hdr ? as.hdr->org_cntr : nullptr,
                  as.hdr ? as.hdr->cmpl_cntr : nullptr, as.pkts_ingested,
-                 now + cm.lapi_ack);
+                 m.epoch, now + cm.lapi_ack);
         return cm.lapi_ack;
       }
       as.last_update = now;
@@ -296,7 +307,7 @@ Time AssemblyEngine::process(net::Packet& pkt) {
           finish_assembly(key.first, key.second);
         });
       } else {
-        maybe_emit_credit(pkt.src, m.msg_id, as);
+        maybe_emit_credit(pkt.src, m.msg_id, as, m.epoch);
       }
       return c;
     }
@@ -306,7 +317,7 @@ Time AssemblyEngine::process(net::Packet& pkt) {
       Assembly& as = assemblies_[key];
       if (as.completed) {
         send_ack(pkt.src, m.msg_id, true, false, nullptr, nullptr,
-                 as.pkts_ingested, now + cm.lapi_ack);
+                 as.pkts_ingested, m.epoch, now + cm.lapi_ack);
         return cm.lapi_ack;
       }
       nacked_.erase(key);
@@ -319,7 +330,7 @@ Time AssemblyEngine::process(net::Packet& pkt) {
           now + c, [this, origin = pkt.src, meta = as.hdr] {
             // Ack the request (the origin's retransmit timer covers it).
             send_ack(origin, meta->msg_id, true, false, nullptr, nullptr,
-                     /*pkts=*/1, progress_.engine().now());
+                     /*pkts=*/1, meta->epoch, progress_.engine().now());
             // Serve: the reply is an internal Put back to the origin whose
             // counter roles realize the Get semantics (Figure 1): the
             // reply's target counter is the get's org_cntr, the reply's
@@ -388,6 +399,8 @@ Time AssemblyEngine::process(net::Packet& pkt) {
             }
             auto resp = std::make_shared<WireMeta>();
             resp->kind = PktKind::kRmwResp;
+            resp->epoch = epoch_;
+            resp->dst_epoch = meta->epoch;
             resp->acked_msg = meta->msg_id;
             resp->rmw_prev = prev;
             resp->rmw_prev_out = meta->rmw_prev_out;
@@ -419,11 +432,13 @@ Time AssemblyEngine::process(net::Packet& pkt) {
     }
 
     // Origin-side packets are demultiplexed to the send engine before this
-    // layer; they never reach the assembly path.
+    // layer (keepalive probes too); they never reach the assembly path.
     case PktKind::kRmwResp:
     case PktKind::kAck:
     case PktKind::kNack:
     case PktKind::kCredit:
+    case PktKind::kProbe:
+    case PktKind::kProbeAck:
       break;
   }
   SPLAP_REQUIRE(false, "unknown packet kind");
@@ -446,14 +461,16 @@ void AssemblyEngine::finish_assembly(int origin, std::int64_t msg_id) {
     as.completion_ran = true;
     progress_.bump(h.tgt_cntr);
     send_ack(origin, msg_id, /*data=*/true, /*done=*/want_done, h.org_cntr,
-             h.cmpl_cntr, as.pkts_ingested, progress_.engine().now());
+             h.cmpl_cntr, as.pkts_ingested, h.epoch,
+             progress_.engine().now());
     progress_.notify();
   } else {
     // Data is in place: ack it now (fence semantics, Section 5.3.2), then
     // run the completion handler on a service thread; only after it returns
     // do the target counter and the DONE ack fire (Figure 1, Step 4).
     send_ack(origin, msg_id, /*data=*/true, /*done=*/false, h.org_cntr,
-             h.cmpl_cntr, as.pkts_ingested, progress_.engine().now());
+             h.cmpl_cntr, as.pkts_ingested, h.epoch,
+             progress_.engine().now());
     env_.submit_completion([this, key](sim::Actor& svc_actor) {
       auto jt = assemblies_.find(key);
       SPLAP_REQUIRE(jt != assemblies_.end(),
@@ -467,7 +484,7 @@ void AssemblyEngine::finish_assembly(int origin, std::int64_t msg_id) {
       progress_.bump(h2.tgt_cntr);
       if (h2.cmpl_cntr != nullptr) {
         send_ack(key.first, key.second, /*data=*/false, /*done=*/true,
-                 h2.org_cntr, h2.cmpl_cntr, a2.pkts_ingested,
+                 h2.org_cntr, h2.cmpl_cntr, a2.pkts_ingested, h2.epoch,
                  progress_.engine().now());
       }
       progress_.notify();
@@ -477,6 +494,47 @@ void AssemblyEngine::finish_assembly(int origin, std::int64_t msg_id) {
   as.staged.clear();
   as.staged.shrink_to_fit();
   as.seen.clear();
+}
+
+void AssemblyEngine::forget_origin(int origin) {
+  const auto lo = std::pair<int, std::int64_t>{
+      origin, std::numeric_limits<std::int64_t>::min()};
+  for (auto it = assemblies_.lower_bound(lo);
+       it != assemblies_.end() && it->first.first == origin;) {
+    Assembly& as = it->second;
+    if (as.completed && as.completion && !as.completion_ran) {
+      // Completion job still queued on the service pool: let it finish
+      // against this record. Its msg id stays burned for the new life; a
+      // collision there would need the new life to issue that many ops
+      // within one completion-pool latency of its first packet, which
+      // virtual restart delays make impossible.
+      ++it;
+      continue;
+    }
+    if (!as.completed) {
+      it = reclaim_partial(it);
+    } else {
+      nacked_.erase(it->first);
+      it = assemblies_.erase(it);
+    }
+  }
+  for (auto it = rmw_cache_.lower_bound(lo);
+       it != rmw_cache_.end() && it->first.first == origin;) {
+    it = rmw_cache_.erase(it);
+  }
+}
+
+void AssemblyEngine::reclaim_peer_partials(int origin) {
+  const auto lo = std::pair<int, std::int64_t>{
+      origin, std::numeric_limits<std::int64_t>::min()};
+  for (auto it = assemblies_.lower_bound(lo);
+       it != assemblies_.end() && it->first.first == origin;) {
+    if (!it->second.completed) {
+      it = reclaim_partial(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace splap::lapi

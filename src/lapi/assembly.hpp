@@ -86,6 +86,23 @@ class AssemblyEngine {
   /// duplicate-suppression markers are not partials.
   std::size_t live_partials() const { return live_partials_; }
 
+  /// Incarnation epoch of the owning context; stamped into every reply this
+  /// layer emits (acks, NACKs, credits, RMW responses).
+  void set_epoch(std::int64_t e) { epoch_ = e; }
+
+  /// The peer `origin` restarted with a new incarnation: drop every trace of
+  /// its previous life. Partials from it can never complete, completed
+  /// markers would collide with the new life's restarted msg-id sequence
+  /// (suppressing real deliveries), and the RMW dedup cache would swallow
+  /// the new life's first RMWs.
+  void forget_origin(int origin);
+
+  /// The peer was declared dead but no restart has been seen: reclaim its
+  /// incomplete partials now (they can never complete). Completed markers
+  /// stay — the verdict may be congestion misjudged as death, and
+  /// exactly-once delivery must survive the reconnect.
+  void reclaim_peer_partials(int origin);
+
  private:
   // Assembly state at the target side of a message.
   struct Assembly {
@@ -115,16 +132,20 @@ class AssemblyEngine {
 
   using AssemblyMap = std::map<std::pair<int, std::int64_t>, Assembly>;
 
+  /// `origin_epoch` is the acked message's origin incarnation (its life the
+  /// reply is addressed to — a restarted origin rejects replies stamped for
+  /// its previous life).
   void send_ack(int target, std::int64_t msg_id, bool data, bool done,
                 Counter* org_cntr, Counter* cmpl_cntr, std::int64_t pkts,
-                Time when);
+                std::int64_t origin_epoch, Time when);
   void finish_assembly(int origin, std::int64_t msg_id);
   /// NACK `origin` about msg_id, at most once until that message shows
   /// forward progress (an accepted packet clears the suppression).
-  void send_nack(int origin, std::int64_t msg_id);
+  void send_nack(int origin, std::int64_t msg_id, std::int64_t origin_epoch);
   /// Emit a standalone kCredit update when enough new packets of a
   /// still-incomplete message have been ingested since the last one.
-  void maybe_emit_credit(int origin, std::int64_t msg_id, Assembly& as);
+  void maybe_emit_credit(int origin, std::int64_t msg_id, Assembly& as,
+                         std::int64_t origin_epoch);
   /// May a packet open a new partial right now? Runs the TTL sweep first,
   /// then applies the max_partials cap.
   bool admit_partial(Time now);
@@ -147,6 +168,7 @@ class AssemblyEngine {
   /// NACK storms when a burst of one message's packets all overflow).
   std::set<std::pair<int, std::int64_t>> nacked_;
   std::size_t live_partials_ = 0;
+  std::int64_t epoch_ = 0;
 };
 
 }  // namespace splap::lapi

@@ -123,24 +123,39 @@ void Context::fence() {
   exit_library();
 }
 
-void Context::gfence() {
+Status Context::gfence() {
   sim::Actor* a = sim::Actor::current();
   SPLAP_REQUIRE(a != nullptr, "LAPI_Gfence must run in a task context");
   fence();
   const int n = num_tasks();
   const std::int64_t seq = barrier_seq_++;
-  if (n == 1) return;
+  if (n == 1) return Status::kOk;
+  // Degraded termination: when a barrier partner is (or becomes) a latched
+  // failure, its round is skipped instead of waited on, and the barrier
+  // returns kPeerFailed. Later rounds still pulse live partners so the
+  // survivors' own waits unblock — the dissemination pattern keeps every
+  // live task's exit bounded once the gossip latch lands everywhere.
+  bool degraded = false;
   int round = 0;
   for (int dist = 1; dist < n; dist <<= 1, ++round) {
     const int to = (task_id() + dist) % n;
-    BarrierPulse p{seq, round};
-    std::span<const std::byte> uhdr(reinterpret_cast<const std::byte*>(&p),
-                                    sizeof p);
-    const Status st = amsend(to, 0, uhdr, {}, nullptr, nullptr, nullptr);
-    SPLAP_REQUIRE(st == Status::kOk, "barrier pulse send failed");
+    if (send_.peer_failed(to)) {
+      degraded = true;
+    } else {
+      BarrierPulse p{seq, round};
+      std::span<const std::byte> uhdr(reinterpret_cast<const std::byte*>(&p),
+                                      sizeof p);
+      const Status st = amsend(to, 0, uhdr, {}, nullptr, nullptr, nullptr);
+      SPLAP_REQUIRE(st == Status::kOk, "barrier pulse send failed");
+    }
+    const int from = (task_id() - dist + n) % n;
     enter_library();
     const auto key = std::pair<std::int64_t, int>{seq, round};
     while (barrier_got_[key] < 1) {
+      if (send_.peer_failed(from)) {
+        degraded = true;
+        break;
+      }
       progress_.waiters().add(*a);
       a->suspend("lapi-gfence");
     }
@@ -149,6 +164,21 @@ void Context::gfence() {
   // GC this generation's pulses.
   barrier_got_.erase(barrier_got_.lower_bound({seq, 0}),
                      barrier_got_.upper_bound({seq, round}));
+  return degraded ? Status::kPeerFailed : Status::kOk;
+}
+
+void Context::broadcast_peer_death(int peer) {
+  // The out-of-band membership channel (PSSP group services on the real SP):
+  // a detected node death is announced to every attached context directly
+  // through the Universe registry, not over the wire — exactly how the SP's
+  // switch fault daemon fanned out membership changes. Like address_init,
+  // this mutates sibling contexts across node shards, which the
+  // lookahead-parallel lanes cannot order.
+  engine().mark_parallel_unsafe("peer-death gossip crosses node shards");
+  Universe& u = universe();
+  for (Context* c : u.ctxs) {
+    if (c != nullptr && c != this) c->note_peer_death(peer);
+  }
 }
 
 void Context::address_init(void* mine, std::span<void*> table) {

@@ -43,6 +43,18 @@ Context::Context(net::Node& node, Config config)
                 "LAPI_Init must run in a task (actor) context");
   ctr_put_ = engine().counters().handle("lapi.put");
   ctr_get_ = engine().counters().handle("lapi.get");
+  // Incarnation epochs: our own restart count, and the last incarnation of
+  // each peer we know about. The initial peer table comes from the machine
+  // (the PSSP job-start infrastructure knows which nodes restarted before
+  // this task initialised); later bumps are learned from packet stamps.
+  epoch_ = node_.machine().incarnation(task_id());
+  peer_epochs_.resize(static_cast<std::size_t>(num_tasks()));
+  for (int t = 0; t < num_tasks(); ++t) {
+    peer_epochs_[static_cast<std::size_t>(t)] = node_.machine().incarnation(t);
+  }
+  send_.set_epoch(epoch_);
+  assembly_.set_epoch(epoch_);
+  send_.set_peer_failure_hook([this](int peer) { on_peer_failed(peer); });
   node_.adapter().register_client(
       net::Client::kLapi,
       [this](net::Packet&& p) { progress_.on_delivery(std::move(p)); });
@@ -67,41 +79,56 @@ void Context::term() {
   if (terminated_) return;
   sim::Actor* a = sim::Actor::current();
   SPLAP_REQUIRE(a != nullptr, "LAPI_Term must run in a task context");
-  if (a->poisoned()) {
-    // Engine teardown is unwinding this actor: blocking is impossible, so
-    // detach best-effort and let the engine reap the service threads. The
-    // pool must outlive those threads (the engine poisons them after us),
-    // so its ownership is intentionally released here — a bounded leak on
-    // an already-failed run.
-    SPLAP_LSAN_IGNORE(svc_.get());
-    svc_.release();  // NOLINT(bugprone-unused-return-value)
-    node_.adapter().unregister_client(net::Client::kLapi);
-    detach_universe();
-    terminated_ = true;
-    progress_.invalidate();
-    return;
-  }
-  // Quiesce: drain our own in-flight messages (e.g. the last gfence's
-  // barrier pulses, which are sent after its fence) so tearing down this
-  // context cannot strand a peer waiting on a message whose retransmission
-  // we would otherwise cancel. If the fabric lost a message for good (peer
-  // already gone), the retransmit layer gives up and we proceed.
-  enter_library();
-  while (send_.outstanding_data() > 0 || send_.outstanding_gets() > 0 ||
-         progress_.pending_effects() > 0) {
-    if (send_.all_exhausted() && send_.outstanding_gets() == 0 &&
-        progress_.pending_effects() == 0) {
-      break;
+  if (!a->poisoned()) {
+    try {
+      // Quiesce: drain our own in-flight messages (e.g. the last gfence's
+      // barrier pulses, which are sent after its fence) so tearing down this
+      // context cannot strand a peer waiting on a message whose
+      // retransmission we would otherwise cancel. If the fabric lost a
+      // message for good (peer already gone), the retransmit layer gives up
+      // and we proceed.
+      enter_library();
+      while (send_.outstanding_data() > 0 || send_.outstanding_gets() > 0 ||
+             progress_.pending_effects() > 0) {
+        if (send_.all_exhausted() && send_.outstanding_gets() == 0 &&
+            progress_.pending_effects() == 0) {
+          break;
+        }
+        progress_.waiters().add(*a);
+        a->suspend("lapi-term-quiesce");
+      }
+      exit_library();
+      svc_->stop(*a);
+      // Retire (not unregister): a duplicate ack elicited by our last
+      // pre-settle retransmission may still be in flight and must be
+      // absorbed, not counted as a dead letter — those are reserved for
+      // crashed/never-inited clients.
+      node_.adapter().retire_client(net::Client::kLapi);
+      detach_universe();
+      terminated_ = true;
+      progress_.invalidate();  // cancels pending timeouts / deferred bumps
+      return;
+    } catch (...) {
+      if (!a->poisoned()) throw;
+      // The crash landed while term was quiescing. ~Context is noexcept, so
+      // the engine's kill exception must be absorbed here; fall through to
+      // the crash teardown below. The actor's next suspension rethrows it.
     }
-    progress_.waiters().add(*a);
-    a->suspend("lapi-term-quiesce");
   }
-  exit_library();
-  svc_->stop(*a);
+  // Engine teardown is unwinding this actor: blocking is impossible, so
+  // detach best-effort and let the engine reap the service threads. The
+  // pool must outlive those threads (the engine poisons them after us),
+  // so its ownership is intentionally released here — a bounded leak on
+  // an already-failed run.
+  SPLAP_LSAN_IGNORE(svc_.get());
+  svc_.release();  // NOLINT(bugprone-unused-return-value)
+  // This incarnation died mid-flight: its unsettled send/credit ledger
+  // entries are the crash's legitimate residue, not leaks.
+  send_.forgive_crash_teardown();
   node_.adapter().unregister_client(net::Client::kLapi);
   detach_universe();
   terminated_ = true;
-  progress_.invalidate();  // cancels pending timeouts / deferred bumps
+  progress_.invalidate();
 }
 
 // ---------------------------------------------------------------------------
@@ -172,8 +199,12 @@ Status Context::waitcntr(Counter& c, std::int64_t val) {
   // wait consumes at most `val` recorded failures, mirroring the decrement.
   Status st = Status::kOk;
   if (c.failed_ > 0) {
-    st = Status::kResourceExhausted;
-    c.failed_ -= std::min(c.failed_, val);
+    const std::int64_t consume = std::min(c.failed_, val);
+    // Peer death outranks plain resource exhaustion: the caller must learn
+    // the partner is gone, not merely that a retry budget ran out.
+    st = c.peer_failed_ > 0 ? Status::kPeerFailed : Status::kResourceExhausted;
+    c.failed_ -= consume;
+    c.peer_failed_ -= std::min(c.peer_failed_, consume);
   }
   exit_library();
   return st;
@@ -189,6 +220,12 @@ Status Context::send_message(PktKind kind, int target,
                              Time extra_call_cost) {
   if (terminated_) return Status::kBadHandle;
   if (target < 0 || target >= num_tasks()) return Status::kBadParameter;
+  // Stamp the op with both incarnations it was issued against. dst_epoch is
+  // fixed here, at submit: if the target restarts mid-op, our retransmits
+  // still carry the old stamp and the new life rejects them — the remote
+  // addresses in this header belong to the incarnation that died.
+  hdr->epoch = epoch_;
+  hdr->dst_epoch = node_.machine().incarnation(target);
   send_.submit(kind, target, std::move(hdr), std::move(data), extra_call_cost);
   return Status::kOk;
 }
@@ -355,11 +392,29 @@ std::int64_t Context::rmw_sync(RmwOp op, int target, std::int64_t* tgt_var,
 // ---------------------------------------------------------------------------
 
 Time Context::process_packet(net::Packet& pkt) {
-  switch (pkt.meta_as<WireMeta>().kind) {
+  const WireMeta& m = pkt.meta_as<WireMeta>();
+  if (m.dst_epoch != epoch_ || m.epoch != peer_epochs_[static_cast<std::size_t>(pkt.src)]) [[unlikely]] {
+    if (m.dst_epoch < epoch_ ||
+        m.epoch < peer_epochs_[static_cast<std::size_t>(pkt.src)]) {
+      // A packet from or for a dead incarnation: its header fields name
+      // buffers of a life that no longer exists. Reject at the door.
+      engine().counters().bump("lapi.stale_epoch");
+      return cost().lapi_pkt_rx;
+    }
+    // The peer restarted (its stamp outran what we knew): adopt the new
+    // incarnation and wipe every trace of the old one before admitting.
+    peer_epochs_[static_cast<std::size_t>(pkt.src)] = m.epoch;
+    assembly_.forget_origin(pkt.src);
+    send_.on_peer_reborn(pkt.src, m.epoch);
+  }
+  send_.note_heard(pkt.src);
+  switch (m.kind) {
     case PktKind::kAck: return send_.on_ack(pkt);
     case PktKind::kRmwResp: return send_.on_rmw_resp(pkt);
     case PktKind::kNack: return send_.on_nack(pkt);
     case PktKind::kCredit: return send_.on_credit(pkt);
+    case PktKind::kProbe: return send_.on_probe(pkt);
+    case PktKind::kProbeAck: return cost().lapi_pkt_rx;
     default: return assembly_.process(pkt);
   }
 }
@@ -388,6 +443,38 @@ Status Context::send_get_reply(int origin, std::shared_ptr<WireMeta> hdr,
                                std::shared_ptr<std::vector<std::byte>> data) {
   return send_message(PktKind::kPutHdr, origin, std::move(hdr),
                       std::move(data), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-stop failure handling
+// ---------------------------------------------------------------------------
+
+void Context::on_peer_failed(int peer) {
+  // First-hand detection (retry exhaustion or keepalive misses in the send
+  // engine). The send side already failed every record toward the peer;
+  // clean up our target side — its incomplete partials can never finish.
+  // Completed-message dedup markers stay: the verdict may be congestion
+  // misjudged as death, and exactly-once delivery must survive a reconnect.
+  assembly_.reclaim_peer_partials(peer);
+  // Deliver the LAPI_Init-registered error handler on the completion-thread
+  // pool, exactly once per failure latch, like any completion handler would
+  // run (never inline under the dispatcher).
+  if (config_.error_handler) {
+    svc_->submit([this, peer](sim::Actor&) {
+      config_.error_handler(*this, peer, Status::kPeerFailed);
+    });
+  }
+  // Gossip the verdict to the sibling contexts (the group-services
+  // membership channel): barrier partners that never address the dead node
+  // would otherwise wait on it forever.
+  broadcast_peer_death(peer);
+}
+
+void Context::note_peer_death(int peer) {
+  if (terminated_ || peer == task_id()) return;
+  // fail_peer's fresh-latch guard makes the gossip converge: a second-hand
+  // notice of an already-latched failure re-invokes nothing.
+  send_.fail_peer(peer);
 }
 
 }  // namespace splap::lapi

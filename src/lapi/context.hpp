@@ -142,8 +142,10 @@ class Context : private ProgressEngine::Sink, private AssemblyEngine::Env {
   /// the remote user buffers" — completion handlers NOT included, 5.3.2).
   void fence();
   /// LAPI_Gfence: collective fence — fence + dissemination barrier built on
-  /// LAPI active messages.
-  void gfence();
+  /// LAPI active messages. Returns kOk normally; kPeerFailed when a barrier
+  /// partner died mid-collective (the barrier terminates instead of hanging,
+  /// but this task cannot claim global quiescence).
+  Status gfence();
 
   // --- address exchange ----------------------------------------------------
   /// LAPI_Address_init: collective all-gather of one address per task.
@@ -172,6 +174,12 @@ class Context : private ProgressEngine::Sink, private AssemblyEngine::Env {
   std::int64_t credits_available(int peer) const {
     return send_.credits_available(peer);
   }
+  /// Has this context declared `peer` dead (retry exhaustion, keepalive
+  /// misses, or gossip) with no newer incarnation heard since?
+  bool peer_failed(int peer) const { return send_.peer_failed(peer); }
+  /// This context's incarnation epoch (the restart count of its node at
+  /// LAPI_Init, stamped into every packet it originates).
+  std::int64_t epoch() const { return epoch_; }
 
  private:
   struct Universe;  // per-machine registry (address exchange bootstrap)
@@ -206,9 +214,26 @@ class Context : private ProgressEngine::Sink, private AssemblyEngine::Env {
   void init_collectives();
   void detach_universe();
 
+  // --- crash-stop failure handling ---------------------------------------
+  /// SendEngine's peer-failure hook: this context itself detected `peer`
+  /// dead (retry exhaustion or keepalive). Reclaims target-side state,
+  /// delivers the registered error handler, and gossips the verdict.
+  void on_peer_failed(int peer);
+  /// Second-hand death notice from a sibling context's detector (the
+  /// group-services membership channel). Latches the failure locally.
+  void note_peer_death(int peer);
+  /// Fan a death verdict out to every attached context on the machine
+  /// (collectives.cpp — rides the Universe registry).
+  void broadcast_peer_death(int peer);
+
   net::Node& node_;
   Config config_;
   bool terminated_ = false;
+  /// Incarnation epoch of this context (node restart count at LAPI_Init)
+  /// and the last-adopted incarnation of every peer. Packets stamped for a
+  /// different pairing are rejected at process_packet (stale-epoch gate).
+  std::int64_t epoch_ = 0;
+  std::vector<std::int64_t> peer_epochs_;
   // Per-operation counters, resolved once at init (put/get run per message).
   CounterSet::Handle ctr_put_;
   CounterSet::Handle ctr_get_;

@@ -74,6 +74,14 @@ void ProgressEngine::bump_failed(Counter* c) {
   notify();
 }
 
+void ProgressEngine::bump_peer_failed(Counter* c) {
+  if (c == nullptr) return;
+  c->value_ += 1;
+  c->failed_ += 1;
+  c->peer_failed_ += 1;
+  notify();
+}
+
 // ---------------------------------------------------------------------------
 // Dispatcher pump
 // ---------------------------------------------------------------------------

@@ -85,6 +85,10 @@ class ProgressEngine {
   /// A completion that carries a failure: advances the counter so waiters
   /// unblock, and records the failure for waitcntr to surface.
   void bump_failed(Counter* c);
+  /// A failure caused by a declared-dead peer: like bump_failed, but also
+  /// marks the counter so waitcntr reports kPeerFailed instead of the
+  /// generic kResourceExhausted.
+  void bump_peer_failed(Counter* c);
 
   // --- dispatcher timeline (shared with the transport layers) --------------
   Time busy_until() const { return busy_until_; }

@@ -29,6 +29,7 @@ inline constexpr std::int64_t kAckDescBytes = 12;
 inline constexpr std::int64_t kNackDescBytes = 12;
 inline constexpr std::int64_t kCreditDescBytes = 12;
 inline constexpr std::int64_t kCancelDescBytes = 12;
+inline constexpr std::int64_t kProbeDescBytes = 8;
 
 enum class PktKind : std::uint8_t {
   kPutHdr,   // first packet of a Put: target address + total length
@@ -45,6 +46,9 @@ enum class PktKind : std::uint8_t {
              // cumulative ingested-packet count for acked_msg
   kCancel,   // origin->target: origin abandoned acked_msg (retry
              // exhaustion); the target reclaims any partial assembly
+  kProbe,    // keepalive: origin asks "are you alive?" while it has sends
+             // pending toward a silent peer (Config::keepalive_interval)
+  kProbeAck, // keepalive reply (header-only; any traffic also counts)
 };
 
 /// Descriptor attached to every LAPI packet. A real implementation packs a
@@ -52,6 +56,17 @@ enum class PktKind : std::uint8_t {
 /// Packet::header_bytes and keeps the logical fields here.
 struct WireMeta {
   PktKind kind = PktKind::kData;
+  /// Crash-stop incarnation epochs (Machine::incarnation). `epoch` is the
+  /// sender's incarnation when it built the packet; `dst_epoch` is the
+  /// destination incarnation the operation was issued against. Receivers
+  /// reject packets from a peer's previous life (epoch stale) and packets
+  /// addressed to their own previous life (dst_epoch stale) — the latter is
+  /// what keeps a survivor's pre-crash retransmissions, whose target
+  /// addresses died with the old task, out of a restarted node's memory.
+  /// Both stay 0 while no node has ever crashed, so the healthy wire format
+  /// and golden traces are unchanged.
+  std::int64_t epoch = 0;
+  std::int64_t dst_epoch = 0;
   /// Message id, unique per origin context. Keyed (origin, msg_id) at the
   /// target for assembly and duplicate suppression.
   std::int64_t msg_id = 0;

@@ -194,6 +194,7 @@ void SendEngine::submit(PktKind kind, int target,
 #ifdef SPLAP_AUDIT
   send_ledger_.insert(&sends_.at(id), "SendEngine::submit");
 #endif
+  if (config_.keepalive_interval > 0 && target != task_id_) arm_keepalive();
 
   // Origin counter: user buffer reusable. Small messages were copied into
   // the retransmit buffer during the call; large ones complete the copy into
@@ -411,6 +412,8 @@ void SendEngine::transmit_packets(const SendRecord& rec,
     p.header_bytes = cm.lapi_header_bytes;
     auto m = std::make_shared<WireMeta>();
     m->kind = PktKind::kData;
+    m->epoch = hdr.epoch;
+    m->dst_epoch = hdr.dst_epoch;
     m->msg_id = hdr.msg_id;
     m->offset = offset;
     if (checksums_) {
@@ -477,10 +480,82 @@ void SendEngine::give_up(std::int64_t id) {
              "lapi task %d: giving up on msg %lld to %d after %d retries",
              task_id_, static_cast<long long>(id), rec.target,
              rec.retry.retries);
-  fail_send(id);
+  // Retry exhaustion IS peer death under the crash-stop model: if this
+  // record could not get through after a full backoff ladder, none of its
+  // siblings toward the same peer will either. Fail the whole per-peer
+  // queue at once instead of letting each record burn its own ladder.
+  fail_peer(rec.target);
 }
 
-void SendEngine::fail_send(std::int64_t msg_id) {
+void SendEngine::fail_peer(int peer) {
+  const bool fresh = failed_peers_.insert(peer).second;
+  // Drop the parked queue first: failing a leased record returns credits,
+  // and the credit drain must not restart parked sends toward a dead peer.
+  credit_waitq_.erase(peer);
+  std::vector<std::int64_t> ids;
+  for (const auto& [id, rec] : sends_) {
+    if (rec.target == peer) ids.push_back(id);
+  }
+  if (fresh) {
+    progress_.engine().counters().bump("lapi.peer_failed");
+    SPLAP_WARN(progress_.engine().now(),
+               "lapi task %d: peer %d declared dead, failing over %zu records",
+               task_id_, peer, ids.size());
+  }
+  for (const std::int64_t id : ids) fail_send(id, Status::kPeerFailed);
+  health_.erase(peer);
+  if (fresh && peer_failure_hook_) peer_failure_hook_(peer);
+  progress_.notify();
+}
+
+void SendEngine::on_peer_reborn(int peer, std::int64_t new_epoch) {
+  // Only the records addressed to a dead incarnation fail over; sends the
+  // origin already stamped with the new epoch stay live (the adoption was
+  // very likely triggered by one of their acks).
+  std::vector<std::int64_t> stale;
+  for (const auto& [id, rec] : sends_) {
+    if (rec.target == peer && rec.hdr_meta->dst_epoch < new_epoch) {
+      stale.push_back(id);
+    }
+  }
+  if (auto qit = credit_waitq_.find(peer); qit != credit_waitq_.end()) {
+    std::erase_if(qit->second, [&](std::int64_t id) {
+      auto it = sends_.find(id);
+      return it == sends_.end() || it->second.hdr_meta->dst_epoch < new_epoch;
+    });
+    if (qit->second.empty()) credit_waitq_.erase(qit);
+  }
+  if (!stale.empty()) {
+    SPLAP_WARN(progress_.engine().now(),
+               "lapi task %d: peer %d reborn as epoch %lld, failing %zu "
+               "stale-addressed records",
+               task_id_, peer, static_cast<long long>(new_epoch),
+               stale.size());
+  }
+  for (const std::int64_t id : stale) fail_send(id, Status::kPeerFailed);
+  failed_peers_.erase(peer);  // the restarted life is reachable
+  health_.erase(peer);
+  progress_.notify();
+}
+
+void SendEngine::note_heard(int src) {
+  if (failed_peers_.empty() && health_.empty()) return;  // healthy fast path
+  failed_peers_.erase(src);
+  auto it = health_.find(src);
+  if (it != health_.end()) {
+    it->second.heard = true;
+    it->second.misses = 0;
+  }
+}
+
+void SendEngine::forgive_crash_teardown() {
+#ifdef SPLAP_AUDIT
+  send_ledger_.clear();
+  credit_ledger_.clear();
+#endif
+}
+
+void SendEngine::fail_send(std::int64_t msg_id, Status reason) {
   auto it = sends_.find(msg_id);
   if (it == sends_.end()) return;
   SendRecord& rec = it->second;
@@ -500,25 +575,120 @@ void SendEngine::fail_send(std::int64_t msg_id) {
     cancel.client = net::Client::kLapi;
     auto m = std::make_shared<WireMeta>();
     m->kind = PktKind::kCancel;
+    m->epoch = hdr.epoch;
+    m->dst_epoch = hdr.dst_epoch;
     m->acked_msg = msg_id;
     cancel.meta = std::move(m);
     cancel.header_bytes = cm.lapi_header_bytes + kCancelDescBytes;
     wire_.transmit(std::move(cancel));
   }
   // Complete every counter the operation still owes, marked failed: waiters
-  // unblock (never a hang) and waitcntr reports kResourceExhausted.
+  // unblock (never a hang) and waitcntr reports the failure Status —
+  // kPeerFailed when the peer was declared dead, kResourceExhausted for
+  // plain resource exhaustion.
+  const bool peer_death = reason == Status::kPeerFailed;
   if (rec.org_pending ||
       ((rec.kind == PktKind::kGetReq || rec.kind == PktKind::kRmwReq) &&
        hdr.org_cntr != nullptr && !rec.data_acked)) {
-    progress_.bump_failed(hdr.org_cntr);
+    peer_death ? progress_.bump_peer_failed(hdr.org_cntr)
+               : progress_.bump_failed(hdr.org_cntr);
   }
-  if (rec.needs_done && !rec.done_acked) progress_.bump_failed(hdr.cmpl_cntr);
+  if (rec.needs_done && !rec.done_acked) {
+    peer_death ? progress_.bump_peer_failed(hdr.cmpl_cntr)
+               : progress_.bump_failed(hdr.cmpl_cntr);
+  }
   progress_.engine().counters().bump("lapi.failed_ops");
 #ifdef SPLAP_AUDIT
   send_ledger_.remove(&rec, "SendEngine::fail_send");
 #endif
   sends_.erase(it);
   progress_.notify();  // fence/term waiters re-evaluate, record reclaimed
+}
+
+// --- keepalive (Config::keepalive_interval > 0) ----------------------------
+
+namespace {
+/// Silent observation windows before a probed peer is declared dead.
+constexpr int kKeepaliveMisses = 3;
+}  // namespace
+
+void SendEngine::arm_keepalive() {
+  if (keepalive_armed_) return;
+  keepalive_armed_ = true;
+  // Raw engine event guarded by the context-lifetime token — deliberately
+  // NOT a counted deferred effect: a counted tick would hold term()'s
+  // quiesce loop open, and the tick stops re-arming once sends_ drains, so
+  // the engine queue still empties at quiescence.
+  progress_.engine().schedule_after(config_.keepalive_interval,
+                                    [this, w = progress_.alive()] {
+                                      if (w.expired()) return;
+                                      keepalive_armed_ = false;
+                                      keepalive_tick();
+                                    });
+}
+
+void SendEngine::keepalive_tick() {
+  // Only peers with a started (non-parked) record are probed: only they can
+  // strand a waiter. The map keeps probe order deterministic; the first
+  // record supplies the dst_epoch the probe is addressed to.
+  std::map<int, const SendRecord*> targets;
+  for (const auto& [id, rec] : sends_) {
+    if (!rec.queued && rec.target != task_id_) {
+      targets.try_emplace(rec.target, &rec);
+    }
+  }
+  std::vector<int> dead;
+  for (const auto& [peer, rec] : targets) {
+    if (failed_peers_.count(peer) != 0) continue;
+    PeerHealth& h = health_[peer];
+    if (h.heard) {
+      h.heard = false;
+      h.misses = 0;
+      continue;
+    }
+    if (++h.misses >= kKeepaliveMisses) {
+      dead.push_back(peer);
+      continue;
+    }
+    progress_.engine().counters().bump("lapi.keepalive_probes");
+    net::Packet p = wire_.make_packet();
+    p.src = task_id_;
+    p.dst = peer;
+    p.client = net::Client::kLapi;
+    auto m = std::make_shared<WireMeta>();
+    m->kind = PktKind::kProbe;
+    m->epoch = epoch_;
+    m->dst_epoch = rec->hdr_meta->dst_epoch;
+    p.meta = std::move(m);
+    p.header_bytes = progress_.cost().lapi_header_bytes + kProbeDescBytes;
+    wire_.transmit(std::move(p));
+  }
+  for (const int peer : dead) {
+    progress_.engine().counters().bump("lapi.keepalive_failed");
+    SPLAP_WARN(progress_.engine().now(),
+               "lapi task %d: keepalive declared peer %d dead after %d silent "
+               "intervals",
+               task_id_, peer, kKeepaliveMisses);
+    fail_peer(peer);
+  }
+  if (!sends_.empty()) arm_keepalive();
+}
+
+Time SendEngine::on_probe(const net::Packet& pkt) {
+  const CostModel& cm = progress_.cost();
+  const auto& m = *std::static_pointer_cast<const WireMeta>(pkt.meta);
+  net::Packet ack = wire_.make_packet();
+  ack.src = task_id_;
+  ack.dst = pkt.src;
+  ack.client = net::Client::kLapi;
+  auto rm = std::make_shared<WireMeta>();
+  rm->kind = PktKind::kProbeAck;
+  rm->epoch = epoch_;
+  rm->dst_epoch = m.epoch;  // addressed to the life that asked
+  ack.meta = std::move(rm);
+  ack.header_bytes = cm.lapi_header_bytes + kProbeDescBytes;
+  wire_.transmit(std::move(ack));
+  return cm.lapi_ack;
 }
 
 // --- ack / response demux ---------------------------------------------------

@@ -28,8 +28,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -240,6 +242,53 @@ class SendEngine final : public ReliableChannel::Sender {
   /// quiesce loop stops waiting on such records).
   bool all_exhausted() const;
 
+  // --- crash-stop peer failure (tentpole of the recovery subsystem) --------
+
+  /// Incarnation epoch of the owning context; stamped into every packet this
+  /// engine originates itself (data fragments copy the facade-stamped
+  /// header). Defaults to 0, the only epoch of a never-crashed run.
+  void set_epoch(std::int64_t e) { epoch_ = e; }
+
+  /// A keepalive probe arrived: reply immediately (header-only, dispatcher
+  /// cost only — same class of traffic as a NACK).
+  Time on_probe(const net::Packet& pkt);
+
+  /// Any packet from `src` was admitted: the peer is demonstrably alive.
+  /// Clears its keepalive miss count and un-latches a dead verdict (the
+  /// peer reconnected, or congestion was misjudged as death).
+  void note_heard(int src);
+
+  /// Is `peer` currently latched dead?
+  bool peer_failed(int peer) const { return failed_peers_.count(peer) != 0; }
+
+  /// Declare `peer` dead (retry exhaustion, keepalive timeout, or gossip
+  /// from another task's detection): fail over every queued and pending
+  /// record toward it at once with kPeerFailed, reclaim their credit
+  /// leases, and fire the peer-failure hook once per latch transition.
+  void fail_peer(int peer);
+
+  /// The peer restarted with incarnation `new_epoch`. Records addressed to
+  /// an older incarnation can never complete (the new life rejects their
+  /// dst_epoch), so fail them over now; records already addressed to the
+  /// new life ride through untouched — the very packet that triggered the
+  /// adoption may be their ack. Clears the dead latch: the new life is
+  /// reachable. Deliberately does NOT fire the peer-failure hook: rebirth
+  /// is not a death declaration, and the stale records' own kPeerFailed
+  /// completions carry the news to their waiters.
+  void on_peer_reborn(int peer, std::int64_t new_epoch);
+
+  /// Invoked in dispatcher context on each fresh dead-peer latch (the
+  /// facade wires the LAPI_Init error handler and failure gossip here).
+  void set_peer_failure_hook(std::function<void(int)> hook) {
+    peer_failure_hook_ = std::move(hook);
+  }
+
+  /// Crash teardown only (Context::term on a poisoned actor): the records
+  /// and leases still live belong to the epoch that just died — drop them
+  /// from the audit ledgers so the crash itself doesn't read as a leak.
+  /// Healthy teardown never calls this; its ledgers must drain naturally.
+  void forgive_crash_teardown();
+
  private:
   // ReliableChannel::Sender hooks.
   RetryState* retry_state(std::int64_t id) override;
@@ -256,12 +305,16 @@ class SendEngine final : public ReliableChannel::Sender {
   /// everything, so a wrong guess costs time, never correctness.
   void transmit_packets(const SendRecord& rec, std::int64_t skip_first = 0);
   void transmit_probe(const SendRecord& rec);
-  /// Retry exhaustion: complete the op with kResourceExhausted — unblock
-  /// every counter that has not fired yet (marked failed), release the
-  /// outstanding bookkeeping and reclaim the record. Never hangs a waiter.
-  /// Also emits a best-effort kCancel so the target reclaims any partial
-  /// assembly the abandoned message left behind.
-  void fail_send(std::int64_t msg_id);
+  /// Abandon one record: complete the op with `reason` (kPeerFailed for a
+  /// dead peer, kResourceExhausted otherwise) — unblock every counter that
+  /// has not fired yet (marked failed), release the outstanding bookkeeping
+  /// and reclaim the record. Never hangs a waiter. Also emits a best-effort
+  /// kCancel so the target reclaims any partial assembly the abandoned
+  /// message left behind.
+  void fail_send(std::int64_t msg_id, Status reason);
+  /// Keepalive: (re-)arm the probe tick while records are pending.
+  void arm_keepalive();
+  void keepalive_tick();
 
   /// Wire packets a message of this shape occupies (mirrors the
   /// transmit_packets fragmentation math; the credit unit).
@@ -296,6 +349,20 @@ class SendEngine final : public ReliableChannel::Sender {
   /// drained as grants/reclamations return credits.
   std::map<int, std::deque<std::int64_t>> credit_waitq_;
   ReliableChannel channel_;
+
+  // --- crash-stop peer failure state ---------------------------------------
+  std::int64_t epoch_ = 0;
+  /// Peers latched dead; cleared by note_heard when the peer reconnects.
+  std::set<int> failed_peers_;
+  std::function<void(int)> peer_failure_hook_;
+  /// Keepalive observation window per probed peer: `heard` is set by any
+  /// admitted packet from the peer and consumed (reset) each tick.
+  struct PeerHealth {
+    bool heard = false;
+    int misses = 0;
+  };
+  std::map<int, PeerHealth> health_;
+  bool keepalive_armed_ = false;
 #ifdef SPLAP_AUDIT
   /// Shadow ledger of live send records: double-reclaim or a timer/ack
   /// touching a reclaimed record aborts at the corrupting operation.

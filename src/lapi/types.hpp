@@ -42,6 +42,11 @@ class Counter {
   /// still advance value_ so waiters unblock; waitcntr surfaces the error
   /// as its Status instead of hanging the waiter forever.
   std::int64_t failed_ = 0;
+  /// Subset of failed_ caused by a declared-dead peer (crash-stop failover).
+  /// waitcntr reports these as kPeerFailed, which takes precedence over the
+  /// generic kResourceExhausted so callers can tell "the peer died" from
+  /// "the network gave up".
+  std::int64_t peer_failed_ = 0;
 };
 
 /// The four atomic read-modify-write primitives (Section 3).
@@ -100,6 +105,13 @@ enum class Query {
 enum class Setting {
   kInterruptSet,  // toggle interrupt vs polling mode at runtime
 };
+
+/// LAPI_Init-registered error handler: invoked (once per failed peer, on
+/// this context's completion-handler pool, so it runs in actor context and
+/// may block) when the library declares a peer task dead — by retry
+/// exhaustion or by keepalive probe timeout. `status` is kPeerFailed.
+using ErrorHandler = std::function<void(Context&, int failed_task,
+                                        Status status)>;
 
 struct Config {
   /// Interrupt (true) or polling (false) mode at init; LAPI_Senv can change
@@ -174,6 +186,17 @@ struct Config {
   /// exceeds this parks (blocks computing) until the backlog drains to the
   /// limit, instead of over-injecting. 0 = no pacing.
   Time max_injection_backlog = 0;
+
+  // --- crash-stop failure detection (default off: golden traces unchanged) --
+  /// Keepalive probe period. While this context has sends pending toward a
+  /// peer, it probes peers that stayed silent for a full period; three
+  /// silent periods declare the peer dead and fail over every queued and
+  /// pending record to it at once (Status::kPeerFailed). 0 = keepalive off;
+  /// retry exhaustion then remains the only death detector.
+  Time keepalive_interval = 0;
+  /// Error handler registered at LAPI_Init. nullptr = none; peer failure is
+  /// then observable only through kPeerFailed completions and gfence.
+  ErrorHandler error_handler;
 };
 
 }  // namespace splap::lapi

@@ -25,6 +25,13 @@ Comm::Comm(net::Node& node, Config config)
                 "MP_EAGER_LIMIT out of range (max 64K, Section 4)");
   next_send_seq_.assign(static_cast<std::size_t>(size()), 0);
   next_admit_.assign(static_cast<std::size_t>(size()), 0);
+  // Incarnation epochs, as in the LAPI stack: our node's restart count and
+  // the last-known incarnation of each peer (both 0 in healthy runs).
+  epoch_ = node_.machine().incarnation(rank());
+  peer_epochs_.resize(static_cast<std::size_t>(size()));
+  for (int t = 0; t < size(); ++t) {
+    peer_epochs_[static_cast<std::size_t>(t)] = node_.machine().incarnation(t);
+  }
   // The shared reliable-delivery core, configured like the fixed-timeout
   // LAPI policy but with the backoff clamp armed: MPL has no adaptive
   // estimation, so without the clamp the per-retry doubling was unbounded.
@@ -49,17 +56,31 @@ void Comm::term() {
   sim::Actor* a = sim::Actor::current();
   SPLAP_REQUIRE(a != nullptr, "Comm::term must run in a task context");
   if (!a->poisoned()) {
-    while (!sends_.empty() || pending_effects_ > 0) {
-      bool gave_up = true;
-      for (const auto& [id, req] : sends_) {
-        if (req.retry.retries < config_.max_retries) gave_up = false;
+    try {
+      while (!sends_.empty() || pending_effects_ > 0) {
+        bool gave_up = true;
+        for (const auto& [id, req] : sends_) {
+          if (req.retry.retries < config_.max_retries) gave_up = false;
+        }
+        if (gave_up && pending_effects_ == 0) break;
+        waiters_.add(*a);
+        a->suspend("mpl-term-quiesce");
       }
-      if (gave_up && pending_effects_ == 0) break;
-      waiters_.add(*a);
-      a->suspend("mpl-term-quiesce");
+    } catch (...) {
+      if (!a->poisoned()) throw;
+      // The crash landed mid-quiesce: ~Comm is noexcept, so the engine's
+      // kill exception is absorbed here and teardown takes the crash path
+      // below. The actor's next suspension rethrows it.
     }
   }
-  node_.adapter().unregister_client(net::Client::kMpl);
+  if (a->poisoned()) {
+    // Crash teardown: the slot really is gone; late packets dead-letter.
+    node_.adapter().unregister_client(net::Client::kMpl);
+  } else {
+    // Orderly shutdown keeps absorbing straggler duplicate acks (see
+    // Adapter::retire_client).
+    node_.adapter().retire_client(net::Client::kMpl);
+  }
   terminated_ = true;
   alive_.reset();
 }
@@ -91,6 +112,7 @@ Request Comm::start_send(int dst, int tag, std::span<const std::byte> data) {
   req.dst = dst;
   req.tag = tag;
   req.seq = next_send_seq_[static_cast<std::size_t>(dst)]++;
+  req.dst_epoch = node_.machine().incarnation(dst);
   req.state = eager ? SState::kEagerDone : SState::kWaitCts;
   // Eager: the buffering copy that lets the send return immediately — the
   // "extra copy in MPI" of Section 4, charged at memory-copy bandwidth.
@@ -145,6 +167,8 @@ void Comm::transmit_send(const SendReq& req, std::int64_t /*id*/) {
     m->seq = req.seq;
     m->tag = req.tag;
     m->total_len = static_cast<std::int64_t>(req.data->size());
+    m->epoch = epoch_;
+    m->dst_epoch = req.dst_epoch;
     p.meta = std::move(m);
     wire_.transmit(std::move(p));
     return;
@@ -161,6 +185,8 @@ void Comm::transmit_send(const SendReq& req, std::int64_t /*id*/) {
   m->seq = req.seq;
   m->tag = req.tag;
   m->total_len = len;
+  m->epoch = epoch_;
+  m->dst_epoch = req.dst_epoch;
   first.meta = std::move(m);
   const std::int64_t chunk0 = std::min(len, cm.mpi_payload());
   if (chunk0 > 0) {
@@ -187,6 +213,8 @@ void Comm::transmit_data(const SendReq& req) {
     m->kind = MplKind::kData;
     m->seq = req.seq;
     m->offset = offset;
+    m->epoch = epoch_;
+    m->dst_epoch = req.dst_epoch;
     p.meta = std::move(m);
     p.data.assign(req.data->begin() + offset, req.data->begin() + offset + chunk);
     wire_.transmit(std::move(p));
@@ -215,11 +243,100 @@ void Comm::retransmit(std::int64_t id) {
   }
 }
 
-void Comm::give_up(std::int64_t /*id*/) {
-  // The record stays: term's quiesce loop observes the exhausted retry
-  // budget and unblocks waiters instead of spinning. The sticky status is
-  // how the caller learns delivery is no longer guaranteed.
+void Comm::give_up(std::int64_t id) {
+  // Distinguish the two exhaustion causes: when the destination's node is
+  // actually down on the wire, this is a crash-stop peer failure and every
+  // send toward it is hopeless at once; otherwise it is the legacy overload
+  // verdict (shed at the receiver, congestion), where the record stays and
+  // term's quiesce loop observes the exhausted retry budget.
+  auto it = sends_.find(id);
+  if (it != sends_.end() &&
+      !node_.machine().fabric().node_up(it->second.dst, engine().now())) {
+    fail_peer(it->second.dst);
+    return;
+  }
   comm_status_ = Status::kResourceExhausted;
+  notify();
+}
+
+void Comm::fail_peer(int peer) {
+  if (failed_peers_.insert(peer).second) {
+    engine().counters().bump("mpl.peer_failed");
+    SPLAP_WARN(engine().now(), "mpl rank %d: peer %d declared failed (node down)",
+               rank(), peer);
+  }
+  // Reclaim every in-flight send toward the peer (the retransmit timers die
+  // as stale once the records are gone), so term's quiesce loop and blocked
+  // senders exit instead of burning the full retry budget per message.
+  for (auto it = sends_.begin(); it != sends_.end();) {
+    if (it->second.dst == peer) {
+#ifdef SPLAP_AUDIT
+      send_ledger_.remove(&it->second, "Comm::fail_peer");
+#endif
+      seq_to_send_.erase({peer, it->second.seq});
+      it = sends_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Receives that can only be satisfied by the dead peer can never
+  // complete: fail matched postings bound to it and unmatched postings that
+  // name it explicitly. (kAnySource postings stay — see Posting::failed.)
+  for (auto& [pid, p] : postings_) {
+    if (p.done || p.failed) continue;
+    if ((p.matched && p.m_src == peer) || (!p.matched && p.src == peer)) {
+      p.failed = true;
+    }
+  }
+  comm_status_ = Status::kPeerFailed;
+  notify();
+}
+
+void Comm::on_peer_reborn(int peer, std::int64_t new_epoch) {
+  // The previous life's verdicts and receive-side state are void: its
+  // sequence space restarts at zero with the new incarnation. Only sends
+  // addressed to a dead incarnation fail over — a send already stamped with
+  // the new epoch is live traffic of the new conversation (possibly the
+  // very one whose packet triggered this adoption).
+  bool failed_any = false;
+  for (auto it = sends_.begin(); it != sends_.end();) {
+    if (it->second.dst == peer && it->second.dst_epoch < new_epoch) {
+#ifdef SPLAP_AUDIT
+      send_ledger_.remove(&it->second, "Comm::on_peer_reborn");
+#endif
+      seq_to_send_.erase({peer, it->second.seq});
+      it = sends_.erase(it);
+      failed_any = true;
+    } else {
+      ++it;
+    }
+  }
+  // Matched postings were bound to old-life messages (wiped below) and can
+  // never complete; unmatched postings naming the peer stay — the new life
+  // may still satisfy them.
+  for (auto& [pid, p] : postings_) {
+    if (p.done || p.failed) continue;
+    if (p.matched && p.m_src == peer) {
+      p.failed = true;
+      failed_any = true;
+    }
+  }
+  if (failed_any && comm_status_ == Status::kOk) {
+    comm_status_ = Status::kPeerFailed;
+  }
+  failed_peers_.erase(peer);
+  for (auto it = in_.begin(); it != in_.end();) {
+    if (it->first.first == peer) {
+      it = in_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::erase_if(unexpected_,
+                [peer](const auto& key) { return key.first == peer; });
+  std::erase_if(handler_q_,
+                [peer](const auto& key) { return key.first == peer; });
+  next_admit_[static_cast<std::size_t>(peer)] = 0;
   notify();
 }
 
@@ -232,6 +349,10 @@ void Comm::send_ctl(int dst, MplKind kind, std::int64_t seq, Time when) {
   auto m = std::make_shared<MplMeta>();
   m->kind = kind;
   m->seq = seq;
+  // Control replies address the peer incarnation currently admitted (which
+  // the gate in process() keeps equal to the incoming packet's stamp).
+  m->epoch = epoch_;
+  m->dst_epoch = peer_epochs_[static_cast<std::size_t>(dst)];
   p.meta = std::move(m);
   if (when <= engine().now()) {
     wire_.transmit(std::move(p));
@@ -270,6 +391,9 @@ Request Comm::irecv(int src, int tag, std::span<std::byte> buf,
   p.tag = tag;
   p.buf = buf;
   p.status = st;
+  // Naming an already-declared-dead peer fails the receive immediately
+  // (there is nothing to wait for; fail_peer only scans existing postings).
+  if (src != kAnySource && failed_peers_.count(src) != 0) p.failed = true;
   postings_.emplace(id, p);
   posting_order_.push_back(id);
   Time charge = cost().mpi_post + match_scan();
@@ -289,7 +413,10 @@ Status Comm::recv(int src, int tag, std::span<std::byte> buf, RecvStatus* st) {
   wait(r);
   auto it = postings_.find(r);
   const bool truncated = it != postings_.end() && it->second.truncated;
+  const bool failed =
+      it != postings_.end() && it->second.failed && !it->second.done;
   postings_.erase(r);
+  if (failed) return Status::kPeerFailed;
   return truncated ? Status::kTruncated : Status::kOk;
 }
 
@@ -299,7 +426,7 @@ void Comm::wait(Request r) {
   a->wait(
       [&] {
         if (auto it = postings_.find(r); it != postings_.end()) {
-          if (!it->second.done) {
+          if (!it->second.done && !it->second.failed) {
             waiters_.add(*a);
             return false;
           }
@@ -319,7 +446,7 @@ void Comm::wait(Request r) {
 
 bool Comm::test(Request r) {
   if (auto it = postings_.find(r); it != postings_.end()) {
-    return it->second.done;
+    return it->second.done || it->second.failed;
   }
   if (auto it = sends_.find(r); it != sends_.end()) {
     return it->second.state != SState::kWaitCts;
@@ -452,6 +579,20 @@ Time Comm::process(net::Packet& pkt) {
   const CostModel& cm = cost();
   const MplMeta& m = pkt.meta_as<MplMeta>();
   const int src = pkt.src;
+  // Incarnation gate (no-op in healthy runs: everything is epoch 0). A
+  // packet from or for a dead incarnation is rejected; a stamp newer than
+  // the admitted one means the peer restarted — adopt it and wipe the old
+  // life's state first.
+  if (m.dst_epoch != epoch_ ||
+      m.epoch != peer_epochs_[static_cast<std::size_t>(src)]) [[unlikely]] {
+    if (m.dst_epoch < epoch_ ||
+        m.epoch < peer_epochs_[static_cast<std::size_t>(src)]) {
+      engine().counters().bump("mpl.stale_epoch");
+      return cm.mpi_pkt_rx;
+    }
+    peer_epochs_[static_cast<std::size_t>(src)] = m.epoch;
+    on_peer_reborn(src, m.epoch);
+  }
   const auto key = std::pair<int, std::int64_t>{src, m.seq};
 
   // Completion effects (posting done / handler dispatch) land at the END of
@@ -745,6 +886,7 @@ void Comm::barrier() {
     const Request s = isend(to, tag, std::span<const std::byte>(&token, 1));
     std::byte in{};
     const Status st = recv(from, tag, std::span<std::byte>(&in, 1));
+    if (st == Status::kPeerFailed) return;  // degraded: comm_status_ latched
     SPLAP_REQUIRE(st == Status::kOk, "barrier exchange failed");
     wait(s);
   }
@@ -762,6 +904,7 @@ void Comm::bcast(std::span<std::byte> data, int root) {
     while ((vrank & mask) == 0) mask <<= 1;
     const int parent = ((vrank & ~mask) + root) % n;
     const Status st = recv(parent, tag, data);
+    if (st == Status::kPeerFailed) return;  // degraded: comm_status_ latched
     SPLAP_REQUIRE(st == Status::kOk, "bcast receive failed");
   }
   // Forward to children.
@@ -798,6 +941,7 @@ void Comm::allreduce_sum(std::span<double> data) {
           recv(peer, tag,
                std::span<std::byte>(reinterpret_cast<std::byte*>(incoming.data()),
                                     incoming.size() * sizeof(double)));
+      if (st == Status::kPeerFailed) return;  // degraded: result undefined
       SPLAP_REQUIRE(st == Status::kOk, "allreduce exchange failed");
       wait(s);
       for (std::size_t i = 0; i < data.size(); ++i) data[i] += incoming[i];
@@ -811,6 +955,7 @@ void Comm::allreduce_sum(std::span<double> data) {
           recv(r, tag,
                std::span<std::byte>(reinterpret_cast<std::byte*>(incoming.data()),
                                     incoming.size() * sizeof(double)));
+      if (st == Status::kPeerFailed) continue;  // dead rank: skip its term
       SPLAP_REQUIRE(st == Status::kOk, "allreduce gather failed");
       for (std::size_t i = 0; i < data.size(); ++i) data[i] += incoming[i];
     }

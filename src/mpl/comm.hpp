@@ -30,6 +30,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <span>
 #include <vector>
 
@@ -53,6 +54,13 @@ struct MplMeta {
   int tag = 0;
   std::int64_t total_len = 0;
   std::int64_t offset = 0;
+  /// Incarnation epochs (see lapi::WireMeta): the sender's restart count and
+  /// the destination incarnation this packet was addressed to. Both stay 0
+  /// in every healthy run, so the wire image is unchanged. A restarted peer
+  /// restarts its seq space at 0 — without the stamp its old life's
+  /// retransmissions would collide with the new life's sequence cursor.
+  std::int64_t epoch = 0;
+  std::int64_t dst_epoch = 0;
 };
 
 /// The communicator shares LAPI's reliable-delivery core: retransmit timers,
@@ -114,9 +122,13 @@ class Comm : private lapi::ReliableChannel::Sender {
   sim::Engine& engine() const { return node_.engine(); }
 
   /// Sticky health status: kOk until this communicator sheds an unexpected
-  /// message (max_unexpected) or exhausts a send's retry budget; then
-  /// kResourceExhausted. Overload is surfaced here, never as an abort.
+  /// message (max_unexpected) or exhausts a send's retry budget
+  /// (kResourceExhausted), or a retry budget exhausts against a peer whose
+  /// node is actually down (kPeerFailed — the stronger verdict wins).
+  /// Overload and peer death are surfaced here, never as an abort.
   Status comm_status() const { return comm_status_; }
+  /// Has this communicator declared `peer`'s node dead?
+  bool peer_failed(int peer) const { return failed_peers_.count(peer) != 0; }
 
  private:
   // --- origin-side state ---------------------------------------------------
@@ -132,6 +144,10 @@ class Comm : private lapi::ReliableChannel::Sender {
     SState state = SState::kEagerDone;
     std::shared_ptr<std::vector<std::byte>> data;  // retransmit source
     std::int64_t seq = 0;
+    /// Destination incarnation this send was issued against, fixed at
+    /// start_send: retransmissions into a restarted peer are rejected
+    /// rather than admitted into its fresh sequence space.
+    std::int64_t dst_epoch = 0;
     bool acked = false;
     lapi::RetryState retry;
   };
@@ -170,6 +186,12 @@ class Comm : private lapi::ReliableChannel::Sender {
     RecvStatus* status = nullptr;
     bool matched = false;
     bool truncated = false;
+    /// The peer this posting names (or was matched to) died: the receive
+    /// can never complete normally. wait() unblocks and recv() surfaces
+    /// kPeerFailed. kAnySource postings with no match are NOT failed —
+    /// another sender may still satisfy them (documented limitation: an
+    /// any-source receive whose only possible sender died will hang).
+    bool failed = false;
     // Once matched:
     int m_src = -1;
     std::int64_t m_seq = -1;
@@ -193,6 +215,15 @@ class Comm : private lapi::ReliableChannel::Sender {
   bool settled(std::int64_t id) override;
   void retransmit(std::int64_t id) override;
   void give_up(std::int64_t id) override;
+
+  /// The peer's node is down: fail every in-flight send toward it, fail the
+  /// postings that name it, and latch comm_status_ to kPeerFailed.
+  void fail_peer(int peer);
+  /// The peer restarted as incarnation `new_epoch`: wipe its previous
+  /// life's receive-side state (its sequence space restarts at zero) and
+  /// fail the sends addressed to dead incarnations; sends already stamped
+  /// with the new epoch stay live.
+  void on_peer_reborn(int peer, std::int64_t new_epoch);
 
   // Receive path.
   void on_delivery(net::Packet&& pkt);
@@ -246,6 +277,11 @@ class Comm : private lapi::ReliableChannel::Sender {
   int pending_effects_ = 0;
 
   Status comm_status_ = Status::kOk;
+
+  /// Incarnation epochs (crash-stop recovery; all zero in healthy runs).
+  std::int64_t epoch_ = 0;
+  std::vector<std::int64_t> peer_epochs_;
+  std::set<int> failed_peers_;
 
   sim::WaitSet waiters_;
   std::shared_ptr<char> alive_ = std::make_shared<char>();

@@ -37,6 +37,11 @@ Fabric::Fabric(sim::Engine& engine, int nodes, FabricConfig config)
                     "route fault names a route the pair does not have");
     }
     faults_ = std::make_unique<FaultInjector>(config_.fault);
+    for (const NodeFault& f : config_.fault.node_faults) {
+      SPLAP_REQUIRE(f.node >= 0 && f.node < nodes,
+                    "node fault names a node the machine does not have");
+      node_faults_.push_back(f);
+    }
   }
   // The minimum cross-node latency any transmit can produce: departure pays
   // adapter_tx before the wire, and every route adds at least route_latency
@@ -92,6 +97,43 @@ void Fabric::set_overflow(int dst, OverflowThunk fn, void* ctx) {
   overflow_[static_cast<std::size_t>(dst)] = OverflowSlot{fn, ctx};
 }
 
+void Fabric::add_node_fault(const NodeFault& f) {
+  SPLAP_REQUIRE(f.node >= 0 && f.node < nodes(),
+                "node fault names a node the machine does not have");
+  node_faults_.push_back(f);
+}
+
+void Fabric::set_node_restart(int node, Time t) {
+  // Close the newest open window for the node: kill/restart pairs nest in
+  // call order, and a restart before any crash is a caller bug.
+  for (auto it = node_faults_.rbegin(); it != node_faults_.rend(); ++it) {
+    if (it->node == node && it->until == kNoTime) {
+      SPLAP_REQUIRE(t > it->from, "restart must come after the crash");
+      it->until = t;
+      return;
+    }
+  }
+  SPLAP_REQUIRE(false, "restart_node without a preceding kill_node");
+}
+
+bool Fabric::node_up_slow(int node, Time t) const {
+  for (const NodeFault& f : node_faults_) {
+    if (f.node == node && f.active(t)) return false;
+  }
+  return true;
+}
+
+void Fabric::reset_node(int node) {
+  const auto n = static_cast<std::size_t>(node);
+  link_free_[n] = 0;
+  rx_free_[n] = 0;
+  next_route_[n] = 0;
+  // rx_count_ is deliberately NOT reset: flushes keep it self-consistent
+  // (stage_rx never admits a packet for a down node, and finish_delivery
+  // decrements before its own flush check), and zeroing it while old-epoch
+  // deliveries are still draining would drive the occupancy negative.
+}
+
 void Fabric::transmit(Packet&& pkt) {
   const auto src = static_cast<std::size_t>(pkt.src);
   const std::int64_t wire_bytes = pkt.wire_bytes();
@@ -101,6 +143,20 @@ void Fabric::transmit(Packet&& pkt) {
                 "packet exceeds the wire MTU");
   const CostModel& cm = config_.cost;
   ++sent_[src];
+
+  if (!node_faults_.empty()) [[unlikely]] {
+    // Crash-stop: a dead endpoint loses the packet at the wire, whichever
+    // side is down (a dying node's still-queued injections go nowhere, and
+    // nothing reaches a dead receiver). The reliability layers see silence.
+    if (!node_up(pkt.src, engine_.now()) || !node_up(pkt.dst, engine_.now())) {
+      ++fault_dropped_;
+      fault_bytes_dropped_ += wire_bytes;
+      engine_.counters().bump("fabric.node_down");
+      SPLAP_DEBUG(engine_.now(), "fabric: node down, dropped packet %d->%d",
+                  pkt.src, pkt.dst);
+      return;
+    }
+  }
 
   Time arrival;
   if (pkt.src == pkt.dst) {
@@ -262,6 +318,14 @@ void Fabric::stage_rx(InFlight* rec) {
   engine_.audit_object_touch(rec, "Fabric::stage_rx");
 #endif
   const auto dst = static_cast<std::size_t>(rec->pkt.dst);
+  if (!node_faults_.empty() &&
+      !node_up(rec->pkt.dst, engine_.now())) [[unlikely]] {
+    // The destination crashed while this packet was in the switch: the
+    // adapter that would queue it no longer exists. Flushed, not delivered.
+    engine_.counters().bump("fabric.node_down_flushed");
+    release_record(rec);
+    return;
+  }
   if (config_.rx_queue_depth > 0) {
     // Bounded adapter RX: a packet occupies a queue slot from arrival until
     // the drain DMA hands it to the node. A full queue drops the arrival
@@ -301,6 +365,14 @@ void Fabric::finish_delivery(InFlight* rec) {
 #endif
   const auto dst = static_cast<std::size_t>(rec->pkt.dst);
   if (config_.rx_queue_depth > 0) --rx_count_[dst];
+  if (!node_faults_.empty() &&
+      !node_up(rec->pkt.dst, engine_.now())) [[unlikely]] {
+    // Crashed between RX staging and drain-DMA completion: the queued packet
+    // dies with the adapter (occupancy already released above).
+    engine_.counters().bump("fabric.node_down_flushed");
+    release_record(rec);
+    return;
+  }
   const DeliverSlot slot = deliver_[dst];
   SPLAP_REQUIRE(slot.fn != nullptr,
                 "packet for a node with no adapter handler");

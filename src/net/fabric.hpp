@@ -155,6 +155,30 @@ class Fabric : public Delivery {
   /// to stamp/verify end-to-end payload checksums).
   bool corruption_enabled() const { return config_.fault.corrupt_rate > 0; }
 
+  // --- crash-stop node windows -------------------------------------------
+  // While a node window is active the node is dead on the wire: transmit
+  // drops every packet to or from it (fabric.node_down) and packets already
+  // in flight toward it are flushed at the adapter (fabric.node_down_flushed)
+  // so crash timing cannot leak stale deliveries into a restarted node.
+
+  /// Open a crash window (Machine::kill_node appends one with until=kNoTime;
+  /// declarative windows arrive via FaultConfig::node_faults).
+  void add_node_fault(const NodeFault& f);
+
+  /// Close the newest open window for `node` at time `t` (its restart).
+  void set_node_restart(int node, Time t);
+
+  /// Is `node` alive on the wire at time `t`? O(1) when no node faults are
+  /// configured — the healthy-path cost is one empty() check.
+  bool node_up(int node, Time t) const {
+    if (node_faults_.empty()) return true;
+    return node_up_slow(node, t);
+  }
+
+  /// Restart hygiene: a rebooted adapter starts with clean link/DMA clocks
+  /// and a fresh route pointer, as if freshly constructed.
+  void reset_node(int node);
+
   /// Payload buffers allocated so far (steady state: constant — the pool
   /// recycles). Exposed for the allocation-regression tests.
   std::size_t payload_buffers_allocated() const {
@@ -188,6 +212,8 @@ class Fabric : public Delivery {
 
   void release_record(InFlight* rec);
 
+  bool node_up_slow(int node, Time t) const;
+
   static std::int64_t sum(const std::vector<std::int64_t>& v) {
     std::int64_t s = 0;
     for (std::int64_t x : v) s += x;
@@ -212,6 +238,9 @@ class Fabric : public Delivery {
   /// path's whole fault-model cost in the default configuration is this
   /// null check.
   std::unique_ptr<FaultInjector> faults_;
+  /// Crash-stop windows (config + dynamically appended). Empty in every
+  /// healthy configuration, so node_up() costs one empty() check.
+  std::vector<NodeFault> node_faults_;
   // payload_pool_ must outlive inflight_pool_: destroying an InFlight
   // record releases its packet's payload buffer back into the payload pool.
   SlabBufferPool payload_pool_;

@@ -55,6 +55,21 @@ struct RouteFault {
   }
 };
 
+/// One crash-stop window for a whole node: while active, the node is down —
+/// every packet to or from it is lost, its adapter RX queue and in-flight
+/// deliveries are flushed, and (above this layer) its actors are dead. A
+/// window with until == kNoTime is a crash with no restart; Machine::
+/// restart_node closes the window and resets the node's adapter state.
+struct NodeFault {
+  int node = 0;
+  Time from = 0;         // crash instant, inclusive
+  Time until = kNoTime;  // restart instant, exclusive; kNoTime = stays down
+
+  bool active(Time t) const {
+    return t >= from && (until == kNoTime || t < until);
+  }
+};
+
 struct FaultConfig {
   LossModel loss = LossModel::kUniform;
   /// kUniform: per-packet drop probability.
@@ -77,6 +92,11 @@ struct FaultConfig {
 
   std::vector<RouteFault> route_faults;
 
+  /// Crash-stop node windows known up front. Machine::kill_node /
+  /// restart_node append/close windows dynamically; this config vector
+  /// exists so harnesses can also declare crashes declaratively.
+  std::vector<NodeFault> node_faults;
+
   std::uint64_t seed = 0xfa017;
 
   bool injects_loss() const {
@@ -92,7 +112,7 @@ struct FaultConfig {
   /// entirely (the zero-cost default path).
   bool any() const {
     return injects_loss() || duplicate_rate > 0 || corrupt_rate > 0 ||
-           !route_faults.empty();
+           !route_faults.empty() || !node_faults.empty();
   }
 };
 

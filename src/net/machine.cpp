@@ -8,8 +8,10 @@ sim::Engine& Node::engine() const { return machine_.engine(); }
 const CostModel& Node::cost() const { return machine_.cost(); }
 
 Machine::Machine(Config config)
-    : fabric_(engine_, config.tasks, config.fabric) {
+    : fabric_(engine_, config.tasks, config.fabric),
+      incarnations_(static_cast<std::size_t>(config.tasks), 0) {
   SPLAP_REQUIRE(config.tasks > 0, "machine needs at least one task");
+  crash_planned_ = !config.fabric.fault.node_faults.empty();
   nodes_.reserve(static_cast<std::size_t>(config.tasks));
   for (int i = 0; i < config.tasks; ++i) {
     nodes_.push_back(std::make_unique<Node>(*this, i));
@@ -49,7 +51,43 @@ Status Machine::run_spmd(const std::function<void(Node&)>& body) {
   }
   const Status st = engine_.run();
   for (auto& node : nodes_) node->task_ = nullptr;
+  if (st == Status::kOk && !crash_planned_ && !allow_dead_letters_) {
+    for (auto& node : nodes_) {
+      SPLAP_REQUIRE(node->adapter().dead_letters() == 0,
+                    "dead letters in a healthy run: a packet arrived for a "
+                    "client that already shut down (protocol teardown raced "
+                    "live peers)");
+    }
+  }
   return st;
+}
+
+void Machine::kill_node(int node, Time t) {
+  SPLAP_REQUIRE(node >= 0 && node < tasks(), "bad node id");
+  SPLAP_REQUIRE(t >= engine_.now(), "cannot crash a node in the virtual past");
+  crash_planned_ = true;
+  fabric_.add_node_fault(NodeFault{node, t, kNoTime});
+  // Crash windows are global mutable state the worker lanes cannot
+  // partition, and the kill event grants actors across the shard boundary.
+  engine_.mark_parallel_unsafe("crash-stop node fault window");
+  engine_.schedule_at_on(t, sim::Engine::kNoShard,
+                         [this, node] { engine_.kill_shard(node); });
+}
+
+void Machine::restart_node(int node, Time t, std::function<void(Node&)> body) {
+  SPLAP_REQUIRE(node >= 0 && node < tasks(), "bad node id");
+  fabric_.set_node_restart(node, t);
+  engine_.schedule_at_on(
+      t, sim::Engine::kNoShard, [this, node, body = std::move(body)] {
+        const std::int64_t life =
+            ++incarnations_[static_cast<std::size_t>(node)];
+        fabric_.reset_node(node);
+        Node* n = nodes_[static_cast<std::size_t>(node)].get();
+        n->task_ = &engine_.spawn_on(
+            node,
+            "task" + std::to_string(node) + ".r" + std::to_string(life),
+            [n, body](sim::Actor&) { body(*n); });
+      });
 }
 
 }  // namespace splap::net

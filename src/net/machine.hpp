@@ -39,6 +39,22 @@ class Adapter {
     overflow_handlers_[static_cast<std::size_t>(client)] = nullptr;
   }
 
+  /// Orderly protocol shutdown: the slot keeps absorbing straggler packets
+  /// (duplicate acks elicited by the last pre-settle retransmissions, which
+  /// may still be in flight when term returns) the way a real NIC keeps
+  /// receiving after the library detaches. Absorbed packets are counted but
+  /// are NOT dead letters — those remain the signature of a client that
+  /// vanished without shutdown (a crash) or never initialised at all.
+  void retire_client(Client client) {
+    handlers_[static_cast<std::size_t>(client)] = [this](Packet&&) {
+      ++absorbed_;
+    };
+    overflow_handlers_[static_cast<std::size_t>(client)] = nullptr;
+  }
+
+  /// Straggler packets absorbed by retired client slots.
+  std::int64_t absorbed() const { return absorbed_; }
+
   /// Optional per-client RX-overflow notification: invoked with each packet
   /// the bounded adapter RX queue discarded for `client` (the packet is
   /// about to be destroyed — inspect, don't keep). Lets a transport NACK
@@ -74,6 +90,7 @@ class Adapter {
   std::array<OverflowHandler, static_cast<std::size_t>(Client::kCount)>
       overflow_handlers_{};
   std::int64_t dead_letters_ = 0;
+  std::int64_t absorbed_ = 0;
 };
 
 class Node {
@@ -127,12 +144,53 @@ class Machine {
   /// Run `body` as one task per node (SPMD) to completion of all tasks and
   /// all in-flight events. May be called repeatedly for phased workloads;
   /// virtual time carries across phases.
+  ///
+  /// Healthy-run invariant: a clean run (kOk, no crash scheduled, opt-out not
+  /// taken) must deliver every packet to a registered client — a nonzero
+  /// dead-letter count then means a protocol tore down while peers still
+  /// addressed it, which is a bug, not weather. Crash/restart runs are the
+  /// one legitimate source of dead letters (stale retransmissions arriving
+  /// between a node's reboot and its LAPI_Init), so they skip the check.
   Status run_spmd(const std::function<void(Node&)>& body);
+
+  // --- crash-stop fault domain -------------------------------------------
+
+  /// Crash node `node` at virtual time `t` (>= now): at t the fabric stops
+  /// carrying its traffic, in-flight deliveries to it are flushed, and every
+  /// actor pinned to its shard is torn down (stacks unwind; RAII runs with
+  /// Actor::poisoned() set). Deterministic and repeatable per seed. Marks
+  /// the engine parallel-unsafe (crash windows are global mutable state).
+  void kill_node(int node, Time t);
+
+  /// Restart `node` at time `t` (> its crash): closes the fabric crash
+  /// window, resets the node's adapter-side fabric state, bumps the node's
+  /// incarnation epoch, and respawns `body` as a fresh task on the node's
+  /// shard. The new life starts with clean protocol state; survivors of the
+  /// old life reject its stale packets by epoch.
+  void restart_node(int node, Time t, std::function<void(Node&)> body);
+
+  /// The node's current incarnation epoch: 0 for the first life, +1 per
+  /// restart. Stamped into every LAPI/MPL packet header a task sends.
+  std::int64_t incarnation(int node) const {
+    return incarnations_[static_cast<std::size_t>(node)];
+  }
+
+  /// Any crash scheduled on this machine so far (disables the healthy-run
+  /// dead-letter assertion).
+  bool crash_planned() const { return crash_planned_; }
+
+  /// Opt out of the healthy-run dead-letter assertion for tests that
+  /// deliberately leave a client unregistered (e.g. a target task that never
+  /// calls LAPI_Init while peers retransmit at it).
+  void allow_dead_letters() { allow_dead_letters_ = true; }
 
  private:
   sim::Engine engine_;
   Fabric fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::int64_t> incarnations_;
+  bool crash_planned_ = false;
+  bool allow_dead_letters_ = false;
 };
 
 }  // namespace splap::net

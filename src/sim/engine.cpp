@@ -573,6 +573,30 @@ void Engine::shutdown() {
   // Actor destructors join the threads.
 }
 
+void Engine::kill_shard(int shard) {
+  // Same per-actor unwind as shutdown(), restricted to one node's shard.
+  // The single-runnable-entity invariant guarantees every actor is parked
+  // while an event callback runs, so granting a poisoned actor here hands
+  // its thread exactly one resume in which suspend() rethrows the teardown
+  // exception and the stack unwinds.
+  for (auto& a : actors_) {
+    if (a->finished_ || a->shard_ != shard) continue;
+    a->poisoned_ = true;
+    if (a->stackless_) {
+      a->finished_ = true;
+      a->block_reason_ = "finished";
+      a->stackless_body_ = nullptr;
+      continue;
+    }
+    try {
+      a->grant();
+    } catch (...) {
+      // A crash-stop unwind must not propagate into the dispatcher; late
+      // failures from a dying node are dropped like in shutdown().
+    }
+  }
+}
+
 int Engine::context_shard() const {
   if (exec_enabled_) {
     const ExecLane* l = tls_lane;

@@ -308,6 +308,15 @@ class Engine {
   /// must call this BEFORE destroying those objects.
   void shutdown();
 
+  /// Crash-stop one node: poison and unwind every unfinished actor pinned to
+  /// node shard `shard`, at the current virtual time. Threaded actors unwind
+  /// on their next resume (RAII runs, so libraries see poisoned() and take
+  /// their best-effort teardown path); stackless actors are marked finished
+  /// in place. Actors spawned on the shard afterwards (a restart) start with
+  /// a clean slate. Must be called from event context mid-run — every actor
+  /// is parked then — or between runs. Idempotent per actor.
+  void kill_shard(int shard);
+
   /// Instrumentation counters shared machine-wide.
   CounterSet& counters() { return counters_; }
 

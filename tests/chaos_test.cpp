@@ -420,6 +420,178 @@ INSTANTIATE_TEST_SUITE_P(
     chaos_name);
 
 // ---------------------------------------------------------------------------
+// Crash chaos: node death (and rebirth) layered on top of injected packet
+// loss. The crash-stop detector must converge on the dead peer without ever
+// mistaking fault-injected loss toward a live peer for death.
+// ---------------------------------------------------------------------------
+
+lapi::Config crash_chaos_config() {
+  lapi::Config c;
+  c.retransmit_timeout = microseconds(300);
+  c.max_retries = 8;
+  c.adaptive_timeout = true;
+  return c;
+}
+
+class ChaosCrashTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosCrashTest, CrashUnderLossFailsOverOnlyTheDeadPeer) {
+  constexpr int kTasks = 4;
+  constexpr int kDead = 3;
+  constexpr int kLive = kTasks - 1;
+  constexpr std::int64_t kLen = 8000;
+
+  Scenario sc;
+  sc.name = "crash_loss";
+  sc.fault.loss = net::LossModel::kUniform;
+  sc.fault.loss_rate = 0.05;
+  sc.expect_drops = true;
+
+  net::Machine m(chaos_machine(sc, GetParam(), kTasks));
+  m.kill_node(kDead, milliseconds(10.0));
+
+  auto pattern = [](int writer, std::int64_t i) {
+    return static_cast<std::byte>((writer * 131 + i) % 251);
+  };
+  std::array<std::vector<std::byte>, kLive> cell;
+  for (auto& c : cell) c.resize(static_cast<std::size_t>(kLen));
+  std::vector<std::byte> dead_tgt(static_cast<std::size_t>(kLen));
+  lapi::Counter dead_cntr;
+  std::array<Status, kTasks> live_st, dead_st, fence_st;
+  live_st.fill(Status::kUnknown);
+  dead_st.fill(Status::kUnknown);
+  fence_st.fill(Status::kUnknown);
+  std::array<int, kTasks> handler_calls{};
+
+  ASSERT_EQ(m.run_spmd([&](net::Node& n) {
+    lapi::Config cfg = crash_chaos_config();
+    cfg.error_handler = [&](lapi::Context& c, int peer, Status st) {
+      EXPECT_EQ(peer, kDead);
+      EXPECT_EQ(st, Status::kPeerFailed);
+      ++handler_calls[static_cast<std::size_t>(c.task_id())];
+    };
+    lapi::Context ctx(n, cfg);
+    const int me = ctx.task_id();
+    ctx.gfence();  // everyone (victim included) is up before traffic flows
+    if (me == kDead) {
+      lapi::Counter never;
+      ctx.waitcntr(never, 1);  // dies blocked at the 10 ms mark
+      ADD_FAILURE() << "victim survived its own crash";
+      return;
+    }
+
+    // Mutual traffic around the survivor ring keeps succeeding under loss.
+    std::vector<std::byte> src(static_cast<std::size_t>(kLen));
+    for (std::int64_t i = 0; i < kLen; ++i) {
+      src[static_cast<std::size_t>(i)] = pattern(me, i);
+    }
+    const int to = (me + 1) % kLive;
+    lapi::Counter cmpl;
+    ASSERT_EQ(ctx.put(to, src, cell[static_cast<std::size_t>(to)].data(),
+                      nullptr, nullptr, &cmpl),
+              Status::kOk);
+    live_st[static_cast<std::size_t>(me)] = ctx.waitcntr(cmpl, 1);
+
+    // Outlive the victim, then address it: the retry ladder exhausts against
+    // the down node and the crash-stop verdict fails the operation.
+    ctx.node().task().compute(milliseconds(12.0));
+    lapi::Counter dc;
+    ASSERT_EQ(ctx.put(kDead, src, dead_tgt.data(), &dead_cntr, nullptr, &dc),
+              Status::kOk);
+    dead_st[static_cast<std::size_t>(me)] = ctx.waitcntr(dc, 1);
+    EXPECT_TRUE(ctx.peer_failed(kDead));
+
+    // Degraded fence: terminates in bounded time and reports the dead
+    // partner instead of hanging on its pulse.
+    fence_st[static_cast<std::size_t>(me)] = ctx.gfence();
+
+    // The mutual puts landed byte-exact despite the loss injection.
+    const int writer = (me + kLive - 1) % kLive;
+    for (std::int64_t i = 0; i < kLen; ++i) {
+      ASSERT_EQ(cell[static_cast<std::size_t>(me)][static_cast<std::size_t>(i)],
+                pattern(writer, i))
+          << "task " << me << " offset " << i;
+    }
+    // Grace window (see the mixed-traffic test above).
+    ctx.node().task().compute(milliseconds(3.0));
+  }), Status::kOk);
+
+  for (int t = 0; t < kLive; ++t) {
+    EXPECT_EQ(live_st[static_cast<std::size_t>(t)], Status::kOk) << t;
+    EXPECT_EQ(dead_st[static_cast<std::size_t>(t)], Status::kPeerFailed) << t;
+    EXPECT_EQ(fence_st[static_cast<std::size_t>(t)], Status::kPeerFailed) << t;
+    // Exactly one failure notification per survivor, first-hand or gossip.
+    EXPECT_EQ(handler_calls[static_cast<std::size_t>(t)], 1) << t;
+  }
+  EXPECT_EQ(handler_calls[kDead], 0);
+  EXPECT_EQ(m.engine().counters().get("lapi.peer_failed"), kLive);
+  EXPECT_GT(m.fabric().packets_dropped(), 0) << "loss injection inert";
+  EXPECT_GT(m.engine().counters().get("fabric.node_down"), 0);
+}
+
+TEST_P(ChaosCrashTest, CrashRestartUnderLossReconnects) {
+  constexpr std::int64_t kLen = 64 * 1024;
+
+  Scenario sc;
+  sc.name = "crash_restart_loss";
+  sc.fault.loss = net::LossModel::kUniform;
+  sc.fault.loss_rate = 0.05;
+  sc.fault.duplicate_rate = 0.05;
+  sc.expect_drops = true;
+
+  net::Machine m(chaos_machine(sc, GetParam(), 2));
+
+  std::vector<std::byte> tgt(static_cast<std::size_t>(kLen));
+  lapi::Counter first_life, second_life;
+  Status put1_st = Status::kUnknown, put2_st = Status::kUnknown;
+  std::int64_t restarted_epoch = -1;
+
+  lapi::Config cfg = crash_chaos_config();
+  m.kill_node(1, microseconds(100));  // mid-stream for the 64 KB put
+  m.restart_node(1, milliseconds(1.0), [&](net::Node& n) {
+    // Second life: rejects the old life's stale (and fault-duplicated)
+    // retransmissions by epoch, then serves the survivor's fresh put.
+    lapi::Context ctx(n, cfg);
+    restarted_epoch = ctx.epoch();
+    EXPECT_EQ(ctx.waitcntr(second_life, 1), Status::kOk);
+  });
+
+  ASSERT_EQ(m.run_spmd([&](net::Node& n) {
+    lapi::Context ctx(n, cfg);
+    if (n.id() == 0) {
+      std::vector<std::byte> src(static_cast<std::size_t>(kLen),
+                                 std::byte{0x77});
+      lapi::Counter cmpl1;
+      ASSERT_EQ(ctx.put(1, src, tgt.data(), &first_life, nullptr, &cmpl1),
+                Status::kOk);
+      put1_st = ctx.waitcntr(cmpl1, 1);  // ladder outlives the restart
+      EXPECT_TRUE(ctx.peer_failed(1));
+      lapi::Counter cmpl2;
+      ASSERT_EQ(ctx.put(1, src, tgt.data(), &second_life, nullptr, &cmpl2),
+                Status::kOk);
+      put2_st = ctx.waitcntr(cmpl2, 1);
+      EXPECT_FALSE(ctx.peer_failed(1));
+    } else {
+      ctx.waitcntr(first_life, 1);  // first life: dies waiting
+    }
+  }), Status::kOk);
+
+  EXPECT_EQ(put1_st, Status::kPeerFailed);
+  EXPECT_EQ(put2_st, Status::kOk);
+  EXPECT_EQ(restarted_epoch, 1);
+  EXPECT_EQ(m.incarnation(1), 1);
+  EXPECT_EQ(tgt[0], std::byte{0x77});  // the reconnect landed byte-exact
+  EXPECT_GT(m.engine().counters().get("lapi.stale_epoch"), 0);
+  EXPECT_EQ(m.engine().counters().get("lapi.peer_failed"), 1);
+  EXPECT_GT(m.fabric().packets_dropped(), 0) << "loss injection inert";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosCrashTest, ::testing::ValuesIn(kSeeds),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           return "seed" + std::to_string(i.param);
+                         });
+
+// ---------------------------------------------------------------------------
 // Determinism: a chaos run is a pure function of (scenario, seed).
 // ---------------------------------------------------------------------------
 

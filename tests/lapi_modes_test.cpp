@@ -67,9 +67,10 @@ TEST(LapiModesTest, PollingModeStallsUntilTargetPolls) {
 
 TEST(LapiModesTest, PollingWithoutPollingFailsTheOperation) {
   // The paper's warning, reproduced: the target never polls, so the put can
-  // never be delivered. The retransmit layer exhausts its retries and the
-  // failure surfaces through the completion counter as kResourceExhausted —
-  // the origin's wait is released instead of hanging forever.
+  // never be delivered. The retransmit layer exhausts its retries, the
+  // crash-stop detector declares the silent peer dead, and the failure
+  // surfaces through the completion counter as kPeerFailed — the origin's
+  // wait is released instead of hanging forever.
   net::Machine m(machine_config(2));
   std::vector<std::byte> tgt(64);
   Status wait_st = Status::kOk;
@@ -88,12 +89,14 @@ TEST(LapiModesTest, PollingWithoutPollingFailsTheOperation) {
       EXPECT_EQ(ctx.outstanding(), 0);
     }
     // Target returns immediately without any LAPI call; its context is
-    // destroyed and the origin's packets become adapter dead letters.
+    // destroyed and the origin's stragglers are absorbed by the retired
+    // adapter slot.
   }), Status::kOk);
-  EXPECT_EQ(wait_st, Status::kResourceExhausted);
+  EXPECT_EQ(wait_st, Status::kPeerFailed);
   EXPECT_EQ(tgt[0], std::byte{0});  // the data never landed
   EXPECT_GT(m.engine().counters().get("lapi.retransmit_giveup"), 0);
   EXPECT_GT(m.engine().counters().get("lapi.failed_ops"), 0);
+  EXPECT_GT(m.engine().counters().get("lapi.peer_failed"), 0);
 }
 
 TEST(LapiModesTest, BlockedWaitsPollEvenInInterruptMode) {

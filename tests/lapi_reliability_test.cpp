@@ -272,10 +272,13 @@ TEST(LapiReliabilityTest, StaleTimeoutAfterAckNeverRetransmits) {
 
 TEST(LapiReliabilityTest, RetryExhaustionSurfacesNotHangs) {
   // An unreachable target (its task never constructs a Context, so every
-  // packet dead-letters at the adapter) must not hang the origin: each
-  // operation's wait returns kResourceExhausted once max_retries is spent,
-  // all in-flight records are reclaimed, and the run terminates cleanly.
+  // packet dead-letters at the adapter) must not hang the origin: once
+  // max_retries is spent the crash-stop detector declares the peer dead,
+  // each operation's wait returns kPeerFailed, all in-flight records are
+  // reclaimed, and the run terminates cleanly. The never-inited task is the
+  // one legitimate dead-letter producer, so the run opts into them.
   net::Machine m(machine_config(2));
+  m.allow_dead_letters();
   Status small_org = Status::kUnknown, small_cmpl = Status::kUnknown;
   Status big_org = Status::kUnknown;
   Status get_org = Status::kUnknown;
@@ -327,10 +330,10 @@ TEST(LapiReliabilityTest, RetryExhaustionSurfacesNotHangs) {
   }), Status::kOk);
 
   EXPECT_EQ(small_org, Status::kOk);
-  EXPECT_EQ(small_cmpl, Status::kResourceExhausted);
-  EXPECT_EQ(big_org, Status::kResourceExhausted);
-  EXPECT_EQ(get_org, Status::kResourceExhausted);
-  EXPECT_EQ(rmw_org, Status::kResourceExhausted);
+  EXPECT_EQ(small_cmpl, Status::kPeerFailed);
+  EXPECT_EQ(big_org, Status::kPeerFailed);
+  EXPECT_EQ(get_org, Status::kPeerFailed);
+  EXPECT_EQ(rmw_org, Status::kPeerFailed);
   EXPECT_EQ(outstanding_after, 0);
   EXPECT_EQ(pending_after, 0u);  // every record reclaimed, nothing leaked
   EXPECT_EQ(remote_var, 0);      // the rmw was never executed
@@ -344,6 +347,7 @@ TEST(LapiReliabilityTest, RetryExhaustionIsDeterministic) {
   // bit-identical across runs: same virtual end time, same counters.
   auto one_run = [](Time* end, std::int64_t* retransmits) {
     net::Machine m(machine_config(2));
+    m.allow_dead_letters();  // task 1 never inits: its packets dead-letter
     ASSERT_EQ(m.run_spmd([&](net::Node& n) {
       if (n.id() != 0) return;
       Config cfg;
@@ -356,7 +360,7 @@ TEST(LapiReliabilityTest, RetryExhaustionIsDeterministic) {
       Counter cmpl;
       ASSERT_EQ(ctx.put(1, src, tgt.data(), nullptr, nullptr, &cmpl),
                 Status::kOk);
-      EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kResourceExhausted);
+      EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kPeerFailed);
       *end = ctx.engine().now();
     }), Status::kOk);
     *retransmits = m.engine().counters().get("lapi.retransmits");

@@ -309,6 +309,7 @@ class Endpoint final : public ProgressEngine::Sink, public AssemblyEngine::Env {
  private:
   Time process_packet(net::Packet& pkt) override {
     const WireMeta& m = pkt.meta_as<WireMeta>();
+    send_.note_heard(pkt.src);  // the facade's liveness note, mirrored here
     if (m.kind == PktKind::kAck) return send_.on_ack(pkt);
     if (m.kind == PktKind::kRmwResp) return send_.on_rmw_resp(pkt);
     if (m.kind == PktKind::kNack) return send_.on_nack(pkt);
@@ -458,6 +459,50 @@ TEST(TransportStackTest, ExhaustedRetriesFailTheSendCleanly) {
   // The record is fully reclaimed: no leak, no outstanding bookkeeping.
   EXPECT_EQ(f.origin->send().pending_sends(), 0u);
   EXPECT_EQ(f.origin->send().outstanding_data(), 0);
+}
+
+TEST(TransportStackTest, RetryExhaustionCascadesAcrossThePeerQueue) {
+  // Crash-stop failover: the first record to exhaust its backoff ladder
+  // declares the peer dead, and every sibling record toward that peer —
+  // in-flight or parked on the credit queue — fails in the same instant
+  // instead of serially burning its own retry budget.
+  StackFixture f;
+  f.cfg.max_retries = 2;
+  f.cfg.credit_window = 2;  // < kLenPkts: puts 2 and 3 park on the queue
+  f.build();
+  f.wire.drop_first_n_data = 1 << 20;  // the wire eats all data forever
+  auto src1 = StackFixture::pattern(kLen);
+  auto src2 = StackFixture::pattern(kLen);
+  auto src3 = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst(static_cast<std::size_t>(kLen));
+  f.put(src1, dst.data());
+  f.put(src2, dst.data());
+  f.put(src3, dst.data());
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  // One ladder, one verdict, three failed operations.
+  EXPECT_EQ(f.eng.counters().get("lapi.retransmit_giveup"), 1);
+  EXPECT_EQ(f.eng.counters().get("lapi.peer_failed"), 1);
+  EXPECT_EQ(f.eng.counters().get("lapi.failed_ops"), 3);
+  EXPECT_EQ(f.origin->send().pending_sends(), 0u);
+  EXPECT_EQ(f.origin->send().outstanding_data(), 0);
+  EXPECT_TRUE(f.origin->send().peer_failed(1));
+  // Leased credits were reclaimed with the records: the pool is whole, so a
+  // send after the wire heals needs no fresh grant from the (silent) peer.
+  EXPECT_EQ(f.origin->send().credits_available(1), 2);
+  // The verdict is a latch, not a wall: once the wire heals, a later send is
+  // still attempted, and the peer's first ack clears the latch.
+  f.wire.drop_first_n_data = 0;
+  auto src4 = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst4(static_cast<std::size_t>(kLen));
+  f.eng.schedule_at(f.eng.now(), [&f, src4, &dst4] {
+    auto hdr = std::make_shared<WireMeta>();
+    hdr->tgt_addr = dst4.data();
+    hdr->total_len = static_cast<std::int64_t>(src4->size());
+    f.origin->send().submit(PktKind::kPutHdr, 1, hdr, src4, 0);
+  });
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  f.expect_delivered(*src4, dst4);
+  EXPECT_FALSE(f.origin->send().peer_failed(1));
 }
 
 // ===========================================================================
