@@ -15,6 +15,11 @@ namespace {
 
 using namespace splap;
 
+/// Abort loudly on any unexpected LAPI/MPL failure: a benchmark or example
+/// that silently swallows an error reports a meaningless number.
+inline void ok(Status s) { SPLAP_REQUIRE(s == Status::kOk, "operation failed"); }
+
+
 double run_us(int threads, int messages, Time handler_work) {
   net::Machine::Config mc;
   mc.tasks = 2;
@@ -41,10 +46,10 @@ double run_us(int threads, int messages, Time handler_work) {
       for (int i = 0; i < messages; ++i) {
         (void)ctx.amsend(1, h, {}, data, nullptr, nullptr, &cmpl);
       }
-      ctx.waitcntr(cmpl, messages);
+      ok(ctx.waitcntr(cmpl, messages));
       elapsed = ctx.engine().now() - t0;
     }
-    ctx.gfence();
+    ok(ctx.gfence());
   });
   SPLAP_REQUIRE(st == Status::kOk, "cmplthreads run failed");
   return to_us(elapsed);

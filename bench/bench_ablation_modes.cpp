@@ -14,6 +14,11 @@ namespace {
 
 using namespace splap;
 
+/// Abort loudly on any unexpected LAPI/MPL failure: a benchmark or example
+/// that silently swallows an error reports a meaningless number.
+inline void ok(Status s) { SPLAP_REQUIRE(s == Status::kOk, "operation failed"); }
+
+
 /// Mean delivery latency of 16 spaced puts against a target that computes
 /// in `poll_period` slices between polls (polling mode), or computes
 /// uninterrupted (interrupt mode, poll_period = 0).
@@ -45,13 +50,13 @@ double run_us(bool interrupt_mode, Time poll_period) {
         // "Computation" between library entries.
         n.task().compute(poll_period > 0 ? poll_period : microseconds(5));
         while (ctx.getcntr(tgt) > 0) {
-          ctx.waitcntr(tgt, 1);
+          ok(ctx.waitcntr(tgt, 1));
           seen[static_cast<std::size_t>(got)] = ctx.engine().now();
           ++got;
         }
       }
     }
-    ctx.gfence();
+    ok(ctx.gfence());
   });
   SPLAP_REQUIRE(st == Status::kOk, "modes run failed");
   double total = 0;

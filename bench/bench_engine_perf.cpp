@@ -26,6 +26,11 @@ namespace {
 
 using namespace splap;
 
+/// Abort loudly on any unexpected LAPI/MPL failure: a benchmark or example
+/// that silently swallows an error reports a meaningless number.
+inline void ok(Status s) { SPLAP_REQUIRE(s == Status::kOk, "operation failed"); }
+
+
 void BM_EngineEventThroughput(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -94,9 +99,9 @@ void BM_LapiPutMessageRate(benchmark::State& state) {
         for (int i = 0; i < msgs; ++i) {
           (void)ctx.put(1, src, tgt.data(), nullptr, nullptr, &cmpl);
         }
-        ctx.waitcntr(cmpl, msgs);
+        ok(ctx.waitcntr(cmpl, msgs));
       }
-      ctx.gfence();
+      ok(ctx.gfence());
     });
   }
   state.SetItemsProcessed(state.iterations() * msgs);

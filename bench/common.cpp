@@ -11,6 +11,11 @@ namespace splap::benchx {
 
 namespace {
 
+/// Abort loudly on any unexpected LAPI/MPL failure: a benchmark that
+/// silently swallows an error reports a meaningless number.
+inline void ok(Status s) { SPLAP_REQUIRE(s == Status::kOk, "operation failed"); }
+
+
 net::Machine::Config machine2() {
   net::Machine::Config c;
   c.tasks = 2;
@@ -39,10 +44,10 @@ double lapi_one_way_us() {
       (void)ctx.put(1, std::span<const std::byte>(b, 4), cell,
                     static_cast<lapi::Counter*>(tab[1]), nullptr, nullptr);
     } else {
-      ctx.waitcntr(tgt, 1);
+      ok(ctx.waitcntr(tgt, 1));
       landed = ctx.engine().now();
     }
-    ctx.gfence();
+    ok(ctx.gfence());
   });
   SPLAP_REQUIRE(st == Status::kOk, "lapi one-way failed");
   return to_us(landed - sent);
@@ -68,14 +73,14 @@ double lapi_polling_rt_us(bool interrupt_mode) {
       const Time t0 = ctx.engine().now();
       (void)ctx.put(1, std::span<const std::byte>(b, 4), ping,
                     static_cast<lapi::Counter*>(pt[1]), nullptr, nullptr);
-      ctx.waitcntr(pong_c, 1);
+      ok(ctx.waitcntr(pong_c, 1));
       rt = ctx.engine().now() - t0;
     } else {
-      ctx.waitcntr(ping_c, 1);
+      ok(ctx.waitcntr(ping_c, 1));
       (void)ctx.put(0, std::span<const std::byte>(b, 4), pong,
                     static_cast<lapi::Counter*>(qt[0]), nullptr, nullptr);
     }
-    ctx.gfence();
+    ok(ctx.gfence());
   });
   SPLAP_REQUIRE(st == Status::kOk, "lapi rt failed");
   return to_us(rt);
@@ -113,7 +118,7 @@ double lapi_interrupt_rt_us() {
     } else {
       ctx.node().task().compute(milliseconds(1.0));
     }
-    ctx.gfence();
+    ok(ctx.gfence());
   });
   SPLAP_REQUIRE(st == Status::kOk, "lapi interrupt rt failed");
   return to_us(rt);
@@ -231,9 +236,9 @@ PipelineLatency measure_pipeline_latency() {
       t0 = ctx.engine().now();
       (void)ctx.get(1, 1, &cell, &b, nullptr, &org);
       out.get_us = to_us(ctx.engine().now() - t0);
-      ctx.waitcntr(org, 1);
+      ok(ctx.waitcntr(org, 1));
     }
-    ctx.gfence();
+    ok(ctx.gfence());
   });
   SPLAP_REQUIRE(st == Status::kOk, "pipeline latency failed");
   return out;

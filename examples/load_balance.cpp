@@ -15,6 +15,11 @@
 
 using namespace splap;
 
+/// Abort loudly on any unexpected LAPI/MPL failure: a benchmark or example
+/// that silently swallows an error reports a meaningless number.
+inline void ok(Status s) { SPLAP_REQUIRE(s == Status::kOk, "operation failed"); }
+
+
 namespace {
 
 constexpr int kTasks = 4;
@@ -45,12 +50,12 @@ double run(bool dynamic) {
       node.task().compute(unit_cost(u));
       const double r = u * 2.0 + 1.0;
       lapi::Counter org;
-      ctx.put(0,
+      ok(ctx.put(0,
               std::span<const std::byte>(
                   reinterpret_cast<const std::byte*>(&r), sizeof r),
               static_cast<std::byte*>(res_tab[0]) + u * sizeof(double),
-              nullptr, &org, nullptr);
-      ctx.waitcntr(org, 1);
+              nullptr, &org, nullptr));
+      ok(ctx.waitcntr(org, 1));
     };
     if (dynamic) {
       for (;;) {
@@ -66,7 +71,7 @@ double run(bool dynamic) {
         do_unit(u);
       }
     }
-    ctx.gfence();
+    ok(ctx.gfence());
     makespan = std::max(makespan, ctx.engine().now() - t0);
   });
   SPLAP_REQUIRE(st == Status::kOk, "load balance run failed");

@@ -15,6 +15,11 @@
 
 using namespace splap;
 
+/// Abort loudly on any unexpected LAPI/MPL failure: a benchmark or example
+/// that silently swallows an error reports a meaningless number.
+inline void ok(Status s) { SPLAP_REQUIRE(s == Status::kOk, "operation failed"); }
+
+
 int main() {
   net::Machine::Config mc;
   mc.tasks = 4;
@@ -55,13 +60,13 @@ int main() {
     std::vector<double> payload(8);
     std::iota(payload.begin(), payload.end(), me * 10.0);
     lapi::Counter org, cmpl;
-    ctx.put(right,
+    ok(ctx.put(right,
             std::span<const std::byte>(
                 reinterpret_cast<const std::byte*>(payload.data()), 64),
             static_cast<std::byte*>(inboxes[static_cast<std::size_t>(right)]),
-            nullptr, &org, &cmpl);
-    ctx.waitcntr(org, 1);   // payload reusable
-    ctx.waitcntr(cmpl, 1);  // delivered at the neighbour
+            nullptr, &org, &cmpl));
+    ok(ctx.waitcntr(org, 1));  // payload reusable
+    ok(ctx.waitcntr(cmpl, 1));  // delivered at the neighbour
 
     // --- LAPI_Rmw: a shared fetch-and-add on task 0 ------------------------
     std::vector<void*> ctr_tab(static_cast<std::size_t>(n));
@@ -75,29 +80,29 @@ int main() {
     // --- the AM itself, task 1 -> task 2 -----------------------------------
     if (me == 1) {
       std::vector<double> message(8, 3.14);
-      ctx.amsend(2, greet,
+      ok(ctx.amsend(2, greet,
                  std::span<const std::byte>(
                      reinterpret_cast<const std::byte*>(&me), sizeof me),
                  std::span<const std::byte>(
                      reinterpret_cast<const std::byte*>(message.data()), 64),
-                 nullptr, nullptr, nullptr);
+                 nullptr, nullptr, nullptr));
     }
 
     // --- LAPI_Gfence: collective quiet point --------------------------------
-    ctx.gfence();
+    ok(ctx.gfence());
 
     // --- LAPI_Get: read back what the left neighbour put here --------------
     std::vector<double> check(8, 0.0);
     lapi::Counter got;
-    ctx.get(me, 64,
+    ok(ctx.get(me, 64,
             static_cast<const std::byte*>(inboxes[static_cast<std::size_t>(me)]),
-            reinterpret_cast<std::byte*>(check.data()), nullptr, &got);
-    ctx.waitcntr(got, 1);
+            reinterpret_cast<std::byte*>(check.data()), nullptr, &got));
+    ok(ctx.waitcntr(got, 1));
     const int left = (me + n - 1) % n;
     std::printf("[task %d] inbox starts with %.1f (expected %.1f from task %d)\n",
                 me, check[0], left * 10.0, left);
 
-    ctx.gfence();
+    ok(ctx.gfence());
     // ~Context runs LAPI_Term.
   });
 

@@ -4,6 +4,10 @@
 #   optimized  build + full ctest (the tier-1 contract)
 #   lint       splap-lint determinism rules over src/ and tests/, plus the
 #              rule-by-rule fixture self-tests
+#   graph      splap-graph call-graph/include-graph proofs over src/:
+#              blocking-reachability (no handler-context path may reach a
+#              suspension primitive), include-closure layering, and
+#              Status-discard — plus the analyzer's own fixture self-tests
 #   tidy       clang-tidy over src/ (skipped with a notice when the host has
 #              no clang-tidy; the curated check set lives in .clang-tidy)
 #   asan       ASan+UBSan build + full ctest
@@ -54,6 +58,14 @@ if want lint; then
   cmake -B build -S . >/dev/null
   cmake --build build -j"$(nproc)" --target splap_lint lint_selftest
   ctest --test-dir build -L lint --no-tests=error --output-on-failure
+fi
+
+if want graph; then
+  echo "== call-graph contract proofs =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$(nproc)" --target splap_graph graph_selftest
+  ctest --test-dir build -R 'graph_selftest|graph_tree' --no-tests=error \
+    --output-on-failure
 fi
 
 if want tidy; then

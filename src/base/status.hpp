@@ -12,7 +12,10 @@
 
 namespace splap {
 
-enum class Status {
+// [[nodiscard]] on the type: a dropped Status is a swallowed failure, and
+// every silent failure in a simulator shows up later as a wrong number with
+// no trail. Intentional discards say so with (void).
+enum class [[nodiscard]] Status {
   kOk = 0,
   kBadParameter,     // out-of-range task id, negative length, null pointer
   kBadHandle,        // operation on an uninitialized/terminated context

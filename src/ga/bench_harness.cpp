@@ -177,11 +177,13 @@ double raw_lapi_put_mb_s(std::int64_t bytes, bool interrupt_mode) {
         const Status s =
             ctx.put(1, src, tgt.data(), nullptr, nullptr, &cmpl);
         SPLAP_REQUIRE(s == Status::kOk, "raw put failed");
-        ctx.waitcntr(cmpl, 1);
+        const Status w = ctx.waitcntr(cmpl, 1);
+        SPLAP_REQUIRE(w == Status::kOk, "raw put waitcntr failed");
       }
       elapsed = ctx.engine().now() - t0;
     }
-    ctx.gfence();
+    const Status f = ctx.gfence();
+    SPLAP_REQUIRE(f == Status::kOk, "raw put gfence failed");
   });
   SPLAP_REQUIRE(status == Status::kOk, "raw LAPI bandwidth run failed");
   return mb_per_s(bytes * reps, elapsed);

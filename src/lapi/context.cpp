@@ -383,7 +383,8 @@ std::int64_t Context::rmw_sync(RmwOp op, int target, std::int64_t* tgt_var,
   std::int64_t prev = 0;
   const Status st = rmw(op, target, tgt_var, in1, in2, &prev, &done);
   SPLAP_REQUIRE(st == Status::kOk, "rmw_sync: bad parameters");
-  waitcntr(done, 1);
+  const Status w = waitcntr(done, 1);
+  SPLAP_REQUIRE(w == Status::kOk, "rmw_sync: wait failed");
   return prev;
 }
 

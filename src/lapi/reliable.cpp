@@ -141,6 +141,9 @@ void SendEngine::submit(PktKind kind, int target,
       const Time backlog = wire_.link_free(task_id_) - engine.now();
       if (backlog > config_.max_injection_backlog) {
         engine.counters().bump("lapi.tx_backpressure");
+        // splap-graph: allow(blocking-reachability): guarded by
+        // Actor::current() — handler-context callers take the else branch
+        // below, which charges busy_until_ instead of suspending.
         a->compute(backlog - config_.max_injection_backlog);
       }
     }
@@ -150,6 +153,9 @@ void SendEngine::submit(PktKind kind, int target,
       // this message (and no earlier handler-context send is queued ahead).
       // Credits released by any record reclamation notify() the waiters.
       engine.counters().bump("lapi.credit_stalls");
+      // splap-graph: allow(blocking-reachability): inside the
+      // Actor::current() branch — handler-context sends park in
+      // credit_waitq_ (park_for_credits below) instead of blocking.
       a->wait(
           [this, a, target, pkts] {
             if (credits_.can_send(target, pkts) &&
@@ -162,6 +168,8 @@ void SendEngine::submit(PktKind kind, int target,
           "lapi-credit-park");
     }
     progress_.enter_library();
+    // splap-graph: allow(blocking-reachability): inside the Actor::current()
+    // branch — handler-context callers charge busy_until_ in the else arm.
     a->compute(progress_.call_entry_cost() + extra_call_cost + cm.lapi_pkt_tx +
                copy_in_call);
     inject_at = engine.now();

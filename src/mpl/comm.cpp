@@ -122,6 +122,9 @@ Request Comm::start_send(int dst, int tag, std::span<const std::byte> data) {
 
   Time inject_at;
   if (sim::Actor* a = sim::Actor::current()) {
+    // splap-graph: allow(blocking-reachability): guarded by Actor::current()
+    // — handler-context callers take the else branch, which charges
+    // busy_until_ instead of suspending.
     a->compute(cm.mpi_send + (eager ? cm.copy_time(len) : 0));
     inject_at = engine().now();
   } else {
@@ -398,6 +401,8 @@ Request Comm::irecv(int src, int tag, std::span<std::byte> buf,
   posting_order_.push_back(id);
   Time charge = cost().mpi_post + match_scan();
   if (a != nullptr) {
+    // splap-graph: allow(blocking-reachability): `a` is Actor::current() —
+    // handler-context posts charge busy_until_ in the else arm instead.
     a->compute(charge);
   } else {
     busy_until_ = std::max(busy_until_, engine().now()) + charge;

@@ -237,7 +237,7 @@ TEST_P(ChaosLapiTest, MixedTrafficExactlyOnce) {
           r.header_cost = nanoseconds(400);
           return r;
         });
-    ctx.gfence();  // all handlers registered before traffic flows
+    EXPECT_EQ(ctx.gfence(), Status::kOk);  // all handlers registered before traffic flows
 
     std::vector<std::byte> put_src(static_cast<std::size_t>(kPutLen));
     for (std::int64_t i = 0; i < kPutLen; ++i) {
@@ -288,7 +288,7 @@ TEST_P(ChaosLapiTest, MixedTrafficExactlyOnce) {
     ctx.fence();
     pending_after[static_cast<std::size_t>(me)] = ctx.pending_sends();
 
-    ctx.gfence();
+    EXPECT_EQ(ctx.gfence(), Status::kOk);
     // Target-side checks after global quiescence: every put landed
     // byte-exact and fired the target counter exactly once per round.
     const int writer = (me + kTasks - 1) % kTasks;
@@ -472,10 +472,10 @@ TEST_P(ChaosCrashTest, CrashUnderLossFailsOverOnlyTheDeadPeer) {
     };
     lapi::Context ctx(n, cfg);
     const int me = ctx.task_id();
-    ctx.gfence();  // everyone (victim included) is up before traffic flows
+    EXPECT_EQ(ctx.gfence(), Status::kOk);  // everyone (victim included) is up before traffic flows
     if (me == kDead) {
       lapi::Counter never;
-      ctx.waitcntr(never, 1);  // dies blocked at the 10 ms mark
+      (void)ctx.waitcntr(never, 1);  // dies blocked at the 10 ms mark
       ADD_FAILURE() << "victim survived its own crash";
       return;
     }
@@ -572,7 +572,7 @@ TEST_P(ChaosCrashTest, CrashRestartUnderLossReconnects) {
       put2_st = ctx.waitcntr(cmpl2, 1);
       EXPECT_FALSE(ctx.peer_failed(1));
     } else {
-      ctx.waitcntr(first_life, 1);  // first life: dies waiting
+      (void)ctx.waitcntr(first_life, 1);  // first life: dies waiting
     }
   }), Status::kOk);
 

@@ -28,13 +28,13 @@ int main() {
     if (n.id() == 0) {
       n.task().compute(microseconds(40));
       sent = ctx.engine().now();
-      ctx.amsend(1, h, {}, {}, static_cast<lapi::Counter*>(tab[1]), nullptr,
+      (void)ctx.amsend(1, h, {}, {}, static_cast<lapi::Counter*>(tab[1]), nullptr,
                  nullptr);
     } else {
       while (!flag) n.task().compute(nanoseconds(500));
       landed = ctx.engine().now();
     }
-    ctx.gfence();
+    (void)ctx.gfence();
   });
   std::printf("status=%d one_way=%.3fus interrupts=%lld\n",
               static_cast<int>(st), to_us(landed - sent),

@@ -51,7 +51,7 @@ TEST(IntegrationTest, LapiAndMpiCoexistInOneApplication) {
     comm.wait(r);
     EXPECT_EQ(in, left * 7);
     // Quiesce both libraries.
-    ctx.gfence();
+    EXPECT_EQ(ctx.gfence(), Status::kOk);
     comm.barrier();
   }), Status::kOk);
   EXPECT_EQ(lapi_cells[0], 4);
@@ -77,7 +77,7 @@ TEST(IntegrationTest, InterleavedTrafficKeepsClientsSeparate) {
       ASSERT_EQ(ctx.put(1, a, lapi_dst.data(), nullptr, nullptr, &cmpl),
                 Status::kOk);
       ASSERT_EQ(comm.send(1, 3, b), Status::kOk);  // interleaves on the wire
-      ctx.waitcntr(cmpl, 1);
+      EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
     } else {
       std::vector<std::byte> got(static_cast<std::size_t>(kLen));
       ASSERT_EQ(comm.recv(0, 3, got), Status::kOk);
@@ -86,7 +86,7 @@ TEST(IntegrationTest, InterleavedTrafficKeepsClientsSeparate) {
                   static_cast<std::byte>(i % 127));
       }
     }
-    ctx.gfence();
+    EXPECT_EQ(ctx.gfence(), Status::kOk);
     comm.barrier();
   }), Status::kOk);
   for (std::int64_t i = 0; i < kLen; ++i) {
@@ -150,9 +150,9 @@ TEST(IntegrationTest, SixteenTaskGfenceAndRmwScale) {
     for (int round = 0; round < 3; ++round) {
       (void)ctx.rmw_sync(lapi::RmwOp::kFetchAndAdd, 0,
                          static_cast<std::int64_t*>(tab[0]), 1);
-      ctx.gfence();
+      EXPECT_EQ(ctx.gfence(), Status::kOk);
     }
-    ctx.gfence();
+    EXPECT_EQ(ctx.gfence(), Status::kOk);
   }), Status::kOk);
   EXPECT_EQ(counter, 16 * 3);
 }

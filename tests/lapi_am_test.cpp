@@ -40,7 +40,7 @@ TEST(LapiAmTest, HeaderHandlerReceivesUhdrAndPicksBuffer) {
       ASSERT_EQ(ctx.amsend(1, h, testing::as_bytes_of(&magic, sizeof magic),
                            data, nullptr, nullptr, &cmpl),
                 Status::kOk);
-      ctx.waitcntr(cmpl, 1);
+      EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
     }
   }), Status::kOk);
   EXPECT_EQ(handler_origin, 0);
@@ -83,7 +83,7 @@ TEST(LapiAmTest, CompletionHandlerRunsAfterAllDataArrived) {
       Counter cmpl;
       ASSERT_EQ(ctx.amsend(1, h, {}, data, nullptr, nullptr, &cmpl),
                 Status::kOk);
-      ctx.waitcntr(cmpl, 1);
+      EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
     }
   }), Status::kOk);
   EXPECT_TRUE(completion_saw_full_message);
@@ -115,9 +115,9 @@ TEST(LapiAmTest, TargetCounterFiresOnlyAfterCompletionHandler) {
       ASSERT_EQ(ctx.amsend(1, h, {}, data,
                            static_cast<Counter*>(table[1]), &org, nullptr),
                 Status::kOk);
-      ctx.waitcntr(org, 1);
+      EXPECT_EQ(ctx.waitcntr(org, 1), Status::kOk);
     } else {
-      ctx.waitcntr(tgt, 1);
+      EXPECT_EQ(ctx.waitcntr(tgt, 1), Status::kOk);
       tgt_observed_at = ctx.engine().now();
     }
   }), Status::kOk);
@@ -142,7 +142,7 @@ TEST(LapiAmTest, UhdrOnlyMessageNeedsNoBuffer) {
       ASSERT_EQ(ctx.amsend(1, h, testing::as_bytes_of(&v, sizeof v), {},
                            nullptr, nullptr, &cmpl),
                 Status::kOk);
-      ctx.waitcntr(cmpl, 1);
+      EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
     }
   }), Status::kOk);
   EXPECT_EQ(pings, 1);
@@ -184,7 +184,7 @@ TEST(LapiAmTest, OutOfOrderPacketsReassembleUnderContentionJitter) {
       Counter cmpl;
       ASSERT_EQ(ctx.amsend(1, h, {}, data, nullptr, nullptr, &cmpl),
                 Status::kOk);
-      ctx.waitcntr(cmpl, 1);
+      EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
     }
   }), Status::kOk);
   for (std::int64_t i = 0; i < kLen; ++i) {
@@ -222,7 +222,7 @@ TEST(LapiAmTest, ManyConcurrentStreamsInterleave) {
                              srcs.back(), nullptr, nullptr, &cmpl),
                   Status::kOk);
       }
-      ctx.waitcntr(cmpl, kStreams);
+      EXPECT_EQ(ctx.waitcntr(cmpl, kStreams), Status::kOk);
     }
   }), Status::kOk);
   for (int s = 0; s < kStreams; ++s) {
@@ -264,7 +264,7 @@ TEST(LapiAmTest, CompletionHandlersMayBlockOnSimMutex) {
         ASSERT_EQ(ctx.amsend(1, h, {}, data, nullptr, nullptr, &cmpl),
                   Status::kOk);
       }
-      ctx.waitcntr(cmpl, 6);
+      EXPECT_EQ(ctx.waitcntr(cmpl, 6), Status::kOk);
     } else {
       // Main thread contends for the same mutex.
       for (int i = 0; i < 3; ++i) {
@@ -309,7 +309,7 @@ TEST(LapiAmTest, MultipleCompletionThreadsOverlap) {
           EXPECT_EQ(ctx.amsend(1, h, {}, data, nullptr, nullptr, &cmpl),
                     Status::kOk);
         }
-        ctx.waitcntr(cmpl, 4);
+        EXPECT_EQ(ctx.waitcntr(cmpl, 4), Status::kOk);
       }
     }), Status::kOk);
     return all_done;

@@ -21,7 +21,7 @@ TEST(LapiBasicTest, InitTermLifecycle) {
     Context ctx(n);
     EXPECT_EQ(ctx.task_id(), n.id());
     EXPECT_EQ(ctx.num_tasks(), 2);
-    ctx.gfence();
+    EXPECT_EQ(ctx.gfence(), Status::kOk);
     ctx.term();
     // Calls after term report a bad handle.
     Counter c;
@@ -59,8 +59,8 @@ TEST(LapiBasicTest, PutMovesBytesAndFiresAllThreeCounters) {
                         reinterpret_cast<std::byte*>(tgt_buf.data()),
                         remote_tgt, &org, &cmpl),
                 Status::kOk);
-      ctx.waitcntr(org, 1);   // source reusable
-      ctx.waitcntr(cmpl, 1);  // confirmed complete at the target
+      EXPECT_EQ(ctx.waitcntr(org, 1), Status::kOk);  // source reusable
+      EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);  // confirmed complete at the target
       (void)bufs;
     }
   }), Status::kOk);
@@ -80,10 +80,10 @@ TEST(LapiBasicTest, PutTargetCounterObservedByTarget) {
       Counter org;
       ASSERT_EQ(ctx.put(1, src, tgt_buf.data(), cntrs[1], &org, nullptr),
                 Status::kOk);
-      ctx.waitcntr(org, 1);
+      EXPECT_EQ(ctx.waitcntr(org, 1), Status::kOk);
     } else {
       // The unilateral arrival indication at the target (Section 2.3).
-      ctx.waitcntr(tgt_cntr, 1);
+      EXPECT_EQ(ctx.waitcntr(tgt_cntr, 1), Status::kOk);
       EXPECT_EQ(tgt_buf[0], std::byte{0x5A});
       EXPECT_EQ(tgt_buf[127], std::byte{0x5A});
     }
@@ -103,7 +103,7 @@ TEST(LapiBasicTest, GetPullsRemoteData) {
                         reinterpret_cast<std::byte*>(local.data()), nullptr,
                         &org),
                 Status::kOk);
-      ctx.waitcntr(org, 1);
+      EXPECT_EQ(ctx.waitcntr(org, 1), Status::kOk);
       for (int i = 0; i < 32; ++i) {
         EXPECT_EQ(local[static_cast<std::size_t>(i)], 100 + i);
       }
@@ -122,10 +122,10 @@ TEST(LapiBasicTest, GetTargetCounterFiresAtTarget) {
       Counter org;
       ASSERT_EQ(ctx.get(1, 16, remote.data(), local.data(), cntrs[1], &org),
                 Status::kOk);
-      ctx.waitcntr(org, 1);
+      EXPECT_EQ(ctx.waitcntr(org, 1), Status::kOk);
     } else {
       // "Data copied out of the target buffer" indication (Section 2.3).
-      ctx.waitcntr(tgt, 1);
+      EXPECT_EQ(ctx.waitcntr(tgt, 1), Status::kOk);
     }
   }), Status::kOk);
 }
@@ -143,7 +143,7 @@ TEST(LapiBasicTest, LargeTransfersSpanManyPackets) {
       Counter cmpl;
       ASSERT_EQ(ctx.put(1, src, tgt_buf.data(), nullptr, nullptr, &cmpl),
                 Status::kOk);
-      ctx.waitcntr(cmpl, 1);
+      EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
     }
   }), Status::kOk);
   for (std::int64_t i = 0; i < kLen; ++i) {
@@ -160,8 +160,8 @@ TEST(LapiBasicTest, ZeroLengthPutStillSignalsCounters) {
     if (ctx.task_id() == 0) {
       Counter org, cmpl;
       ASSERT_EQ(ctx.put(1, {}, nullptr, nullptr, &org, &cmpl), Status::kOk);
-      ctx.waitcntr(org, 1);
-      ctx.waitcntr(cmpl, 1);
+      EXPECT_EQ(ctx.waitcntr(org, 1), Status::kOk);
+      EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
     }
   }), Status::kOk);
 }
@@ -178,7 +178,7 @@ TEST(LapiBasicTest, SharedCounterGroupsManyOperations) {
                           nullptr, nullptr, &group),
                   Status::kOk);
       }
-      ctx.waitcntr(group, 3);  // wait for the whole group
+      EXPECT_EQ(ctx.waitcntr(group, 3), Status::kOk);  // wait for the whole group
     }
   }), Status::kOk);
   for (int t = 1; t < 4; ++t) {
@@ -191,9 +191,9 @@ TEST(LapiBasicTest, WaitcntrAutoDecrements) {
   ASSERT_EQ(run_lapi(m, [](Context& ctx) {
     Counter c;
     ctx.setcntr(c, 5);
-    ctx.waitcntr(c, 3);
+    EXPECT_EQ(ctx.waitcntr(c, 3), Status::kOk);
     EXPECT_EQ(ctx.getcntr(c), 2);  // decremented by the waited value
-    ctx.waitcntr(c, 2);
+    EXPECT_EQ(ctx.waitcntr(c, 2), Status::kOk);
     EXPECT_EQ(ctx.getcntr(c), 0);
   }), Status::kOk);
 }
@@ -206,7 +206,7 @@ TEST(LapiBasicTest, PutToSelfLoopsBack) {
     Counter cmpl;
     ASSERT_EQ(ctx.put(0, src, buf.data(), nullptr, nullptr, &cmpl),
               Status::kOk);
-    ctx.waitcntr(cmpl, 1);
+    EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
     EXPECT_EQ(buf[31], std::byte{9});
   }), Status::kOk);
 }
@@ -274,7 +274,7 @@ TEST(LapiBasicTest, NonBlockingCallsPipelineBeforeAnyWait) {
                           &cmpl),
                   Status::kOk);
       }
-      ctx.waitcntr(cmpl, kOps);
+      EXPECT_EQ(ctx.waitcntr(cmpl, kOps), Status::kOk);
     }
   }), Status::kOk);
   for (int i = 0; i < kOps; ++i) {

@@ -40,7 +40,7 @@ TEST(LapiCalibrationTest, PollingOneWayLatencyNear34us) {
                         static_cast<Counter*>(tab[1]), nullptr, nullptr),
                 Status::kOk);
     } else {
-      ctx.waitcntr(tgt, 1);
+      EXPECT_EQ(ctx.waitcntr(tgt, 1), Status::kOk);
       landed_at = ctx.engine().now();
     }
   }), Status::kOk);
@@ -67,10 +67,10 @@ double ping_pong_us(bool interrupts) {
       EXPECT_EQ(ctx.put(1, testing::as_bytes_of(&b, 1), &ping_cell,
                         static_cast<Counter*>(ping_tab[1]), nullptr, nullptr),
                 Status::kOk);
-      ctx.waitcntr(pong_cntr, 1);
+      EXPECT_EQ(ctx.waitcntr(pong_cntr, 1), Status::kOk);
       rt = ctx.engine().now() - t0;
     } else {
-      ctx.waitcntr(ping_cntr, 1);
+      EXPECT_EQ(ctx.waitcntr(ping_cntr, 1), Status::kOk);
       EXPECT_EQ(ctx.put(0, testing::as_bytes_of(&b, 1), &pong_cell,
                         static_cast<Counter*>(pong_tab[0]), nullptr, nullptr),
                 Status::kOk);
@@ -164,7 +164,7 @@ TEST(LapiCalibrationTest, GetPipelineLatencyNear19us) {
       const Time t0 = ctx.engine().now();
       ASSERT_EQ(ctx.get(1, 1, &cell, &b, nullptr, &org), Status::kOk);
       us = to_us(ctx.engine().now() - t0);
-      ctx.waitcntr(org, 1);
+      EXPECT_EQ(ctx.waitcntr(org, 1), Status::kOk);
     }
   }), Status::kOk);
   EXPECT_GE(us, 17.0);
@@ -185,7 +185,7 @@ double put_bandwidth_mb_s(std::int64_t len, int reps) {
       for (int i = 0; i < reps; ++i) {
         EXPECT_EQ(ctx.put(1, src, tgt.data(), nullptr, nullptr, &cmpl),
                   Status::kOk);
-        ctx.waitcntr(cmpl, 1);
+        EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
       }
       elapsed = ctx.engine().now() - t0;
     }

@@ -29,7 +29,7 @@ TEST(LapiModesTest, InterruptModeProgressesWithoutTargetCalls) {
       Counter cmpl;
       ASSERT_EQ(ctx.put(1, src, tgt.data(), nullptr, nullptr, &cmpl),
                 Status::kOk);
-      ctx.waitcntr(cmpl, 1);
+      EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
       EXPECT_EQ(tgt[0], std::byte{0xA5});
     } else {
       // Pure computation, never calls into LAPI while the put lands.
@@ -49,7 +49,7 @@ TEST(LapiModesTest, PollingModeStallsUntilTargetPolls) {
       Counter cmpl;
       ASSERT_EQ(ctx.put(1, src, tgt.data(), nullptr, nullptr, &cmpl),
                 Status::kOk);
-      ctx.waitcntr(cmpl, 1);
+      EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
       cmpl_at = ctx.engine().now();
     } else {
       // Target computes for a long time before its first poll; the put
@@ -57,7 +57,7 @@ TEST(LapiModesTest, PollingModeStallsUntilTargetPolls) {
       ctx.node().task().compute(kBusy);
       Counter dummy;
       ctx.setcntr(dummy, 1);
-      ctx.waitcntr(dummy, 1);  // entering the library drains the backlog
+      EXPECT_EQ(ctx.waitcntr(dummy, 1), Status::kOk);  // entering the library drains the backlog
     }
   }), Status::kOk);
   ASSERT_NE(cmpl_at, kNoTime);
@@ -122,10 +122,10 @@ TEST(LapiModesTest, BlockedWaitsPollEvenInInterruptMode) {
                           static_cast<Counter*>(ping_tab[1]), nullptr,
                           nullptr),
                   Status::kOk);
-        ctx.waitcntr(pong_cntr, 1);
+        EXPECT_EQ(ctx.waitcntr(pong_cntr, 1), Status::kOk);
         rt = ctx.engine().now() - t0;
       } else {
-        ctx.waitcntr(ping_cntr, 1);
+        EXPECT_EQ(ctx.waitcntr(ping_cntr, 1), Status::kOk);
         ASSERT_EQ(ctx.put(0, testing::as_bytes_of(&b, 1), &pong_cell,
                           static_cast<Counter*>(pong_tab[0]), nullptr,
                           nullptr),
@@ -170,7 +170,7 @@ TEST(LapiModesTest, InterruptChargedOnlyOutsideTheLibrary) {
         }
         landed = ctx.engine().now();
       } else {
-        ctx.waitcntr(tgt, 1);
+        EXPECT_EQ(ctx.waitcntr(tgt, 1), Status::kOk);
         landed = ctx.engine().now();
       }
       (void)flag;
@@ -193,7 +193,7 @@ TEST(LapiModesTest, SenvSwitchesModeAndDrainsBacklog) {
       Counter cmpl;
       ASSERT_EQ(ctx.put(1, src, tgt.data(), nullptr, nullptr, &cmpl),
                 Status::kOk);
-      ctx.waitcntr(cmpl, 1);
+      EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
     } else {
       EXPECT_EQ(ctx.qenv(Query::kInterruptSet), 0);
       // Let packets pile up unpolled, then arm interrupts: the backlog must
@@ -218,7 +218,7 @@ TEST(LapiModesTest, BackToBackPacketsAbsorbOneInterrupt) {
       Counter cmpl;
       ASSERT_EQ(ctx.put(1, src, tgt.data(), nullptr, nullptr, &cmpl),
                 Status::kOk);
-      ctx.waitcntr(cmpl, 1);
+      EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
     } else {
       ctx.node().task().compute(milliseconds(5.0));
     }
@@ -242,7 +242,7 @@ TEST(LapiModesTest, GetWorksAgainstComputingTargetInInterruptMode) {
                         reinterpret_cast<std::byte*>(local.data()), nullptr,
                         &org),
                 Status::kOk);
-      ctx.waitcntr(org, 1);
+      EXPECT_EQ(ctx.waitcntr(org, 1), Status::kOk);
       EXPECT_EQ(local[3], 55);
     } else {
       ctx.node().task().compute(milliseconds(1.0));

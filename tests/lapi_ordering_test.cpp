@@ -128,7 +128,7 @@ TEST(LapiOrderingTest, ConcurrentOpsMayCompleteOutOfOrder) {
         ASSERT_EQ(ctx.put(1, testing::as_bytes_of(&b, 1), &cell[1],
                           static_cast<Counter*>(t1[1]), nullptr, &grp),
                   Status::kOk);
-        ctx.waitcntr(grp, 2);
+        EXPECT_EQ(ctx.waitcntr(grp, 2), Status::kOk);
       } else {
         while (ctx.getcntr(tgt0) == 0 && ctx.getcntr(tgt1) == 0) {
           ctx.node().task().compute(microseconds(2));
@@ -136,10 +136,10 @@ TEST(LapiOrderingTest, ConcurrentOpsMayCompleteOutOfOrder) {
         // If the second put's counter fired while the first is still
         // pending, the operations completed out of order.
         if (ctx.getcntr(tgt1) > 0 && ctx.getcntr(tgt0) == 0) ++reorders;
-        ctx.waitcntr(tgt0, 1);
-        ctx.waitcntr(tgt1, 1);
+        EXPECT_EQ(ctx.waitcntr(tgt0, 1), Status::kOk);
+        EXPECT_EQ(ctx.waitcntr(tgt1, 1), Status::kOk);
       }
-      ctx.gfence();
+      EXPECT_EQ(ctx.gfence(), Status::kOk);
     }
   }), Status::kOk);
   EXPECT_GT(reorders, 0) << "independent puts never reordered under jitter";
@@ -155,9 +155,9 @@ TEST(LapiOrderingTest, GfenceSynchronizesAllTasks) {
       // Stagger arrivals heavily.
       node.task().compute(microseconds(50 * (node.id() + 1)));
       before[static_cast<std::size_t>(node.id())] = ctx.engine().now();
-      ctx.gfence();
+      EXPECT_EQ(ctx.gfence(), Status::kOk);
       after[static_cast<std::size_t>(node.id())] = ctx.engine().now();
-      ctx.gfence();
+      EXPECT_EQ(ctx.gfence(), Status::kOk);
     }), Status::kOk);
     // No task leaves the barrier before the last one entered it.
     const Time last_entry =
@@ -177,7 +177,7 @@ TEST(LapiOrderingTest, RepeatedGfencesStayConsistent) {
     for (int r = 0; r < 10; ++r) {
       // Everyone must observe all peers in the same phase after the fence.
       phase[static_cast<std::size_t>(ctx.task_id())] = r;
-      ctx.gfence();
+      EXPECT_EQ(ctx.gfence(), Status::kOk);
       for (int t = 0; t < 4; ++t) {
         if (phase[static_cast<std::size_t>(t)] < r) skew_detected = true;
       }
@@ -204,12 +204,12 @@ TEST(LapiOrderingTest, WaitOnFirstPutSerializesOverlappingPuts) {
                           reinterpret_cast<std::byte*>(&cell), nullptr,
                           nullptr, &c1),
                   Status::kOk);
-        ctx.waitcntr(c1, 1);  // first put complete at target
+        EXPECT_EQ(ctx.waitcntr(c1, 1), Status::kOk);  // first put complete at target
         ASSERT_EQ(ctx.put(1, testing::as_bytes_of(&two, 8),
                           reinterpret_cast<std::byte*>(&cell), nullptr,
                           nullptr, &c2),
                   Status::kOk);
-        ctx.waitcntr(c2, 1);
+        EXPECT_EQ(ctx.waitcntr(c2, 1), Status::kOk);
         EXPECT_EQ(cell, 2);  // deterministic: second wins
       }
     }

@@ -81,9 +81,9 @@ TEST_P(LapiSeedSweepTest, DuplicateDeliveryIsSuppressed) {
                   Status::kOk);
       }
       EXPECT_EQ(ctx.waitcntr(cmpl, 10), Status::kOk);
-      ctx.gfence();
+      EXPECT_EQ(ctx.gfence(), Status::kOk);
     } else {
-      ctx.gfence();
+      EXPECT_EQ(ctx.gfence(), Status::kOk);
       observed = ctx.getcntr(tgt_cntr);
     }
   }), Status::kOk);
@@ -231,7 +231,7 @@ TEST(LapiReliabilityTest, CleanFabricNeverRetransmits) {
       Counter cmpl;
       ASSERT_EQ(ctx.put(1, src, tgt.data(), nullptr, nullptr, &cmpl),
                 Status::kOk);
-      ctx.waitcntr(cmpl, 1);
+      EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
     }
   }), Status::kOk);
   EXPECT_EQ(m.engine().counters().get("lapi.retransmits"), 0);
@@ -401,9 +401,9 @@ TEST_P(LapiLossSweepTest, RandomizedTrafficDeliversExactly) {
                 Status::kOk);
       ++sent;
     }
-    ctx.waitcntr(cmpl, sent);
+    EXPECT_EQ(ctx.waitcntr(cmpl, sent), Status::kOk);
     // Verify own payload landed intact everywhere.
-    ctx.gfence();
+    EXPECT_EQ(ctx.gfence(), Status::kOk);
     for (int t = 0; t < 4; ++t) {
       if (t == ctx.task_id()) continue;
       auto& cell = cells[static_cast<std::size_t>(ctx.task_id() * 4 + t)];

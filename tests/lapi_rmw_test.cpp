@@ -97,7 +97,7 @@ TEST(LapiRmwTest, NonBlockingRmwWithCounter) {
       std::int64_t prev = -1;
       ASSERT_EQ(ctx.rmw(RmwOp::kFetchAndAdd, 1, &var, 4, 0, &prev, &done),
                 Status::kOk);
-      ctx.waitcntr(done, 1);
+      EXPECT_EQ(ctx.waitcntr(done, 1), Status::kOk);
       EXPECT_EQ(prev, 3);  // prev_out valid once the counter fires
     }
   }), Status::kOk);

@@ -40,7 +40,7 @@ TEST(LapiStridedTest, PutvScattersIntoRemoteRegion) {
                          region(remote.data(), 10, 6, 16), nullptr, nullptr,
                          &cmpl),
                 Status::kOk);
-      ctx.waitcntr(cmpl, 1);
+      EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
     }
   }), Status::kOk);
   for (int j = 0; j < 6; ++j) {
@@ -69,7 +69,7 @@ TEST(LapiStridedTest, GetvGathersRemoteRegion) {
       ASSERT_EQ(ctx.getv(1, region(remote.data() + 1 * 20 + 2, 8, 4, 20),
                          region(local.data(), 8, 4, 9), nullptr, &org),
                 Status::kOk);
-      ctx.waitcntr(org, 1);
+      EXPECT_EQ(ctx.waitcntr(org, 1), Status::kOk);
       for (int j = 0; j < 4; ++j) {
         for (int i = 0; i < 8; ++i) {
           EXPECT_DOUBLE_EQ(local[static_cast<std::size_t>(j * 9 + i)],
@@ -95,7 +95,7 @@ TEST(LapiStridedTest, LargeStridedTransfersSpanManyPackets) {
                          region(remote.data(), rows, cols, ld), nullptr,
                          nullptr, &cmpl),
                 Status::kOk);
-      ctx.waitcntr(cmpl, 1);
+      EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
     }
   }), Status::kOk);
   for (std::int64_t j = 0; j < cols; ++j) {
@@ -128,7 +128,7 @@ TEST(LapiStridedTest, PutvSurvivesLossAndReordering) {
                          region(remote.data(), rows, cols, ld), nullptr,
                          nullptr, &cmpl),
                 Status::kOk);
-      ctx.waitcntr(cmpl, 1);
+      EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
     }
   }), Status::kOk);
   for (std::int64_t j = 0; j < cols; ++j) {
@@ -169,7 +169,7 @@ TEST(LapiStridedTest, PutvOrgFiresAtInjectionEvenWhenLarge) {
                          region(remote.data(), rows, cols, ld), nullptr,
                          &org, nullptr),
                 Status::kOk);
-      ctx.waitcntr(org, 1);
+      EXPECT_EQ(ctx.waitcntr(org, 1), Status::kOk);
       // Far below the ~3 ms the 256 KB wire + ack round trip would take.
       EXPECT_LT(ctx.engine().now() - t0, milliseconds(2.5));
     }
@@ -198,14 +198,14 @@ TEST(LapiStridedTest, RandomizedRoundTripProperty) {
                          region(remote.data(), rows, cols, rld), nullptr,
                          nullptr, &cmpl),
                 Status::kOk);
-      ctx.waitcntr(cmpl, 1);
+      EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
       std::vector<double> back(static_cast<std::size_t>(lld * cols), -5.0);
       Counter org;
       ASSERT_EQ(ctx.getv(1, region(remote.data(), rows, cols, rld),
                          region(back.data(), rows, cols, lld), nullptr,
                          &org),
                 Status::kOk);
-      ctx.waitcntr(org, 1);
+      EXPECT_EQ(ctx.waitcntr(org, 1), Status::kOk);
       for (std::int64_t j = 0; j < cols; ++j) {
         for (std::int64_t i = 0; i < rows; ++i) {
           if (back[static_cast<std::size_t>(j * lld + i)] !=

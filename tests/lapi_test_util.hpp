@@ -25,7 +25,7 @@ inline Status run_lapi(net::Machine& m, Config lapi_config,
   return m.run_spmd([&](net::Node& n) {
     Context ctx(n, lapi_config);
     body(ctx);
-    ctx.gfence();
+    (void)ctx.gfence();
   });
 }
 

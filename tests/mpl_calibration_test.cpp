@@ -156,7 +156,7 @@ double lapi_bandwidth_mb_s(std::int64_t len, int reps) {
       for (int i = 0; i < reps; ++i) {
         EXPECT_EQ(ctx.put(1, src, tgt.data(), nullptr, nullptr, &cmpl),
                   Status::kOk);
-        ctx.waitcntr(cmpl, 1);
+        EXPECT_EQ(ctx.waitcntr(cmpl, 1), Status::kOk);
       }
       elapsed = ctx.engine().now() - t0;
     }

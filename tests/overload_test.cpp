@@ -94,7 +94,7 @@ void run_incast(std::uint64_t seed, int rx_depth, Time adapter_rx,
   ASSERT_EQ(m.run_spmd([&](net::Node& n) {
     lapi::Context ctx(n, lcfg);
     const int me = ctx.task_id();
-    ctx.gfence();
+    EXPECT_EQ(ctx.gfence(), Status::kOk);
     if (me != 0) {
       std::vector<std::byte> src(static_cast<std::size_t>(kLen));
       for (std::int64_t i = 0; i < kLen; ++i) {
@@ -112,7 +112,7 @@ void run_incast(std::uint64_t seed, int rx_depth, Time adapter_rx,
     }
     ctx.fence();
     pending_after[static_cast<std::size_t>(me)] = ctx.pending_sends();
-    ctx.gfence();
+    EXPECT_EQ(ctx.gfence(), Status::kOk);
     if (me == 0) {
       EXPECT_EQ(ctx.partials(), 0u);  // nothing half-assembled at the end
     }
@@ -213,7 +213,7 @@ TEST_P(OverloadSlowReceiverTest, PartialCapShedsButDeliversAll) {
           r.header_cost = microseconds(30);  // the "slow receiver"
           return r;
         });
-    ctx.gfence();
+    EXPECT_EQ(ctx.gfence(), Status::kOk);
     if (me != 0) {
       std::vector<std::byte> src(static_cast<std::size_t>(kAmLen));
       for (std::int64_t i = 0; i < kAmLen; ++i) {
@@ -234,7 +234,7 @@ TEST_P(OverloadSlowReceiverTest, PartialCapShedsButDeliversAll) {
       }
     }
     ctx.fence();
-    ctx.gfence();
+    EXPECT_EQ(ctx.gfence(), Status::kOk);
     ctx.node().task().compute(milliseconds(3.0));
   }), Status::kOk);
 
@@ -299,7 +299,7 @@ TEST_P(OverloadCreditLossTest, LostAndDuplicatedCreditsNeverDeadlock) {
     lapi::Context ctx(n, lcfg);
     const int me = ctx.task_id();
     const int to = (me + 1) % kTasks;
-    ctx.gfence();
+    EXPECT_EQ(ctx.gfence(), Status::kOk);
     std::vector<std::byte> src(static_cast<std::size_t>(kLen));
     for (std::int64_t i = 0; i < kLen; ++i) {
       src[static_cast<std::size_t>(i)] = pattern(me, i);
@@ -319,7 +319,7 @@ TEST_P(OverloadCreditLossTest, LostAndDuplicatedCreditsNeverDeadlock) {
     ctx.fence();
     pending_after[static_cast<std::size_t>(me)] = ctx.pending_sends();
     credits_after[static_cast<std::size_t>(me)] = ctx.credits_available(to);
-    ctx.gfence();
+    EXPECT_EQ(ctx.gfence(), Status::kOk);
     ctx.node().task().compute(milliseconds(3.0));
   }), Status::kOk);
 

@@ -89,7 +89,7 @@ TEST_P(RecoveryTest, MidPutCrash) {
       EXPECT_EQ(ctx.outstanding(), 0);
     } else {
       // The victim parks in a wait that can never complete and dies there.
-      ctx.waitcntr(tgt_cntr, 1);
+      (void)ctx.waitcntr(tgt_cntr, 1);
     }
   }), Status::kOk);
 
@@ -151,7 +151,7 @@ TEST_P(RecoveryTest, CrashRestartStaleEpoch) {
       put2_st = ctx.waitcntr(cmpl2, 1);
       still_failed = ctx.peer_failed(1);
     } else {
-      ctx.waitcntr(first_life, 1);  // first life: dies waiting
+      (void)ctx.waitcntr(first_life, 1);  // first life: dies waiting
     }
   }), Status::kOk);
 
@@ -198,7 +198,7 @@ TEST_P(RecoveryTest, KeepaliveVsRtoRace) {
       cmpl_st = ctx.waitcntr(cmpl, 1);
       detected_at = ctx.engine().now();
     } else {
-      ctx.waitcntr(tgt_cntr, 1);  // dies waiting
+      (void)ctx.waitcntr(tgt_cntr, 1);  // dies waiting
     }
   }), Status::kOk);
 
@@ -252,7 +252,7 @@ TEST_P(RecoveryTest, CreditBackpressureCrash) {
       EXPECT_EQ(ctx.pending_sends(), 0u);
       EXPECT_EQ(ctx.outstanding(), 0);
     } else {
-      ctx.waitcntr(tgt_cntr, 1);  // dies waiting
+      (void)ctx.waitcntr(tgt_cntr, 1);  // dies waiting
     }
   }), Status::kOk);
 

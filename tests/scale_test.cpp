@@ -69,7 +69,7 @@ void ring_workload(Context& ctx, int tasks, std::vector<std::int64_t>& slot,
                    std::vector<std::int64_t>& fetched) {
   const int me = ctx.task_id();
   const int right = (me + 1) % tasks;
-  ctx.gfence();
+  EXPECT_EQ(ctx.gfence(), Status::kOk);
   const std::int64_t stamp = 1'000'000 + me;
   Counter put_cmpl;
   ASSERT_EQ(ctx.put(right, as_bytes_of(&stamp, sizeof stamp),
@@ -78,7 +78,7 @@ void ring_workload(Context& ctx, int tasks, std::vector<std::int64_t>& slot,
                     nullptr, nullptr, &put_cmpl),
             Status::kOk);
   EXPECT_EQ(ctx.waitcntr(put_cmpl, 1), Status::kOk);
-  ctx.gfence();
+  EXPECT_EQ(ctx.gfence(), Status::kOk);
   Counter got;
   ASSERT_EQ(ctx.get(right,
                     static_cast<std::int64_t>(sizeof(std::int64_t)),
@@ -274,7 +274,7 @@ TEST(ScaleTest, StacklessCompletionPoolMatchesThreaded) {
                          };
                          return r;
                        });
-                   ctx.gfence();
+                   EXPECT_EQ(ctx.gfence(), Status::kOk);
                    std::vector<std::byte> data(64, std::byte{0x5A});
                    Counter cmpl;
                    EXPECT_EQ(ctx.amsend((me + 1) % kTasks, h, {}, data,

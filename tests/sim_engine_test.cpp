@@ -48,7 +48,7 @@ TEST(EngineTest, SchedulingInThePastAborts) {
   eng.schedule_at(microseconds(10), [&] {
     EXPECT_DEATH(eng.schedule_at(microseconds(5), [] {}), "virtual past");
   });
-  eng.run();
+  EXPECT_EQ(eng.run(), Status::kOk);
 }
 
 TEST(EngineTest, ActorRunsAndFinishes) {
@@ -153,7 +153,7 @@ TEST(EngineTest, NoDeadlockWhenAllFinish) {
 TEST(EngineTest, ActorExceptionPropagatesToRun) {
   Engine eng;
   eng.spawn("thrower", [&](Actor&) { throw std::runtime_error("boom"); });
-  EXPECT_THROW(eng.run(), std::runtime_error);
+  EXPECT_THROW((void)eng.run(), std::runtime_error);
 }
 
 TEST(EngineTest, DeterministicAcrossRuns) {
@@ -214,7 +214,7 @@ TEST(EngineTest, CurrentIsNullInEventContext) {
 TEST(EngineTest, CountersAccumulate) {
   Engine eng;
   eng.schedule_at(0, [&] { eng.counters().bump("pkts", 3); });
-  eng.run();
+  EXPECT_EQ(eng.run(), Status::kOk);
   EXPECT_EQ(eng.counters().get("pkts"), 3);
 }
 

@@ -1,0 +1,6 @@
+// Fixture facade header: the thing the lower layers must not reach.
+#pragma once
+
+namespace splap::lapi {
+class Context {};
+}  // namespace splap::lapi

@@ -1,0 +1,5 @@
+// layering-context violation: a transport layer reaches the LAPI facade
+// header through one level of indirection.
+#pragma once
+
+#include "mpl/internal.hpp"

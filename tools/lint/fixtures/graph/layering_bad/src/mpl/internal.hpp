@@ -1,0 +1,4 @@
+// Intermediate hop for the layering-context case.
+#pragma once
+
+#include "lapi/context.hpp"

@@ -1,0 +1,5 @@
+// The intermediate hop: a raw-line rule looking at fabric.hpp alone would
+// never see the leak routed through this header.
+#pragma once
+
+#include "lapi/context.hpp"

@@ -1,0 +1,5 @@
+// layering-net violation, but only transitively: fabric.hpp includes a
+// sibling net/ header which reaches up into lapi/.
+#pragma once
+
+#include "net/detail.hpp"

@@ -1,0 +1,8 @@
+// Fixture facade header.
+#pragma once
+
+#include "net/fabric.hpp"
+
+namespace splap::lapi {
+class Context {};
+}  // namespace splap::lapi

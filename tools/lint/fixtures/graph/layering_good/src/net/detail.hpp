@@ -1,0 +1,2 @@
+// Leaf header: nothing upward here.
+#pragma once

@@ -1,0 +1,5 @@
+// Downward-only includes are legal in every direction the rules look:
+// the facade may include net/, net/ may include its own headers.
+#pragma once
+
+#include "net/detail.hpp"

@@ -1,0 +1,28 @@
+// status-discard shapes: a dropped Status fires; (void), an allow
+// annotation, a checked result, and mixed-overload callees stay quiet.
+
+namespace splap {
+
+enum class Status { kOk, kBad };
+
+namespace lapi {
+
+Status op() { return Status::kOk; }
+
+// Mixed overload set under one simple name at the SAME arity: a bare-name
+// call site cannot tell which overload it binds, so the rule must skip it.
+Status mixed(int a) { return a != 0 ? Status::kOk : Status::kBad; }
+int mixed(double a) { return a > 0 ? 1 : 0; }
+
+void driver() {
+  op();  // BAD: result dropped on the floor
+  (void)op();  // explicit discard: fine
+  // splap-graph: allow(status-discard): teardown path, failure is benign
+  op();
+  const Status s = op();  // checked: fine
+  (void)s;
+  mixed(1);  // mixed overloads: skipped
+}
+
+}  // namespace lapi
+}  // namespace splap

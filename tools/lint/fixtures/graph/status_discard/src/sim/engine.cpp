@@ -1,0 +1,14 @@
+// Out of scope for status-discard: the rule covers the protocol layers
+// (src/{lapi,mpl,ga,net}), not the engine.
+
+namespace splap::sim {
+
+enum class Status { kOk };
+
+Status tick() { return Status::kOk; }
+
+void pump() {
+  tick();  // dropped, but src/sim is not in scope
+}
+
+}  // namespace splap::sim

@@ -1,0 +1,23 @@
+// Regression fixture (the bug class splap-graph exists to catch): an event
+// handler reaches Actor::compute through two layers of helpers. The runtime
+// would only catch this when the path actually fires; the analyzer must
+// fail the gate and print the full chain.
+#include "sim/engine.hpp"
+
+namespace splap::lapi {
+
+void do_send(sim::Actor* a) {
+  a->compute(5);  // suspension primitive, two hops below the handler
+}
+
+void helper_send(sim::Actor* a) {
+  do_send(a);
+}
+
+void arm(sim::Engine& eng, sim::Actor* a) {
+  eng.schedule_after(10, [a] {
+    helper_send(a);
+  });
+}
+
+}  // namespace splap::lapi

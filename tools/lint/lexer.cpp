@@ -1,0 +1,117 @@
+#include "lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace splap::lint {
+
+std::vector<Line> lex_lines(std::string_view src) {
+  std::vector<Line> lines(1);
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State st = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  auto* cur = &lines.back();
+  const std::size_t n = src.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = src[i];
+    const char next = i + 1 < n ? src[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == State::kLineComment) st = State::kCode;
+      lines.emplace_back();
+      cur = &lines.back();
+      continue;
+    }
+    cur->raw.push_back(c);
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          st = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (cur->code.empty() ||
+                    (!std::isalnum(static_cast<unsigned char>(
+                         cur->code.back())) &&
+                     cur->code.back() != '_'))) {
+          // Raw string literal: R"delim( ... )delim"
+          std::size_t j = i + 2;
+          raw_delim.clear();
+          while (j < n && src[j] != '(' && src[j] != '\n') {
+            raw_delim.push_back(src[j]);
+            ++j;
+          }
+          if (j < n && src[j] == '(') {
+            cur->code += "R\"\"";
+            i = j;  // consume through the '('
+            st = State::kRawString;
+          } else {
+            cur->code.push_back(c);  // not actually a raw string
+          }
+        } else if (c == '"') {
+          cur->code.push_back('"');
+          st = State::kString;
+        } else if (c == '\'') {
+          cur->code.push_back('\'');
+          st = State::kChar;
+        } else {
+          cur->code.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        cur->comment.push_back(c);
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          st = State::kCode;
+          ++i;
+        } else {
+          cur->comment.push_back(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          ++i;
+        } else if (c == '"') {
+          cur->code.push_back('"');
+          st = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          ++i;
+        } else if (c == '\'') {
+          cur->code.push_back('\'');
+          st = State::kCode;
+        }
+        break;
+      case State::kRawString: {
+        // Look for )delim"
+        if (c == ')' && n - i > raw_delim.size() + 1 &&
+            src.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            src[i + 1 + raw_delim.size()] == '"') {
+          i += raw_delim.size() + 1;
+          st = State::kCode;
+        }
+        break;
+      }
+    }
+  }
+  return lines;
+}
+
+bool blank(const std::string& s) {
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isspace(c) != 0;
+  });
+}
+
+}  // namespace splap::lint

@@ -1,0 +1,31 @@
+// Shared lexical pass for the splap static-analysis tools (splap-lint and
+// splap-graph): split a C++ translation unit into per-line (code, comment,
+// raw) triples with string/char-literal contents blanked out of the code
+// text. Newlines are preserved so diagnostics stay line-accurate.
+//
+// This is deliberately NOT a C++ parser — it is the minimal pass that makes
+// token-level analysis sound: rules and the graph builder never see comment
+// or literal text, so `// rand() in a comment` and `"Actor::suspend"` in a
+// log string can never fire anything.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace splap::lint {
+
+struct Line {
+  std::string code;     // comments and literal contents replaced by spaces
+  std::string comment;  // concatenated comment text on this line
+  std::string raw;      // the line verbatim (for include-directive rules,
+                        // whose quoted paths the string pass blanks out)
+};
+
+/// Lex one translation unit into per-line triples. Index 0 is line 1.
+std::vector<Line> lex_lines(std::string_view src);
+
+/// True when `s` contains no non-whitespace character.
+bool blank(const std::string& s);
+
+}  // namespace splap::lint

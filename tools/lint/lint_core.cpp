@@ -8,133 +8,13 @@
 #include <set>
 #include <sstream>
 
+#include "lexer.hpp"
+
 namespace splap::lint {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Lexical pass: split a translation unit into per-line (code, comment) pairs
-// with string/char-literal contents blanked out of the code text. Newlines
-// are preserved so diagnostics stay line-accurate.
-// ---------------------------------------------------------------------------
-
-struct Line {
-  std::string code;     // comments and literal contents replaced by spaces
-  std::string comment;  // concatenated comment text on this line
-  std::string raw;      // the line verbatim (for include-directive rules,
-                        // whose quoted paths the string pass blanks out)
-};
-
-std::vector<Line> lex_lines(std::string_view src) {
-  std::vector<Line> lines(1);
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
-  State st = State::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
-  auto* cur = &lines.back();
-  const std::size_t n = src.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const char c = src[i];
-    const char next = i + 1 < n ? src[i + 1] : '\0';
-    if (c == '\n') {
-      if (st == State::kLineComment) st = State::kCode;
-      lines.emplace_back();
-      cur = &lines.back();
-      continue;
-    }
-    cur->raw.push_back(c);
-    switch (st) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          st = State::kLineComment;
-          ++i;
-        } else if (c == '/' && next == '*') {
-          st = State::kBlockComment;
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (cur->code.empty() ||
-                    (!std::isalnum(static_cast<unsigned char>(
-                         cur->code.back())) &&
-                     cur->code.back() != '_'))) {
-          // Raw string literal: R"delim( ... )delim"
-          std::size_t j = i + 2;
-          raw_delim.clear();
-          while (j < n && src[j] != '(' && src[j] != '\n') {
-            raw_delim.push_back(src[j]);
-            ++j;
-          }
-          if (j < n && src[j] == '(') {
-            cur->code += "R\"\"";
-            i = j;  // consume through the '('
-            st = State::kRawString;
-          } else {
-            cur->code.push_back(c);  // not actually a raw string
-          }
-        } else if (c == '"') {
-          cur->code.push_back('"');
-          st = State::kString;
-        } else if (c == '\'') {
-          cur->code.push_back('\'');
-          st = State::kChar;
-        } else {
-          cur->code.push_back(c);
-        }
-        break;
-      case State::kLineComment:
-        cur->comment.push_back(c);
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          st = State::kCode;
-          ++i;
-        } else {
-          cur->comment.push_back(c);
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0') {
-          ++i;
-        } else if (c == '"') {
-          cur->code.push_back('"');
-          st = State::kCode;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          ++i;
-        } else if (c == '\'') {
-          cur->code.push_back('\'');
-          st = State::kCode;
-        }
-        break;
-      case State::kRawString: {
-        // Look for )delim"
-        if (c == ')' && n - i > raw_delim.size() + 1 &&
-            src.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
-            src[i + 1 + raw_delim.size()] == '"') {
-          i += raw_delim.size() + 1;
-          st = State::kCode;
-        }
-        break;
-      }
-    }
-  }
-  return lines;
-}
-
-bool blank(const std::string& s) {
-  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
-    return std::isspace(c) != 0;
-  });
-}
-
-// ---------------------------------------------------------------------------
-// Rules
+// Rules (the lexical pass lives in lexer.hpp, shared with splap-graph)
 // ---------------------------------------------------------------------------
 
 bool starts_with(std::string_view s, std::string_view prefix) {
@@ -146,8 +26,6 @@ bool in_trace_dirs(std::string_view rel) {
          starts_with(rel, "src/lapi/") || starts_with(rel, "src/mpl/");
 }
 
-bool in_net(std::string_view rel) { return starts_with(rel, "src/net/"); }
-
 /// The layers above the engine: all concurrency there is virtual (actors
 /// suspend, events order effects). Only src/sim and src/base may own real
 /// threads, locks or atomics — the engine's worker lanes and actor handoff
@@ -155,16 +33,6 @@ bool in_net(std::string_view rel) { return starts_with(rel, "src/net/"); }
 bool in_protocol_layers(std::string_view rel) {
   return starts_with(rel, "src/net/") || starts_with(rel, "src/lapi/") ||
          starts_with(rel, "src/mpl/") || starts_with(rel, "src/ga/");
-}
-
-/// The files below the Context facade: the shared reliable core, the
-/// assembly engine, the progress engine, and the whole MPL communicator
-/// (a sibling client of the same transport machinery).
-bool in_transport_layers(std::string_view rel) {
-  return starts_with(rel, "src/mpl/") ||
-         starts_with(rel, "src/lapi/reliable.") ||
-         starts_with(rel, "src/lapi/assembly.") ||
-         starts_with(rel, "src/lapi/progress.");
 }
 
 struct Rule {
@@ -240,22 +108,9 @@ const std::vector<Rule>& rule_table() {
         std::regex(R"(\bstd::(?:recursive_|timed_|shared_)?mutex\b|\bstd::condition_variable(?:_any)?\b|\bstd::(?:jthread|thread)\b|\bstd::atomic\b|\bstd::atomic_\w+|\bthread_local\b|\bpthread_\w+)",
                    f),
         &in_protocol_layers});
-    r.push_back(Rule{
-        "layering-net",
-        "src/net must not include protocol layers (lapi/, mpl/, ga/)",
-        "upward include from the network layer: src/net sits below the "
-        "protocol libraries and must not see lapi/, mpl/ or ga/ headers "
-        "(dependency arrows point downward; see DESIGN.md §5)",
-        std::regex(R"(^\s*#\s*include\s*"(?:lapi|mpl|ga)/)", f),
-        &in_net, /*raw=*/true});
-    r.push_back(Rule{
-        "layering-context",
-        "transport layers must not include the Context facade",
-        "transport-layer include of lapi/context.hpp: reliable/assembly/"
-        "progress and the MPL communicator sit below the facade and reach "
-        "it only through their callback interfaces (Sender/Env/Sink)",
-        std::regex(R"(^\s*#\s*include\s*"lapi/context\.hpp")", f),
-        &in_transport_layers, /*raw=*/true});
+    // Layering is no longer enforced here: the raw-line `layering-net` and
+    // `layering-context` rules moved to splap-graph, whose include-closure
+    // pass also catches indirect leaks through intermediate headers.
     return r;
   }();
   return rules;

@@ -123,22 +123,6 @@ TEST(LintRules, PointerKeyQuietOnPointerValues) {
   EXPECT_TRUE(v.empty()) << v.front().line << ": " << v.front().message;
 }
 
-TEST(LintRules, LayeringNetFiresOnUpwardIncludes) {
-  const auto v = scan_source("src/net/x.cc", fixture("bad_layering_net.cc"));
-  EXPECT_EQ(fired(v), (std::multiset<std::pair<std::string, int>>{
-                          {"layering-net", 4},
-                          {"layering-net", 5},
-                          {"layering-net", 6}}));
-}
-
-TEST(LintRules, LayeringNetQuietOnGoodIncludesAndOutsideNet) {
-  EXPECT_TRUE(
-      scan_source("src/net/x.cc", fixture("good_layering_net.cc")).empty());
-  // The same upward includes are legal from layers above the network.
-  EXPECT_TRUE(
-      scan_source("src/ga/x.cc", fixture("bad_layering_net.cc")).empty());
-}
-
 TEST(LintRules, OsSyncFiresOnEachBadLine) {
   const auto v = scan_source("src/lapi/x.cc", fixture("bad_os_sync.cc"));
   EXPECT_EQ(fired(v), (std::multiset<std::pair<std::string, int>>{
@@ -162,27 +146,9 @@ TEST(LintRules, OsSyncQuietOnVirtualCodeAndBelowProtocolLayers) {
       scan_source("src/base/x.cc", fixture("bad_os_sync.cc")).empty());
 }
 
-TEST(LintRules, LayeringContextFiresInEveryTransportLayer) {
-  const std::string content = fixture("bad_layering_context.cc");
-  for (const char* p : {"src/mpl/comm.hpp", "src/lapi/reliable.cpp",
-                        "src/lapi/assembly.hpp", "src/lapi/progress.cpp"}) {
-    EXPECT_EQ(fired_rules(scan_source(p, content)),
-              n_of(1, "layering-context"))
-        << "under " << p;
-  }
-}
-
-TEST(LintRules, LayeringContextQuietAboveTheTransportLayers) {
-  const std::string content = fixture("bad_layering_context.cc");
-  // The facade's own TUs and the libraries above it include context.hpp
-  // legitimately.
-  EXPECT_TRUE(scan_source("src/lapi/context.cpp", content).empty());
-  EXPECT_TRUE(scan_source("src/lapi/collectives.cpp", content).empty());
-  EXPECT_TRUE(scan_source("src/ga/x.cc", content).empty());
-  EXPECT_TRUE(scan_source("src/lapi/reliable.cpp",
-                          fixture("good_layering_context.cc"))
-                  .empty());
-}
+// The layering-net / layering-context rules moved to splap-graph
+// (graph_selftest.cpp), which checks them over the transitive include
+// closure instead of raw #include lines.
 
 TEST(LintAllow, JustifiedAllowMutesTheRule) {
   const auto v = scan_source("src/sim/x.cc", fixture("allow_ok.cc"));
@@ -235,8 +201,7 @@ TEST(LintCatalogue, ListsEveryRule) {
   EXPECT_EQ(ids, (std::set<std::string>{"wall-clock", "raw-rng",
                                         "banned-include",
                                         "unordered-container", "pointer-key",
-                                        "os-sync", "layering-net",
-                                        "layering-context", "bad-allow"}));
+                                        "os-sync", "bad-allow"}));
 }
 
 }  // namespace

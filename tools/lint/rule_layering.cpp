@@ -1,0 +1,152 @@
+// Include-closure layering: the per-line `layering-net`/`layering-context`
+// rules that used to live in splap-lint only saw DIRECT includes, so a leak
+// laundered through an intermediate header (net/foo.hpp -> net/util.hpp ->
+// lapi/context.hpp) passed silently. Here the rules run over the transitive
+// include closure and print the offending chain.
+//
+// Allow semantics are edge-level: annotating the include line that performs
+// the leak cuts that edge out of the closure for every root that reaches it,
+// so one justified annotation at the actual boundary crossing silences all
+// downstream reports.
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph_core.hpp"
+
+namespace splap::graph {
+namespace {
+
+bool starts_with(std::string_view s, std::string_view p) {
+  return s.substr(0, p.size()) == p;
+}
+
+bool in_net(std::string_view f) { return starts_with(f, "src/net/"); }
+
+bool protocol_layer(std::string_view f) {
+  return starts_with(f, "src/lapi/") || starts_with(f, "src/mpl/") ||
+         starts_with(f, "src/ga/");
+}
+
+/// The files below the Context facade: the shared reliable core, the
+/// assembly engine, the progress engine, and the whole MPL communicator
+/// (a sibling client of the same transport machinery).
+bool transport_layer(std::string_view f) {
+  return starts_with(f, "src/mpl/") ||
+         starts_with(f, "src/lapi/reliable.") ||
+         starts_with(f, "src/lapi/assembly.") ||
+         starts_with(f, "src/lapi/progress.");
+}
+
+struct LayerRule {
+  const char* id;
+  bool (*root_scope)(std::string_view);
+  bool (*bad_target)(std::string_view);
+  const char* what;
+};
+
+const std::vector<LayerRule>& layer_rules() {
+  static const std::vector<LayerRule> r = {
+      {"layering-net", &in_net, &protocol_layer,
+       "src/net sits below the protocol libraries and must not reach lapi/, "
+       "mpl/ or ga/ headers (dependency arrows point downward; DESIGN.md §5)"},
+      {"layering-context", &transport_layer,
+       [](std::string_view f) { return f == std::string_view("src/lapi/context.hpp"); },
+       "reliable/assembly/progress and the MPL communicator sit below the "
+       "Context facade and reach it only through their callback interfaces "
+       "(Sender/Env/Sink)"},
+  };
+  return r;
+}
+
+}  // namespace
+
+std::vector<Violation> check_layering(const Model& m) {
+  std::vector<Violation> out;
+  for (const LayerRule& rule : layer_rules()) {
+    for (const std::string& root : m.files) {
+      if (!rule.root_scope(root)) continue;
+      // BFS over include edges, skipping edges allow-annotated for this
+      // rule; the parent map reconstructs the shortest offending chain.
+      struct Hop {
+        std::string file;
+        int parent = -1;
+        int via_line = 0;  // include line in the parent
+      };
+      std::vector<Hop> order;
+      std::map<std::string, int> seen;
+      std::deque<int> queue;
+      order.push_back(Hop{root, -1, 0});
+      seen[root] = 0;
+      queue.push_back(0);
+      std::string chain;
+      int report_line = 0;
+      while (!queue.empty() && chain.empty()) {
+        const int oi = queue.front();
+        queue.pop_front();
+        const std::string cur = order[static_cast<std::size_t>(oi)].file;
+        const auto it = m.includes.find(cur);
+        if (it == m.includes.end()) continue;
+        for (const IncludeEdge& edge : it->second) {
+          if (m.allowed(cur, edge.line, rule.id)) continue;
+          if (rule.bad_target(edge.target)) {
+            // Reconstruct root -> ... -> cur -> target.
+            std::vector<std::string> hops;
+            hops.push_back(edge.target);
+            hops.push_back(cur + ":" + std::to_string(edge.line));
+            int walk = oi;
+            while (order[static_cast<std::size_t>(walk)].parent >= 0) {
+              const Hop& h = order[static_cast<std::size_t>(walk)];
+              const std::string& pf =
+                  order[static_cast<std::size_t>(h.parent)].file;
+              hops.push_back(pf + ":" + std::to_string(h.via_line));
+              walk = h.parent;
+            }
+            std::ostringstream os;
+            os << "include closure reaches a forbidden layer: ";
+            for (auto hit = hops.rbegin(); hit != hops.rend(); ++hit) {
+              if (hit != hops.rbegin()) os << " -> ";
+              os << *hit;
+            }
+            os << " (" << rule.what << ")";
+            chain = os.str();
+            report_line = hops.size() > 1
+                              ? [&] {
+                                  // Line of the FIRST hop out of the root.
+                                  int w = oi;
+                                  int line = edge.line;
+                                  while (order[static_cast<std::size_t>(w)]
+                                             .parent >= 0) {
+                                    line = order[static_cast<std::size_t>(w)]
+                                               .via_line;
+                                    w = order[static_cast<std::size_t>(w)]
+                                            .parent;
+                                  }
+                                  return line;
+                                }()
+                              : edge.line;
+            break;
+          }
+          if (seen.count(edge.target) != 0) continue;
+          seen[edge.target] = static_cast<int>(order.size());
+          order.push_back(Hop{edge.target, oi, edge.line});
+          queue.push_back(seen[edge.target]);
+        }
+      }
+      if (!chain.empty()) {
+        out.push_back(Violation{root, report_line, rule.id, chain});
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Violation& a, const Violation& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+}  // namespace splap::graph

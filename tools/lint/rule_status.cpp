@@ -1,0 +1,65 @@
+// status-discard: a call whose every resolution candidate returns Status,
+// used as a full-expression statement with the result dropped, in the
+// protocol layers (src/{lapi,mpl,ga,net}). The compiler's [[nodiscard]] on
+// splap::Status catches most of these too, but only for translation units
+// that actually build in the current configuration; this rule sees every
+// file, headers included, and composes with the same allow-annotation
+// discipline as the other splap-graph rules.
+//
+// Mixed-overload callees (some candidates return Status, some do not) are
+// skipped — a bare-name resolution cannot tell which overload a site binds
+// to, and a false positive here would train people to sprinkle (void).
+// An explicit `(void)call()` is an intentional discard and never flagged.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "graph_core.hpp"
+
+namespace splap::graph {
+namespace {
+
+constexpr const char* kRule = "status-discard";
+
+bool in_scope(std::string_view f) {
+  return f.rfind("src/lapi/", 0) == 0 || f.rfind("src/mpl/", 0) == 0 ||
+         f.rfind("src/ga/", 0) == 0 || f.rfind("src/net/", 0) == 0;
+}
+
+}  // namespace
+
+std::vector<Violation> check_status_discard(const Model& m) {
+  std::vector<Violation> out;
+  for (const Function& f : m.fns) {
+    if (!in_scope(f.file)) continue;
+    for (const CallSite& c : f.calls) {
+      if (!c.discarded || c.voided) continue;
+      if (m.allowed(f.file, c.line, kRule)) continue;
+      const std::vector<int> targets = m.resolve(c.callee, c.args);
+      if (targets.empty()) continue;
+      bool all_status = true;
+      for (const int t : targets) {
+        if (!m.fns[static_cast<std::size_t>(t)].returns_status) {
+          all_status = false;
+          break;
+        }
+      }
+      if (!all_status) continue;
+      out.push_back(Violation{
+          f.file, c.line, kRule,
+          "result of `" + c.callee + "` (returns Status) is discarded in " +
+              f.qual +
+              "; check it, or write `(void)" + c.callee +
+              "(...)` / annotate with `// splap-graph: allow(status-discard):"
+              " <why>` if dropping it is deliberate"});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Violation& a, const Violation& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+}  // namespace splap::graph
