@@ -25,6 +25,11 @@
 #              1024-node smoke and the serial-vs-SPLAP_EXEC_THREADS=4
 #              determinism comparisons, run optimized, under ASan+UBSan, and
 #              under SPLAP_AUDIT with the worker lanes forced on
+#   rdma       the zero-copy transfer path (tests labelled `rdma`): protocol
+#              selection, registration-cache lifecycle (LRU, epoch bumps),
+#              scatter-direct assembly, FakeWire exactly-once under loss and
+#              corruption, and the GA putv/getv wiring — run optimized,
+#              under ASan+UBSan, and under SPLAP_AUDIT
 #   tsan       ThreadSanitizer over the genuinely-concurrent code: the actor
 #              park/unpark handoff (sim_engine_test), the parallel sweep
 #              driver (bench_fig2_bandwidth with SPLAP_SWEEP_THREADS=4), and
@@ -154,6 +159,26 @@ if want scale; then
   ctest --test-dir build-audit -L scale --no-tests=error --output-on-failure
   SPLAP_EXEC_THREADS=4 ./build-audit/tests/scale_test \
     --gtest_filter='*FabricBurst*:*LapiRing*'
+fi
+
+if want rdma; then
+  # The zero-copy path off-by-default means the tier-1 golden suite never
+  # exercises it; this stage is where the rdma label earns its keep, in all
+  # three instrumentation regimes (a stale registration entry or a double
+  # scatter lands in ASan; a zero-copy packet replayed across an epoch bump
+  # lands in the audit ledger).
+  echo "== rdma harness (optimized) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$(nproc)"
+  ctest --test-dir build -L rdma --no-tests=error --output-on-failure
+  echo "== rdma harness (ASan+UBSan) =="
+  cmake -B build-asan -S . -DSPLAP_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  cmake --build build-asan -j"$(nproc)"
+  ctest --test-dir build-asan -L rdma --no-tests=error --output-on-failure
+  echo "== rdma harness (SPLAP_AUDIT) =="
+  cmake -B build-audit -S . -DSPLAP_AUDIT=ON >/dev/null
+  cmake --build build-audit -j"$(nproc)"
+  ctest --test-dir build-audit -L rdma --no-tests=error --output-on-failure
 fi
 
 if want tsan; then

@@ -9,6 +9,9 @@
 #   fig2         the bandwidth sweep of Figure 2 (also exercised with
 #                SPLAP_SWEEP_THREADS elsewhere; the output is thread-count
 #                invariant)
+#   rdma         BENCH_rdma.json sweeps the three transfer protocols; its
+#                bandwidths depend on the rdma cost constants, so the guard
+#                pins schema, series-name set, and crossover keys, not bytes
 #   engine perf  BENCH_engine.json carries wall-clock timings that legitimately
 #                vary run to run, so the guard pins its schema and benchmark
 #                name set, not its bytes
@@ -41,6 +44,21 @@ diff -u "$GOLD/table2.txt" "$TMP/table2.txt"
 echo "-- fig2"
 "$BUILD_DIR"/bench/bench_fig2_bandwidth > "$TMP/fig2.txt"
 diff -u "$GOLD/fig2.txt" "$TMP/fig2.txt"
+
+echo "-- rdma schema"
+"$BUILD_DIR"/bench/bench_fig2_bandwidth --json_out="$TMP/BENCH_rdma.json" \
+  > /dev/null
+grep -q '"schema": "splap-rdma-v1"' "$TMP/BENCH_rdma.json"
+for name in eager rendezvous zero_copy_cold zero_copy_warm; do
+  grep -q "\"name\": \"$name\"" "$TMP/BENCH_rdma.json" \
+    || { echo "missing series $name in BENCH_rdma.json"; exit 1; }
+done
+for key in crossover_eager_to_rendezvous_bytes \
+           crossover_rendezvous_to_zero_copy_cold_bytes \
+           crossover_rendezvous_to_zero_copy_warm_bytes; do
+  grep -q "\"$key\"" "$TMP/BENCH_rdma.json" \
+    || { echo "missing key $key in BENCH_rdma.json"; exit 1; }
+done
 
 echo "-- engine perf schema"
 "$BUILD_DIR"/bench/bench_engine_perf --json_out="$TMP/BENCH_engine.json" \

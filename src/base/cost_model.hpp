@@ -125,6 +125,26 @@ struct CostModel {
   /// Target-side CPU to schedule a completion handler on a service thread.
   Time lapi_cmpl_dispatch = microseconds(3.0);
 
+  // --- registered-memory zero-copy path (rdma_enabled) -------------------
+  /// Header of a zero-copy data packet. The adapter DMA engine steers the
+  /// payload with a steering tag + offset instead of the full LAPI
+  /// target-side parameter block, so the header shrinks to MPI envelope
+  /// size and each 1 KiB packet carries 1008 B of payload (vs 976 B on the
+  /// store-and-forward path).
+  std::int64_t rdma_header_bytes = 16;
+  /// Target-side per-packet cost when the adapter lands the payload
+  /// directly into the registered region: no dispatcher copy, just the
+  /// bookkeeping to retire the descriptor. Replaces lapi_pkt_rx + the
+  /// copy_time() charge of the staged path.
+  Time rdma_pkt_rx = nanoseconds(300);
+  /// Fixed cost of registering (pinning) a memory region with the adapter:
+  /// syscall + translation setup. Paid once per region per incarnation on a
+  /// registration-cache miss; a hit is free.
+  Time rdma_pin_base = microseconds(40.0);
+  /// Per-page translation-table entry cost of a registration.
+  Time rdma_pin_per_page = nanoseconds(400);
+  std::int64_t rdma_page_bytes = 4096;
+
   // --- MPI / MPL software path ------------------------------------------
   /// CPU time in a send call before injection (argument checking, envelope
   /// construction, protocol selection).
@@ -173,6 +193,14 @@ struct CostModel {
   // --- derived helpers ----------------------------------------------------
   std::int64_t lapi_payload() const { return packet_bytes - lapi_header_bytes; }
   std::int64_t mpi_payload() const { return packet_bytes - mpi_header_bytes; }
+  std::int64_t rdma_payload() const { return packet_bytes - rdma_header_bytes; }
+
+  /// Cost of pinning a `bytes`-long region for adapter DMA.
+  Time pin_time(std::int64_t bytes) const {
+    const std::int64_t pages =
+        (bytes + rdma_page_bytes - 1) / rdma_page_bytes;
+    return rdma_pin_base + pages * rdma_pin_per_page;
+  }
 
   /// Wire occupancy of one packet carrying `payload` bytes plus `header`.
   Time wire_time(std::int64_t header, std::int64_t payload) const {

@@ -189,6 +189,40 @@ double raw_lapi_put_mb_s(std::int64_t bytes, bool interrupt_mode) {
   return mb_per_s(bytes * reps, elapsed);
 }
 
+double raw_lapi_put_mb_s(std::int64_t bytes, const RawPutOpts& opts) {
+  const int reps = series_length(bytes);
+  net::Machine::Config mc = machine_config(2);
+  if (opts.bcopy_limit_override >= 0) {
+    mc.fabric.cost.lapi_bcopy_limit = opts.bcopy_limit_override;
+  }
+  net::Machine m(mc);
+  lapi::Config cfg = opts.lapi;
+  cfg.interrupt_mode = false;
+  std::vector<std::byte> tgt(static_cast<std::size_t>(bytes));
+  Time elapsed = 0;
+  const Status status = m.run_spmd([&](net::Node& n) {
+    lapi::Context ctx(n, cfg);
+    if (ctx.task_id() == 0) {
+      std::vector<std::byte> src(static_cast<std::size_t>(bytes),
+                                 std::byte{1});
+      lapi::Counter cmpl;
+      const Time t0 = ctx.engine().now();
+      for (int i = 0; i < reps; ++i) {
+        const Status s =
+            ctx.put(1, src, tgt.data(), nullptr, nullptr, &cmpl);
+        SPLAP_REQUIRE(s == Status::kOk, "raw put failed");
+        const Status w = ctx.waitcntr(cmpl, 1);
+        SPLAP_REQUIRE(w == Status::kOk, "raw put waitcntr failed");
+      }
+      elapsed = ctx.engine().now() - t0;
+    }
+    const Status f = ctx.gfence();
+    SPLAP_REQUIRE(f == Status::kOk, "raw put gfence failed");
+  });
+  SPLAP_REQUIRE(status == Status::kOk, "raw LAPI bandwidth run failed");
+  return mb_per_s(bytes * reps, elapsed);
+}
+
 double raw_mpi_mb_s(std::int64_t bytes, std::int64_t eager_limit) {
   const int reps = series_length(bytes);
   net::Machine m(machine_config(2));

@@ -47,6 +47,18 @@ GaLatency ga_latency_us(Transport transport);
 /// "GA put within 6% of LAPI_Put" comparison and Figure 2.
 double raw_lapi_put_mb_s(std::int64_t bytes, bool interrupt_mode = false);
 
+/// Protocol-forced variant of the raw put series, for the three-protocol
+/// sweep behind BENCH_rdma.json: the lapi::Config carries the rdma knobs
+/// (and cache sizing), and bcopy_limit_override forces the eager protocol
+/// curve when set to a value above the sweep sizes (< 0 keeps the model's
+/// default split). The same put+waitcntr series as raw_lapi_put_mb_s, so
+/// the curves are directly comparable.
+struct RawPutOpts {
+  lapi::Config lapi;
+  std::int64_t bcopy_limit_override = -1;
+};
+double raw_lapi_put_mb_s(std::int64_t bytes, const RawPutOpts& opts);
+
 /// Raw MPI send/recv one-way bandwidth with a completion echo (Figure 2).
 double raw_mpi_mb_s(std::int64_t bytes, std::int64_t eager_limit);
 

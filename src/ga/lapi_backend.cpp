@@ -79,6 +79,24 @@ void Runtime::lapi_put_acc(int id, const Patch& p, const double* buf,
     GenCntr& g = gen_[static_cast<std::size_t>(owner)];
     const Patch blk = st.dist.block(owner);
 
+    if (!acc && config_.lapi.rdma_enabled &&
+        bytes >= config_.big_request_bytes &&
+        !contiguous_in_block(piece, blk)) {
+      // Zero-copy path: one registered-memory Putv moves the whole strided
+      // piece — the adapter scatter/gather engine replaces the per-column
+      // RMC fan-out (and its per-column request overhead) and lands the
+      // data without a receive-side copy.
+      engine().counters().bump("ga.lapi.rdma_putv");
+      StridedRegion dst = region_of(st, owner, piece,
+                                    st.bases[static_cast<std::size_t>(owner)]);
+      const Status s = ctx_->putv(owner, src, dst, nullptr, &org, &g.cntr);
+      SPLAP_REQUIRE(s == Status::kOk, "GA rdma putv failed");
+      ++org_waits;
+      ++g.outstanding;
+      g.last_op = static_cast<std::uint8_t>(Op::kPutChunk);
+      continue;
+    }
+
     if (!acc && bytes >= config_.big_request_bytes &&
         !contiguous_in_block(piece, blk)) {
       // Very large strided request: switch to one direct LAPI_Put per
@@ -207,6 +225,20 @@ void Runtime::lapi_get(int id, const Patch& p, double* buf, std::int64_t ld) {
       const Status s = ctx_->get(owner, bytes, src.base, dst_user.base,
                                  nullptr, &done);
       SPLAP_REQUIRE(s == Status::kOk, "GA get failed");
+      ++expected;
+      continue;
+    }
+
+    if (config_.lapi.rdma_enabled && bytes >= config_.big_request_bytes &&
+        !src_contig) {
+      // Zero-copy path: one registered-memory Getv pulls the whole strided
+      // piece; the serving side gather-streams from its registered region
+      // and the reply scatters straight into the user destination.
+      engine().counters().bump("ga.lapi.rdma_getv");
+      StridedRegion src = region_of(st, owner, piece,
+                                    st.bases[static_cast<std::size_t>(owner)]);
+      const Status s = ctx_->getv(owner, src, dst_user, nullptr, &done);
+      SPLAP_REQUIRE(s == Status::kOk, "GA rdma getv failed");
       ++expected;
       continue;
     }

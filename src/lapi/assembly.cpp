@@ -190,6 +190,10 @@ Time AssemblyEngine::process(net::Packet& pkt) {
                   static_cast<std::size_t>(len));
     }
     as.received += len;
+    // Scatter-direct (zero-copy protocol): the adapter landed the payload
+    // straight into the registered target region, so the dispatcher never
+    // copies it out of the adapter buffers — no copy charge on this end.
+    if (as.hdr != nullptr && as.hdr->zero_copy) return 0;
     return cm.copy_time(len);
   };
 
@@ -228,6 +232,9 @@ Time AssemblyEngine::process(net::Packet& pkt) {
       as.kind = m.kind;
       as.total = m.total_len;
       as.hdr = std::static_pointer_cast<const WireMeta>(pkt.meta);
+      if (m.zero_copy) {
+        progress_.engine().counters().bump("lapi.scatter_direct");
+      }
       Time c = progress_.pipelined() ? cm.lapi_dispatch_pipelined
                                      : cm.lapi_dispatch;
       if (m.kind == PktKind::kAmHdr) {
@@ -293,10 +300,13 @@ Time AssemblyEngine::process(net::Packet& pkt) {
         // grant must never exceed what ingest has deduplicated.
         progress_.engine().counters().bump("lapi.staged");
         as.staged.push_back(std::move(pkt));
-        return cm.lapi_pkt_rx;
+        return m.zero_copy ? cm.rdma_pkt_rx : cm.lapi_pkt_rx;
       }
       const std::int64_t before = as.pkts_ingested;
-      Time c = cm.lapi_pkt_rx + ingest(as, m.offset, pkt.data);
+      // Zero-copy fragments retire a steering descriptor instead of paying
+      // the dispatcher's per-packet receive path.
+      Time c = (m.zero_copy ? cm.rdma_pkt_rx : cm.lapi_pkt_rx) +
+               ingest(as, m.offset, pkt.data);
       if (as.pkts_ingested > before) {
         nacked_.erase(key);  // fresh progress: re-arm NACK for this message
       }
@@ -341,10 +351,11 @@ Time AssemblyEngine::process(net::Packet& pkt) {
             hdr->tgt_cntr = meta->org_cntr;
             hdr->org_cntr = meta->tgt_cntr;
             hdr->get_reply = true;
+            hdr->org_addr = meta->src_addr;  // registration key of the source
             std::shared_ptr<std::vector<std::byte>> data;
             if (meta->strided) {
-              // Getv: gather the strided source (charged to the dispatcher)
-              // and ship it with the origin's strided landing descriptor.
+              // Getv: ship the source with the origin's strided landing
+              // descriptor.
               hdr->strided = true;
               hdr->s_row_bytes = meta->s_row_bytes;
               hdr->s_cols = meta->s_cols;
@@ -357,9 +368,28 @@ Time AssemblyEngine::process(net::Packet& pkt) {
               src.cols = meta->g_cols;
               src.ld_bytes = meta->g_ld;
               copy_strided_to_contig(src, data->data());
-              progress_.set_busy_until(
-                  std::max(progress_.engine().now(), progress_.busy_until()) +
-                  progress_.cost().copy_time(meta->total_len));
+              // Gather-direct: when every gather run lines up exactly with
+              // the reply's per-packet payload, or the source region is one
+              // contiguous run, the adapter's scatter/gather engine streams
+              // the runs straight from the source region — the packed
+              // staging buffer (and its copy charge) disappears. Zero-copy
+              // replies stream from the registered region unconditionally.
+              const CostModel& scm = progress_.cost();
+              const bool run_aligned =
+                  meta->g_row_bytes == meta->g_ld ||
+                  meta->g_row_bytes == scm.lapi_payload();
+              const bool rdma_reply =
+                  config_.rdma_enabled &&
+                  meta->total_len >= config_.rdma_threshold;
+              if (run_aligned || rdma_reply) {
+                progress_.engine().counters().bump("lapi.gather_direct");
+              } else {
+                progress_.engine().counters().bump("lapi.gather_staged");
+                progress_.set_busy_until(
+                    std::max(progress_.engine().now(),
+                             progress_.busy_until()) +
+                    scm.copy_time(meta->total_len));
+              }
             } else {
               data = std::make_shared<std::vector<std::byte>>(
                   meta->src_addr, meta->src_addr + meta->total_len);

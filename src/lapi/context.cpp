@@ -247,6 +247,7 @@ Status Context::put(int target, std::span<const std::byte> src,
   auto hdr = std::make_shared<WireMeta>();
   hdr->tgt_addr = tgt_addr;
   hdr->total_len = static_cast<std::int64_t>(src.size());
+  hdr->org_addr = src.data();  // registration key of the source region
   hdr->tgt_cntr = tgt_cntr;
   hdr->org_cntr = org_cntr;
   hdr->cmpl_cntr = cmpl_cntr;
@@ -291,6 +292,7 @@ Status Context::putv(int target, const StridedRegion& src,
   hdr->s_row_bytes = dst.row_bytes;
   hdr->s_cols = dst.cols;
   hdr->s_ld = dst.ld_bytes;
+  hdr->org_addr = src.base;  // registration key of the source region
   hdr->tgt_cntr = tgt_cntr;
   hdr->org_cntr = org_cntr;
   hdr->cmpl_cntr = cmpl_cntr;
@@ -299,9 +301,16 @@ Status Context::putv(int target, const StridedRegion& src,
   auto data = std::make_shared<std::vector<std::byte>>(
       static_cast<std::size_t>(len));
   copy_strided_to_contig(src, data->data());
-  // Small messages are charged their bcopy inside the send path already.
-  const Time gather_cost =
-      len > cost().lapi_bcopy_limit ? cost().copy_time(len) : 0;
+  // Small messages are charged their bcopy inside the send path already,
+  // and a zero-copy send gathers nothing at the call (the adapter
+  // scatter/gather engine streams straight from the user region), so the
+  // gather charge belongs to the rendezvous path only.
+  Time gather_cost = 0;
+  if (len > cost().lapi_bcopy_limit &&
+      send_.selector().classify(PktKind::kPutHdr, *hdr, len, target,
+                                cost()) != XferProtocol::kZeroCopy) {
+    gather_cost = cost().copy_time(len);
+  }
   return send_message(PktKind::kPutHdr, target, std::move(hdr),
                       std::move(data), gather_cost);
 }

@@ -93,6 +93,18 @@ struct WireMeta {
   std::int64_t g_cols = 0;
   std::int64_t g_ld = 0;
 
+  /// Registered-memory zero-copy transfer (Config::rdma_enabled): data
+  /// packets carry a steering tag instead of the full parameter block
+  /// (CostModel::rdma_header_bytes on the wire) and the adapter lands the
+  /// payload straight into the registered target region — assembly charges
+  /// rdma_pkt_rx per packet and no copy. Chosen by ProtocolSelector; rides
+  /// the same ReliableChannel (acks/credits/NACKs unchanged).
+  bool zero_copy = false;
+  /// Origin user-buffer base of the transfer, for registration-cache keying
+  /// (the origin pins the region it sends from). Null when the payload has
+  /// no stable user-region identity (AM chunks, internal copies).
+  const std::byte* org_addr = nullptr;
+
   // kAmHdr: which handler, and the user header bytes (counted on the wire).
   AmHandlerId handler_id = -1;
   std::vector<std::byte> uhdr;

@@ -101,6 +101,7 @@ SendEngine::SendEngine(net::Delivery& wire, ProgressEngine& progress,
       task_id_(task_id),
       config_(config),
       checksums_(checksums),
+      selector_(config, task_id),
       credits_(config.credit_window),
       channel_(progress.engine(), *this,
                RetryPolicy{config.retransmit_timeout, config.max_retries,
@@ -125,8 +126,25 @@ void SendEngine::submit(PktKind kind, int target,
   hdr->msg_id = msg_seq_++;
   const std::int64_t len =
       data ? static_cast<std::int64_t>(data->size()) : 0;
-  const bool small = len <= cm.lapi_bcopy_limit;
-  const Time copy_in_call = small ? cm.copy_time(len) : 0;
+  // Protocol decision: eager / rendezvous / zero-copy, plus the call-side
+  // charges of the choice (the eager bcopy, registration pins on cache
+  // misses). With rdma off this reproduces the historical bcopy-limit
+  // split exactly.
+  const auto cache_before = selector_.cache().stats();
+  const XferDecision xfer =
+      selector_.decide(kind, *hdr, len, target, epoch_, cm);
+  if (xfer.protocol == XferProtocol::kZeroCopy) {
+    auto& ctrs = engine.counters();
+    ctrs.bump("lapi.zero_copy_sends");
+    const auto& cs = selector_.cache().stats();
+    if (cs.hits > cache_before.hits) {
+      ctrs.bump("lapi.reg_cache_hits", cs.hits - cache_before.hits);
+    }
+    if (cs.misses > cache_before.misses) {
+      ctrs.bump("lapi.reg_cache_misses", cs.misses - cache_before.misses);
+    }
+  }
+  const Time copy_in_call = xfer.call_copy + xfer.pin_cost;
   // Loopback traffic never competes for a peer's adapter buffering, so the
   // credit gate only governs remote targets.
   const bool flow = credits_.enabled() && target != task_id_;
@@ -217,9 +235,10 @@ void SendEngine::submit(PktKind kind, int target,
   // returns (handled in the kAck path via org_pending).
   if ((kind == PktKind::kPutHdr || kind == PktKind::kAmHdr) &&
       hdr->org_cntr != nullptr) {
-    // Strided sends gathered their source during the call, so the user
-    // buffer is free at injection regardless of size.
-    if (small || hdr->strided) {
+    // The selector decided when the user buffer is reusable: at injection
+    // (eager bcopy, or a strided source gathered during the call) or only
+    // at the data ack (rendezvous/zero-copy from the pinned user region).
+    if (xfer.org_at_injection) {
       progress_.defer(inject_at,
                       [this, c = hdr->org_cntr] { progress_.bump(c); });
     } else {
@@ -267,20 +286,7 @@ void SendEngine::arm_initial(std::int64_t id, std::int64_t len) {
 
 std::int64_t SendEngine::packet_count(PktKind kind, const WireMeta& hdr,
                                       std::int64_t len) const {
-  const CostModel& cm = progress_.cost();
-  std::int64_t header_bytes = cm.lapi_header_bytes;
-  switch (kind) {
-    case PktKind::kGetReq: header_bytes += kGetReqDescBytes; break;
-    case PktKind::kRmwReq: header_bytes += kRmwReqDescBytes; break;
-    case PktKind::kAmHdr:
-      header_bytes += static_cast<std::int64_t>(hdr.uhdr.size());
-      break;
-    default: break;
-  }
-  const std::int64_t chunk0 =
-      std::min(len, std::max<std::int64_t>(0, cm.packet_bytes - header_bytes));
-  const std::int64_t per = std::max<std::int64_t>(1, cm.lapi_payload());
-  return 1 + (len - chunk0 + per - 1) / per;
+  return frag_plan(kind, hdr, len, progress_.cost()).packets;
 }
 
 void SendEngine::lease_credits(SendRecord& rec) {
@@ -372,18 +378,7 @@ void SendEngine::transmit_packets(const SendRecord& rec,
   const std::int64_t len =
       rec.data ? static_cast<std::int64_t>(rec.data->size()) : 0;
 
-  std::int64_t header_bytes = cm.lapi_header_bytes;
-  switch (rec.kind) {
-    case PktKind::kGetReq: header_bytes += kGetReqDescBytes; break;
-    case PktKind::kRmwReq: header_bytes += kRmwReqDescBytes; break;
-    case PktKind::kAmHdr:
-      header_bytes += static_cast<std::int64_t>(hdr.uhdr.size());
-      break;
-    default: break;
-  }
-  const std::int64_t cap0 =
-      std::max<std::int64_t>(0, cm.packet_bytes - header_bytes);
-  const std::int64_t chunk0 = std::min(len, cap0);
+  const FragPlan plan = frag_plan(rec.kind, hdr, len, cm);
   if (skip_first > 0) {
     --skip_first;  // the header packet is already at the target
   } else {
@@ -392,22 +387,22 @@ void SendEngine::transmit_packets(const SendRecord& rec,
     first.dst = rec.target;
     first.client = net::Client::kLapi;
     first.meta = rec.hdr_meta;
-    first.header_bytes = header_bytes;
-    if (chunk0 > 0) {
-      first.data.assign(rec.data->begin(), rec.data->begin() + chunk0);
+    first.header_bytes = plan.header_bytes;
+    if (plan.chunk0 > 0) {
+      first.data.assign(rec.data->begin(), rec.data->begin() + plan.chunk0);
       // End-to-end checksum, armed only when the fabric injects corruption.
       // No virtual-time charge: models the adapter's hardware CRC engine.
       if (checksums_) {
-        rec.hdr_meta->data_crc = crc32_nz(rec.data->data(),
-                                          static_cast<std::size_t>(chunk0));
+        rec.hdr_meta->data_crc = crc32_nz(
+            rec.data->data(), static_cast<std::size_t>(plan.chunk0));
       }
     }
     wire_.transmit(std::move(first));
   }
 
-  std::int64_t offset = chunk0;
+  std::int64_t offset = plan.chunk0;
   while (offset < len) {
-    const std::int64_t chunk = std::min(len - offset, cm.lapi_payload());
+    const std::int64_t chunk = std::min(len - offset, plan.per);
     if (skip_first > 0) {
       --skip_first;
       offset += chunk;
@@ -417,13 +412,14 @@ void SendEngine::transmit_packets(const SendRecord& rec,
     p.src = task_id_;
     p.dst = rec.target;
     p.client = net::Client::kLapi;
-    p.header_bytes = cm.lapi_header_bytes;
+    p.header_bytes = plan.data_header_bytes;
     auto m = std::make_shared<WireMeta>();
     m->kind = PktKind::kData;
     m->epoch = hdr.epoch;
     m->dst_epoch = hdr.dst_epoch;
     m->msg_id = hdr.msg_id;
     m->offset = offset;
+    m->zero_copy = hdr.zero_copy;
     if (checksums_) {
       m->data_crc = crc32_nz(rec.data->data() + offset,
                              static_cast<std::size_t>(chunk));
@@ -511,6 +507,8 @@ void SendEngine::fail_peer(int peer) {
                task_id_, peer, ids.size());
   }
   for (const std::int64_t id : ids) fail_send(id, Status::kPeerFailed);
+  // Registrations toward a dead peer are gone with its adapter state.
+  selector_.cache().invalidate_peer(peer);
   health_.erase(peer);
   if (fresh && peer_failure_hook_) peer_failure_hook_(peer);
   progress_.notify();
@@ -541,6 +539,9 @@ void SendEngine::on_peer_reborn(int peer, std::int64_t new_epoch) {
                stale.size());
   }
   for (const std::int64_t id : stale) fail_send(id, Status::kPeerFailed);
+  // The old incarnation's registrations are dead memory in the new life
+  // (the epoch stamp would miss anyway; dropping them also frees capacity).
+  selector_.cache().invalidate_peer(peer);
   failed_peers_.erase(peer);  // the restarted life is reachable
   health_.erase(peer);
   progress_.notify();

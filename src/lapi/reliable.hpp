@@ -40,6 +40,7 @@
 #include "base/rng.hpp"
 #include "lapi/progress.hpp"
 #include "lapi/protocol.hpp"
+#include "lapi/select.hpp"
 #include "net/delivery.hpp"
 
 namespace splap::lapi {
@@ -228,6 +229,11 @@ class SendEngine final : public ReliableChannel::Sender {
   std::size_t pending_sends() const { return sends_.size(); }
   Time srtt() const { return channel_.srtt(); }
   bool checksums() const { return checksums_; }
+  /// The protocol-decision layer (and its registration cache). The facade
+  /// consults classify() to plan strided gather charges; tests and GA read
+  /// the cache statistics.
+  ProtocolSelector& selector() { return selector_; }
+  const ProtocolSelector& selector() const { return selector_; }
   /// Flow-control introspection (tests): credits available toward `peer`
   /// and sends parked awaiting credits.
   std::int64_t credits_available(int peer) const {
@@ -316,8 +322,9 @@ class SendEngine final : public ReliableChannel::Sender {
   void arm_keepalive();
   void keepalive_tick();
 
-  /// Wire packets a message of this shape occupies (mirrors the
-  /// transmit_packets fragmentation math; the credit unit).
+  /// Wire packets a message of this shape occupies (the credit unit).
+  /// Both this and transmit_packets read the same frag_plan, so the lease
+  /// and the transmission can never disagree.
   std::int64_t packet_count(PktKind kind, const WireMeta& hdr,
                             std::int64_t len) const;
   /// Arm the first RTO of `id`, scaled by the injection backlog + wire time.
@@ -339,6 +346,9 @@ class SendEngine final : public ReliableChannel::Sender {
   /// Stamp/verify end-to-end payload CRCs (armed when the fabric injects
   /// corruption; off otherwise so the clean path does no checksum work).
   const bool checksums_;
+
+  /// Protocol decision layer; owns this context's registration cache.
+  ProtocolSelector selector_;
 
   std::int64_t msg_seq_ = 0;
   std::map<std::int64_t, SendRecord> sends_;

@@ -1,0 +1,154 @@
+#include "lapi/select.hpp"
+
+#include <algorithm>
+
+namespace splap::lapi {
+
+// ---------------------------------------------------------------------------
+// RegistrationCache
+// ---------------------------------------------------------------------------
+
+bool RegistrationCache::pin(int peer, std::uintptr_t addr, std::int64_t len,
+                            std::int64_t epoch) {
+  if (capacity_ <= 0) {
+    // Caching disabled: every transfer repins (the "cold" configuration
+    // benchmarks use to expose the raw pin cost).
+    ++stats_.misses;
+    return false;
+  }
+  const Key key{peer, addr, len};
+  if (auto it = map_.find(key); it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    if (it->second.epoch == epoch) {
+      ++stats_.hits;
+      return true;
+    }
+    // The peer restarted since this region was pinned: the registration
+    // belongs to the dead incarnation and its adapter state is gone.
+    // Re-pin under the new epoch (a miss, so the caller charges pin_time).
+    ++stats_.epoch_invalidations;
+    ++stats_.misses;
+    it->second.epoch = epoch;
+    return false;
+  }
+  ++stats_.misses;
+  if (static_cast<std::int64_t>(map_.size()) >= capacity_) {
+    ++stats_.evictions;
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{epoch, lru_.begin()});
+  return false;
+}
+
+void RegistrationCache::invalidate_peer(int peer) {
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (std::get<0>(it->first) == peer) {
+      ++stats_.peer_invalidations;
+      lru_.erase(it->second.pos);
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void RegistrationCache::clear() {
+  map_.clear();
+  lru_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// ProtocolSelector
+// ---------------------------------------------------------------------------
+
+XferProtocol ProtocolSelector::classify(PktKind kind, const WireMeta& hdr,
+                                        std::int64_t len, int target,
+                                        const CostModel& cm) const {
+  if (len <= cm.lapi_bcopy_limit) return XferProtocol::kEager;
+  // Zero-copy needs a target region the origin can register ahead of time:
+  // Puts (including Get replies, which are Put-shaped) name it in the
+  // request, but an Amsend's landing buffer only exists once the header
+  // handler runs at the target, so AMs stay on the rendezvous path.
+  // Loopback transfers never touch the adapter and gain nothing.
+  if (config_.rdma_enabled && kind == PktKind::kPutHdr &&
+      hdr.tgt_addr != nullptr && target != self_ &&
+      len >= config_.rdma_threshold) {
+    return XferProtocol::kZeroCopy;
+  }
+  return XferProtocol::kRendezvous;
+}
+
+XferDecision ProtocolSelector::decide(PktKind kind, WireMeta& hdr,
+                                      std::int64_t len, int target,
+                                      std::int64_t self_epoch,
+                                      const CostModel& cm) {
+  XferDecision d;
+  d.protocol = classify(kind, hdr, len, target, cm);
+  switch (d.protocol) {
+    case XferProtocol::kEager:
+      // Bcopied into the retransmit buffer during the call; the user
+      // buffer is free (origin counter) at injection.
+      d.call_copy = cm.copy_time(len);
+      d.org_at_injection = true;
+      break;
+    case XferProtocol::kRendezvous:
+      // Streams zero-copy from the pinned user buffer: reusable only at
+      // the data ack — except a strided source, which was gathered into a
+      // packed buffer during the call and is free immediately.
+      d.org_at_injection = hdr.strided;
+      break;
+    case XferProtocol::kZeroCopy: {
+      hdr.zero_copy = true;
+      // The adapter gathers straight from the user region (strided or
+      // not), so the buffer stays pinned until the data ack.
+      d.org_at_injection = false;
+      if (hdr.org_addr != nullptr &&
+          !cache_.pin(self_, reinterpret_cast<std::uintptr_t>(hdr.org_addr),
+                      len, self_epoch)) {
+        d.pin_cost += cm.pin_time(len);
+      }
+      // A strided landing registers the whole spanned region, not just the
+      // payload bytes.
+      const std::int64_t span =
+          hdr.strided ? hdr.s_ld * (hdr.s_cols - 1) + hdr.s_row_bytes : len;
+      if (!cache_.pin(target, reinterpret_cast<std::uintptr_t>(hdr.tgt_addr),
+                      span, hdr.dst_epoch)) {
+        d.pin_cost += cm.pin_time(span);
+      }
+      break;
+    }
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// FragPlan
+// ---------------------------------------------------------------------------
+
+FragPlan frag_plan(PktKind kind, const WireMeta& hdr, std::int64_t len,
+                   const CostModel& cm) {
+  FragPlan p;
+  p.header_bytes = cm.lapi_header_bytes;
+  switch (kind) {
+    case PktKind::kGetReq: p.header_bytes += kGetReqDescBytes; break;
+    case PktKind::kRmwReq: p.header_bytes += kRmwReqDescBytes; break;
+    case PktKind::kAmHdr:
+      p.header_bytes += static_cast<std::int64_t>(hdr.uhdr.size());
+      break;
+    default: break;
+  }
+  p.chunk0 = std::min(
+      len, std::max<std::int64_t>(0, cm.packet_bytes - p.header_bytes));
+  // The header packet always carries the full LAPI parameter block (it is
+  // what sets up the target-side steering); only the continuation packets
+  // shrink to the rdma steering-tag header on the zero-copy path.
+  p.data_header_bytes =
+      hdr.zero_copy ? cm.rdma_header_bytes : cm.lapi_header_bytes;
+  p.per = std::max<std::int64_t>(1, cm.packet_bytes - p.data_header_bytes);
+  p.packets = 1 + (len - p.chunk0 + p.per - 1) / p.per;
+  return p;
+}
+
+}  // namespace splap::lapi

@@ -187,6 +187,28 @@ struct Config {
   /// limit, instead of over-injecting. 0 = no pacing.
   Time max_injection_backlog = 0;
 
+  // --- registered-memory zero-copy (default off: golden traces unchanged) --
+  /// Enable the zero-copy protocol: contiguous/strided Puts (and Get
+  /// replies) at or above rdma_threshold ride registered-memory packets
+  /// that the adapter scatters straight into the target region — no
+  /// staging buffer, no receive-side copy charge. Reliability, credits and
+  /// NACK recovery are unchanged underneath (the packets still flow through
+  /// ReliableChannel); only the per-packet format and the copy accounting
+  /// differ.
+  bool rdma_enabled = false;
+  /// Minimum message length (bytes) for the zero-copy protocol. Below this
+  /// the eager/rendezvous split at CostModel::lapi_bcopy_limit applies
+  /// unchanged. The default sits near the cold-cache break-even point of
+  /// the modeled pin cost; with a warm registration cache the effective
+  /// crossover is far lower, so benchmarks probing the cache lower it.
+  std::int64_t rdma_threshold = 128 * 1024;
+  /// Capacity of the per-context registration (pin) cache, in regions.
+  /// A zero-copy transfer pins its source and target regions: a cache hit
+  /// is free, a miss pays CostModel::pin_time. Entries are evicted LRU and
+  /// invalidated when the peer's epoch bumps (restart_node) or the peer is
+  /// declared dead. 0 = no caching: every transfer repins (always cold).
+  std::int64_t reg_cache_entries = 64;
+
   // --- crash-stop failure detection (default off: golden traces unchanged) --
   /// Keepalive probe period. While this context has sends pending toward a
   /// peer, it probes peers that stayed silent for a full period; three

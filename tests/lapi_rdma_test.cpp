@@ -1,0 +1,438 @@
+// Zero-copy transfer path: the protocol-selection module, the registration
+// cache, and their end-to-end behavior on a simulated machine.
+//
+// Part A: RegistrationCache in isolation — LRU mechanics, capacity-0
+//   cold mode, epoch-stamped invalidation, peer-death invalidation.
+// Part B: ProtocolSelector classification and decide() charges (eager bcopy,
+//   rendezvous org-counter timing, zero-copy pin accounting) plus the shared
+//   FragPlan that keeps credit leasing and transmission in agreement.
+// Part C: machine-level — the registration cache must survive across a
+//   put series (warm > cold > rendezvous bandwidth), die with a peer
+//   incarnation (restart_node), and the GA backend must ride the
+//   registered-memory Putv/Getv for big strided requests.
+// Part D: the gather-direct serve fix — a strided Getv whose runs line up
+//   with the packet payload (or form one contiguous block) skips the packed
+//   staging copy at the server; misaligned runs still pay it.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "base/cost_model.hpp"
+#include "ga/bench_harness.hpp"
+#include "ga/runtime.hpp"
+#include "lapi/select.hpp"
+#include "lapi_test_util.hpp"
+
+namespace splap::lapi {
+namespace {
+
+using testing::machine_config;
+using testing::run_lapi;
+
+// ===========================================================================
+// Part A: RegistrationCache
+// ===========================================================================
+
+TEST(RegistrationCacheTest, MissInstallsThenHits) {
+  RegistrationCache c(8);
+  EXPECT_FALSE(c.pin(1, 0x1000, 4096, 0));
+  EXPECT_TRUE(c.pin(1, 0x1000, 4096, 0));
+  // A different length is a different region: its own registration.
+  EXPECT_FALSE(c.pin(1, 0x1000, 8192, 0));
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.stats().hits, 1);
+  EXPECT_EQ(c.stats().misses, 2);
+}
+
+TEST(RegistrationCacheTest, LruEvictionFollowsRecency) {
+  RegistrationCache c(2);
+  EXPECT_FALSE(c.pin(1, 0x1000, 4096, 0));  // A
+  EXPECT_FALSE(c.pin(1, 0x2000, 4096, 0));  // B
+  EXPECT_TRUE(c.pin(1, 0x1000, 4096, 0));   // touch A: B is now LRU
+  EXPECT_FALSE(c.pin(1, 0x3000, 4096, 0));  // C evicts B
+  EXPECT_FALSE(c.pin(1, 0x2000, 4096, 0));  // B again: miss, evicts A
+  EXPECT_FALSE(c.pin(1, 0x1000, 4096, 0));  // and A misses in turn
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.stats().evictions, 3);
+  EXPECT_EQ(c.stats().hits, 1);
+}
+
+TEST(RegistrationCacheTest, CapacityZeroNeverCaches) {
+  RegistrationCache c(0);
+  EXPECT_FALSE(c.pin(1, 0x1000, 4096, 0));
+  EXPECT_FALSE(c.pin(1, 0x1000, 4096, 0));
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.stats().misses, 2);
+  EXPECT_EQ(c.stats().hits, 0);
+}
+
+TEST(RegistrationCacheTest, EpochBumpInvalidatesTheEntry) {
+  RegistrationCache c(8);
+  EXPECT_FALSE(c.pin(1, 0x1000, 4096, /*epoch=*/0));
+  // The peer restarted: the old incarnation's registration is dead state.
+  EXPECT_FALSE(c.pin(1, 0x1000, 4096, /*epoch=*/1));
+  EXPECT_EQ(c.stats().epoch_invalidations, 1);
+  // Re-stamped under the new epoch, it serves hits again.
+  EXPECT_TRUE(c.pin(1, 0x1000, 4096, /*epoch=*/1));
+  // And the old epoch can never resurrect the entry.
+  EXPECT_FALSE(c.pin(1, 0x1000, 4096, /*epoch=*/0));
+}
+
+TEST(RegistrationCacheTest, PeerInvalidationIsScopedToThatPeer) {
+  RegistrationCache c(8);
+  EXPECT_FALSE(c.pin(1, 0x1000, 4096, 0));
+  EXPECT_FALSE(c.pin(2, 0x1000, 4096, 0));
+  c.invalidate_peer(1);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.stats().peer_invalidations, 1);
+  EXPECT_FALSE(c.pin(1, 0x1000, 4096, 0));  // gone
+  EXPECT_TRUE(c.pin(2, 0x1000, 4096, 0));   // untouched
+}
+
+// ===========================================================================
+// Part B: ProtocolSelector and FragPlan
+// ===========================================================================
+
+struct SelectorFixture {
+  CostModel cm;
+  Config cfg;
+  std::vector<std::byte> tgt = std::vector<std::byte>(1 << 20);
+  std::vector<std::byte> src = std::vector<std::byte>(1 << 20);
+
+  SelectorFixture() {
+    cfg.rdma_enabled = true;
+    cfg.rdma_threshold = 4096;
+  }
+
+  WireMeta header(std::int64_t len) {
+    WireMeta h;
+    h.tgt_addr = tgt.data();
+    h.org_addr = src.data();
+    h.total_len = len;
+    return h;
+  }
+};
+
+TEST(ProtocolSelectorTest, ClassificationBoundaries) {
+  SelectorFixture f;
+  ProtocolSelector sel(f.cfg, /*self=*/0);
+  WireMeta h = f.header(8192);
+  // Small messages bcopy regardless of the rdma knobs.
+  EXPECT_EQ(sel.classify(PktKind::kPutHdr, h, 512, 1, f.cm),
+            XferProtocol::kEager);
+  // The qualified case: an over-threshold Put with a named target region.
+  EXPECT_EQ(sel.classify(PktKind::kPutHdr, h, 8192, 1, f.cm),
+            XferProtocol::kZeroCopy);
+  // Below the threshold: rendezvous.
+  EXPECT_EQ(sel.classify(PktKind::kPutHdr, h, 2048, 1, f.cm),
+            XferProtocol::kRendezvous);
+  // An Amsend's landing buffer does not exist until the header handler
+  // runs, so there is nothing to register ahead of time.
+  EXPECT_EQ(sel.classify(PktKind::kAmHdr, h, 8192, 1, f.cm),
+            XferProtocol::kRendezvous);
+  // Loopback never touches the adapter.
+  EXPECT_EQ(sel.classify(PktKind::kPutHdr, h, 8192, 0, f.cm),
+            XferProtocol::kRendezvous);
+  // No target region named.
+  WireMeta anon = h;
+  anon.tgt_addr = nullptr;
+  EXPECT_EQ(sel.classify(PktKind::kPutHdr, anon, 8192, 1, f.cm),
+            XferProtocol::kRendezvous);
+  // The master switch.
+  Config off = f.cfg;
+  off.rdma_enabled = false;
+  ProtocolSelector plain(off, 0);
+  EXPECT_EQ(plain.classify(PktKind::kPutHdr, h, 8192, 1, f.cm),
+            XferProtocol::kRendezvous);
+}
+
+TEST(ProtocolSelectorTest, EagerDecisionChargesTheBcopy) {
+  SelectorFixture f;
+  ProtocolSelector sel(f.cfg, 0);
+  WireMeta h = f.header(512);
+  const XferDecision d = sel.decide(PktKind::kPutHdr, h, 512, 1, 0, f.cm);
+  EXPECT_EQ(d.protocol, XferProtocol::kEager);
+  EXPECT_EQ(d.call_copy, f.cm.copy_time(512));
+  EXPECT_EQ(d.pin_cost, Time{0});
+  EXPECT_TRUE(d.org_at_injection);
+  EXPECT_FALSE(h.zero_copy);
+}
+
+TEST(ProtocolSelectorTest, RendezvousOrgTimingFollowsStridedness) {
+  SelectorFixture f;
+  f.cfg.rdma_enabled = false;
+  ProtocolSelector sel(f.cfg, 0);
+  WireMeta h = f.header(8192);
+  // Contiguous source: the user buffer stays busy until the data ack.
+  EXPECT_FALSE(sel.decide(PktKind::kPutHdr, h, 8192, 1, 0, f.cm)
+                   .org_at_injection);
+  // A strided source was gathered during the call: free at injection.
+  h.strided = true;
+  EXPECT_TRUE(sel.decide(PktKind::kPutHdr, h, 8192, 1, 0, f.cm)
+                  .org_at_injection);
+}
+
+TEST(ProtocolSelectorTest, ZeroCopyPinsColdThenRidesTheCache) {
+  SelectorFixture f;
+  ProtocolSelector sel(f.cfg, 0);
+  WireMeta h = f.header(8192);
+  const XferDecision cold = sel.decide(PktKind::kPutHdr, h, 8192, 1, 0, f.cm);
+  EXPECT_EQ(cold.protocol, XferProtocol::kZeroCopy);
+  EXPECT_TRUE(h.zero_copy);
+  EXPECT_FALSE(cold.org_at_injection);
+  EXPECT_EQ(cold.call_copy, Time{0});
+  // Source and target regions each pay one pin on the cold pass.
+  EXPECT_EQ(cold.pin_cost, 2 * f.cm.pin_time(8192));
+  WireMeta h2 = f.header(8192);
+  const XferDecision warm = sel.decide(PktKind::kPutHdr, h2, 8192, 1, 0, f.cm);
+  EXPECT_EQ(warm.pin_cost, Time{0});
+  EXPECT_EQ(sel.cache().stats().hits, 2);
+}
+
+TEST(ProtocolSelectorTest, StridedLandingRegistersTheSpannedRegion) {
+  SelectorFixture f;
+  ProtocolSelector sel(f.cfg, 0);
+  WireMeta h = f.header(8192);
+  h.strided = true;
+  h.s_row_bytes = 256;
+  h.s_cols = 32;  // 8192 payload bytes...
+  h.s_ld = 1024;  // ...spread over a 31*1024 + 256 byte footprint
+  const XferDecision d = sel.decide(PktKind::kPutHdr, h, 8192, 1, 0, f.cm);
+  EXPECT_EQ(d.protocol, XferProtocol::kZeroCopy);
+  const std::int64_t span = 1024 * 31 + 256;
+  EXPECT_EQ(d.pin_cost, f.cm.pin_time(8192) + f.cm.pin_time(span));
+}
+
+TEST(FragPlanTest, ZeroCopyShrinksOnlyContinuationHeaders) {
+  CostModel cm;
+  WireMeta h;
+  const std::int64_t len = 100000;
+  h.total_len = len;
+  const FragPlan staged = frag_plan(PktKind::kPutHdr, h, len, cm);
+  h.zero_copy = true;
+  const FragPlan rdma = frag_plan(PktKind::kPutHdr, h, len, cm);
+  // The header packet carries the full parameter block either way (it sets
+  // up the target-side steering); only the data fragments slim down.
+  EXPECT_EQ(rdma.header_bytes, staged.header_bytes);
+  EXPECT_EQ(rdma.chunk0, staged.chunk0);
+  EXPECT_EQ(staged.data_header_bytes, cm.lapi_header_bytes);
+  EXPECT_EQ(rdma.data_header_bytes, cm.rdma_header_bytes);
+  EXPECT_GT(rdma.per, staged.per);
+  EXPECT_LT(rdma.packets, staged.packets);
+  // Both plans cover the message exactly: the last fragment is non-empty.
+  for (const FragPlan& p : {staged, rdma}) {
+    EXPECT_GE(p.chunk0 + (p.packets - 1) * p.per, len);
+    EXPECT_LT(p.chunk0 + (p.packets - 2) * p.per, len);
+  }
+}
+
+// ===========================================================================
+// Part C: machine level
+// ===========================================================================
+
+TEST(RdmaMachineTest, WarmCacheBeatsColdBeatsRendezvous) {
+  // The acceptance shape of BENCH_rdma.json, asserted at one large size:
+  // zero-copy out-bandwidths rendezvous once pins are amortized, and the
+  // registration cache (warm) beats repinning every transfer (cold).
+  using ga::bench::RawPutOpts;
+  constexpr std::int64_t kBytes = 2 << 20;
+  RawPutOpts rendezvous;
+  rendezvous.bcopy_limit_override = 0;
+  RawPutOpts cold = rendezvous;
+  cold.lapi.rdma_enabled = true;
+  cold.lapi.rdma_threshold = 1024;
+  cold.lapi.reg_cache_entries = 0;
+  RawPutOpts warm = cold;
+  warm.lapi.reg_cache_entries = 64;
+  const double rndv_mb = ga::bench::raw_lapi_put_mb_s(kBytes, rendezvous);
+  const double cold_mb = ga::bench::raw_lapi_put_mb_s(kBytes, cold);
+  const double warm_mb = ga::bench::raw_lapi_put_mb_s(kBytes, warm);
+  EXPECT_GT(cold_mb, rndv_mb);
+  EXPECT_GT(warm_mb, cold_mb);
+}
+
+TEST(RdmaMachineTest, RegistrationsDieWithThePeerIncarnation) {
+  // A put pins both regions (2 misses); a second put rides the cache
+  // (2 hits). Then the target crashes and restarts: the origin's verdict
+  // invalidates every registration toward the peer, so the put to the new
+  // incarnation repins the target region — using the stale registration
+  // against the reborn adapter would scatter into an unmapped region.
+  constexpr std::int64_t kLen = 5000;
+  constexpr std::int64_t kBigLen = 256 * 1024;  // straddles the kill
+  net::Machine m(machine_config(2));
+  lapi::Config cfg;
+  cfg.retransmit_timeout = microseconds(200);
+  cfg.max_retries = 4;
+  cfg.rdma_enabled = true;
+  cfg.rdma_threshold = 2048;
+  std::vector<std::byte> tgt(static_cast<std::size_t>(kLen));
+  std::vector<std::byte> big_tgt(static_cast<std::size_t>(kBigLen));
+  Counter never, second_life;
+  Status put_warm_st = Status::kUnknown;
+  Status put_dead_st = Status::kUnknown;
+  Status put_reborn_st = Status::kUnknown;
+
+  m.kill_node(1, microseconds(400));
+  m.restart_node(1, milliseconds(1.0), [&](net::Node& n) {
+    Context ctx(n, cfg);
+    EXPECT_EQ(ctx.waitcntr(second_life, 1), Status::kOk);
+  });
+
+  ASSERT_EQ(m.run_spmd([&](net::Node& n) {
+    Context ctx(n, cfg);
+    if (n.id() == 0) {
+      std::vector<std::byte> src(static_cast<std::size_t>(kLen),
+                                 std::byte{0x77});
+      std::vector<std::byte> big(static_cast<std::size_t>(kBigLen),
+                                 std::byte{0x3C});
+      Counter cmpl1, cmpl1b, cmpl2, cmpl3;
+      // Two small puts complete before the kill: the first pins both
+      // regions, the second rides the warm cache.
+      ASSERT_EQ(ctx.put(1, src, tgt.data(), nullptr, nullptr, &cmpl1),
+                Status::kOk);
+      put_warm_st = ctx.waitcntr(cmpl1, 1);
+      ASSERT_EQ(ctx.put(1, src, tgt.data(), nullptr, nullptr, &cmpl1b),
+                Status::kOk);
+      EXPECT_EQ(ctx.waitcntr(cmpl1b, 1), Status::kOk);
+      // The big put is mid-flight when the target dies: its ladder
+      // exhausts and the crash-stop verdict invalidates the peer's
+      // registrations.
+      ASSERT_EQ(ctx.put(1, big, big_tgt.data(), nullptr, nullptr, &cmpl2),
+                Status::kOk);
+      put_dead_st = ctx.waitcntr(cmpl2, 1);
+      EXPECT_TRUE(ctx.peer_failed(1));
+      ASSERT_EQ(ctx.put(1, src, tgt.data(), &second_life, nullptr, &cmpl3),
+                Status::kOk);
+      put_reborn_st = ctx.waitcntr(cmpl3, 1);
+    } else {
+      (void)ctx.waitcntr(never, 1);  // first life: blocked until killed
+    }
+  }), Status::kOk);
+
+  EXPECT_EQ(put_warm_st, Status::kOk);
+  EXPECT_EQ(put_dead_st, Status::kPeerFailed);
+  EXPECT_EQ(put_reborn_st, Status::kOk);
+  const std::vector<std::byte> want(static_cast<std::size_t>(kLen),
+                                    std::byte{0x77});
+  EXPECT_EQ(std::memcmp(tgt.data(), want.data(),
+                        static_cast<std::size_t>(kLen)),
+            0);
+  // All four puts rode zero-copy. Put 1: src+tgt pins (2 misses). Put 2:
+  // both cached (2 hits). Put 3: fresh regions (2 misses), then the verdict
+  // drops both target-side registrations. Put 4 to the reborn peer: the
+  // source registration is keyed under self and survives (1 hit); the
+  // target region must be repinned against the new incarnation (1 miss).
+  EXPECT_EQ(m.engine().counters().get("lapi.zero_copy_sends"), 4);
+  EXPECT_EQ(m.engine().counters().get("lapi.reg_cache_misses"), 5);
+  EXPECT_EQ(m.engine().counters().get("lapi.reg_cache_hits"), 3);
+}
+
+TEST(RdmaMachineTest, GaBigStridedRequestsRideTheRegisteredPath) {
+  constexpr std::int64_t kSide = 64;  // 64x64 doubles = 32 KB per request
+  net::Machine m(machine_config(2));
+  ga::Config cfg;
+  cfg.big_request_bytes = 1;  // always prefer the big-request protocols
+  cfg.lapi.rdma_enabled = true;
+  cfg.lapi.rdma_threshold = 4096;
+  std::vector<double> out(static_cast<std::size_t>(kSide * kSide), 0.0);
+  ASSERT_EQ(m.run_spmd([&](net::Node& n) {
+    ga::Runtime rt(n, cfg);
+    ga::GlobalArray a = rt.create(3 * kSide, 3 * kSide);
+    rt.sync();
+    if (rt.me() == 0) {
+      const ga::Patch blk = a.block_of(1);
+      // Offset by one row inside the owner's block: a strided section.
+      ga::Patch p{blk.lo1 + 1, blk.lo1 + kSide, blk.lo2 + 1,
+                  blk.lo2 + kSide};
+      std::vector<double> buf(static_cast<std::size_t>(kSide * kSide));
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        buf[i] = static_cast<double>(i % 509);
+      }
+      a.put(p, buf.data(), kSide);
+      rt.fence();
+      a.get(p, out.data(), kSide);
+    }
+    rt.fence();
+    rt.sync();
+    rt.destroy(a);
+  }), Status::kOk);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_DOUBLE_EQ(out[i], static_cast<double>(i % 509)) << "at " << i;
+  }
+  EXPECT_GT(m.engine().counters().get("ga.lapi.rdma_putv"), 0);
+  EXPECT_GT(m.engine().counters().get("ga.lapi.rdma_getv"), 0);
+  // The registered path replaced the per-column RMC fan-out entirely.
+  EXPECT_EQ(m.engine().counters().get("ga.lapi.rmc_columns"), 0);
+}
+
+// ===========================================================================
+// Part D: the gather-direct serve fix
+// ===========================================================================
+
+StridedRegion region(double* base, std::int64_t rows, std::int64_t cols,
+                     std::int64_t ld) {
+  StridedRegion r;
+  r.base = reinterpret_cast<std::byte*>(base);
+  r.row_bytes = rows * 8;
+  r.cols = cols;
+  r.ld_bytes = ld * 8;
+  return r;
+}
+
+/// Run one Getv of a rows x cols block (leading dimension ld at the server)
+/// and return the served data for verification.
+void run_getv(std::int64_t rows, std::int64_t cols, std::int64_t ld,
+              net::Machine& m) {
+  std::vector<double> remote(static_cast<std::size_t>(ld * cols));
+  for (std::size_t i = 0; i < remote.size(); ++i) {
+    remote[i] = static_cast<double>(i);
+  }
+  ASSERT_EQ(run_lapi(m, [&](Context& ctx) {
+    if (ctx.task_id() == 0) {
+      std::vector<double> local(static_cast<std::size_t>(rows * cols), -1.0);
+      Counter org;
+      ASSERT_EQ(ctx.getv(1, region(remote.data(), rows, cols, ld),
+                         region(local.data(), rows, cols, rows), nullptr,
+                         &org),
+                Status::kOk);
+      EXPECT_EQ(ctx.waitcntr(org, 1), Status::kOk);
+      for (std::int64_t j = 0; j < cols; ++j) {
+        for (std::int64_t i = 0; i < rows; ++i) {
+          ASSERT_DOUBLE_EQ(local[static_cast<std::size_t>(j * rows + i)],
+                           static_cast<double>(j * ld + i));
+        }
+      }
+    }
+  }), Status::kOk);
+}
+
+TEST(GatherDirectTest, PayloadAlignedRunsSkipTheStagingCopy) {
+  // The regression case: each gather run is exactly one packet payload, so
+  // the scatter/gather engine streams runs from the source region and the
+  // packed staging buffer's copy charge disappears — one fewer copy.
+  CostModel cm;
+  ASSERT_EQ(cm.lapi_payload() % 8, 0);
+  const std::int64_t rows = cm.lapi_payload() / 8;
+  net::Machine m(machine_config(2));
+  run_getv(rows, 4, rows + 37, m);
+  EXPECT_EQ(m.engine().counters().get("lapi.gather_direct"), 1);
+  EXPECT_EQ(m.engine().counters().get("lapi.gather_staged"), 0);
+}
+
+TEST(GatherDirectTest, ContiguousSourceSkipsTheStagingCopy) {
+  net::Machine m(machine_config(2));
+  run_getv(100, 4, 100, m);  // ld == rows: one contiguous run
+  EXPECT_EQ(m.engine().counters().get("lapi.gather_direct"), 1);
+  EXPECT_EQ(m.engine().counters().get("lapi.gather_staged"), 0);
+}
+
+TEST(GatherDirectTest, MisalignedRunsStillPayTheStagingCopy) {
+  net::Machine m(machine_config(2));
+  run_getv(100, 4, 128, m);  // 800-byte runs: neither contiguous nor aligned
+  EXPECT_EQ(m.engine().counters().get("lapi.gather_direct"), 0);
+  EXPECT_EQ(m.engine().counters().get("lapi.gather_staged"), 1);
+}
+
+}  // namespace
+}  // namespace splap::lapi

@@ -659,5 +659,119 @@ TEST(TransportFlowControlTest, MaxPartialsCapShedsAndRecovers) {
   EXPECT_EQ(f.target->assembly().live_partials(), 0u);
 }
 
+// ===========================================================================
+// Zero-copy (rdma) transport: scatter-direct assembly must keep the
+// exactly-once guarantees of the staged path under every wire fault
+// ===========================================================================
+
+/// StackFixture with the zero-copy path armed: kLen = 5000 clears the 2 KB
+/// threshold, so every put below rides rdma unless a test says otherwise.
+struct RdmaStackFixture : StackFixture {
+  RdmaStackFixture() {
+    cfg.rdma_enabled = true;
+    cfg.rdma_threshold = 2048;
+  }
+
+  /// Like put(), but names the source region so the origin-side
+  /// registration (and its cache entry) is exercised too.
+  void put_rdma(std::shared_ptr<std::vector<std::byte>> payload,
+                std::byte* tgt) {
+    eng.schedule_at(0, [this, payload, tgt] {
+      auto hdr = std::make_shared<WireMeta>();
+      hdr->tgt_addr = tgt;
+      hdr->org_addr = payload->data();
+      hdr->total_len = static_cast<std::int64_t>(payload->size());
+      origin->send().submit(PktKind::kPutHdr, 1, hdr, payload, 0);
+    });
+  }
+};
+
+TEST(TransportZeroCopyTest, CleanPutScattersDirectWithoutCopies) {
+  RdmaStackFixture f;
+  f.build();
+  auto src = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst(static_cast<std::size_t>(kLen));
+  f.put_rdma(src, dst.data());
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  f.expect_delivered(*src, dst);
+  EXPECT_EQ(f.eng.counters().get("lapi.zero_copy_sends"), 1);
+  EXPECT_EQ(f.eng.counters().get("lapi.scatter_direct"), 1);
+  // Both regions were cold: one pin each for source and target.
+  EXPECT_EQ(f.eng.counters().get("lapi.reg_cache_misses"), 2);
+  EXPECT_EQ(f.eng.counters().get("lapi.reg_cache_hits"), 0);
+  EXPECT_EQ(f.eng.counters().get("lapi.retransmits"), 0);
+  EXPECT_EQ(f.eng.counters().get("lapi.staged"), 0);
+}
+
+TEST(TransportZeroCopyTest, WarmCacheReusesBothRegistrations) {
+  RdmaStackFixture f;
+  f.build();
+  auto src = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst(static_cast<std::size_t>(kLen));
+  f.put_rdma(src, dst.data());
+  f.put_rdma(src, dst.data());  // same regions: both lookups must hit
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  f.expect_delivered(*src, dst);
+  EXPECT_EQ(f.eng.counters().get("lapi.zero_copy_sends"), 2);
+  EXPECT_EQ(f.eng.counters().get("lapi.reg_cache_misses"), 2);
+  EXPECT_EQ(f.eng.counters().get("lapi.reg_cache_hits"), 2);
+}
+
+TEST(TransportZeroCopyTest, DroppedDataIsRetransmittedIntoPlace) {
+  RdmaStackFixture f;
+  f.build();
+  f.wire.drop_first_n_data = 2;
+  auto src = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst(static_cast<std::size_t>(kLen));
+  f.put_rdma(src, dst.data());
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  f.expect_delivered(*src, dst);
+  EXPECT_EQ(f.eng.counters().get("lapi.zero_copy_sends"), 1);
+  EXPECT_GT(f.eng.counters().get("lapi.retransmits"), 0);
+  EXPECT_EQ(f.eng.counters().get("lapi.retransmit_giveup"), 0);
+}
+
+TEST(TransportZeroCopyTest, DuplicatedDataScattersExactlyOnce) {
+  RdmaStackFixture f;
+  f.build();
+  f.wire.duplicate_data = true;
+  auto src = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst(static_cast<std::size_t>(kLen));
+  f.put_rdma(src, dst.data());
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  // The dedup happens before the scatter: a replayed fragment must not
+  // re-write (or double-count toward) the registered region.
+  f.expect_delivered(*src, dst);
+  EXPECT_EQ(f.eng.counters().get("lapi.scatter_direct"), 1);
+}
+
+TEST(TransportZeroCopyTest, CorruptPayloadNeverLandsInTheUserRegion) {
+  RdmaStackFixture f;
+  f.build(/*checksums=*/true);
+  f.wire.corrupt_first_n_data = 1;
+  auto src = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst(static_cast<std::size_t>(kLen));
+  f.put_rdma(src, dst.data());
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  // The checksum rejects the damaged fragment before the direct scatter, so
+  // the retransmission is what lands — the region ends bit-exact.
+  f.expect_delivered(*src, dst);
+  EXPECT_GT(f.eng.counters().get("lapi.corrupt_drops"), 0);
+  EXPECT_GT(f.eng.counters().get("lapi.retransmits"), 0);
+}
+
+TEST(TransportZeroCopyTest, BelowThresholdStaysOnTheStagedPath) {
+  RdmaStackFixture f;
+  f.cfg.rdma_threshold = 64 * 1024;  // kLen no longer qualifies
+  f.build();
+  auto src = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst(static_cast<std::size_t>(kLen));
+  f.put_rdma(src, dst.data());
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  f.expect_delivered(*src, dst);
+  EXPECT_EQ(f.eng.counters().get("lapi.zero_copy_sends"), 0);
+  EXPECT_EQ(f.eng.counters().get("lapi.scatter_direct"), 0);
+}
+
 }  // namespace
 }  // namespace splap::lapi

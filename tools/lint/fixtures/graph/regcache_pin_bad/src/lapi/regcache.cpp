@@ -1,0 +1,32 @@
+// The bug class the rdma blocking proof exists to catch: the registration
+// pin charge calls Actor::compute unconditionally, and submit() is
+// reachable from handler context (the assembly dispatch submits Get
+// replies). The analyzer must fail the gate with the full chain — the
+// runtime would only catch this once a cold-cache Get actually fired
+// under a handler.
+#include "sim/engine.hpp"
+
+namespace splap::lapi {
+
+struct RegCache {
+  bool pin(long addr) { return addr == last_; }
+  long last_ = 0;
+};
+
+void charge_pin(sim::Actor* a, Time pin) {
+  a->compute(pin);  // suspends: illegal under a handler
+}
+
+void submit(RegCache& cache, sim::Actor* a, long addr) {
+  if (!cache.pin(addr)) {
+    charge_pin(a, 41);  // miss: the adapter pins the region
+  }
+}
+
+void serve(sim::Engine& eng, RegCache& cache, sim::Actor* a) {
+  eng.schedule_after(10, [&cache, a] {
+    submit(cache, a, 0x1000);  // the Get-reply path: handler context
+  });
+}
+
+}  // namespace splap::lapi

@@ -1,0 +1,39 @@
+// The registration-cache miss path, done right: a cache miss charges the
+// pin cost, and submit() is reachable from handler context (a Get reply is
+// submitted from the assembly dispatch), so the charge must branch on
+// Actor::current() — actor callers block for the pin, handler callers fold
+// it into busy time. The guard carries the allow annotation, so the proof
+// passes.
+#include "sim/engine.hpp"
+
+namespace splap::lapi {
+
+struct RegCache {
+  bool pin(long addr) { return addr == last_; }
+  long last_ = 0;
+};
+
+void charge_pin(Time pin, Time* busy_until) {
+  if (sim::Actor* cur = sim::Actor::current()) {
+    // splap-graph: allow(blocking-reachability): guarded by Actor::current()
+    // — handler-context callers (Get-reply submits) take the else branch
+    // and accrue the pin into busy time instead of suspending.
+    cur->compute(pin);
+  } else {
+    *busy_until += pin;
+  }
+}
+
+void submit(RegCache& cache, long addr, Time* busy_until) {
+  if (!cache.pin(addr)) {
+    charge_pin(41, busy_until);  // miss: the adapter pins the region
+  }
+}
+
+void serve(sim::Engine& eng, RegCache& cache, Time* busy_until) {
+  eng.schedule_after(10, [&cache, busy_until] {
+    submit(cache, 0x1000, busy_until);  // the Get-reply path: handler context
+  });
+}
+
+}  // namespace splap::lapi

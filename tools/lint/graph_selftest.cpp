@@ -200,6 +200,29 @@ TEST(GraphBlocking, ActorBodiesGuardedEdgesAndCleanStacklessPass) {
                          << v[0].rule << "] " << v[0].message;
 }
 
+TEST(GraphBlocking, UnguardedRegCachePinChargeFailsUnderTheHandler) {
+  // The zero-copy registration pin: charged on a cache miss inside
+  // submit(), which handler context reaches via the Get-reply path. An
+  // unconditional Actor::compute there is exactly the suspend-under-handler
+  // bug class, surfaced statically instead of on the first cold-cache Get.
+  const std::vector<Violation> v = analyze(scenario("regcache_pin_bad"));
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "blocking-reachability");
+  EXPECT_EQ(v[0].file, "src/lapi/regcache.cpp");
+  for (const char* part :
+       {"callback passed to schedule_after", "submit", "charge_pin",
+        "suspension primitive Actor::compute"}) {
+    EXPECT_NE(v[0].message.find(part), std::string::npos)
+        << "diagnostic lost `" << part << "`:\n" << v[0].message;
+  }
+}
+
+TEST(GraphBlocking, GuardedRegCachePinChargePasses) {
+  const std::vector<Violation> v = analyze(scenario("regcache_pin_good"));
+  EXPECT_TRUE(v.empty()) << v[0].file << ":" << v[0].line << " ["
+                         << v[0].rule << "] " << v[0].message;
+}
+
 TEST(GraphLayering, TransitiveClosureCatchesIndirectLeaks) {
   const std::vector<Violation> v = analyze(scenario("layering_bad"));
   EXPECT_EQ(fired(v),
