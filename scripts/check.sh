@@ -25,6 +25,11 @@
 #              1024-node smoke and the serial-vs-SPLAP_EXEC_THREADS=4
 #              determinism comparisons, run optimized, under ASan+UBSan, and
 #              under SPLAP_AUDIT with the worker lanes forced on
+#   partition  the partition / gray-failure harness (tests labelled
+#              `partition`): asymmetric blackholes, split/merge of partition
+#              groups, stragglers under legacy-vs-accrual detection, the
+#              detector math units and the flap-leak test — run optimized,
+#              under ASan+UBSan, and under SPLAP_AUDIT
 #   rdma       the zero-copy transfer path (tests labelled `rdma`): protocol
 #              selection, registration-cache lifecycle (LRU, epoch bumps),
 #              scatter-direct assembly, FakeWire exactly-once under loss and
@@ -159,6 +164,26 @@ if want scale; then
   ctest --test-dir build-audit -L scale --no-tests=error --output-on-failure
   SPLAP_EXEC_THREADS=4 ./build-audit/tests/scale_test \
     --gtest_filter='*FabricBurst*:*LapiRing*'
+fi
+
+if want partition; then
+  # Partition windows stress the retry ladder, the quarantine queue and the
+  # suspect/heal transitions — the states most likely to leak a credit lease
+  # or revive a reclaimed send record. Optimized first (the behavioural
+  # contract: heal inside the ladder, no split-brain, straggler survival),
+  # then the memory sanitizers, then the SPLAP_AUDIT lifecycle ledger.
+  echo "== partition harness (optimized) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$(nproc)"
+  ctest --test-dir build -L partition --no-tests=error --output-on-failure
+  echo "== partition harness (ASan+UBSan) =="
+  cmake -B build-asan -S . -DSPLAP_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  cmake --build build-asan -j"$(nproc)"
+  ctest --test-dir build-asan -L partition --no-tests=error --output-on-failure
+  echo "== partition harness (SPLAP_AUDIT) =="
+  cmake -B build-audit -S . -DSPLAP_AUDIT=ON >/dev/null
+  cmake --build build-audit -j"$(nproc)"
+  ctest --test-dir build-audit -L partition --no-tests=error --output-on-failure
 fi
 
 if want rdma; then

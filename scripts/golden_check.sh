@@ -12,6 +12,9 @@
 #   rdma         BENCH_rdma.json sweeps the three transfer protocols; its
 #                bandwidths depend on the rdma cost constants, so the guard
 #                pins schema, series-name set, and crossover keys, not bytes
+#   detector     BENCH_detector.json sweeps legacy-vs-accrual detection over
+#                crash and straggler scenarios; latencies depend on detector
+#                tuning, so the guard pins schema and series names, not bytes
 #   engine perf  BENCH_engine.json carries wall-clock timings that legitimately
 #                vary run to run, so the guard pins its schema and benchmark
 #                name set, not its bytes
@@ -58,6 +61,19 @@ for key in crossover_eager_to_rendezvous_bytes \
            crossover_rendezvous_to_zero_copy_warm_bytes; do
   grep -q "\"$key\"" "$TMP/BENCH_rdma.json" \
     || { echo "missing key $key in BENCH_rdma.json"; exit 1; }
+done
+
+echo "-- detector schema"
+"$BUILD_DIR"/bench/bench_detector --json_out="$TMP/BENCH_detector.json" \
+  > /dev/null
+grep -q '"schema": "splap-detector-v1"' "$TMP/BENCH_detector.json"
+for name in legacy_crash accrual_crash \
+            legacy_straggler_x1 accrual_straggler_x1 \
+            legacy_straggler_x8 accrual_straggler_x8 \
+            legacy_straggler_x30 accrual_straggler_x30 \
+            legacy_straggler_x120 accrual_straggler_x120; do
+  grep -q "\"name\": \"$name\"" "$TMP/BENCH_detector.json" \
+    || { echo "missing series $name in BENCH_detector.json"; exit 1; }
 done
 
 echo "-- engine perf schema"

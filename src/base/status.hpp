@@ -24,6 +24,8 @@ enum class [[nodiscard]] Status {
   kDeadlock,         // engine detected that no actor can ever run again
   kResourceExhausted,// buffer pool / retransmit window exhausted
   kPeerFailed,       // the remote task crashed (crash-stop node failure)
+  kPeerSuspected,    // a peer is suspected (gray failure): progress degraded,
+                     // sends quarantined, but no death verdict — may heal
   kUnknown,
 };
 
@@ -37,6 +39,7 @@ constexpr std::string_view to_string(Status s) {
     case Status::kDeadlock: return "DEADLOCK";
     case Status::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case Status::kPeerFailed: return "PEER_FAILED";
+    case Status::kPeerSuspected: return "PEER_SUSPECTED";
     case Status::kUnknown: return "UNKNOWN";
   }
   return "INVALID_STATUS";

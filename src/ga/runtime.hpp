@@ -227,9 +227,18 @@ class Runtime {
     std::uint8_t last_op = 0;
   };
 
-  /// Latch the first communication failure (see comm_status()).
+  /// Latch the first communication failure (see comm_status()). Precedence:
+  /// kPeerFailed is the strongest verdict and upgrades a softer
+  /// kPeerSuspected latch (a gray-failing peer that later dies); any other
+  /// first failure sticks. kPeerSuspected records that some collective ran
+  /// degraded even if the suspect later healed.
   void note(Status st) {
-    if (st != Status::kOk && comm_status_ == Status::kOk) comm_status_ = st;
+    if (st == Status::kOk) return;
+    if (comm_status_ == Status::kOk ||
+        (st == Status::kPeerFailed &&
+         comm_status_ == Status::kPeerSuspected)) {
+      comm_status_ = st;
+    }
   }
 
   net::Node& node_;

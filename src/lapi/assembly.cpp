@@ -162,11 +162,26 @@ Time AssemblyEngine::process(net::Packet& pkt) {
                     std::span<const std::byte> bytes) -> Time {
     const auto len = static_cast<std::int64_t>(bytes.size());
     if (len == 0) return 0;
+    // Bounds-validate the header fields before any dedup/credit state
+    // mutates: a mangled offset must not scribble past the landing buffer,
+    // and must not be remembered as ingested (the origin's retransmit of
+    // the true fragment would then dedup against garbage). Dropped packets
+    // recover through the normal retransmission path.
+    if (offset < 0 || offset + len < offset || offset + len > as.total)
+        [[unlikely]] {
+      progress_.engine().counters().bump("lapi.malformed_drop");
+      SPLAP_DEBUG(now,
+                  "lapi task %d: malformed fragment from %d "
+                  "(offset=%lld len=%lld total=%lld), dropped",
+                  task_id_, pkt.src, static_cast<long long>(offset),
+                  static_cast<long long>(len),
+                  static_cast<long long>(as.total));
+      return 0;
+    }
     if (as.seen.count(offset) != 0) return 0;
     as.seen[offset] = len;
     ++as.pkts_ingested;  // one distinct wire packet landed (credit grant)
     SPLAP_REQUIRE(as.buffer != nullptr, "assembly without a buffer");
-    SPLAP_REQUIRE(offset + len <= as.total, "fragment beyond message length");
     if (as.hdr != nullptr && as.hdr->strided &&
         as.kind == PktKind::kPutHdr) {
       // Putv: the packed wire stream scatters straight into the strided
@@ -200,6 +215,13 @@ Time AssemblyEngine::process(net::Packet& pkt) {
   switch (m.kind) {
     case PktKind::kPutHdr:
     case PktKind::kAmHdr: {
+      if (m.total_len < 0) [[unlikely]] {
+        // A negative message length is a mangled header, not a real
+        // transfer: admitting it would open a partial that can never
+        // complete (received counts up from zero, total is negative).
+        progress_.engine().counters().bump("lapi.malformed_drop");
+        return cm.lapi_pkt_rx;
+      }
       const auto key = std::pair<int, std::int64_t>{pkt.src, m.msg_id};
       auto at = assemblies_.find(key);
       if (at == assemblies_.end()) {

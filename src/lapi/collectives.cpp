@@ -135,10 +135,16 @@ Status Context::gfence() {
   // returns kPeerFailed. Later rounds still pulse live partners so the
   // survivors' own waits unblock — the dissemination pattern keeps every
   // live task's exit bounded once the gossip latch lands everywhere.
+  // A *suspected* partner (gray failure) is a softer tier: the barrier still
+  // completes — the pulse toward the suspect parks in quarantine and either
+  // drains on heal or fails over on escalation — but the caller learns that
+  // progress degraded via kPeerSuspected. A latched death outranks it.
   bool degraded = false;
+  bool degraded_suspected = false;
   int round = 0;
   for (int dist = 1; dist < n; dist <<= 1, ++round) {
     const int to = (task_id() + dist) % n;
+    if (send_.peer_suspected(to)) degraded_suspected = true;
     if (send_.peer_failed(to)) {
       degraded = true;
     } else {
@@ -156,6 +162,7 @@ Status Context::gfence() {
         degraded = true;
         break;
       }
+      if (send_.peer_suspected(from)) degraded_suspected = true;
       progress_.waiters().add(*a);
       a->suspend("lapi-gfence");
     }
@@ -164,10 +171,11 @@ Status Context::gfence() {
   // GC this generation's pulses.
   barrier_got_.erase(barrier_got_.lower_bound({seq, 0}),
                      barrier_got_.upper_bound({seq, round}));
-  return degraded ? Status::kPeerFailed : Status::kOk;
+  if (degraded) return Status::kPeerFailed;
+  return degraded_suspected ? Status::kPeerSuspected : Status::kOk;
 }
 
-void Context::broadcast_peer_death(int peer) {
+void Context::broadcast_peer_death(int peer, bool direct) {
   // The out-of-band membership channel (PSSP group services on the real SP):
   // a detected node death is announced to every attached context directly
   // through the Universe registry, not over the wire — exactly how the SP's
@@ -177,7 +185,7 @@ void Context::broadcast_peer_death(int peer) {
   engine().mark_parallel_unsafe("peer-death gossip crosses node shards");
   Universe& u = universe();
   for (Context* c : u.ctxs) {
-    if (c != nullptr && c != this) c->note_peer_death(peer);
+    if (c != nullptr && c != this) c->note_peer_death(peer, direct, task_id());
   }
 }
 

@@ -54,7 +54,8 @@ Context::Context(net::Node& node, Config config)
   }
   send_.set_epoch(epoch_);
   assembly_.set_epoch(epoch_);
-  send_.set_peer_failure_hook([this](int peer) { on_peer_failed(peer); });
+  send_.set_peer_failure_hook(
+      [this](int peer, bool direct) { on_peer_failed(peer, direct); });
   node_.adapter().register_client(
       net::Client::kLapi,
       [this](net::Packet&& p) { progress_.on_delivery(std::move(p)); });
@@ -403,6 +404,12 @@ std::int64_t Context::rmw_sync(RmwOp op, int target, std::int64_t* tgt_var,
 
 Time Context::process_packet(net::Packet& pkt) {
   const WireMeta& m = pkt.meta_as<WireMeta>();
+  if (m.epoch < 0 || m.dst_epoch < 0) [[unlikely]] {
+    // Incarnation epochs are monotone counters from zero; a negative stamp
+    // is not a stale life, it is a mangled header. Drop at the door.
+    engine().counters().bump("lapi.malformed_drop");
+    return cost().lapi_pkt_rx;
+  }
   if (m.dst_epoch != epoch_ || m.epoch != peer_epochs_[static_cast<std::size_t>(pkt.src)]) [[unlikely]] {
     if (m.dst_epoch < epoch_ ||
         m.epoch < peer_epochs_[static_cast<std::size_t>(pkt.src)]) {
@@ -418,6 +425,12 @@ Time Context::process_packet(net::Packet& pkt) {
     send_.on_peer_reborn(pkt.src, m.epoch);
   }
   send_.note_heard(pkt.src);
+  if (!death_reports_.empty()) {
+    // Any authenticated contact from the peer refutes the accrual gossip
+    // collected against it so far: restart the corroboration count rather
+    // than let ancient suspicions combine with fresh ones into a verdict.
+    death_reports_.erase(pkt.src);
+  }
   switch (m.kind) {
     case PktKind::kAck: return send_.on_ack(pkt);
     case PktKind::kRmwResp: return send_.on_rmw_resp(pkt);
@@ -459,13 +472,14 @@ Status Context::send_get_reply(int origin, std::shared_ptr<WireMeta> hdr,
 // Crash-stop failure handling
 // ---------------------------------------------------------------------------
 
-void Context::on_peer_failed(int peer) {
+void Context::on_peer_failed(int peer, bool direct) {
   // First-hand detection (retry exhaustion or keepalive misses in the send
   // engine). The send side already failed every record toward the peer;
   // clean up our target side — its incomplete partials can never finish.
   // Completed-message dedup markers stay: the verdict may be congestion
   // misjudged as death, and exactly-once delivery must survive a reconnect.
   assembly_.reclaim_peer_partials(peer);
+  death_reports_.erase(peer);
   // Deliver the LAPI_Init-registered error handler on the completion-thread
   // pool, exactly once per failure latch, like any completion handler would
   // run (never inline under the dispatcher).
@@ -476,15 +490,34 @@ void Context::on_peer_failed(int peer) {
   }
   // Gossip the verdict to the sibling contexts (the group-services
   // membership channel): barrier partners that never address the dead node
-  // would otherwise wait on it forever.
-  broadcast_peer_death(peer);
+  // would otherwise wait on it forever. The evidence class rides along:
+  // receivers latch direct verdicts unconditionally but demand quorum for
+  // accrual-only ones.
+  broadcast_peer_death(peer, direct);
 }
 
-void Context::note_peer_death(int peer) {
+void Context::note_peer_death(int peer, bool direct, int reporter) {
   if (terminated_ || peer == task_id()) return;
-  // fail_peer's fresh-latch guard makes the gossip converge: a second-hand
-  // notice of an already-latched failure re-invokes nothing.
-  send_.fail_peer(peer);
+  if (direct) {
+    // Hard evidence (retry exhaustion, or the warmup/legacy keepalive rule,
+    // which only fires against peers with no traffic history). fail_peer's
+    // fresh-latch guard makes the gossip converge: a second-hand notice of
+    // an already-latched failure re-invokes nothing.
+    send_.fail_peer(peer);
+    return;
+  }
+  // Circumstantial evidence (accrual escalation somewhere else). A single
+  // partitioned observer must not be able to split-brain the membership:
+  // require suspicion_quorum distinct observers, counting our own live
+  // suspicion of the peer as one vote, before the verdict latches here.
+  auto& reps = death_reports_[peer];
+  reps.insert(reporter);
+  const int votes = static_cast<int>(reps.size()) +
+                    (send_.peer_suspected(peer) ? 1 : 0);
+  if (votes >= config_.suspicion_quorum) {
+    death_reports_.erase(peer);
+    send_.fail_peer(peer, /*direct=*/false);
+  }
 }
 
 }  // namespace splap::lapi

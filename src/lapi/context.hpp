@@ -37,6 +37,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <span>
 #include <vector>
 
@@ -144,7 +145,9 @@ class Context : private ProgressEngine::Sink, private AssemblyEngine::Env {
   /// LAPI_Gfence: collective fence — fence + dissemination barrier built on
   /// LAPI active messages. Returns kOk normally; kPeerFailed when a barrier
   /// partner died mid-collective (the barrier terminates instead of hanging,
-  /// but this task cannot claim global quiescence).
+  /// but this task cannot claim global quiescence); kPeerSuspected when no
+  /// partner died but at least one sat in the suspected (quarantined) state
+  /// when its pulse was due — degraded progress that may yet heal.
   Status gfence();
 
   // --- address exchange ----------------------------------------------------
@@ -177,6 +180,10 @@ class Context : private ProgressEngine::Sink, private AssemblyEngine::Env {
   /// Has this context declared `peer` dead (retry exhaustion, keepalive
   /// misses, or gossip) with no newer incarnation heard since?
   bool peer_failed(int peer) const { return send_.peer_failed(peer); }
+  /// Is `peer` currently in the suspected (quarantined, not dead) state?
+  bool peer_suspected(int peer) const { return send_.peer_suspected(peer); }
+  /// Sends currently quarantined behind suspected peers.
+  std::size_t suspect_queued() const { return send_.suspect_queued(); }
   /// This context's incarnation epoch (the restart count of its node at
   /// LAPI_Init, stamped into every packet it originates).
   std::int64_t epoch() const { return epoch_; }
@@ -216,15 +223,21 @@ class Context : private ProgressEngine::Sink, private AssemblyEngine::Env {
 
   // --- crash-stop failure handling ---------------------------------------
   /// SendEngine's peer-failure hook: this context itself detected `peer`
-  /// dead (retry exhaustion or keepalive). Reclaims target-side state,
-  /// delivers the registered error handler, and gossips the verdict.
-  void on_peer_failed(int peer);
-  /// Second-hand death notice from a sibling context's detector (the
-  /// group-services membership channel). Latches the failure locally.
-  void note_peer_death(int peer);
+  /// dead. Reclaims target-side state, delivers the registered error
+  /// handler, and gossips the verdict along with its evidence class —
+  /// `direct` for first-hand proof (retry exhaustion, fixed-miss
+  /// keepalive), false for an accrual-only suspicion verdict.
+  void on_peer_failed(int peer, bool direct);
+  /// Death notice from a sibling context's detector (the group-services
+  /// membership channel). A direct verdict latches immediately; an
+  /// accrual-only verdict is only corroboration — it latches once distinct
+  /// observers (reporters plus this task's own suspicion) reach
+  /// Config::suspicion_quorum, so one partitioned observer cannot
+  /// split-brain a healthy task.
+  void note_peer_death(int peer, bool direct, int reporter);
   /// Fan a death verdict out to every attached context on the machine
   /// (collectives.cpp — rides the Universe registry).
-  void broadcast_peer_death(int peer);
+  void broadcast_peer_death(int peer, bool direct);
 
   net::Node& node_;
   Config config_;
@@ -251,6 +264,11 @@ class Context : private ProgressEngine::Sink, private AssemblyEngine::Env {
   std::int64_t barrier_seq_ = 0;
   std::map<std::pair<std::int64_t, int>, int> barrier_got_;
   std::int64_t xchg_seq_ = 0;
+
+  /// Accrual-only death gossip awaiting corroboration: peer -> the distinct
+  /// tasks that reported it dead on suspicion alone. Cleared when the peer
+  /// is heard from (the reports were describing a partition, not a death).
+  std::map<int, std::set<int>> death_reports_;
 };
 
 }  // namespace splap::lapi

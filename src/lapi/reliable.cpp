@@ -111,7 +111,9 @@ SendEngine::SendEngine(net::Delivery& wire, ProgressEngine& progress,
                "lapi",
                config.jitter_seed ^
                    (static_cast<std::uint64_t>(task_id) * 0x9e3779b9ULL),
-               progress.alive()) {}
+               progress.alive()),
+      accrual_enabled_(config.keepalive_interval > 0 &&
+                       !config.keepalive_legacy) {}
 
 void SendEngine::submit(PktKind kind, int target,
                         std::shared_ptr<WireMeta> hdr,
@@ -165,17 +167,20 @@ void SendEngine::submit(PktKind kind, int target,
         a->compute(backlog - config_.max_injection_backlog);
       }
     }
-    if (flow &&
+    if (flow && suspected_.count(target) == 0 &&
         !(credits_.can_send(target, pkts) && credit_waitq_.count(target) == 0)) {
       // Backpressure: the call parks until the peer's credit pool can admit
       // this message (and no earlier handler-context send is queued ahead).
       // Credits released by any record reclamation notify() the waiters.
+      // A peer that becomes suspected mid-wait releases the waiter too: the
+      // send then quarantines below instead of leasing credits.
       engine.counters().bump("lapi.credit_stalls");
       // splap-graph: allow(blocking-reachability): inside the
       // Actor::current() branch — handler-context sends park in
       // credit_waitq_ (park_for_credits below) instead of blocking.
       a->wait(
           [this, a, target, pkts] {
+            if (suspected_.count(target) != 0) return true;  // quarantine
             if (credits_.can_send(target, pkts) &&
                 credit_waitq_.count(target) == 0) {
               return true;
@@ -246,6 +251,16 @@ void SendEngine::submit(PktKind kind, int target,
     }
   }
 
+  if (target != task_id_ && suspected_.count(target) != 0) {
+    // Suspected peer: quarantine instead of transmitting — no credit lease,
+    // no timer, so neither the retry budget nor the credit window is spent
+    // on a peer that may be behind a partition. heal_peer restarts the
+    // record on any contact; fail_peer fails it over with kPeerFailed.
+    sends_.at(id).queued = true;
+    engine.counters().bump("lapi.quarantined");
+    suspectq_[target].push_back(id);
+    return;
+  }
   if (park_for_credits) {
     // No transmission and no timer yet: the record is parked until credits
     // return. Deadlock-free: a peer pool below its window implies live
@@ -332,6 +347,9 @@ void SendEngine::apply_grant(SendRecord& rec, std::int64_t granted) {
 }
 
 void SendEngine::drain_credit_waitq(int peer) {
+  // A suspected peer's parked sends stay parked — credits returning must not
+  // restart traffic into a quarantine; heal_peer drains this queue instead.
+  if (suspected_.count(peer) != 0) return;
   auto qit = credit_waitq_.find(peer);
   if (qit == credit_waitq_.end()) return;
   sim::Engine& engine = progress_.engine();
@@ -491,11 +509,16 @@ void SendEngine::give_up(std::int64_t id) {
   fail_peer(rec.target);
 }
 
-void SendEngine::fail_peer(int peer) {
+void SendEngine::fail_peer(int peer, bool direct) {
   const bool fresh = failed_peers_.insert(peer).second;
-  // Drop the parked queue first: failing a leased record returns credits,
+  // Drop the parked queues first: failing a leased record returns credits,
   // and the credit drain must not restart parked sends toward a dead peer.
+  // A suspected peer escalating to dead leaves the quarantine for good (its
+  // parked records are failed over with everything else below).
   credit_waitq_.erase(peer);
+  suspectq_.erase(peer);
+  suspected_.erase(peer);
+  accrual_.erase(peer);  // a future incarnation has its own rhythm
   std::vector<std::int64_t> ids;
   for (const auto& [id, rec] : sends_) {
     if (rec.target == peer) ids.push_back(id);
@@ -510,7 +533,7 @@ void SendEngine::fail_peer(int peer) {
   // Registrations toward a dead peer are gone with its adapter state.
   selector_.cache().invalidate_peer(peer);
   health_.erase(peer);
-  if (fresh && peer_failure_hook_) peer_failure_hook_(peer);
+  if (fresh && peer_failure_hook_) peer_failure_hook_(peer, direct);
   progress_.notify();
 }
 
@@ -531,6 +554,17 @@ void SendEngine::on_peer_reborn(int peer, std::int64_t new_epoch) {
     });
     if (qit->second.empty()) credit_waitq_.erase(qit);
   }
+  if (auto sit = suspectq_.find(peer); sit != suspectq_.end()) {
+    // Quarantined records addressed to the dead incarnation fail over below
+    // (fail_send skips ids no longer queued here); new-epoch records stay
+    // parked — the note_heard that follows this adoption heals the peer and
+    // restarts them.
+    std::erase_if(sit->second, [&](std::int64_t id) {
+      auto it = sends_.find(id);
+      return it == sends_.end() || it->second.hdr_meta->dst_epoch < new_epoch;
+    });
+    if (sit->second.empty()) suspectq_.erase(sit);
+  }
   if (!stale.empty()) {
     SPLAP_WARN(progress_.engine().now(),
                "lapi task %d: peer %d reborn as epoch %lld, failing %zu "
@@ -544,12 +578,20 @@ void SendEngine::on_peer_reborn(int peer, std::int64_t new_epoch) {
   selector_.cache().invalidate_peer(peer);
   failed_peers_.erase(peer);  // the restarted life is reachable
   health_.erase(peer);
+  accrual_.erase(peer);  // the new life's rhythm starts from scratch
   progress_.notify();
 }
 
 void SendEngine::note_heard(int src) {
-  if (failed_peers_.empty() && health_.empty()) return;  // healthy fast path
+  if (accrual_enabled_ && src != task_id_) {
+    accrual_.try_emplace(src, config_.accrual_window)
+        .first->second.observe(progress_.engine().now());
+  }
+  if (failed_peers_.empty() && health_.empty() && suspected_.empty()) {
+    return;  // healthy fast path
+  }
   failed_peers_.erase(src);
+  if (!suspected_.empty()) heal_peer(src);
   auto it = health_.find(src);
   if (it != health_.end()) {
     it->second.heard = true;
@@ -637,27 +679,63 @@ void SendEngine::arm_keepalive() {
 }
 
 void SendEngine::keepalive_tick() {
-  // Only peers with a started (non-parked) record are probed: only they can
-  // strand a waiter. The map keeps probe order deterministic; the first
-  // record supplies the dst_epoch the probe is addressed to.
+  // Only peers with a pending record are probed: only they can strand a
+  // waiter. In accrual mode quarantined (suspected-peer) records count too —
+  // probing a suspected peer is how its heal signal (the probe ack) gets
+  // generated. The map keeps probe order deterministic; the first record
+  // supplies the dst_epoch the probe is addressed to.
   std::map<int, const SendRecord*> targets;
   for (const auto& [id, rec] : sends_) {
-    if (!rec.queued && rec.target != task_id_) {
-      targets.try_emplace(rec.target, &rec);
+    if (rec.target == task_id_) continue;
+    if (rec.queued &&
+        !(accrual_enabled_ && suspected_.count(rec.target) != 0)) {
+      continue;
     }
+    targets.try_emplace(rec.target, &rec);
   }
-  std::vector<int> dead;
+  const Time now = progress_.engine().now();
+  std::vector<int> suspects;
+  std::vector<int> dead_direct;   // fixed-miss verdicts (legacy or warmup)
+  std::vector<int> dead_accrual;  // sustained-suspicion verdicts
   for (const auto& [peer, rec] : targets) {
     if (failed_peers_.count(peer) != 0) continue;
     PeerHealth& h = health_[peer];
-    if (h.heard) {
-      h.heard = false;
-      h.misses = 0;
-      continue;
+    const AccrualEstimator* est = nullptr;
+    if (accrual_enabled_) {
+      auto eit = accrual_.find(peer);
+      if (eit != accrual_.end() && eit->second.warmed_up()) est = &eit->second;
     }
-    if (++h.misses >= kKeepaliveMisses) {
-      dead.push_back(peer);
-      continue;
+    if (est != nullptr) {
+      // Adaptive path: judge the silence against the peer's own recent
+      // rhythm instead of a fixed miss count. A straggler whose replies
+      // stretched the observed gaps earns a proportionally wider tolerance.
+      const double s = est->suspicion(now);
+      if (s >= config_.fail_threshold) {
+        dead_accrual.push_back(peer);
+        continue;
+      }
+      if (s >= config_.suspect_threshold && suspected_.count(peer) == 0) {
+        suspects.push_back(peer);
+      }
+      if (h.heard) {
+        h.heard = false;  // active traffic this interval: no probe needed
+        h.misses = 0;
+        continue;
+      }
+    } else {
+      // Legacy fixed-miss rule — also the accrual detector's warmup
+      // fallback, so a peer that was dead from the start (it never produced
+      // a rhythm to judge silence against) is declared exactly as the
+      // legacy detector would declare it: direct evidence.
+      if (h.heard) {
+        h.heard = false;
+        h.misses = 0;
+        continue;
+      }
+      if (++h.misses >= kKeepaliveMisses) {
+        dead_direct.push_back(peer);
+        continue;
+      }
     }
     progress_.engine().counters().bump("lapi.keepalive_probes");
     net::Packet p = wire_.make_packet();
@@ -672,7 +750,8 @@ void SendEngine::keepalive_tick() {
     p.header_bytes = progress_.cost().lapi_header_bytes + kProbeDescBytes;
     wire_.transmit(std::move(p));
   }
-  for (const int peer : dead) {
+  for (const int peer : suspects) suspect_peer(peer);
+  for (const int peer : dead_direct) {
     progress_.engine().counters().bump("lapi.keepalive_failed");
     SPLAP_WARN(progress_.engine().now(),
                "lapi task %d: keepalive declared peer %d dead after %d silent "
@@ -680,7 +759,105 @@ void SendEngine::keepalive_tick() {
                task_id_, peer, kKeepaliveMisses);
     fail_peer(peer);
   }
+  for (const int peer : dead_accrual) {
+    progress_.engine().counters().bump("lapi.accrual_failed");
+    SPLAP_WARN(progress_.engine().now(),
+               "lapi task %d: sustained accrual declared peer %d dead "
+               "(suspicion past %g)",
+               task_id_, peer, config_.fail_threshold);
+    // Circumstantial evidence: the gossip layer requires corroboration
+    // before other tasks latch this verdict.
+    fail_peer(peer, /*direct=*/false);
+  }
   if (!sends_.empty()) arm_keepalive();
+}
+
+void SendEngine::suspect_peer(int peer) {
+  if (peer == task_id_ || failed_peers_.count(peer) != 0) return;
+  if (!suspected_.insert(peer).second) return;
+  progress_.engine().counters().bump("lapi.peer_suspected");
+  SPLAP_WARN(progress_.engine().now(),
+             "lapi task %d: peer %d suspected (gray failure), quarantining "
+             "its sends",
+             task_id_, peer);
+  // Quarantine every started record: freeze the RTO (bumping the timeout
+  // generation invalidates the pending timer without scheduling another, so
+  // no retry — and crucially no retry-exhaustion death verdict — can fire
+  // against a peer that may merely be behind a partition), return the
+  // credit lease and park the record. Records already parked in
+  // credit_waitq_ stay there; the suspected guard in drain_credit_waitq
+  // keeps them parked until heal.
+  auto& q = suspectq_[peer];
+  for (auto& [id, rec] : sends_) {
+    if (rec.target != peer || rec.queued) continue;
+    ++rec.retry.timeout_gen;  // the pending timer dies stale: RTO frozen
+    rec.queued = true;
+    q.push_back(id);
+    credit_return(rec, rec.credits_held);
+  }
+  progress_.notify();
+}
+
+void SendEngine::heal_peer(int peer) {
+  if (suspected_.erase(peer) == 0) return;
+  sim::Engine& engine = progress_.engine();
+  engine.counters().bump("lapi.peer_healed");
+  SPLAP_WARN(engine.now(),
+             "lapi task %d: suspected peer %d heard from again, healing",
+             task_id_, peer);
+  const CostModel& cm = progress_.cost();
+  auto qit = suspectq_.find(peer);
+  if (qit != suspectq_.end()) {
+    std::deque<std::int64_t> q = std::move(qit->second);
+    suspectq_.erase(qit);
+    for (const std::int64_t id : q) {
+      auto it = sends_.find(id);
+      if (it == sends_.end()) continue;  // reclaimed while parked
+      SendRecord& rec = it->second;
+      if (!rec.queued) continue;
+      // A record whose payload still needs the wire must re-lease credits;
+      // an over-subscribed pool routes it to the ordinary credit queue
+      // instead (started by drain_credit_waitq as credits return).
+      const bool flow =
+          credits_.enabled() && peer != task_id_ && !rec.data_acked;
+      if (flow && !(credits_.can_send(peer, rec.pkts) &&
+                    credit_waitq_.count(peer) == 0)) {
+        engine.counters().bump("lapi.credit_queued");
+        credit_waitq_[peer].push_back(id);
+        continue;  // stays queued
+      }
+      rec.queued = false;
+      if (flow) lease_credits(rec);
+      // Restart as any handler-context send: behind the dispatcher's
+      // current work. Deliberately NOT charged against the retry budget —
+      // the quarantine was the detector's choice, not the wire's failure.
+      const Time inject_at =
+          std::max(engine.now(), progress_.busy_until()) + cm.lapi_pkt_tx;
+      progress_.set_busy_until(inject_at);
+      rec.sent_at = inject_at;
+      if (inject_at <= engine.now()) {
+        if (!rec.data_acked) {
+          transmit_packets(rec);
+        } else {
+          transmit_probe(rec);
+        }
+      } else {
+        progress_.defer(inject_at, [this, id] {
+          auto it2 = sends_.find(id);
+          if (it2 == sends_.end()) return;
+          if (!it2->second.data_acked) {
+            transmit_packets(it2->second);
+          } else {
+            transmit_probe(it2->second);
+          }
+        });
+      }
+      arm_initial(id,
+                  rec.data ? static_cast<std::int64_t>(rec.data->size()) : 0);
+    }
+  }
+  drain_credit_waitq(peer);
+  progress_.notify();
 }
 
 Time SendEngine::on_probe(const net::Packet& pkt) {

@@ -26,6 +26,7 @@
 // SPLAP_AUDIT builds).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -127,6 +128,84 @@ class ReliableChannel {
   bool have_rtt_ = false;
   Time srtt_ = 0;
   Time rttvar_ = 0;
+};
+
+/// Phi-accrual-style suspicion estimator over one peer's packet inter-arrival
+/// rhythm (phi-accrual lineage; same adaptive spirit as the Jacobson RTO).
+/// Each admitted packet contributes one inter-arrival gap to a sliding
+/// window; suspicion is the current silence measured against the smoothed
+/// expectation (mean + 2*stddev). Steady traffic collapses the variance, so
+/// a peer with a tight rhythm is suspected quickly when it goes quiet, while
+/// a peer with naturally bursty traffic earns a wide tolerance — which is
+/// exactly what separates a straggler from a corpse. Pure virtual-time
+/// arithmetic: no randomness, no wall clock.
+class AccrualEstimator {
+ public:
+  /// Inter-arrival samples required before suspicion() means anything; below
+  /// this the detector falls back to the legacy fixed-miss rule.
+  static constexpr int kWarmupSamples = 3;
+
+  explicit AccrualEstimator(int window = 16)
+      : window_(window < 2 ? 2 : window),
+        gaps_(static_cast<std::size_t>(window_), 0.0) {}
+
+  /// Record an arrival at virtual time `now`.
+  void observe(Time now) {
+    if (last_ != kNoTime && now >= last_) {
+      const double gap = static_cast<double>(now - last_);
+      if (count_ == window_) {
+        const double old = gaps_[static_cast<std::size_t>(head_)];
+        sum_ -= old;
+        sumsq_ -= old * old;
+      } else {
+        ++count_;
+      }
+      gaps_[static_cast<std::size_t>(head_)] = gap;
+      head_ = head_ + 1 == window_ ? 0 : head_ + 1;
+      sum_ += gap;
+      sumsq_ += gap * gap;
+    }
+    last_ = now;
+  }
+
+  /// Silence since the last arrival over the smoothed gap expectation.
+  /// 0 while warming up or when an arrival just landed; grows monotonically
+  /// with silence. The +1 floor keeps a fully collapsed variance (perfectly
+  /// periodic traffic) from dividing by zero.
+  double suspicion(Time now) const {
+    if (!warmed_up() || last_ == kNoTime || now <= last_) return 0.0;
+    const double silence = static_cast<double>(now - last_);
+    return silence / (mean() + 2.0 * stddev() + 1.0);
+  }
+
+  bool warmed_up() const { return count_ >= kWarmupSamples; }
+  int samples() const { return count_; }
+  Time last_heard() const { return last_; }
+  double mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+  double stddev() const {
+    if (count_ == 0) return 0.0;
+    const double m = mean();
+    const double var = sumsq_ / count_ - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;  // round-off can dip negative
+  }
+  /// Forget everything (peer incarnation change): the new life has its own
+  /// rhythm.
+  void reset() {
+    head_ = 0;
+    count_ = 0;
+    last_ = kNoTime;
+    sum_ = 0.0;
+    sumsq_ = 0.0;
+  }
+
+ private:
+  int window_;
+  std::vector<double> gaps_;  // ring buffer of inter-arrival gaps
+  int head_ = 0;
+  int count_ = 0;
+  Time last_ = kNoTime;
+  double sum_ = 0.0;
+  double sumsq_ = 0.0;
 };
 
 /// Per-peer packet-credit pool, origin side (the real LAPI's token scheme
@@ -260,18 +339,34 @@ class SendEngine final : public ReliableChannel::Sender {
   Time on_probe(const net::Packet& pkt);
 
   /// Any packet from `src` was admitted: the peer is demonstrably alive.
-  /// Clears its keepalive miss count and un-latches a dead verdict (the
-  /// peer reconnected, or congestion was misjudged as death).
+  /// Feeds the accrual estimator, clears the keepalive miss count, heals a
+  /// *suspected* peer (un-quarantining its parked sends) and un-latches a
+  /// dead verdict (the peer reconnected, or congestion was misjudged).
   void note_heard(int src);
 
   /// Is `peer` currently latched dead?
   bool peer_failed(int peer) const { return failed_peers_.count(peer) != 0; }
 
+  /// Is `peer` in the suspected (quarantined, not dead) state?
+  bool peer_suspected(int peer) const {
+    return suspected_.count(peer) != 0;
+  }
+
+  /// Sends currently quarantined behind suspected peers (introspection).
+  std::size_t suspect_queued() const {
+    std::size_t n = 0;
+    for (const auto& [peer, q] : suspectq_) n += q.size();
+    return n;
+  }
+
   /// Declare `peer` dead (retry exhaustion, keepalive timeout, or gossip
   /// from another task's detection): fail over every queued and pending
   /// record toward it at once with kPeerFailed, reclaim their credit
   /// leases, and fire the peer-failure hook once per latch transition.
-  void fail_peer(int peer);
+  /// `direct` records the evidence class for the hook: true for first-hand
+  /// proof (retry exhaustion, fixed-miss keepalive), false for an
+  /// accrual-only verdict — gossip of the latter needs corroboration.
+  void fail_peer(int peer, bool direct = true);
 
   /// The peer restarted with incarnation `new_epoch`. Records addressed to
   /// an older incarnation can never complete (the new life rejects their
@@ -285,7 +380,8 @@ class SendEngine final : public ReliableChannel::Sender {
 
   /// Invoked in dispatcher context on each fresh dead-peer latch (the
   /// facade wires the LAPI_Init error handler and failure gossip here).
-  void set_peer_failure_hook(std::function<void(int)> hook) {
+  /// The bool is fail_peer's `direct` evidence class.
+  void set_peer_failure_hook(std::function<void(int, bool)> hook) {
     peer_failure_hook_ = std::move(hook);
   }
 
@@ -321,6 +417,15 @@ class SendEngine final : public ReliableChannel::Sender {
   /// Keepalive: (re-)arm the probe tick while records are pending.
   void arm_keepalive();
   void keepalive_tick();
+  /// healthy -> suspected: quarantine every record toward `peer` (freeze its
+  /// RTO by bumping the timeout generation, return its credit lease, park it
+  /// in the suspect queue) instead of failing it. Fresh transitions bump
+  /// lapi.peer_suspected.
+  void suspect_peer(int peer);
+  /// suspected -> healthy (any contact): restart the quarantined records —
+  /// re-lease credits, retransmit (not charged against the retry budget) and
+  /// re-arm their timers. Bumps lapi.peer_healed.
+  void heal_peer(int peer);
 
   /// Wire packets a message of this shape occupies (the credit unit).
   /// Both this and transmit_packets read the same frag_plan, so the lease
@@ -364,7 +469,7 @@ class SendEngine final : public ReliableChannel::Sender {
   std::int64_t epoch_ = 0;
   /// Peers latched dead; cleared by note_heard when the peer reconnects.
   std::set<int> failed_peers_;
-  std::function<void(int)> peer_failure_hook_;
+  std::function<void(int, bool)> peer_failure_hook_;
   /// Keepalive observation window per probed peer: `heard` is set by any
   /// admitted packet from the peer and consumed (reset) each tick.
   struct PeerHealth {
@@ -373,6 +478,20 @@ class SendEngine final : public ReliableChannel::Sender {
   };
   std::map<int, PeerHealth> health_;
   bool keepalive_armed_ = false;
+
+  // --- gray-failure detection (accrual keepalive) ---------------------------
+  /// Accrual detector active: keepalive configured and not forced legacy.
+  /// Resolved once — note_heard sits on the per-packet admit path and must
+  /// stay a cheap early-out when the detector is off (the default).
+  const bool accrual_enabled_;
+  /// Inter-arrival estimator per heard peer (accrual mode only).
+  std::map<int, AccrualEstimator> accrual_;
+  /// Peers in the suspected (quarantined) state: not failed, sends parked.
+  std::set<int> suspected_;
+  /// Records quarantined behind a suspected peer, FIFO. Separate from
+  /// credit_waitq_ so mid-quarantine credit returns cannot restart them;
+  /// only heal_peer (or fail_peer) drains this queue.
+  std::map<int, std::deque<std::int64_t>> suspectq_;
 #ifdef SPLAP_AUDIT
   /// Shadow ledger of live send records: double-reclaim or a timer/ack
   /// touching a reclaimed record aborts at the corrupting operation.

@@ -216,6 +216,36 @@ struct Config {
   /// pending record to it at once (Status::kPeerFailed). 0 = keepalive off;
   /// retry exhaustion then remains the only death detector.
   Time keepalive_interval = 0;
+
+  // --- gray-failure detection (inert unless keepalive_interval > 0) --------
+  /// Force the legacy fixed-miss keepalive (three silent periods -> dead)
+  /// instead of the adaptive accrual detector. Kept for comparison: the
+  /// legacy detector declares a slow-but-alive peer dead, which is exactly
+  /// the gray-failure false positive the accrual detector avoids.
+  bool keepalive_legacy = false;
+  /// Accrual suspicion level (silence over the smoothed inter-arrival
+  /// expectation) at which a peer becomes *suspected*: its sends are
+  /// quarantined (credits returned, RTO frozen) instead of failed, and it
+  /// heals on any contact. Roughly "the peer has been silent N times longer
+  /// than its recent traffic predicts".
+  double suspect_threshold = 2.0;
+  /// Suspicion level at which sustained accrual escalates a suspected peer
+  /// to the full fail_peer cascade. This verdict is circumstantial (no
+  /// retry exhaustion), so its gossip needs corroboration — see
+  /// suspicion_quorum.
+  double fail_threshold = 8.0;
+  /// Inter-arrival samples the per-peer accrual estimator remembers. Until
+  /// it has observed AccrualEstimator::kWarmupSamples gaps the detector
+  /// falls back to the legacy fixed-miss rule (a peer that was never heard
+  /// from has no rhythm to judge silence against).
+  int accrual_window = 16;
+  /// Distinct observers (gossip reporters plus this task's own suspicion)
+  /// required before an accrual-only death verdict received via gossip
+  /// latches locally. Direct evidence (retry exhaustion, warmup-fallback
+  /// keepalive) always latches immediately. Prevents one partitioned
+  /// observer from split-braining a healthy task.
+  int suspicion_quorum = 2;
+
   /// Error handler registered at LAPI_Init. nullptr = none; peer failure is
   /// then observable only through kPeerFailed completions and gfence.
   ErrorHandler error_handler;

@@ -258,7 +258,11 @@ void Comm::give_up(std::int64_t id) {
     fail_peer(it->second.dst);
     return;
   }
-  comm_status_ = Status::kResourceExhausted;
+  // The stronger verdict wins (comm.hpp): a retry-budget exhaustion against
+  // one peer must not downgrade an already-latched death of another.
+  if (comm_status_ != Status::kPeerFailed) {
+    comm_status_ = Status::kResourceExhausted;
+  }
   notify();
 }
 
@@ -780,7 +784,9 @@ Time Comm::match_scan() {
           msg.seen.clear();
           msg.received = 0;
           engine().counters().bump("mpl.unexpected_shed");
-          comm_status_ = Status::kResourceExhausted;
+          if (comm_status_ != Status::kPeerFailed) {
+            comm_status_ = Status::kResourceExhausted;
+          }
         } else {
           unexpected_.push_back(key);
         }

@@ -36,6 +36,12 @@ Fabric::Fabric(sim::Engine& engine, int nodes, FabricConfig config)
       SPLAP_REQUIRE(f.route >= 0 && f.route < config_.cost.routes_per_pair,
                     "route fault names a route the pair does not have");
     }
+    for (const Straggler& s : config_.fault.stragglers) {
+      SPLAP_REQUIRE(s.node >= 0 && s.node < nodes,
+                    "straggler names a node the machine does not have");
+      SPLAP_REQUIRE(s.multiplier >= 1.0,
+                    "straggler multiplier must be >= 1 (it slows, never speeds)");
+    }
     faults_ = std::make_unique<FaultInjector>(config_.fault);
     for (const NodeFault& f : config_.fault.node_faults) {
       SPLAP_REQUIRE(f.node >= 0 && f.node < nodes,
@@ -158,13 +164,36 @@ void Fabric::transmit(Packet&& pkt) {
     }
   }
 
+  // Gray failure: a straggling adapter serves every packet slower without
+  // being down. Pure time-window lookup — no RNG draw, so straggler configs
+  // leave the jitter/fault streams byte-identical.
+  Time adapter_tx = cm.adapter_tx;
+  if (faults_ != nullptr && faults_->has_stragglers()) [[unlikely]] {
+    const double factor = faults_->straggler_factor(pkt.src, engine_.now());
+    if (factor > 1.0) {
+      adapter_tx = static_cast<Time>(static_cast<double>(adapter_tx) * factor);
+    }
+  }
+
   Time arrival;
   if (pkt.src == pkt.dst) {
     // Loopback: the adapter short-circuits the switch.
-    arrival = engine_.now() + cm.adapter_tx + cm.adapter_rx;
+    arrival = engine_.now() + adapter_tx + cm.adapter_rx;
   } else {
+    if (faults_ != nullptr && faults_->has_partitions() &&
+        faults_->partitioned(pkt.src, pkt.dst, engine_.now())) [[unlikely]] {
+      // The switch plane between src and dst is cut in this direction; the
+      // reverse direction may well still deliver (asymmetric partition).
+      // The reliability layers above see one-way silence.
+      ++fault_dropped_;
+      fault_bytes_dropped_ += wire_bytes;
+      engine_.counters().bump("fabric.partitioned");
+      SPLAP_DEBUG(engine_.now(), "fabric: partitioned, dropped packet %d->%d",
+                  pkt.src, pkt.dst);
+      return;
+    }
     const Time depart =
-        std::max(engine_.now() + cm.adapter_tx, link_free_[src]);
+        std::max(engine_.now() + adapter_tx, link_free_[src]);
     // wire_time only depends on the total byte count; a one-entry memo
     // skips the floating divide for the dominant full-MTU packet stream.
     if (wire_bytes != wire_memo_bytes_[src]) {
@@ -344,8 +373,17 @@ void Fabric::stage_rx(InFlight* rec) {
     ++rx_count_[dst];
     rx_hwm_[dst] = std::max(rx_hwm_[dst], rx_count_[dst]);
   }
-  const Time deliver_at =
-      std::max(engine_.now(), rx_free_[dst]) + config_.cost.adapter_rx;
+  Time adapter_rx = config_.cost.adapter_rx;
+  if (faults_ != nullptr && faults_->has_stragglers()) [[unlikely]] {
+    // Straggling receiver: the drain DMA serves this node's queue slower,
+    // which is what backs up its RX occupancy and stretches its replies.
+    const double factor =
+        faults_->straggler_factor(rec->pkt.dst, engine_.now());
+    if (factor > 1.0) {
+      adapter_rx = static_cast<Time>(static_cast<double>(adapter_rx) * factor);
+    }
+  }
+  const Time deliver_at = std::max(engine_.now(), rx_free_[dst]) + adapter_rx;
   rx_free_[dst] = deliver_at;
   // Same-shard hop (adapter_rx < lookahead, so it stays inside the window
   // and runs on this very lane in (time, seq) order).

@@ -65,6 +65,26 @@ bool FaultInjector::route_up(int route, Time t) const {
   return true;
 }
 
+bool FaultInjector::partitioned(int src, int dst, Time t) const {
+  for (const PartitionFault& p : config_.partitions) {
+    if (p.active(t) && p.matches(src, dst)) return true;
+  }
+  for (const PartitionGroup& g : config_.partition_groups) {
+    if (g.active(t) && g.severs(src, dst)) return true;
+  }
+  return false;
+}
+
+double FaultInjector::straggler_factor(int node, Time t) const {
+  double factor = 1.0;
+  for (const Straggler& s : config_.stragglers) {
+    if (s.node == node && s.multiplier > 1.0 && s.active(t)) {
+      factor *= s.multiplier;
+    }
+  }
+  return factor;
+}
+
 Time FaultInjector::route_penalty(int route, Time t) const {
   Time extra = 0;
   for (const RouteFault& f : config_.route_faults) {

@@ -16,7 +16,9 @@
 // of virtual time — no wall clock anywhere.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "base/rng.hpp"
@@ -70,6 +72,68 @@ struct NodeFault {
   }
 };
 
+/// One directional partition window: while active, packets from `src` to
+/// `dst` are lost on the wire while the reverse direction is untouched —
+/// the asymmetric (gray) partition a misprogrammed switch port produces.
+/// Either endpoint may be -1 as a wildcard ("any node"), so {src=2, dst=-1}
+/// blackholes everything node 2 transmits while it still hears the world.
+struct PartitionFault {
+  int src = -1;          // transmitting node, -1 = any
+  int dst = -1;          // receiving node, -1 = any
+  Time from = 0;         // window start, inclusive
+  Time until = kNoTime;  // window end, exclusive; kNoTime = never heals
+
+  bool active(Time t) const {
+    return t >= from && (until == kNoTime || t < until);
+  }
+  bool matches(int s, int d) const {
+    return (src < 0 || src == s) && (dst < 0 || dst == d);
+  }
+};
+
+/// A named symmetric partition: the fabric splits into the listed sides and
+/// every route between nodes on *different* sides is cut for the window (both
+/// directions). Nodes not listed on any side are unaffected — they keep full
+/// connectivity to everyone, modeling a split that only severs one switch
+/// plane. Heals when the window closes.
+struct PartitionGroup {
+  std::string name;                    // for traces/diagnostics only
+  std::vector<std::vector<int>> sides;
+  Time from = 0;
+  Time until = kNoTime;
+
+  bool active(Time t) const {
+    return t >= from && (until == kNoTime || t < until);
+  }
+  /// True when a and b sit on distinct explicit sides.
+  bool severs(int a, int b) const {
+    int sa = -1;
+    int sb = -1;
+    for (std::size_t i = 0; i < sides.size(); ++i) {
+      for (int n : sides[i]) {
+        if (n == a) sa = static_cast<int>(i);
+        if (n == b) sb = static_cast<int>(i);
+      }
+    }
+    return sa >= 0 && sb >= 0 && sa != sb;
+  }
+};
+
+/// A gray-failing node: alive and reachable, but its adapter serves packets
+/// `multiplier`x slower for the window (scales adapter_tx on transmit and
+/// adapter_rx on delivery). This is the classic straggler a fixed keepalive
+/// mistakes for a crash.
+struct Straggler {
+  int node = 0;
+  double multiplier = 1.0;  // >= 1; 1.0 = no effect
+  Time from = 0;
+  Time until = kNoTime;
+
+  bool active(Time t) const {
+    return t >= from && (until == kNoTime || t < until);
+  }
+};
+
 struct FaultConfig {
   LossModel loss = LossModel::kUniform;
   /// kUniform: per-packet drop probability.
@@ -97,6 +161,13 @@ struct FaultConfig {
   /// exists so harnesses can also declare crashes declaratively.
   std::vector<NodeFault> node_faults;
 
+  /// Directional src->dst blackhole windows (asymmetric partitions).
+  std::vector<PartitionFault> partitions;
+  /// Named multi-side symmetric partitions cut at a virtual time.
+  std::vector<PartitionGroup> partition_groups;
+  /// Per-node adapter slowdown windows (gray failures).
+  std::vector<Straggler> stragglers;
+
   std::uint64_t seed = 0xfa017;
 
   bool injects_loss() const {
@@ -112,7 +183,9 @@ struct FaultConfig {
   /// entirely (the zero-cost default path).
   bool any() const {
     return injects_loss() || duplicate_rate > 0 || corrupt_rate > 0 ||
-           !route_faults.empty() || !node_faults.empty();
+           !route_faults.empty() || !node_faults.empty() ||
+           !partitions.empty() || !partition_groups.empty() ||
+           !stragglers.empty();
   }
 };
 
@@ -138,6 +211,18 @@ class FaultInjector {
   /// Extra latency from degraded-but-up windows covering (route, t).
   Time route_penalty(int route, Time t) const;
   bool has_route_faults() const { return !config_.route_faults.empty(); }
+
+  /// True when any directional window or partition group severs src->dst at
+  /// t. Pure function of virtual time: consumes no randomness, so enabling
+  /// partitions leaves every RNG stream (and the golden traces) untouched.
+  bool partitioned(int src, int dst, Time t) const;
+  /// Adapter service-time multiplier for `node` at t (stacked stragglers
+  /// multiply; 1.0 when none active).
+  double straggler_factor(int node, Time t) const;
+  bool has_partitions() const {
+    return !config_.partitions.empty() || !config_.partition_groups.empty();
+  }
+  bool has_stragglers() const { return !config_.stragglers.empty(); }
 
   /// Gilbert–Elliott channel currently in the burst state (test hook).
   bool in_burst() const { return bad_state_; }

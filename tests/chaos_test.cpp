@@ -34,6 +34,7 @@ struct Scenario {
   bool expect_dups = false;
   bool expect_corruption = false;
   bool expect_failover = false;
+  bool expect_partitioned = false;
 };
 
 std::vector<Scenario> scenarios() {
@@ -95,6 +96,55 @@ std::vector<Scenario> scenarios() {
     slow.extra_latency = microseconds(2);
     s.fault.route_faults.push_back(slow);
     s.expect_failover = true;
+    v.push_back(s);
+  }
+  {
+    // Two overlapping one-directional blackholes that both heal well inside
+    // the retry budget: the workload must ride them out on retransmissions
+    // alone (no detector is armed here).
+    Scenario s;
+    s.name = "asym_partition";
+    net::PartitionFault a;
+    a.src = 0;
+    a.dst = 2;
+    a.from = microseconds(200);
+    a.until = milliseconds(3.0);
+    s.fault.partitions.push_back(a);
+    net::PartitionFault b;
+    b.src = 3;
+    b.dst = 1;
+    b.from = milliseconds(1.0);
+    b.until = milliseconds(4.0);
+    s.fault.partitions.push_back(b);
+    s.expect_partitioned = true;
+    v.push_back(s);
+  }
+  {
+    // Full split {0,1} | {2,3} that merges mid-run: cross-side collectives
+    // and one-sided ops stall through the window and drain after the merge.
+    Scenario s;
+    s.name = "split_merge";
+    net::PartitionGroup g;
+    g.name = "plane0";
+    g.sides = {{0, 1}, {2, 3}};
+    g.from = microseconds(300);
+    g.until = milliseconds(2.5);
+    s.fault.partition_groups.push_back(g);
+    s.expect_partitioned = true;
+    v.push_back(s);
+  }
+  {
+    // Gray failure: node 2's adapter serves everything 25x slower for a
+    // window. Nothing is lost — the run must simply absorb the slowdown
+    // with zero failed operations.
+    Scenario s;
+    s.name = "straggler";
+    net::Straggler slow;
+    slow.node = 2;
+    slow.multiplier = 25.0;
+    slow.from = microseconds(500);
+    slow.until = milliseconds(4.0);
+    s.fault.stragglers.push_back(slow);
     v.push_back(s);
   }
   {
@@ -163,6 +213,10 @@ void check_fabric_expectations(net::Machine& m, const Scenario& sc) {
   }
   if (sc.expect_failover) {
     EXPECT_GT(m.fabric().route_failovers(), 0) << "route faults inert";
+  }
+  if (sc.expect_partitioned) {
+    EXPECT_GT(m.engine().counters().get("fabric.partitioned"), 0)
+        << "partition windows inert";
   }
   // No operation was allowed to fail outright under these retry budgets, and
   // every straggler (duplicate, late retransmit) was absorbed by a live

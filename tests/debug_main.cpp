@@ -1,43 +1,73 @@
 // Scratch diagnostics binary (not a registered test): reproduces whatever
 // scenario is under investigation with debug logging enabled.
+#include <array>
 #include <cstdio>
 #include <vector>
 
 #include "base/log.hpp"
 #include "lapi/context.hpp"
 #include "net/machine.hpp"
+#include "sim/sync.hpp"
 
 using namespace splap;
 
 int main() {
-  net::Machine::Config cfg;
-  cfg.tasks = 2;
-  net::Machine m(cfg);
-  bool flag = false;
-  Time sent = kNoTime, landed = kNoTime;
+  Log::level() = LogLevel::kDebug;
+  constexpr int kPuts = 24;
+  constexpr std::int64_t kLen = 512;
+  net::Machine::Config mc;
+  mc.tasks = 2;
+  mc.fabric.seed = 301;
+  mc.fabric.fault.seed = 43;
+  for (const auto& [from, until] :
+       {std::pair<Time, Time>{microseconds(250), microseconds(700)},
+        std::pair<Time, Time>{microseconds(1100), microseconds(1550)}}) {
+    net::PartitionFault cut;
+    cut.src = 1;
+    cut.dst = 0;
+    cut.from = from;
+    cut.until = until;
+    mc.fabric.fault.partitions.push_back(cut);
+  }
+  net::Machine m(mc);
+
+  std::array<std::vector<std::byte>, kPuts> tgt;
+  for (auto& t : tgt) t.resize(static_cast<std::size_t>(kLen));
+  int failed = 0;
+
   auto st = m.run_spmd([&](net::Node& n) {
-    lapi::Context ctx(n);
-    std::vector<void*> tab(2);
-    lapi::Counter tgt;
-    ctx.address_init(&tgt, tab);
-    const auto h = ctx.register_handler(
-        [&](lapi::Context&, const lapi::AmDelivery&) -> lapi::AmReply {
-          flag = true;
-          return {};
-        });
+    lapi::Config cfg;
+    cfg.retransmit_timeout = microseconds(150);
+    cfg.max_retries = 12;
+    cfg.credit_window = 4;
     if (n.id() == 0) {
-      n.task().compute(microseconds(40));
-      sent = ctx.engine().now();
-      (void)ctx.amsend(1, h, {}, {}, static_cast<lapi::Counter*>(tab[1]), nullptr,
-                 nullptr);
-    } else {
-      while (!flag) n.task().compute(nanoseconds(500));
-      landed = ctx.engine().now();
+      cfg.keepalive_interval = microseconds(30);
+      cfg.suspect_threshold = 2.0;
+      cfg.fail_threshold = 1e6;
     }
-    (void)ctx.gfence();
+    lapi::Context ctx(n, cfg);
+    if (n.id() == 0) {
+      std::vector<std::byte> src(static_cast<std::size_t>(kLen),
+                                 std::byte{0x5A});
+      for (int i = 0; i < kPuts; ++i) {
+        lapi::Counter cmpl;
+        std::printf("== put %d at %.3fus\n", i, to_us(ctx.engine().now()));
+        (void)ctx.put(1, src, tgt[static_cast<std::size_t>(i)].data(), nullptr,
+                      nullptr, &cmpl);
+        if (ctx.waitcntr(cmpl, 1) != Status::kOk) ++failed;
+        sim::Actor::current()->compute(microseconds(20));
+      }
+      std::printf("== loop done at %.3fus failed=%d pending=%zu\n",
+                  to_us(ctx.engine().now()), failed, ctx.pending_sends());
+    } else {
+      sim::Actor::current()->compute(milliseconds(4.0));
+    }
   });
-  std::printf("status=%d one_way=%.3fus interrupts=%lld\n",
-              static_cast<int>(st), to_us(landed - sent),
-              static_cast<long long>(m.engine().counters().get("lapi.interrupts")));
+  std::printf("status=%d failed=%d suspected=%lld healed=%lld\n",
+              static_cast<int>(st), failed,
+              static_cast<long long>(
+                  m.engine().counters().get("lapi.peer_suspected")),
+              static_cast<long long>(
+                  m.engine().counters().get("lapi.peer_healed")));
   return 0;
 }

@@ -215,6 +215,15 @@ class FakeWire final : public net::Delivery {
   Time header_extra_latency = 0;
   Time latency = microseconds(1);
 
+  /// Malformed-header injection: rewrite the wire copy of the first N data
+  /// packets' offset to `mangled_offset`, and/or the first Put header's
+  /// total_len to -1 — modeling in-flight descriptor corruption that slips
+  /// past the link CRC. The target must drop these (lapi.malformed_drop),
+  /// never scribble outside the landing buffer.
+  int mangle_first_n_data_offsets = 0;
+  std::int64_t mangled_offset = std::int64_t{1} << 40;
+  bool mangle_header_len = false;
+
   /// Bounded-RX emulation: when rx_depth > 0 and the destination is in
   /// overflow_to, at most rx_depth packets may be in flight toward it; the
   /// excess is dropped and reported to that endpoint's assembly engine,
@@ -247,6 +256,19 @@ class FakeWire final : public net::Delivery {
     Time lat = latency;
     if (m.kind == PktKind::kPutHdr || m.kind == PktKind::kAmHdr) {
       lat += header_extra_latency;
+    }
+    // Mutations clone the meta: the origin's retransmission copy shares it,
+    // and only the wire's copy may be mangled.
+    if (is_data && mangle_first_n_data_offsets > 0) {
+      --mangle_first_n_data_offsets;
+      auto mm = std::make_shared<WireMeta>(m);
+      mm->offset = mangled_offset;
+      pkt.meta = std::move(mm);
+    } else if (m.kind == PktKind::kPutHdr && mangle_header_len) {
+      mangle_header_len = false;
+      auto mm = std::make_shared<WireMeta>(m);
+      mm->total_len = -1;
+      pkt.meta = std::move(mm);
     }
     deliver(std::move(pkt), lat);
   }
@@ -419,6 +441,56 @@ TEST(TransportStackTest, DataBeforeHeaderIsStagedThenDelivered) {
   ASSERT_EQ(f.eng.run(), Status::kOk);
   f.expect_delivered(*src, dst);
   EXPECT_GT(f.eng.counters().get("lapi.staged"), 0);
+}
+
+// Malformed-header hardening: a data packet whose offset descriptor was
+// corrupted in flight to point far past the landing buffer must be dropped
+// and counted — a scribble there is remote memory corruption (or a crash
+// under ASan). The origin's retransmission, carrying the pristine meta,
+// recovers the message.
+TEST(TransportStackTest, MangledDataOffsetIsDroppedNotScribbled) {
+  StackFixture f;
+  f.build();
+  f.wire.mangle_first_n_data_offsets = 2;
+  auto src = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst(static_cast<std::size_t>(kLen));
+  f.put(src, dst.data());
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  f.expect_delivered(*src, dst);
+  EXPECT_EQ(f.eng.counters().get("lapi.malformed_drop"), 2);
+  EXPECT_GT(f.eng.counters().get("lapi.retransmits"), 0);
+  EXPECT_EQ(f.eng.counters().get("lapi.retransmit_giveup"), 0);
+}
+
+// Same property for a negative offset (the other side of the bounds check).
+TEST(TransportStackTest, NegativeDataOffsetIsDropped) {
+  StackFixture f;
+  f.build();
+  f.wire.mangle_first_n_data_offsets = 1;
+  f.wire.mangled_offset = -7;
+  auto src = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst(static_cast<std::size_t>(kLen));
+  f.put(src, dst.data());
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  f.expect_delivered(*src, dst);
+  EXPECT_EQ(f.eng.counters().get("lapi.malformed_drop"), 1);
+}
+
+// A Put header announcing a negative total length is rejected before it can
+// open an assembly (a negative total would poison every subsequent bounds
+// check). The data packets that raced ahead stage; the header retransmission
+// carries the real length and the message completes.
+TEST(TransportStackTest, MangledHeaderLengthIsRejected) {
+  StackFixture f;
+  f.build();
+  f.wire.mangle_header_len = true;
+  auto src = StackFixture::pattern(kLen);
+  std::vector<std::byte> dst(static_cast<std::size_t>(kLen));
+  f.put(src, dst.data());
+  ASSERT_EQ(f.eng.run(), Status::kOk);
+  f.expect_delivered(*src, dst);
+  EXPECT_GE(f.eng.counters().get("lapi.malformed_drop"), 1);
+  EXPECT_GT(f.eng.counters().get("lapi.retransmits"), 0);
 }
 
 TEST(TransportStackTest, DuplicatedDataPacketsIngestOnce) {
